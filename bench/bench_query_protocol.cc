@@ -1,0 +1,129 @@
+// E06 — section III-B and [2]: the request-rarely-respond protocol (only
+// holders answer; silence is "no") "is provably the most efficient way of
+// maintaining location information in the event that less than half the
+// servers have the file". The always-respond baseline sends an explicit
+// negative from every non-holder.
+//
+// We sweep the replication fraction on a 32-server cluster and count the
+// actual response messages the fabric delivers per resolution, plus the
+// latency trade-off for files that do NOT exist (where always-respond
+// could answer early but rarely-respond must wait out the delay).
+#include <variant>
+
+#include "bench/bench_common.h"
+#include "sim/cluster.h"
+#include "sim/workload.h"
+
+namespace scalla {
+namespace {
+
+using bench::Fmt;
+
+template <typename T>
+std::size_t VariantIndexOf() {
+  return proto::Message(T{}).index();
+}
+
+struct ProtoCount {
+  double queries = 0;
+  double haves = 0;
+  double nohaves = 0;
+  double totalPerLocate = 0;
+};
+
+ProtoCount CountMessages(int servers, int replicas, bool alwaysRespond,
+                         std::size_t files) {
+  sim::ClusterSpec spec;
+  spec.servers = servers;
+  spec.alwaysRespond = alwaysRespond;
+  sim::SimCluster cluster(spec);
+  cluster.Start();
+  util::Rng rng(5);
+  const auto paths = sim::PopulateFiles(cluster, files, replicas, rng);
+  cluster.fabric().ResetCounters();
+
+  auto& client = cluster.NewClient();
+  for (const auto& path : paths) {
+    cluster.OpenAndWait(client, path, cms::AccessMode::kRead, false);
+  }
+  const double n = static_cast<double>(files);
+  ProtoCount count;
+  count.queries =
+      static_cast<double>(cluster.fabric().DeliveredOfType(VariantIndexOf<proto::CmsQuery>())) / n;
+  count.haves =
+      static_cast<double>(cluster.fabric().DeliveredOfType(VariantIndexOf<proto::CmsHave>())) / n;
+  count.nohaves =
+      static_cast<double>(cluster.fabric().DeliveredOfType(VariantIndexOf<proto::CmsNoHave>())) /
+      n;
+  count.totalPerLocate = count.queries + count.haves + count.nohaves;
+  return count;
+}
+
+void TableMessageCounts() {
+  constexpr int kServers = 32;
+  std::printf("Response traffic per first-time resolution, %d servers:\n\n", kServers);
+  bench::Table table({"replicas", "holders/servers", "protocol", "queries",
+                      "have", "no-have", "responses", "total msgs"});
+  for (const int replicas : {1, 4, 8, 16, 24, 32}) {
+    for (const bool always : {false, true}) {
+      const auto c = CountMessages(kServers, replicas, always, 48);
+      table.AddRow({Fmt("%d", replicas),
+                    Fmt("%.0f%%", 100.0 * replicas / kServers),
+                    always ? "always-respond" : "rarely-respond",
+                    Fmt("%.1f", c.queries), Fmt("%.1f", c.haves),
+                    Fmt("%.1f", c.nohaves), Fmt("%.1f", c.haves + c.nohaves),
+                    Fmt("%.1f", c.totalPerLocate)});
+    }
+  }
+  table.Print();
+  std::printf("Rarely-respond sends only as many responses as there are holders;\n"
+              "always-respond always sends one per server. The saving is largest at\n"
+              "low replication (the common case for physics data sets) and vanishes\n"
+              "as the holder fraction approaches 100%%.\n\n");
+}
+
+void TableNonexistentLatency() {
+  std::printf("The trade-off: resolving a file that does not exist (32 servers).\n"
+              "Rarely-respond cannot distinguish 'no' from 'slow' and must wait\n"
+              "out the full delay; the explicit negatives would permit an early\n"
+              "verdict at the cost of the message traffic above.\n\n");
+  bench::Table table({"protocol", "verdict latency", "response msgs"});
+  for (const bool always : {false, true}) {
+    sim::ClusterSpec spec;
+    spec.servers = 32;
+    spec.alwaysRespond = always;
+    spec.cms.deadline = std::chrono::seconds(5);
+    sim::SimCluster cluster(spec);
+    cluster.Start();
+    cluster.fabric().ResetCounters();
+    auto& client = cluster.NewClient();
+    const TimePoint t0 = cluster.engine().Now();
+    const auto open =
+        cluster.OpenAndWait(client, "/store/nonexistent", cms::AccessMode::kRead, false);
+    const double seconds =
+        std::chrono::duration<double>(cluster.engine().Now() - t0).count();
+    const auto nohaves =
+        cluster.fabric().DeliveredOfType(VariantIndexOf<proto::CmsNoHave>());
+    table.AddRow({always ? "always-respond" : "rarely-respond",
+                  Fmt("%.2fs%s", seconds,
+                      open.err == proto::XrdErr::kNotFound ? "" : " (!)"),
+                  Fmt("%llu", static_cast<unsigned long long>(nohaves))});
+  }
+  table.Print();
+  std::printf("(This reproduction keeps the rarely-respond verdict path for both\n"
+              "protocols — as production Scalla does — so the negative responses\n"
+              "are pure overhead; the table shows the delay both designs pay.)\n\n");
+}
+
+}  // namespace
+}  // namespace scalla
+
+int main() {
+  scalla::bench::PrintHeader(
+      "E06", "request-rarely-respond vs always-respond",
+      "non-response as negative is most efficient when fewer than half the "
+      "servers hold the file; the cost is the full-delay wait on negatives");
+  scalla::TableMessageCounts();
+  scalla::TableNonexistentLatency();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E09 — section III-C1: deferring re-chaining of refreshed location
+// objects to the purge pass makes the total cost linear, "where
+// re-chaining each object individually results in a more quadratic cost"
+// (the individual unlink must search the singly-linked window chain).
+#include "bench/bench_common.h"
+#include "baseline/window_chains.h"
+#include "util/rng.h"
+
+namespace scalla {
+namespace {
+
+using baseline::RechainPolicy;
+using baseline::WindowChains;
+using bench::Fmt;
+using bench::Stopwatch;
+
+struct Result {
+  std::uint64_t traversals = 0;
+  double wallMs = 0;
+};
+
+Result Run(RechainPolicy policy, std::size_t objects, double refreshFraction,
+           util::Rng& rng) {
+  WindowChains chains(policy);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(objects);
+  for (std::size_t i = 0; i < objects; ++i) ids.push_back(chains.Add(0));
+  chains.ResetTraversals();
+
+  const auto refreshes = static_cast<std::size_t>(refreshFraction * objects);
+  Stopwatch timer;
+  for (std::size_t i = 0; i < refreshes; ++i) {
+    chains.Refresh(ids[rng.NextBelow(objects)], 1 + static_cast<int>(rng.NextBelow(8)));
+  }
+  chains.Purge(0);  // the deferred pass happens here
+  return Result{chains.Traversals(), timer.ElapsedMs()};
+}
+
+}  // namespace
+}  // namespace scalla
+
+int main() {
+  using namespace scalla;
+  bench::PrintHeader(
+      "E09", "deferred vs immediate re-chaining of refreshed objects",
+      "a single linear purge pass re-chains all moved objects; per-refresh "
+      "re-chaining degenerates to quadratic total work");
+
+  bench::Table table({"objects", "refresh fraction", "policy", "link traversals",
+                      "traversals/object", "wall time"});
+  util::Rng rng(13);
+  for (const std::size_t objects : {1000u, 5000u, 20000u, 50000u}) {
+    for (const double fraction : {0.2, 1.0}) {
+      for (const auto policy : {RechainPolicy::kDeferred, RechainPolicy::kImmediate}) {
+        const auto r = Run(policy, objects, fraction, rng);
+        table.AddRow(
+            {Fmt("%zu", objects), Fmt("%.0f%%", fraction * 100),
+             policy == RechainPolicy::kDeferred ? "deferred (Scalla)" : "immediate",
+             Fmt("%llu", static_cast<unsigned long long>(r.traversals)),
+             Fmt("%.1f", static_cast<double>(r.traversals) / static_cast<double>(objects)),
+             Fmt("%.2fms", r.wallMs)});
+      }
+    }
+  }
+  table.Print();
+  std::printf("Deferred traversals stay ~1/object regardless of scale; immediate\n"
+              "traversals per object GROW with the chain length — the quadratic\n"
+              "blow-up the paper's deferral avoids.\n\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// failover_demo: the recoverability story (paper sections III-A4, III-C1,
+// VI). Watch the cluster ride out a data-server crash: clients fail over
+// to a surviving replica, the cached location information self-corrects
+// via the V_m/V_c machinery when the server is dropped and later returns
+// as a new member, and no persistent state is ever rebuilt.
+//
+//   $ ./failover_demo
+#include <cstdio>
+
+#include "sim/cluster.h"
+
+using namespace scalla;
+
+namespace {
+
+void Status(sim::SimCluster& cluster, const char* when) {
+  const auto online = cluster.head().membership().OnlineSet();
+  const auto offline = cluster.head().membership().OfflineSet();
+  std::printf("[t=%7.2fs] %-34s online=%d offline=%d members=%zu\n",
+              std::chrono::duration<double>(
+                  cluster.engine().Now().time_since_epoch())
+                  .count(),
+              when, online.count(), offline.count(),
+              cluster.head().membership().MemberCount());
+}
+
+void TryOpen(sim::SimCluster& cluster, client::ScallaClient& client, const char* label) {
+  const auto open =
+      cluster.OpenAndWait(client, "/store/precious.root", cms::AccessMode::kRead, false);
+  if (open.err == proto::XrdErr::kNone) {
+    std::printf("    open (%s): OK via node %u, %d redirect(s), %d recovery(ies), "
+                "%.0fus\n",
+                label, open.file.node, open.redirects, open.recoveries,
+                std::chrono::duration<double>(open.elapsed).count() * 1e6);
+    std::optional<proto::XrdErr> closed;
+    client.Close(open.file, [&closed](proto::XrdErr e) { closed = e; });
+    cluster.engine().RunUntilIdle();
+  } else {
+    std::printf("    open (%s): FAILED (err=%d)\n", label, static_cast<int>(open.err));
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::ClusterSpec spec;
+  spec.servers = 4;
+  spec.cms.deadline = std::chrono::seconds(1);
+  spec.cms.dropDelay = std::chrono::minutes(5);  // disconnect -> drop window
+  sim::SimCluster cluster(spec);
+  cluster.Start();
+  Status(cluster, "cluster started (4 servers)");
+
+  // The file lives on two replicas.
+  cluster.PlaceFile(1, "/store/precious.root", "irreplaceable bits");
+  cluster.PlaceFile(2, "/store/precious.root", "irreplaceable bits");
+  auto& client = cluster.NewClient();
+  TryOpen(cluster, client, "both replicas up");
+  TryOpen(cluster, client, "cached");
+
+  // Server 1 crashes. The manager marks it offline but keeps it as a
+  // member — "the hope is that the server is encountering a transient
+  // problem and will soon reconnect".
+  std::printf("\n--- server1 crashes ---\n");
+  cluster.CrashServer(1);
+  cluster.engine().RunUntilIdle();
+  Status(cluster, "after crash (offline, not dropped)");
+  TryOpen(cluster, client, "failover to replica");
+  TryOpen(cluster, client, "failover, cached");
+
+  // It stays down past the drop delay: dropped from the cluster, removed
+  // from every V_m; its slot is free.
+  std::printf("\n--- drop delay elapses ---\n");
+  // The drop scan runs every dropDelay/4; run well past the delay so the
+  // scan both comes due and finds the disconnect older than the window.
+  cluster.engine().RunFor(spec.cms.dropDelay * 2);
+  Status(cluster, "after drop");
+  TryOpen(cluster, client, "post-drop");
+
+  // The server returns. Re-login treats it as a NEW member (N_c bump), so
+  // every cached location object learns to re-query it on next fetch —
+  // the Figure 3 correction in action.
+  std::printf("\n--- server1 returns ---\n");
+  cluster.RestartServer(1);
+  cluster.engine().RunFor(std::chrono::seconds(10));
+  Status(cluster, "after rejoin (as new member)");
+  TryOpen(cluster, client, "rejoined; corrections applied");
+
+  // And the other replica can now crash safely: the rejoined server is
+  // rediscovered through the corrected V_q.
+  std::printf("\n--- server2 crashes too ---\n");
+  cluster.CrashServer(2);
+  cluster.engine().RunUntilIdle();
+  TryOpen(cluster, client, "only the rejoined copy left");
+
+  const auto cs = cluster.head().cache().GetStats();
+  std::printf("\nmanager cache corrections applied: %zu (window-memo hits: %zu)\n",
+              cs.corrections, cs.correctionMemoHits);
+  std::printf("No persistent state was written or recovered at any point — the\n"
+              "location view was reconstructed purely from logins and queries.\n");
+  return 0;
+}

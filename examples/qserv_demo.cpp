@@ -1,0 +1,128 @@
+// qserv_demo: the LSST Qserv prototype pattern (paper section IV-B) — a
+// shared-nothing astronomical query system that uses Scalla as its
+// distributed dispatch layer. Workers publish per-partition paths
+// (/qserv/chunk<N>); the master reaches "a worker hosting that particular
+// partition" simply by opening such a path, with no worker list anywhere.
+//
+//   $ ./qserv_demo [workers] [chunks] [objects]
+#include <cstdio>
+#include <cstdlib>
+
+#include "qserv/master.h"
+#include "qserv/worker.h"
+#include "sim/cluster.h"
+
+using namespace scalla;
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int chunks = argc > 2 ? std::atoi(argv[2]) : 24;
+  const std::size_t objects = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 50000;
+
+  // A Scalla cluster whose leaves are Qserv workers.
+  sim::ClusterSpec spec;
+  spec.servers = workers;
+  spec.cms.deadline = std::chrono::milliseconds(500);
+  sim::SimCluster cluster(spec);
+
+  // Generate and partition the synthetic sky catalog.
+  util::Rng rng(1919);
+  auto catalog = qserv::GenerateCatalog(objects, chunks, rng);
+  std::printf("catalog: %zu objects in %d RA chunks across %d workers\n", objects,
+              chunks, workers);
+
+  std::vector<std::unique_ptr<qserv::QservOss>> storage;
+  std::vector<std::unique_ptr<xrd::ScallaNode>> nodes;
+  for (int w = 0; w < workers; ++w) {
+    storage.push_back(std::make_unique<qserv::QservOss>(cluster.engine().clock()));
+  }
+  for (auto& [chunk, rows] : catalog) {
+    storage[static_cast<std::size_t>(chunk % workers)]->HostChunk(chunk, std::move(rows));
+  }
+  // Each worker node exports exactly its chunk prefixes; that export set
+  // IS the data->host mapping the master leans on.
+  for (int w = 0; w < workers; ++w) {
+    auto& leaf = cluster.server(static_cast<std::size_t>(w));
+    xrd::NodeConfig cfg = leaf.config();
+    cfg.exports = storage[static_cast<std::size_t>(w)]->Exports();
+    nodes.push_back(std::make_unique<xrd::ScallaNode>(cfg, cluster.engine(),
+                                                      cluster.fabric(),
+                                                      storage[static_cast<std::size_t>(w)].get()));
+    cluster.fabric().Register(cfg.addr, nodes.back().get());
+    std::printf("  worker %d exports %zu chunk prefixes\n", w, cfg.exports.size());
+  }
+  for (auto& n : nodes) n->Start();
+  cluster.engine().RunUntilIdle();
+
+  // The master: just a Scalla client plus partial-aggregate folding.
+  client::ScallaClient& channel = cluster.NewClient();
+  qserv::QservMaster master(channel);
+  std::vector<int> allChunks;
+  for (int c = 0; c < chunks; ++c) allChunks.push_back(c);
+
+  const char* queries[] = {
+      "COUNT",
+      "AVG mag",
+      "MIN mag",
+      "MAX mag",
+      "COUNT WHERE ra BETWEEN 120 AND 180",
+      "AVG mag WHERE dec BETWEEN -10 AND 10",
+  };
+  std::printf("\n%-44s %14s %10s %8s\n", "query", "result", "chunks", "time");
+  for (const char* q : queries) {
+    std::optional<qserv::QueryResult> out;
+    const TimePoint t0 = cluster.engine().Now();
+    master.RunQuery(q, allChunks, [&out](const qserv::QueryResult& r) { out = r; });
+    cluster.engine().RunUntilPredicate([&out] { return out.has_value(); },
+                                       cluster.engine().Now() + std::chrono::minutes(2));
+    if (!out.has_value() || out->err != proto::XrdErr::kNone) {
+      std::printf("%-44s %14s\n", q, "FAILED");
+      continue;
+    }
+    const double ms =
+        std::chrono::duration<double>(cluster.engine().Now() - t0).count() * 1e3;
+    std::printf("%-44s %14.4f %7d/%-2d %6.2fms\n", q, out->value, out->chunksOk,
+                chunks, ms);
+  }
+
+  // The OTHER access mode the paper highlights: "quick retrieval
+  // (retrieve all facts for a single object)". The director index names
+  // the chunk; Scalla names the worker; one shard dispatch, no scan.
+  // A real loader builds the index while partitioning; regenerating the
+  // catalog with the same seed reproduces the identical partitioning.
+  qserv::DirectorIndex index;
+  {
+    util::Rng reseed(1919);
+    const auto rebuilt = qserv::GenerateCatalog(objects, chunks, reseed);
+    index = qserv::BuildDirectorIndex(rebuilt);
+  }
+  std::printf("\nquick retrieval via the director index (%zu objects indexed):\n",
+              index.Size());
+  for (const std::uint64_t id : {std::uint64_t{17}, objects / 2, objects}) {
+    std::optional<std::pair<proto::XrdErr, std::optional<qserv::ObjectRow>>> got;
+    const TimePoint t0 = cluster.engine().Now();
+    master.GetObject(id, index,
+                     [&got](proto::XrdErr err, std::optional<qserv::ObjectRow> row) {
+                       got = std::make_pair(err, row);
+                     });
+    cluster.engine().RunUntilPredicate([&got] { return got.has_value(); },
+                                       cluster.engine().Now() + std::chrono::minutes(1));
+    const double us =
+        std::chrono::duration<double>(cluster.engine().Now() - t0).count() * 1e6;
+    if (got.has_value() && got->first == proto::XrdErr::kNone && got->second) {
+      std::printf("  GET %-8llu -> ra=%.4f dec=%+.4f mag=%.3f  (chunk %d, %.0fus)\n",
+                  static_cast<unsigned long long>(id), got->second->ra,
+                  got->second->dec, got->second->mag,
+                  qserv::ChunkOf(got->second->ra, chunks), us);
+    } else {
+      std::printf("  GET %llu -> not found\n", static_cast<unsigned long long>(id));
+    }
+  }
+
+  std::size_t tasks = 0;
+  for (const auto& s : storage) tasks += s->TasksExecuted();
+  std::printf("\nworkers executed %zu chunk tasks, dispatched purely by path —\n"
+              "no worker list, node count, or placement map configured anywhere.\n",
+              tasks);
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "baseline/central_directory.h"
+
+namespace scalla::baseline {
+
+std::uint64_t CentralDirectory::RegisterServer(ServerSlot slot,
+                                               const std::vector<std::string>& manifest) {
+  std::uint64_t bytes = 0;
+  for (const auto& path : manifest) {
+    locations_[path].set(slot);
+    bytes += path.size() + 4;  // length-framed path on the wire
+  }
+  return bytes;
+}
+
+std::size_t CentralDirectory::DeregisterServer(ServerSlot slot) {
+  std::size_t touched = 0;
+  for (auto it = locations_.begin(); it != locations_.end();) {
+    if (it->second.test(slot)) {
+      it->second.reset(slot);
+      ++touched;
+      if (it->second.empty()) {
+        it = locations_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  return touched;
+}
+
+ServerSet CentralDirectory::Locate(const std::string& path) const {
+  const auto it = locations_.find(path);
+  return it == locations_.end() ? ServerSet::None() : it->second;
+}
+
+}  // namespace scalla::baseline

@@ -1,0 +1,39 @@
+// GFS/AFS-style central directory baseline for experiment E12 (paper
+// section V). A joining server transmits its ENTIRE file manifest to the
+// master, which records every file's location eagerly; look-ups are then
+// local. Scalla instead registers only export prefixes and discovers
+// locations on demand — "node registration and deregistration are
+// extremely light operations". The bench compares registration cost and
+// restart-to-first-service time as a function of files per server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/server_set.h"
+
+namespace scalla::baseline {
+
+class CentralDirectory {
+ public:
+  /// Registers a server with its full manifest. Cost is O(manifest).
+  /// Returns bytes "transmitted" (sum of path lengths + framing), the
+  /// quantity the restart bench charges against the network.
+  std::uint64_t RegisterServer(ServerSlot slot, const std::vector<std::string>& manifest);
+
+  /// Deregisters: every mapping mentioning the server must be updated.
+  /// Cost is O(entries).
+  std::size_t DeregisterServer(ServerSlot slot);
+
+  /// Location lookup: O(1), complete (no discovery traffic ever needed).
+  ServerSet Locate(const std::string& path) const;
+
+  std::size_t EntryCount() const { return locations_.size(); }
+
+ private:
+  std::unordered_map<std::string, ServerSet> locations_;
+};
+
+}  // namespace scalla::baseline

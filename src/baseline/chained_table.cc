@@ -1,0 +1,143 @@
+#include "baseline/chained_table.h"
+
+#include "util/crc32.h"
+#include "util/fibonacci.h"
+
+namespace scalla::baseline {
+namespace {
+
+bool IsPrime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::size_t NextPrimeAtLeast(std::size_t n) {
+  while (!IsPrime(n)) ++n;
+  return n;
+}
+
+std::size_t NextPow2AtLeast(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ChainedTable::ChainedTable(SizingPolicy policy, std::size_t initialBuckets,
+                           double loadFactor)
+    : policy_(policy), loadFactor_(loadFactor) {
+  std::size_t n = initialBuckets;
+  switch (policy_) {
+    case SizingPolicy::kFibonacci: n = util::FibonacciAtLeast(n); break;
+    case SizingPolicy::kPowerOfTwo: n = NextPow2AtLeast(n); break;
+    case SizingPolicy::kPrime: n = NextPrimeAtLeast(n); break;
+  }
+  buckets_.assign(n, nullptr);
+}
+
+ChainedTable::~ChainedTable() {
+  for (Node* head : buckets_) {
+    while (head != nullptr) {
+      Node* next = head->next;
+      delete head;
+      head = next;
+    }
+  }
+}
+
+std::size_t ChainedTable::NextSize(std::size_t current) const {
+  switch (policy_) {
+    case SizingPolicy::kFibonacci: return util::NextFibonacci(current);
+    case SizingPolicy::kPowerOfTwo: return current * 2;
+    case SizingPolicy::kPrime: return NextPrimeAtLeast(current * 2);
+  }
+  return current * 2;
+}
+
+void ChainedTable::MaybeGrow() {
+  if (static_cast<double>(size_) < loadFactor_ * static_cast<double>(buckets_.size())) {
+    return;
+  }
+  const std::size_t newSize = NextSize(buckets_.size());
+  std::vector<Node*> fresh(newSize, nullptr);
+  for (Node* head : buckets_) {
+    while (head != nullptr) {
+      Node* next = head->next;
+      Node*& dst = fresh[head->hash % newSize];
+      head->next = dst;
+      dst = head;
+      head = next;
+    }
+  }
+  buckets_.swap(fresh);
+  ++rehashes_;
+}
+
+void ChainedTable::Put(std::string_view key, std::uint64_t value) {
+  const std::uint32_t hash = util::Crc32(key);
+  Node*& bucket = buckets_[hash % buckets_.size()];
+  for (Node* n = bucket; n != nullptr; n = n->next) {
+    if (n->hash == hash && n->key == key) {
+      n->value = value;
+      return;
+    }
+  }
+  bucket = new Node{bucket, hash, std::string(key), value};
+  ++size_;
+  MaybeGrow();
+}
+
+bool ChainedTable::Get(std::string_view key, std::uint64_t* value) const {
+  const std::uint32_t hash = util::Crc32(key);
+  for (const Node* n = buckets_[hash % buckets_.size()]; n != nullptr; n = n->next) {
+    ++probes_;
+    if (n->hash == hash && n->key == key) {
+      *value = n->value;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ChainedTable::Erase(std::string_view key) {
+  const std::uint32_t hash = util::Crc32(key);
+  Node** link = &buckets_[hash % buckets_.size()];
+  while (*link != nullptr) {
+    if ((*link)->hash == hash && (*link)->key == key) {
+      Node* victim = *link;
+      *link = victim->next;
+      delete victim;
+      --size_;
+      return true;
+    }
+    link = &(*link)->next;
+  }
+  return false;
+}
+
+ChainedTable::ChainStats ChainedTable::GetChainStats() const {
+  ChainStats stats;
+  std::size_t nonEmpty = 0;
+  std::size_t total = 0;
+  for (const Node* head : buckets_) {
+    std::size_t len = 0;
+    for (const Node* n = head; n != nullptr; n = n->next) ++len;
+    if (len == 0) {
+      ++stats.emptyBuckets;
+      continue;
+    }
+    ++nonEmpty;
+    total += len;
+    stats.collisions += len - 1;
+    stats.maxChain = std::max(stats.maxChain, len);
+  }
+  stats.meanChain = nonEmpty == 0 ? 0.0
+                                  : static_cast<double>(total) / static_cast<double>(nonEmpty);
+  return stats;
+}
+
+}  // namespace scalla::baseline

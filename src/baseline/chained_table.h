@@ -1,0 +1,73 @@
+// Chained hash table with a pluggable sizing policy — the apparatus for
+// experiment E01 (paper footnote 4): the authors "found much higher
+// collision rates with power-of-two sized tables compared to
+// Fibonacci-sized" under CRC32 keys. Both policies share this code so the
+// comparison isolates the sizing rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scalla::baseline {
+
+enum class SizingPolicy {
+  kFibonacci,  // grow to the next Fibonacci number (Scalla's choice)
+  kPowerOfTwo, // grow to the next power of two (the common default)
+  kPrime,      // grow to the next prime (textbook alternative, for context)
+};
+
+class ChainedTable {
+ public:
+  ChainedTable(SizingPolicy policy, std::size_t initialBuckets, double loadFactor = 0.8);
+  ~ChainedTable();
+
+  ChainedTable(const ChainedTable&) = delete;
+  ChainedTable& operator=(const ChainedTable&) = delete;
+
+  /// Inserts (or overwrites) key -> value. Key hash is CRC32 of the key,
+  /// exactly as the location cache hashes file names.
+  void Put(std::string_view key, std::uint64_t value);
+
+  /// Returns true and sets *value if present. Counts probes.
+  bool Get(std::string_view key, std::uint64_t* value) const;
+
+  bool Erase(std::string_view key);
+
+  std::size_t Size() const { return size_; }
+  std::size_t Buckets() const { return buckets_.size(); }
+  std::size_t Rehashes() const { return rehashes_; }
+
+  struct ChainStats {
+    std::size_t maxChain = 0;
+    double meanChain = 0;        // over non-empty buckets
+    std::size_t emptyBuckets = 0;
+    std::size_t collisions = 0;  // entries beyond the first in each bucket
+  };
+  ChainStats GetChainStats() const;
+
+  /// Probes performed by Get calls since the last reset.
+  std::uint64_t Probes() const { return probes_; }
+  void ResetProbes() { probes_ = 0; }
+
+ private:
+  struct Node {
+    Node* next;
+    std::uint32_t hash;
+    std::string key;
+    std::uint64_t value;
+  };
+
+  std::size_t NextSize(std::size_t current) const;
+  void MaybeGrow();
+
+  SizingPolicy policy_;
+  double loadFactor_;
+  std::vector<Node*> buckets_;
+  std::size_t size_ = 0;
+  std::size_t rehashes_ = 0;
+  mutable std::uint64_t probes_ = 0;
+};
+
+}  // namespace scalla::baseline

@@ -1,0 +1,90 @@
+#include "baseline/full_scan_cache.h"
+
+#include "util/crc32.h"
+#include "util/fibonacci.h"
+
+namespace scalla::baseline {
+
+FullScanCache::FullScanCache(util::Clock& clock, Duration ttl, std::size_t initialBuckets)
+    : clock_(clock), ttl_(ttl) {
+  buckets_.assign(util::FibonacciAtLeast(initialBuckets), nullptr);
+}
+
+FullScanCache::~FullScanCache() {
+  for (Node* head : buckets_) {
+    while (head != nullptr) {
+      Node* next = head->next;
+      delete head;
+      head = next;
+    }
+  }
+}
+
+void FullScanCache::MaybeGrow() {
+  if (static_cast<double>(size_) < 0.8 * static_cast<double>(buckets_.size())) return;
+  const std::size_t newSize = util::NextFibonacci(buckets_.size());
+  std::vector<Node*> fresh(newSize, nullptr);
+  for (Node* head : buckets_) {
+    while (head != nullptr) {
+      Node* next = head->next;
+      Node*& dst = fresh[head->hash % newSize];
+      head->next = dst;
+      dst = head;
+      head = next;
+    }
+  }
+  buckets_.swap(fresh);
+}
+
+void FullScanCache::Put(std::string_view key, std::uint64_t value) {
+  const std::uint32_t hash = util::Crc32(key);
+  Node*& bucket = buckets_[hash % buckets_.size()];
+  for (Node* n = bucket; n != nullptr; n = n->next) {
+    if (n->hash == hash && n->key == key) {
+      n->value = value;
+      n->expiry = clock_.Now() + ttl_;
+      return;
+    }
+  }
+  bucket = new Node{bucket, hash, clock_.Now() + ttl_, std::string(key), value};
+  ++size_;
+  MaybeGrow();
+}
+
+bool FullScanCache::Get(std::string_view key, std::uint64_t* value) const {
+  const std::uint32_t hash = util::Crc32(key);
+  const TimePoint now = clock_.Now();
+  for (const Node* n = buckets_[hash % buckets_.size()]; n != nullptr; n = n->next) {
+    if (n->hash == hash && n->key == key) {
+      if (n->expiry <= now) return false;  // expired but not yet scanned out
+      *value = n->value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t FullScanCache::ScanAndEvict(std::size_t* touched) {
+  const TimePoint now = clock_.Now();
+  std::size_t removed = 0;
+  std::size_t examined = 0;
+  for (Node*& bucket : buckets_) {
+    Node** link = &bucket;
+    while (*link != nullptr) {
+      ++examined;
+      if ((*link)->expiry <= now) {
+        Node* victim = *link;
+        *link = victim->next;
+        delete victim;
+        --size_;
+        ++removed;
+      } else {
+        link = &(*link)->next;
+      }
+    }
+  }
+  if (touched != nullptr) *touched = examined;
+  return removed;
+}
+
+}  // namespace scalla::baseline

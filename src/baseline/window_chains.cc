@@ -1,0 +1,76 @@
+#include "baseline/window_chains.h"
+
+namespace scalla::baseline {
+
+WindowChains::WindowChains(RechainPolicy policy, int windows)
+    : policy_(policy), heads_(static_cast<std::size_t>(windows), nullptr) {}
+
+WindowChains::~WindowChains() {
+  for (Node* n : all_) delete n;
+}
+
+std::uint64_t WindowChains::Add(int w) {
+  Node* node = new Node;
+  node->window = w;
+  node->chain = w;
+  node->next = heads_[w];
+  heads_[w] = node;
+  all_.push_back(node);
+  return all_.size() - 1;
+}
+
+void WindowChains::Unlink(Node* node) {
+  // Singly-linked: finding the predecessor costs a walk — this is exactly
+  // the per-refresh price the deferred policy avoids.
+  Node** link = &heads_[node->chain];
+  while (*link != nullptr) {
+    ++traversals_;
+    if (*link == node) {
+      *link = node->next;
+      node->next = nullptr;
+      return;
+    }
+    link = &(*link)->next;
+  }
+}
+
+void WindowChains::Refresh(std::uint64_t id, int w) {
+  Node* node = all_[id];
+  if (node->dead) return;
+  node->window = w;
+  if (policy_ == RechainPolicy::kImmediate && node->chain != w) {
+    Unlink(node);
+    node->chain = w;
+    node->next = heads_[w];
+    heads_[w] = node;
+  }
+}
+
+std::size_t WindowChains::Purge(int w) {
+  Node* list = heads_[w];
+  heads_[w] = nullptr;
+  std::size_t freed = 0;
+  while (list != nullptr) {
+    ++traversals_;
+    Node* node = list;
+    list = node->next;
+    node->next = nullptr;
+    if (node->window == w) {
+      node->dead = true;  // recycled in the real cache; flagged here
+      ++freed;
+    } else {
+      node->chain = node->window;  // deferred re-chain, one hop
+      node->next = heads_[node->window];
+      heads_[node->window] = node;
+    }
+  }
+  return freed;
+}
+
+std::size_t WindowChains::SizeOf(int w) const {
+  std::size_t n = 0;
+  for (const Node* node = heads_[w]; node != nullptr; node = node->next) ++n;
+  return n;
+}
+
+}  // namespace scalla::baseline

@@ -1,0 +1,61 @@
+// Re-chaining cost apparatus for experiment E09 (paper section III-C1).
+// When a location object is refreshed, its T_a moves to the current window
+// but Scalla does NOT move it between window chains immediately; the
+// deletion job re-chains every moved object in one linear pass. The
+// alternative — moving each object on every refresh — must first FIND the
+// object inside its singly-linked chain, so a refresh-heavy window decays
+// to quadratic total work. Both policies are implemented here over the
+// same chain structure so the bench isolates the policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scalla::baseline {
+
+enum class RechainPolicy {
+  kDeferred,   // Scalla: update T_a only; purge pass re-chains in bulk
+  kImmediate,  // unlink from the old chain (linear search) on every refresh
+};
+
+class WindowChains {
+ public:
+  WindowChains(RechainPolicy policy, int windows = 64);
+  ~WindowChains();
+
+  WindowChains(const WindowChains&) = delete;
+  WindowChains& operator=(const WindowChains&) = delete;
+
+  /// Adds an object to window `w`; returns its id.
+  std::uint64_t Add(int w);
+
+  /// Refreshes object `id`: its logical window becomes `w`.
+  void Refresh(std::uint64_t id, int w);
+
+  /// Processes window `w` as the purge job would: removes objects whose
+  /// logical window is `w`, re-chains the rest. Returns objects freed.
+  std::size_t Purge(int w);
+
+  /// Link traversals performed (the work metric the bench reports).
+  std::uint64_t Traversals() const { return traversals_; }
+  void ResetTraversals() { traversals_ = 0; }
+
+  std::size_t SizeOf(int w) const;
+
+ private:
+  struct Node {
+    Node* next = nullptr;
+    int window = 0;   // logical T_a
+    int chain = 0;    // physical chain it currently sits on
+    bool dead = false;
+  };
+
+  void Unlink(Node* node);
+
+  RechainPolicy policy_;
+  std::vector<Node*> heads_;
+  std::vector<Node*> all_;  // id -> node
+  std::uint64_t traversals_ = 0;
+};
+
+}  // namespace scalla::baseline

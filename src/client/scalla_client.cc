@@ -1,0 +1,405 @@
+#include "client/scalla_client.h"
+
+#include <utility>
+
+namespace scalla::client {
+
+ScallaClient::ScallaClient(const ClientConfig& config, sched::Executor& executor,
+                           net::Fabric& fabric)
+    : config_(config), executor_(executor), fabric_(fabric) {
+  heads_.push_back(config_.head);
+  for (const net::NodeAddr h : config_.extraHeads) {
+    if (h != 0) heads_.push_back(h);
+  }
+}
+
+bool ScallaClient::IsHead(net::NodeAddr addr) const {
+  for (const net::NodeAddr h : heads_) {
+    if (h == addr) return true;
+  }
+  return false;
+}
+
+void ScallaClient::RotateHeadAwayFrom(net::NodeAddr dead) {
+  if (heads_.size() < 2 || CurrentHead() != dead) return;
+  headIdx_ = (headIdx_ + 1) % heads_.size();
+}
+
+void ScallaClient::Open(const std::string& path, cms::AccessMode mode, bool create,
+                        OpenCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  OpenState state;
+  state.path = path;
+  state.mode = mode;
+  state.create = create;
+  state.currentNode = CurrentHead();
+  state.done = std::move(done);
+  state.start = executor_.clock().Now();
+  opens_.emplace(reqId, std::move(state));
+  SendOpen(reqId);
+}
+
+void ScallaClient::SendOpen(std::uint64_t reqId) {
+  const auto it = opens_.find(reqId);
+  if (it == opens_.end()) return;
+  OpenState& s = it->second;
+  proto::XrdOpen msg;
+  msg.reqId = reqId;
+  msg.path = s.path;
+  msg.mode = s.mode == cms::AccessMode::kRead ? 0 : 1;
+  msg.create = s.create;
+  msg.refresh = s.refresh;
+  msg.avoidNode = s.avoidNode;
+  // Refresh requests always restart at the head node.
+  s.refresh = false;
+  fabric_.Send(config_.addr, s.currentNode, std::move(msg));
+}
+
+void ScallaClient::FinishOpen(std::uint64_t reqId, proto::XrdErr err, FileRef file) {
+  auto node = opens_.extract(reqId);
+  if (node.empty()) return;
+  OpenState& s = node.mapped();
+  s.outcome.err = err;
+  s.outcome.file = file;
+  s.outcome.elapsed = executor_.clock().Now() - s.start;
+  if (err == proto::XrdErr::kNone) openLatency_.Record(s.outcome.elapsed);
+  s.done(s.outcome);
+}
+
+void ScallaClient::HandleOpenResp(net::NodeAddr from, const proto::XrdOpenResp& m) {
+  const auto it = opens_.find(m.reqId);
+  if (it == opens_.end()) return;
+  OpenState& s = it->second;
+
+  switch (m.status) {
+    case proto::XrdStatus::kOk:
+      FinishOpen(m.reqId, proto::XrdErr::kNone, FileRef{from, m.fileHandle});
+      return;
+
+    case proto::XrdStatus::kRedirect:
+      if (++s.outcome.redirects > config_.maxHops) {
+        FinishOpen(m.reqId, proto::XrdErr::kIo, {});
+        return;
+      }
+      s.currentNode = m.redirectNode;
+      SendOpen(m.reqId);
+      return;
+
+    case proto::XrdStatus::kWait: {
+      if (++s.outcome.waits > config_.maxWaits) {
+        FinishOpen(m.reqId, proto::XrdErr::kIo, {});
+        return;
+      }
+      const Duration wait{m.waitNs};
+      executor_.RunAfter(wait, [this, reqId = m.reqId] { SendOpen(reqId); });
+      return;
+    }
+
+    case proto::XrdStatus::kError:
+      if (m.err == proto::XrdErr::kStale) {
+        // Transient inconsistency: retry immediately from the head.
+        s.currentNode = CurrentHead();
+        SendOpen(m.reqId);
+        return;
+      }
+      if ((m.err == proto::XrdErr::kNotFound || m.err == proto::XrdErr::kNoSpace) &&
+          !IsHead(from)) {
+        // Vectored to a server that cannot serve the file (stale cache,
+        // or a full server refusing a creation): the general recovery is
+        // to reissue at the head asking for a cache refresh and naming
+        // the failing host (section III-C1).
+        if (++s.outcome.recoveries > config_.maxRecoveries) {
+          FinishOpen(m.reqId, proto::XrdErr::kNotFound, {});
+          return;
+        }
+        s.refresh = true;
+        s.avoidNode = from;
+        s.currentNode = CurrentHead();
+        SendOpen(m.reqId);
+        return;
+      }
+      FinishOpen(m.reqId, m.err, {});
+      return;
+  }
+}
+
+void ScallaClient::Read(const FileRef& file, std::uint64_t offset, std::uint32_t length,
+                        ReadCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  reads_.emplace(reqId, std::move(done));
+  proto::XrdRead msg;
+  msg.reqId = reqId;
+  msg.fileHandle = file.handle;
+  msg.offset = offset;
+  msg.length = length;
+  fabric_.Send(config_.addr, file.node, std::move(msg));
+}
+
+void ScallaClient::ReadV(const FileRef& file, std::vector<proto::ReadSeg> segments,
+                         ReadVCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  readvs_.emplace(reqId, std::move(done));
+  proto::XrdReadV msg;
+  msg.reqId = reqId;
+  msg.fileHandle = file.handle;
+  msg.segments = std::move(segments);
+  fabric_.Send(config_.addr, file.node, std::move(msg));
+}
+
+void ScallaClient::Checksum(const std::string& path, ChecksumCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  ChecksumState state;
+  state.path = path;
+  state.currentNode = CurrentHead();
+  state.done = std::move(done);
+  checksums_.emplace(reqId, std::move(state));
+  fabric_.Send(config_.addr, CurrentHead(), proto::XrdChecksum{reqId, path});
+}
+
+void ScallaClient::HandleChecksumResp(net::NodeAddr from, const proto::XrdChecksumResp& m) {
+  (void)from;
+  const auto it = checksums_.find(m.reqId);
+  if (it == checksums_.end()) return;
+  ChecksumState& s = it->second;
+  switch (m.status) {
+    case proto::XrdStatus::kOk: {
+      auto node = checksums_.extract(m.reqId);
+      node.mapped().done(proto::XrdErr::kNone, m.crc32);
+      return;
+    }
+    case proto::XrdStatus::kRedirect:
+      if (++s.hops > config_.maxHops) break;
+      s.currentNode = m.redirectNode;
+      fabric_.Send(config_.addr, s.currentNode, proto::XrdChecksum{m.reqId, s.path});
+      return;
+    case proto::XrdStatus::kWait: {
+      if (++s.waits > config_.maxWaits) break;
+      const Duration wait{m.waitNs};
+      executor_.RunAfter(wait, [this, reqId = m.reqId] {
+        const auto cit = checksums_.find(reqId);
+        if (cit == checksums_.end()) return;
+        fabric_.Send(config_.addr, cit->second.currentNode,
+                     proto::XrdChecksum{reqId, cit->second.path});
+      });
+      return;
+    }
+    case proto::XrdStatus::kError: {
+      auto node = checksums_.extract(m.reqId);
+      node.mapped().done(m.err, 0);
+      return;
+    }
+  }
+  auto node = checksums_.extract(m.reqId);
+  node.mapped().done(proto::XrdErr::kIo, 0);
+}
+
+void ScallaClient::Write(const FileRef& file, std::uint64_t offset, std::string data,
+                         WriteCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  writes_.emplace(reqId, std::move(done));
+  proto::XrdWrite msg;
+  msg.reqId = reqId;
+  msg.fileHandle = file.handle;
+  msg.offset = offset;
+  msg.data = std::move(data);
+  fabric_.Send(config_.addr, file.node, std::move(msg));
+}
+
+void ScallaClient::Close(const FileRef& file, DoneCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  closes_.emplace(reqId, std::move(done));
+  fabric_.Send(config_.addr, file.node, proto::XrdClose{reqId, file.handle});
+}
+
+void ScallaClient::Stat(const std::string& path, StatCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  StatState state;
+  state.path = path;
+  state.currentNode = CurrentHead();
+  state.done = std::move(done);
+  stats_.emplace(reqId, std::move(state));
+  fabric_.Send(config_.addr, CurrentHead(), proto::XrdStat{reqId, path});
+}
+
+void ScallaClient::HandleStatResp(net::NodeAddr from, const proto::XrdStatResp& m) {
+  (void)from;
+  const auto it = stats_.find(m.reqId);
+  if (it == stats_.end()) return;
+  StatState& s = it->second;
+  switch (m.status) {
+    case proto::XrdStatus::kOk: {
+      auto node = stats_.extract(m.reqId);
+      node.mapped().done(proto::XrdErr::kNone, m.size);
+      return;
+    }
+    case proto::XrdStatus::kRedirect:
+      if (++s.hops > config_.maxHops) break;
+      s.currentNode = m.redirectNode;
+      fabric_.Send(config_.addr, s.currentNode, proto::XrdStat{m.reqId, s.path});
+      return;
+    case proto::XrdStatus::kWait: {
+      if (++s.waits > config_.maxWaits) break;
+      const Duration wait{m.waitNs};
+      executor_.RunAfter(wait, [this, reqId = m.reqId] {
+        const auto sit = stats_.find(reqId);
+        if (sit == stats_.end()) return;
+        fabric_.Send(config_.addr, sit->second.currentNode,
+                     proto::XrdStat{reqId, sit->second.path});
+      });
+      return;
+    }
+    case proto::XrdStatus::kError: {
+      auto node = stats_.extract(m.reqId);
+      node.mapped().done(m.err, 0);
+      return;
+    }
+  }
+  auto node = stats_.extract(m.reqId);
+  node.mapped().done(proto::XrdErr::kIo, 0);
+}
+
+void ScallaClient::Unlink(const std::string& path, DoneCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  UnlinkState state;
+  state.path = path;
+  state.currentNode = CurrentHead();
+  state.done = std::move(done);
+  unlinks_.emplace(reqId, std::move(state));
+  fabric_.Send(config_.addr, CurrentHead(), proto::XrdUnlink{reqId, path});
+}
+
+void ScallaClient::HandleUnlinkResp(net::NodeAddr from, const proto::XrdUnlinkResp& m) {
+  (void)from;
+  const auto it = unlinks_.find(m.reqId);
+  if (it == unlinks_.end()) return;
+  UnlinkState& s = it->second;
+  switch (m.status) {
+    case proto::XrdStatus::kOk: {
+      auto node = unlinks_.extract(m.reqId);
+      node.mapped().done(proto::XrdErr::kNone);
+      return;
+    }
+    case proto::XrdStatus::kRedirect:
+      if (++s.hops > config_.maxHops) break;
+      s.currentNode = m.redirectNode;
+      fabric_.Send(config_.addr, s.currentNode, proto::XrdUnlink{m.reqId, s.path});
+      return;
+    case proto::XrdStatus::kWait: {
+      if (++s.waits > config_.maxWaits) break;
+      const Duration wait{m.waitNs};
+      executor_.RunAfter(wait, [this, reqId = m.reqId] {
+        const auto uit = unlinks_.find(reqId);
+        if (uit == unlinks_.end()) return;
+        fabric_.Send(config_.addr, uit->second.currentNode,
+                     proto::XrdUnlink{reqId, uit->second.path});
+      });
+      return;
+    }
+    case proto::XrdStatus::kError: {
+      auto node = unlinks_.extract(m.reqId);
+      node.mapped().done(m.err);
+      return;
+    }
+  }
+  auto node = unlinks_.extract(m.reqId);
+  node.mapped().done(proto::XrdErr::kIo);
+}
+
+void ScallaClient::Prepare(const std::vector<std::string>& paths, cms::AccessMode mode,
+                           DoneCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  prepares_.emplace(reqId, std::move(done));
+  proto::XrdPrepare msg;
+  msg.reqId = reqId;
+  msg.paths = paths;
+  msg.mode = mode == cms::AccessMode::kRead ? 0 : 1;
+  fabric_.Send(config_.addr, CurrentHead(), std::move(msg));
+}
+
+void ScallaClient::OnPeerDown(net::NodeAddr peer) {
+  if (IsHead(peer)) {
+    // Head gone: fail over to a redundant head if one is configured,
+    // restarting the affected requests there; otherwise fail them.
+    RotateHeadAwayFrom(peer);
+    const bool haveAlternate = CurrentHead() != peer;
+    std::vector<std::uint64_t> dead;
+    for (auto& [id, s] : opens_) {
+      if (s.currentNode != peer) continue;
+      if (haveAlternate && ++s.outcome.recoveries <= config_.maxRecoveries) {
+        s.currentNode = CurrentHead();
+        SendOpen(id);
+      } else {
+        dead.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : dead) FinishOpen(id, proto::XrdErr::kIo, {});
+    return;
+  }
+  // A data server died: restart affected opens at the head with the
+  // refresh/avoid recovery the paper prescribes for failing vectors.
+  for (auto& [id, s] : opens_) {
+    if (s.currentNode != peer) continue;
+    if (++s.outcome.recoveries > config_.maxRecoveries) {
+      // Cap reached; surface the failure. (Finish outside the loop.)
+      continue;
+    }
+    s.refresh = true;
+    s.avoidNode = peer;
+    s.currentNode = CurrentHead();
+    SendOpen(id);
+  }
+  std::vector<std::uint64_t> failed;
+  for (const auto& [id, s] : opens_) {
+    if (s.currentNode == peer && s.outcome.recoveries > config_.maxRecoveries) {
+      failed.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : failed) FinishOpen(id, proto::XrdErr::kIo, {});
+}
+
+void ScallaClient::List(const std::string& prefix, ListCallback done) {
+  if (config_.cnsd == 0) {
+    done(proto::XrdErr::kInvalid, {});
+    return;
+  }
+  const std::uint64_t reqId = nextReqId_++;
+  lists_.emplace(reqId, std::move(done));
+  fabric_.Send(config_.addr, config_.cnsd, proto::CnsList{reqId, prefix});
+}
+
+void ScallaClient::OnMessage(net::NodeAddr from, proto::Message message) {
+  std::visit(
+      [this, from](auto&& m) {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, proto::XrdOpenResp>) {
+          HandleOpenResp(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdReadResp>) {
+          auto node = reads_.extract(m.reqId);
+          if (!node.empty()) node.mapped()(m.err, std::move(m.data));
+        } else if constexpr (std::is_same_v<M, proto::XrdReadVResp>) {
+          auto node = readvs_.extract(m.reqId);
+          if (!node.empty()) node.mapped()(m.err, std::move(m.chunks));
+        } else if constexpr (std::is_same_v<M, proto::XrdChecksumResp>) {
+          HandleChecksumResp(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdWriteResp>) {
+          auto node = writes_.extract(m.reqId);
+          if (!node.empty()) node.mapped()(m.err, m.written);
+        } else if constexpr (std::is_same_v<M, proto::XrdCloseResp>) {
+          auto node = closes_.extract(m.reqId);
+          if (!node.empty()) node.mapped()(m.err);
+        } else if constexpr (std::is_same_v<M, proto::XrdStatResp>) {
+          HandleStatResp(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdUnlinkResp>) {
+          HandleUnlinkResp(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdPrepareResp>) {
+          auto node = prepares_.extract(m.reqId);
+          if (!node.empty()) node.mapped()(m.err);
+        } else if constexpr (std::is_same_v<M, proto::CnsListResp>) {
+          auto node = lists_.extract(m.reqId);
+          if (!node.empty()) node.mapped()(m.err, std::move(m.names));
+        }
+      },
+      std::move(message));
+}
+
+}  // namespace scalla::client

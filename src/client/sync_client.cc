@@ -1,0 +1,152 @@
+#include "client/sync_client.h"
+
+#include <future>
+
+namespace scalla::client {
+namespace {
+
+// Waits for the async result, mapping a timeout to kIo. The shared_ptr
+// keeps the promise alive if the callback outlives an abandoned wait.
+template <typename T>
+T Await(std::future<T>& future, Duration timeout, T timeoutValue) {
+  if (future.wait_for(timeout) != std::future_status::ready) return timeoutValue;
+  return future.get();
+}
+
+}  // namespace
+
+SyncClient::SyncClient(const ClientConfig& config, sched::Executor& executor,
+                       net::Fabric& fabric, Duration timeout)
+    : executor_(executor), inner_(config, executor, fabric), timeout_(timeout) {}
+
+OpenOutcome SyncClient::Open(const std::string& path, cms::AccessMode mode, bool create) {
+  auto prom = std::make_shared<std::promise<OpenOutcome>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, path, mode, create, prom] {
+    inner_.Open(path, mode, create,
+                [prom](const OpenOutcome& outcome) { prom->set_value(outcome); });
+  });
+  OpenOutcome timedOut;
+  timedOut.err = proto::XrdErr::kIo;
+  return Await(fut, timeout_, timedOut);
+}
+
+std::pair<proto::XrdErr, std::string> SyncClient::Read(const FileRef& file,
+                                                       std::uint64_t offset,
+                                                       std::uint32_t length) {
+  auto prom = std::make_shared<std::promise<std::pair<proto::XrdErr, std::string>>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, file, offset, length, prom] {
+    inner_.Read(file, offset, length, [prom](proto::XrdErr err, std::string data) {
+      prom->set_value({err, std::move(data)});
+    });
+  });
+  return Await(fut, timeout_, {proto::XrdErr::kIo, std::string()});
+}
+
+std::pair<proto::XrdErr, std::vector<std::string>> SyncClient::ReadV(
+    const FileRef& file, std::vector<proto::ReadSeg> segments) {
+  auto prom = std::make_shared<
+      std::promise<std::pair<proto::XrdErr, std::vector<std::string>>>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, file, segments = std::move(segments), prom]() mutable {
+    inner_.ReadV(file, std::move(segments),
+                 [prom](proto::XrdErr err, std::vector<std::string> chunks) {
+                   prom->set_value({err, std::move(chunks)});
+                 });
+  });
+  return Await(fut, timeout_, {proto::XrdErr::kIo, std::vector<std::string>()});
+}
+
+std::pair<proto::XrdErr, std::uint32_t> SyncClient::Checksum(const std::string& path) {
+  auto prom = std::make_shared<std::promise<std::pair<proto::XrdErr, std::uint32_t>>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, path, prom] {
+    inner_.Checksum(path, [prom](proto::XrdErr err, std::uint32_t crc) {
+      prom->set_value({err, crc});
+    });
+  });
+  return Await(fut, timeout_, {proto::XrdErr::kIo, std::uint32_t{0}});
+}
+
+std::pair<proto::XrdErr, std::uint32_t> SyncClient::Write(const FileRef& file,
+                                                          std::uint64_t offset,
+                                                          std::string data) {
+  auto prom = std::make_shared<std::promise<std::pair<proto::XrdErr, std::uint32_t>>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, file, offset, data = std::move(data), prom]() mutable {
+    inner_.Write(file, offset, std::move(data),
+                 [prom](proto::XrdErr err, std::uint32_t n) { prom->set_value({err, n}); });
+  });
+  return Await(fut, timeout_, {proto::XrdErr::kIo, std::uint32_t{0}});
+}
+
+proto::XrdErr SyncClient::Close(const FileRef& file) {
+  auto prom = std::make_shared<std::promise<proto::XrdErr>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, file, prom] {
+    inner_.Close(file, [prom](proto::XrdErr err) { prom->set_value(err); });
+  });
+  return Await(fut, timeout_, proto::XrdErr::kIo);
+}
+
+std::pair<proto::XrdErr, std::uint64_t> SyncClient::Stat(const std::string& path) {
+  auto prom = std::make_shared<std::promise<std::pair<proto::XrdErr, std::uint64_t>>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, path, prom] {
+    inner_.Stat(path, [prom](proto::XrdErr err, std::uint64_t size) {
+      prom->set_value({err, size});
+    });
+  });
+  return Await(fut, timeout_, {proto::XrdErr::kIo, std::uint64_t{0}});
+}
+
+proto::XrdErr SyncClient::Unlink(const std::string& path) {
+  auto prom = std::make_shared<std::promise<proto::XrdErr>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, path, prom] {
+    inner_.Unlink(path, [prom](proto::XrdErr err) { prom->set_value(err); });
+  });
+  return Await(fut, timeout_, proto::XrdErr::kIo);
+}
+
+proto::XrdErr SyncClient::Prepare(const std::vector<std::string>& paths,
+                                  cms::AccessMode mode) {
+  auto prom = std::make_shared<std::promise<proto::XrdErr>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, paths, mode, prom] {
+    inner_.Prepare(paths, mode, [prom](proto::XrdErr err) { prom->set_value(err); });
+  });
+  return Await(fut, timeout_, proto::XrdErr::kIo);
+}
+
+proto::XrdErr SyncClient::PutFile(const std::string& path, std::string data) {
+  const OpenOutcome open = Open(path, cms::AccessMode::kWrite, /*create=*/true);
+  if (open.err != proto::XrdErr::kNone) return open.err;
+  const auto [werr, n] = Write(open.file, 0, std::move(data));
+  const proto::XrdErr cerr = Close(open.file);
+  if (werr != proto::XrdErr::kNone) return werr;
+  (void)n;
+  return cerr;
+}
+
+std::pair<proto::XrdErr, std::string> SyncClient::GetFile(const std::string& path) {
+  const OpenOutcome open = Open(path, cms::AccessMode::kRead, /*create=*/false);
+  if (open.err != proto::XrdErr::kNone) return {open.err, std::string()};
+  std::string all;
+  std::uint64_t offset = 0;
+  for (;;) {
+    auto [err, chunk] = Read(open.file, offset, 1 << 16);
+    if (err != proto::XrdErr::kNone) {
+      Close(open.file);
+      return {err, std::string()};
+    }
+    if (chunk.empty()) break;
+    offset += chunk.size();
+    all += std::move(chunk);
+  }
+  Close(open.file);
+  return {proto::XrdErr::kNone, std::move(all)};
+}
+
+}  // namespace scalla::client

@@ -1,0 +1,46 @@
+// Blocking facade over ScallaClient for threaded (real-time) use: each
+// call posts the asynchronous operation onto the client's executor and
+// waits for its completion. Intended for application code and the TCP
+// integration tests; simulation code drives ScallaClient directly.
+#pragma once
+
+#include <memory>
+
+#include "client/scalla_client.h"
+
+namespace scalla::client {
+
+class SyncClient {
+ public:
+  /// `executor` must be a real-time executor (e.g. sched::ThreadExecutor)
+  /// distinct from the calling thread, or every call would deadlock.
+  SyncClient(const ClientConfig& config, sched::Executor& executor, net::Fabric& fabric,
+             Duration timeout = std::chrono::seconds(60));
+
+  ScallaClient& async() { return inner_; }
+
+  OpenOutcome Open(const std::string& path, cms::AccessMode mode, bool create = false);
+  std::pair<proto::XrdErr, std::string> Read(const FileRef& file, std::uint64_t offset,
+                                             std::uint32_t length);
+  std::pair<proto::XrdErr, std::vector<std::string>> ReadV(
+      const FileRef& file, std::vector<proto::ReadSeg> segments);
+  std::pair<proto::XrdErr, std::uint32_t> Checksum(const std::string& path);
+  std::pair<proto::XrdErr, std::uint32_t> Write(const FileRef& file, std::uint64_t offset,
+                                                std::string data);
+  proto::XrdErr Close(const FileRef& file);
+  std::pair<proto::XrdErr, std::uint64_t> Stat(const std::string& path);
+  proto::XrdErr Unlink(const std::string& path);
+  proto::XrdErr Prepare(const std::vector<std::string>& paths, cms::AccessMode mode);
+
+  /// Convenience: full write of a small file (open-create, write, close).
+  proto::XrdErr PutFile(const std::string& path, std::string data);
+  /// Convenience: full read of a small file.
+  std::pair<proto::XrdErr, std::string> GetFile(const std::string& path);
+
+ private:
+  sched::Executor& executor_;
+  ScallaClient inner_;
+  Duration timeout_;
+};
+
+}  // namespace scalla::client

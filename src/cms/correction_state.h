@@ -1,0 +1,56 @@
+// Correction state for lazy cache accuracy (paper section III-A4).
+//
+// Cached location information is never eagerly fixed when the cluster
+// configuration changes; instead each location object snapshots a master
+// connect counter N_c as C_n, and on fetch the correction vector V_c —
+// "servers that connected after this object was cached" — is derived from
+// a per-slot counter array C[64] in O(1) and applied per Figure 3:
+//
+//   V_q = (V_q | V_c) & V_m
+//   V_h = V_h & ~V_q & V_m
+//   V_p = V_p & ~V_q & V_m
+//   C_n = N_c
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cms/types.h"
+
+namespace scalla::cms {
+
+class CorrectionState {
+ public:
+  /// Current master counter N_c. A location object caching now records
+  /// this as its C_n; corrections are needed only when C_n != N_c.
+  std::uint64_t Epoch() const { return nc_; }
+
+  /// Server `slot` connected (login): N_c += 1, C[slot] = N_c.
+  void OnConnect(ServerSlot slot) {
+    c_[slot] = ++nc_;
+  }
+
+  /// Server `slot` was dropped from the cluster. Its counter is cleared so
+  /// it no longer contributes to corrections; eligibility removal is
+  /// handled by PathTable::RemoveServer (V_m masking).
+  void OnDrop(ServerSlot slot) { c_[slot] = 0; }
+
+  /// V_c for an object whose snapshot is `cn`: every server whose connect
+  /// time is later than the snapshot. O(64) scan; callers memoise per
+  /// eviction window (V_wc/C_wn) to make the common case O(1).
+  ServerSet CorrectionSince(std::uint64_t cn) const {
+    ServerSet vc;
+    for (ServerSlot i = 0; i < kMaxServersPerSet; ++i) {
+      if (c_[i] > cn) vc.set(i);
+    }
+    return vc;
+  }
+
+  std::uint64_t ConnectTimeOf(ServerSlot slot) const { return c_[slot]; }
+
+ private:
+  std::uint64_t nc_ = 0;                              // N_c
+  std::array<std::uint64_t, kMaxServersPerSet> c_{};  // C[]
+};
+
+}  // namespace scalla::cms

@@ -1,0 +1,382 @@
+#include "cms/location_cache.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/fibonacci.h"
+
+namespace scalla::cms {
+namespace {
+
+// Objects recycled per lock acquisition by the background purge job. Small
+// batches keep the job's interference with foreground look-ups minimal
+// (the paper's "minimal interference" property, benchmarked in E04).
+constexpr std::size_t kPurgeBatch = 128;
+
+// Slab block size: objects allocated but never freed (section III-B1).
+constexpr std::size_t kSlabObjects = 1024;
+
+}  // namespace
+
+/// One cached file-location record (Figure 2). Fields mirror the paper:
+/// the three server-set vectors, the C_n snapshot, T_a, the processing
+/// deadline, and the R_r/R_w fast-response references. The object also
+/// carries its hash-bucket and window chain links (intrusive singly-linked
+/// lists) and the reference-authenticator counter.
+class LocationObject {
+ public:
+  LocationObject* hashNext = nullptr;
+  LocationObject* windowNext = nullptr;
+  std::uint32_t hash = 0;
+  std::uint32_t keyLen = 0;  // 0 => hidden (unfindable but pointer-valid)
+  std::uint8_t addWindow = 0;  // T_a (window index, T_w mod 64)
+  std::uint32_t auth = 1;      // authenticator; bumped when removed
+  std::uint64_t cn = 0;        // C_n: corrections epoch at last fix-up
+  TimePoint deadline{};        // processing deadline (section III-C2)
+  ServerSet vh, vp, vq;
+  RespSlotRef rr, rw;  // fast-response anchors for read / write waiters
+  std::string key;
+};
+
+LocationCache::LocationCache(const CmsConfig& config, util::Clock& clock,
+                             CorrectionState& corrections)
+    : config_(config), clock_(clock), corrections_(corrections) {
+  buckets_.assign(util::FibonacciAtLeast(config_.initialBuckets), nullptr);
+}
+
+LocationCache::~LocationCache() = default;
+
+std::uint32_t LocationCache::HashOf(std::string_view path) { return util::Crc32(path); }
+
+LocInfo LocationCache::InfoOf(const LocationObject* obj) const {
+  return LocInfo{obj->vh, obj->vp, obj->vq};
+}
+
+bool LocationCache::ValidLocked(const LocRef& ref) const {
+  return ref.obj != nullptr && ref.obj->auth == ref.auth;
+}
+
+LocationObject* LocationCache::FindLocked(std::string_view path, std::uint32_t hash) const {
+  LocationObject* obj = buckets_[hash % buckets_.size()];
+  while (obj != nullptr) {
+    ++stats_.probes;
+    if (obj->hash == hash && obj->keyLen == path.size() &&
+        std::memcmp(obj->key.data(), path.data(), path.size()) == 0) {
+      return obj;
+    }
+    obj = obj->hashNext;
+  }
+  return nullptr;
+}
+
+LocationObject* LocationCache::AllocateLocked() {
+  if (freeList_.empty()) {
+    slabs_.push_back(std::make_unique<LocationObject[]>(kSlabObjects));
+    LocationObject* block = slabs_.back().get();
+    freeList_.reserve(freeList_.size() + kSlabObjects);
+    for (std::size_t i = kSlabObjects; i-- > 0;) freeList_.push_back(&block[i]);
+    stats_.allocatedObjects += kSlabObjects;
+    stats_.approxBytes += kSlabObjects * sizeof(LocationObject);
+  }
+  LocationObject* obj = freeList_.back();
+  freeList_.pop_back();
+  return obj;
+}
+
+void LocationCache::InsertLocked(LocationObject* obj, std::string_view path,
+                                 std::uint32_t hash, ServerSet vm) {
+  obj->hash = hash;
+  obj->key.assign(path);
+  obj->keyLen = static_cast<std::uint32_t>(path.size());
+  obj->addWindow = static_cast<std::uint8_t>(tw_ % kMaxServersPerSet);
+  obj->cn = corrections_.Epoch();
+  obj->deadline = clock_.Now() + config_.deadline;
+  obj->vh = ServerSet::None();
+  obj->vp = ServerSet::None();
+  obj->vq = vm;  // everything eligible must be queried
+  obj->rr = RespSlotRef{};
+  obj->rw = RespSlotRef{};
+
+  LocationObject*& bucket = buckets_[hash % buckets_.size()];
+  obj->hashNext = bucket;
+  bucket = obj;
+
+  Window& win = windows_[obj->addWindow];
+  obj->windowNext = win.head;
+  win.head = obj;
+  ++win.size;
+
+  ++stats_.liveObjects;
+  ++stats_.creates;
+  stats_.approxBytes += obj->key.capacity();
+  MaybeGrowLocked();
+}
+
+void LocationCache::MaybeGrowLocked() {
+  const std::size_t inTable = stats_.liveObjects + stats_.hiddenObjects;
+  if (static_cast<double>(inTable) <
+      config_.growthLoadFactor * static_cast<double>(buckets_.size())) {
+    return;
+  }
+  const std::size_t newSize = util::NextFibonacci(buckets_.size());
+  if (newSize == buckets_.size()) return;
+  std::vector<LocationObject*> fresh(newSize, nullptr);
+  for (LocationObject* head : buckets_) {
+    while (head != nullptr) {
+      LocationObject* next = head->hashNext;
+      LocationObject*& dst = fresh[head->hash % newSize];
+      head->hashNext = dst;
+      dst = head;
+      head = next;
+    }
+  }
+  buckets_.swap(fresh);
+  ++stats_.rehashes;
+}
+
+void LocationCache::ApplyCorrectionsLocked(LocationObject* obj, ServerSet vm,
+                                           ServerSet offline) {
+  // Figure 3: fold in servers that connected after this object's snapshot.
+  if (obj->cn != corrections_.Epoch()) {
+    ++stats_.corrections;
+    Window& win = windows_[obj->addWindow];
+    ServerSet vc;
+    if (config_.correctionMemo && win.memoCn == obj->cn &&
+        win.memoNc == corrections_.Epoch()) {
+      vc = win.memoVc;  // the window's V_wc applies (section III-A4)
+      ++stats_.correctionMemoHits;
+    } else {
+      vc = corrections_.CorrectionSince(obj->cn);
+      win.memoCn = obj->cn;
+      win.memoNc = corrections_.Epoch();
+      win.memoVc = vc;
+    }
+    obj->vq = (obj->vq | vc) & vm;
+    obj->vh = obj->vh.Without(obj->vq) & vm;
+    obj->vp = obj->vp.Without(obj->vq) & vm;
+    obj->cn = corrections_.Epoch();
+  }
+
+  // Servers between disconnect and drop: shift their claims into V_q so
+  // they are re-queried on a later look-up (section III-A4 case 1).
+  const ServerSet off = offline & (obj->vh | obj->vp) & vm;
+  if (!off.empty()) {
+    obj->vq |= off;
+    obj->vh = obj->vh.Without(off);
+    obj->vp = obj->vp.Without(off);
+  }
+}
+
+LocationCache::FetchResult LocationCache::Lookup(std::string_view path, ServerSet vm,
+                                                 ServerSet offline, AddPolicy policy) {
+  const std::uint32_t hash = HashOf(path);
+  std::lock_guard lock(mu_);
+  ++stats_.lookups;
+
+  LocationObject* obj = FindLocked(path, hash);
+  FetchResult result;
+  if (obj == nullptr) {
+    if (policy == AddPolicy::kFindOnly) return result;
+    obj = AllocateLocked();
+    InsertLocked(obj, path, hash, vm);
+    result.created = true;
+  } else {
+    ++stats_.hits;
+    ApplyCorrectionsLocked(obj, vm, offline);
+  }
+
+  result.found = true;
+  result.ref = LocRef{obj, obj->auth};
+  result.info = InfoOf(obj);
+  const TimePoint now = clock_.Now();
+  result.deadlineActive = obj->deadline > now;
+  result.deadlineRemaining = result.deadlineActive ? obj->deadline - now : Duration::zero();
+  return result;
+}
+
+bool LocationCache::BeginQuery(const LocRef& ref, ServerSet queried, TimePoint deadline) {
+  std::lock_guard lock(mu_);
+  if (!ValidLocked(ref)) return false;
+  ref.obj->vq = ref.obj->vq.Without(queried);
+  ref.obj->deadline = deadline;
+  return true;
+}
+
+LocationCache::UpdateResult LocationCache::AddLocation(std::string_view path,
+                                                       std::uint32_t hash,
+                                                       ServerSlot server, bool pending,
+                                                       bool allowWrite) {
+  std::lock_guard lock(mu_);
+  UpdateResult result;
+  LocationObject* obj = FindLocked(path, hash);
+  if (obj == nullptr) return result;  // expired meanwhile; waiters will retry
+
+  result.found = true;
+  obj->vq.reset(server);
+  if (pending) {
+    obj->vp.set(server);
+  } else {
+    obj->vh.set(server);
+    obj->vp.reset(server);
+  }
+
+  // Hand back (and clear) the fast-response references so the caller can
+  // release waiting clients; a file that is present is readable, so the
+  // read queue always releases, the write queue only when the responding
+  // server allows writes.
+  if (obj->rr.IsSet()) {
+    result.releaseRead = obj->rr;
+    obj->rr = RespSlotRef{};
+  }
+  if (allowWrite && obj->rw.IsSet()) {
+    result.releaseWrite = obj->rw;
+    obj->rw = RespSlotRef{};
+  }
+  result.info = InfoOf(obj);
+  return result;
+}
+
+void LocationCache::RemoveLocation(std::string_view path, ServerSlot server) {
+  const std::uint32_t hash = HashOf(path);
+  std::lock_guard lock(mu_);
+  LocationObject* obj = FindLocked(path, hash);
+  if (obj == nullptr) return;
+  obj->vh.reset(server);
+  obj->vp.reset(server);
+}
+
+bool LocationCache::Refresh(const LocRef& ref, ServerSet vm, TimePoint deadline) {
+  std::lock_guard lock(mu_);
+  if (!ValidLocked(ref)) return false;
+  LocationObject* obj = ref.obj;
+  // Logically a new un-cached request: requery everything eligible. T_a
+  // moves to the current window but the object is NOT re-chained — the
+  // purge job of its current chain performs the deferred re-chain
+  // (section III-C1).
+  obj->vh = ServerSet::None();
+  obj->vp = ServerSet::None();
+  obj->vq = vm;
+  obj->cn = corrections_.Epoch();
+  obj->deadline = deadline;
+  obj->addWindow = static_cast<std::uint8_t>(tw_ % kMaxServersPerSet);
+  return true;
+}
+
+RespSlotRef LocationCache::GetRespSlot(const LocRef& ref, AccessMode mode) const {
+  std::lock_guard lock(mu_);
+  if (!ValidLocked(ref)) return RespSlotRef{};
+  return mode == AccessMode::kRead ? ref.obj->rr : ref.obj->rw;
+}
+
+bool LocationCache::SetRespSlot(const LocRef& ref, AccessMode mode, RespSlotRef slot) {
+  std::lock_guard lock(mu_);
+  if (!ValidLocked(ref)) return false;
+  (mode == AccessMode::kRead ? ref.obj->rr : ref.obj->rw) = slot;
+  return true;
+}
+
+bool LocationCache::ReadInfo(const LocRef& ref, ServerSet vm, ServerSet offline,
+                             LocInfo* out) {
+  std::lock_guard lock(mu_);
+  if (!ValidLocked(ref)) return false;
+  ApplyCorrectionsLocked(ref.obj, vm, offline);
+  *out = InfoOf(ref.obj);
+  return true;
+}
+
+std::function<void()> LocationCache::OnWindowTick() {
+  std::lock_guard lock(mu_);
+  ++tw_;
+  ++stats_.windowTicks;
+  const int w = static_cast<int>(tw_ % kMaxServersPerSet);
+  Window& win = windows_[w];
+
+  // Hide pass: trivial per entry — zero the key length so the hash walk
+  // can no longer match it. Refreshed objects (T_a != w) are skipped; the
+  // purge job will re-chain them (footnote 6 / section III-C1).
+  for (LocationObject* obj = win.head; obj != nullptr; obj = obj->windowNext) {
+    if (obj->keyLen != 0 && obj->addWindow == w) {
+      obj->keyLen = 0;
+      ++obj->auth;  // outstanding references become invalid now
+      --stats_.liveObjects;
+      ++stats_.hiddenObjects;
+    }
+  }
+  // The window restarts: its correction memo no longer applies.
+  win.memoCn = ~std::uint64_t{0};
+  win.memoNc = ~std::uint64_t{0};
+
+  if (win.head == nullptr) return {};
+  return [this, w] { PurgeWindow(w, kPurgeBatch); };
+}
+
+std::size_t LocationCache::PurgeWindow(int window, std::size_t maxBatch) {
+  // Detach the whole chain, then recycle/re-chain in small batches so
+  // foreground look-ups interleave freely.
+  LocationObject* list = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    list = windows_[window].head;
+    windows_[window].head = nullptr;
+    windows_[window].size = 0;
+  }
+  std::size_t freed = 0;
+  while (list != nullptr) {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < maxBatch && list != nullptr; ++i) {
+      LocationObject* obj = list;
+      list = obj->windowNext;
+      if (obj->keyLen == 0) {
+        // Hidden: physically remove. Storage is recycled, never deleted.
+        UnlinkFromHashLocked(obj);
+        ++obj->auth;
+        stats_.approxBytes -= obj->key.capacity();
+        obj->key.clear();
+        obj->key.shrink_to_fit();
+        obj->rr = RespSlotRef{};
+        obj->rw = RespSlotRef{};
+        freeList_.push_back(obj);
+        --stats_.hiddenObjects;
+        ++stats_.recycled;
+        ++freed;
+      } else {
+        // Visible: deferred re-chain to the window of its current T_a
+        // (which may be this same window for objects added after the
+        // tick, or a later one for refreshed objects).
+        Window& dst = windows_[obj->addWindow];
+        obj->windowNext = dst.head;
+        dst.head = obj;
+        ++dst.size;
+        if (obj->addWindow != window) ++stats_.rechained;
+      }
+    }
+  }
+  return freed;
+}
+
+void LocationCache::UnlinkFromHashLocked(LocationObject* obj) {
+  LocationObject** link = &buckets_[obj->hash % buckets_.size()];
+  while (*link != nullptr) {
+    if (*link == obj) {
+      *link = obj->hashNext;
+      obj->hashNext = nullptr;
+      return;
+    }
+    link = &(*link)->hashNext;
+  }
+}
+
+LocationCache::Stats LocationCache::GetStats() const {
+  std::lock_guard lock(mu_);
+  Stats s = stats_;
+  s.buckets = buckets_.size();
+  s.freeObjects = freeList_.size();
+  return s;
+}
+
+int LocationCache::CurrentWindow() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(tw_ % kMaxServersPerSet);
+}
+
+}  // namespace scalla::cms

@@ -1,0 +1,197 @@
+// The cmsd file-location cache (paper section III-A) — the component
+// "largely responsible for very low client redirection latency".
+//
+// Structure (Figure 2):
+//  - Location objects hold the V_h/V_p/V_q server-set vectors plus the C_n
+//    correction snapshot, the T_a add-window, a processing deadline, and
+//    loosely-coupled fast-response-queue references.
+//  - Objects live in a one-level hash table keyed by CRC32(file name),
+//    chained on collision; the bucket count is always a Fibonacci number
+//    and grows to the next Fibonacci number at 80% load.
+//  - Objects are simultaneously chained into one of 64 eviction windows.
+//    A window tick (every L_t/64) *hides* the expiring window's entries by
+//    zeroing their key length — O(window) and invisible to look-ups — and
+//    hands back a background job that physically unlinks and recycles them
+//    and performs the *deferred re-chaining* of refreshed objects
+//    (section III-C1).
+//  - Location objects are never deleted; their storage is recycled through
+//    a free list. A LocRef carries an authenticator counter so stale
+//    references are detected with one comparison (section III-B1).
+//
+// Thread safety: all public methods are safe to call concurrently; a
+// single internal mutex guards the table (the paper's "avoid locks" claim
+// is about not holding locks *across* protocol steps, which the
+// LocRef/authenticator design provides: no lock is held between Lookup and
+// the later BeginQuery/AddLocation calls).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cms/correction_state.h"
+#include "cms/types.h"
+#include "util/clock.h"
+
+namespace scalla::cms {
+
+/// Reference to a fast-response-queue anchor: index plus epoch. The epoch
+/// makes the cache<->queue coupling loose: either side can invalidate
+/// without touching the other (section III-B).
+struct RespSlotRef {
+  std::int32_t slot = -1;
+  std::uint32_t epoch = 0;
+  bool IsSet() const { return slot >= 0; }
+};
+
+class LocationObject;  // defined in location_cache.cc
+
+/// Authenticated reference to a location object. Valid while the object
+/// has not been removed (hidden/recycled) since the reference was minted.
+struct LocRef {
+  LocationObject* obj = nullptr;
+  std::uint32_t auth = 0;
+  explicit operator bool() const { return obj != nullptr; }
+};
+
+class LocationCache {
+ public:
+  LocationCache(const CmsConfig& config, util::Clock& clock, CorrectionState& corrections);
+  ~LocationCache();
+
+  LocationCache(const LocationCache&) = delete;
+  LocationCache& operator=(const LocationCache&) = delete;
+
+  enum class AddPolicy { kFindOnly, kCreate };
+
+  struct FetchResult {
+    LocRef ref;                    // null when not found and kFindOnly
+    LocInfo info;                  // corrected per Figure 3
+    bool found = false;
+    bool created = false;          // object cached by this call
+    bool deadlineActive = false;   // some thread is (likely) querying
+    Duration deadlineRemaining{};  // valid when deadlineActive
+  };
+
+  /// Cache look-up (resolution step 1). `vm` is the export-table V_m for
+  /// the path; `offline` is the membership's currently-offline set, whose
+  /// members holding the file are shifted into V_q (section III-A4 case 1).
+  FetchResult Lookup(std::string_view path, ServerSet vm, ServerSet offline,
+                     AddPolicy policy);
+
+  /// Marks `queried` servers as asked (clears them from V_q — resolution
+  /// step 6 records only servers that could NOT be queried) and arms the
+  /// processing deadline. Returns false on a stale reference.
+  bool BeginQuery(const LocRef& ref, ServerSet queried, TimePoint deadline);
+
+  /// Applies a server's positive response (it has / is preparing the
+  /// file). Returns the fast-response references to release, already
+  /// cleared from the object, mirroring the paper's update method. The
+  /// precomputed `hash` is passed along with the name, eliminating
+  /// re-hashing on the response path (section III-B1).
+  struct UpdateResult {
+    bool found = false;
+    LocInfo info;
+    RespSlotRef releaseRead;
+    RespSlotRef releaseWrite;
+  };
+  UpdateResult AddLocation(std::string_view path, std::uint32_t hash, ServerSlot server,
+                           bool pending, bool allowWrite);
+
+  /// Clears a server from V_h/V_p for a path (server reported the file
+  /// gone, or an I/O error was confirmed).
+  void RemoveLocation(std::string_view path, ServerSlot server);
+
+  /// Refresh (section III-C1): treat as new un-cached request — requery
+  /// all eligible servers, reset vectors, update T_a to the current window
+  /// WITHOUT re-chaining (deferred to the purge job). Returns false on a
+  /// stale reference.
+  bool Refresh(const LocRef& ref, ServerSet vm, TimePoint deadline);
+
+  /// Fast-response-queue association accessors (all validate the ref).
+  RespSlotRef GetRespSlot(const LocRef& ref, AccessMode mode) const;
+  bool SetRespSlot(const LocRef& ref, AccessMode mode, RespSlotRef slot);
+
+  /// Re-reads the (corrected) state of a referenced object. Returns false
+  /// on a stale reference.
+  bool ReadInfo(const LocRef& ref, ServerSet vm, ServerSet offline, LocInfo* out);
+
+  /// Advances the window clock T_w: hides every expiring entry in the new
+  /// window (key length = 0) and returns the background purge job that
+  /// physically recycles them and re-chains refreshed objects. The caller
+  /// schedules the job (executor/thread); it may also run it inline.
+  /// Returns an empty function when the expiring window was empty.
+  std::function<void()> OnWindowTick();
+
+  /// CRC32 of a path — the protocol forwards this alongside file names.
+  static std::uint32_t HashOf(std::string_view path);
+
+  struct Stats {
+    std::size_t buckets = 0;
+    std::size_t liveObjects = 0;     // visible entries
+    std::size_t hiddenObjects = 0;   // hidden, awaiting purge
+    std::size_t allocatedObjects = 0;
+    std::size_t freeObjects = 0;
+    std::size_t rehashes = 0;
+    std::size_t lookups = 0;
+    std::size_t hits = 0;
+    std::size_t creates = 0;
+    std::size_t corrections = 0;        // Figure-3 applications
+    std::size_t correctionMemoHits = 0; // served from the window's V_wc
+    std::size_t probes = 0;             // chain links walked across lookups
+    std::size_t recycled = 0;           // objects purged & freed
+    std::size_t rechained = 0;          // deferred re-chains performed
+    std::uint64_t windowTicks = 0;
+    std::size_t approxBytes = 0;        // objects + key storage
+  };
+  Stats GetStats() const;
+
+  /// Test hook: window index objects added "now" would get.
+  int CurrentWindow() const;
+
+ private:
+  struct Window {
+    LocationObject* head = nullptr;
+    // Per-window correction memo (V_wc / C_wn, section III-A4): objects in
+    // this window that share a C_n snapshot reuse one computed V_c. The
+    // memo is applicable only while N_c is unchanged, so it records both
+    // the snapshot it corrects from and the epoch it corrects to.
+    std::uint64_t memoCn = ~std::uint64_t{0};
+    std::uint64_t memoNc = ~std::uint64_t{0};
+    ServerSet memoVc;
+    std::size_t size = 0;
+  };
+
+  LocationObject* FindLocked(std::string_view path, std::uint32_t hash) const;
+  LocationObject* AllocateLocked();
+  void InsertLocked(LocationObject* obj, std::string_view path, std::uint32_t hash,
+                    ServerSet vm);
+  void MaybeGrowLocked();
+  void ApplyCorrectionsLocked(LocationObject* obj, ServerSet vm, ServerSet offline);
+  bool ValidLocked(const LocRef& ref) const;
+  void UnlinkFromHashLocked(LocationObject* obj);
+  std::size_t PurgeWindow(int window, std::size_t maxBatch);  // takes mu_ in batches
+  LocInfo InfoOf(const LocationObject* obj) const;
+
+  const CmsConfig config_;
+  util::Clock& clock_;
+  CorrectionState& corrections_;
+
+  mutable std::mutex mu_;
+  std::vector<LocationObject*> buckets_;
+  std::array<Window, kMaxServersPerSet> windows_;
+  std::uint64_t tw_ = 0;  // window clock T_w (monotonic tick count)
+
+  // Slab storage: blocks of objects, never deallocated until destruction.
+  std::vector<std::unique_ptr<LocationObject[]>> slabs_;
+  std::vector<LocationObject*> freeList_;
+
+  mutable Stats stats_;
+};
+
+}  // namespace scalla::cms

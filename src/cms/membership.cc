@@ -1,0 +1,154 @@
+#include "cms/membership.h"
+
+namespace scalla::cms {
+
+Membership::Membership(const CmsConfig& config, util::Clock& clock)
+    : config_(config), clock_(clock) {}
+
+ServerSlot Membership::FindFreeSlotLocked() const {
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (!members_[s].has_value()) return s;
+  }
+  return -1;
+}
+
+std::optional<Membership::LoginResult> Membership::Login(
+    const std::string& name, const std::vector<std::string>& exports, bool allowWrite,
+    bool isSupervisor) {
+  std::lock_guard lock(mu_);
+
+  // Reconnection of a still-known member?
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (!members_[s] || members_[s]->name != name) continue;
+    if (paths_.SameExports(s, exports)) {
+      // Un-dropped reconnect with identical exports: all cached location
+      // information for this slot remains valid; information cached while
+      // it was offline kept the server in V_q (queries could not be
+      // issued), so no correction epoch bump is needed.
+      members_[s]->online = true;
+      members_[s]->allowWrite = allowWrite;
+      members_[s]->isSupervisor = isSupervisor;
+      return LoginResult{s, false, true};
+    }
+    // "If the server reconnects within the drop time limit but has a new
+    // set of exported paths the reconnection is also treated as a new
+    // connection." Drop first, then fall through to fresh registration.
+    DropLocked(s);
+    break;
+  }
+
+  const ServerSlot slot = FindFreeSlotLocked();
+  if (slot < 0) return std::nullopt;  // set full: caller redirects to a supervisor
+
+  MemberInfo info;
+  info.name = name;
+  info.slot = slot;
+  info.online = true;
+  info.allowWrite = allowWrite;
+  info.isSupervisor = isSupervisor;
+  members_[slot] = std::move(info);
+  for (const auto& prefix : exports) paths_.AddExport(slot, prefix);
+  corrections_.OnConnect(slot);  // adds the server to V_c-tracking (C[], N_c)
+  return LoginResult{slot, true, false};
+}
+
+void Membership::Disconnect(ServerSlot slot) {
+  std::lock_guard lock(mu_);
+  if (slot < 0 || slot >= kMaxServersPerSet || !members_[slot]) return;
+  members_[slot]->online = false;
+  members_[slot]->disconnectTime = clock_.Now();
+}
+
+std::vector<ServerSlot> Membership::DropExpired() {
+  std::lock_guard lock(mu_);
+  std::vector<ServerSlot> dropped;
+  const TimePoint cutoff = clock_.Now() - config_.dropDelay;
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (members_[s] && !members_[s]->online && members_[s]->disconnectTime <= cutoff) {
+      DropLocked(s);
+      dropped.push_back(s);
+    }
+  }
+  return dropped;
+}
+
+bool Membership::Drop(ServerSlot slot) {
+  std::lock_guard lock(mu_);
+  if (slot < 0 || slot >= kMaxServersPerSet || !members_[slot]) return false;
+  DropLocked(slot);
+  return true;
+}
+
+void Membership::DropLocked(ServerSlot slot) {
+  paths_.RemoveServer(slot);      // removed from each V_m where it appears
+  corrections_.OnDrop(slot);
+  members_[slot].reset();
+}
+
+ServerSet Membership::OnlineSet() const {
+  std::lock_guard lock(mu_);
+  ServerSet set;
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (members_[s] && members_[s]->online) set.set(s);
+  }
+  return set;
+}
+
+ServerSet Membership::OfflineSet() const {
+  std::lock_guard lock(mu_);
+  ServerSet set;
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (members_[s] && !members_[s]->online) set.set(s);
+  }
+  return set;
+}
+
+ServerSet Membership::MemberSet() const {
+  std::lock_guard lock(mu_);
+  ServerSet set;
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (members_[s]) set.set(s);
+  }
+  return set;
+}
+
+std::optional<MemberInfo> Membership::InfoOf(ServerSlot slot) const {
+  std::lock_guard lock(mu_);
+  if (slot < 0 || slot >= kMaxServersPerSet) return std::nullopt;
+  return members_[slot];
+}
+
+std::optional<ServerSlot> Membership::SlotOf(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (members_[s] && members_[s]->name == name) return s;
+  }
+  return std::nullopt;
+}
+
+void Membership::ReportLoad(ServerSlot slot, std::uint32_t load, std::uint64_t freeSpace) {
+  std::lock_guard lock(mu_);
+  if (slot < 0 || slot >= kMaxServersPerSet || !members_[slot]) return;
+  members_[slot]->load = load;
+  members_[slot]->freeSpace = freeSpace;
+}
+
+void Membership::CountSelection(ServerSlot slot) {
+  std::lock_guard lock(mu_);
+  if (slot < 0 || slot >= kMaxServersPerSet || !members_[slot]) return;
+  ++members_[slot]->selectionCount;
+}
+
+ServerSet Membership::EligibleFor(std::string_view path) const {
+  std::lock_guard lock(mu_);
+  return paths_.Match(path);
+}
+
+std::size_t Membership::MemberCount() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& m : members_) n += m.has_value() ? 1 : 0;
+  return n;
+}
+
+}  // namespace scalla::cms

@@ -1,0 +1,99 @@
+// Cluster membership for one cmsd: assigns the 0..63 server slots that map
+// onto V_h/V_p/V_q bits, tracks online/offline state, and implements the
+// paper's three-phase lifecycle (section III-A4):
+//   disconnect  -> server marked offline but still a member ("the hope is
+//                  that the server is encountering a transient problem");
+//   drop        -> after a configurable delay the server is removed from
+//                  every V_m and its slot freed;
+//   reconnect   -> within the drop window and with identical exports the
+//                  server resumes its slot with no correction cost; with
+//                  different exports (or after a drop) it is a new server,
+//                  which bumps N_c so cached objects learn about it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cms/correction_state.h"
+#include "cms/path_table.h"
+#include "cms/types.h"
+#include "util/clock.h"
+
+namespace scalla::cms {
+
+struct MemberInfo {
+  std::string name;   // stable identity, e.g. "dataserver07:1094"
+  ServerSlot slot = -1;
+  bool online = false;
+  bool allowWrite = true;
+  bool isSupervisor = false;  // subordinate is itself a cluster head
+  TimePoint disconnectTime{};
+  // Selection metrics, refreshed by load reports.
+  std::uint32_t load = 0;           // abstract load units (lower is better)
+  std::uint64_t freeSpace = 0;      // bytes available
+  std::uint64_t selectionCount = 0; // times chosen by the selector
+};
+
+class Membership {
+ public:
+  Membership(const CmsConfig& config, util::Clock& clock);
+
+  struct LoginResult {
+    ServerSlot slot = -1;
+    bool isNew = false;        // treated as a new server (N_c bumped)
+    bool reconnected = false;  // resumed a live slot
+  };
+
+  /// Registers `name` with its export prefixes. Returns std::nullopt when
+  /// the set is full (64 members) — the caller should direct the server to
+  /// a supervisor instead. Registration is deliberately light: only path
+  /// prefixes are recorded, never file manifests (section V).
+  std::optional<LoginResult> Login(const std::string& name,
+                                   const std::vector<std::string>& exports,
+                                   bool allowWrite = true, bool isSupervisor = false);
+
+  /// Marks the member offline; membership is retained until DropExpired.
+  void Disconnect(ServerSlot slot);
+
+  /// Drops members offline for longer than dropDelay. Returns their slots.
+  std::vector<ServerSlot> DropExpired();
+
+  /// Forces an immediate drop (testing / administrative removal).
+  bool Drop(ServerSlot slot);
+
+  ServerSet OnlineSet() const;
+  ServerSet OfflineSet() const;  // members currently unreachable
+  ServerSet MemberSet() const;
+
+  std::optional<MemberInfo> InfoOf(ServerSlot slot) const;
+  std::optional<ServerSlot> SlotOf(const std::string& name) const;
+
+  void ReportLoad(ServerSlot slot, std::uint32_t load, std::uint64_t freeSpace);
+  void CountSelection(ServerSlot slot);
+
+  /// V_m for a path (longest matching export prefix).
+  ServerSet EligibleFor(std::string_view path) const;
+
+  const CorrectionState& corrections() const { return corrections_; }
+  CorrectionState& corrections() { return corrections_; }
+
+  std::size_t MemberCount() const;
+
+ private:
+  ServerSlot FindFreeSlotLocked() const;
+  void DropLocked(ServerSlot slot);
+
+  const CmsConfig config_;
+  util::Clock& clock_;
+
+  mutable std::mutex mu_;
+  std::array<std::optional<MemberInfo>, kMaxServersPerSet> members_;
+  PathTable paths_;
+  CorrectionState corrections_;
+};
+
+}  // namespace scalla::cms

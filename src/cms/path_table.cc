@@ -1,0 +1,73 @@
+#include "cms/path_table.h"
+
+#include <algorithm>
+
+namespace scalla::cms {
+
+std::string NormalizePrefix(std::string_view prefix) {
+  std::string out;
+  if (prefix.empty() || prefix.front() != '/') out.push_back('/');
+  out.append(prefix);
+  while (out.size() > 1 && out.back() == '/') out.pop_back();
+  return out;
+}
+
+bool PathTable::PrefixMatches(std::string_view prefix, std::string_view path) {
+  if (prefix == "/") return !path.empty() && path.front() == '/';
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+void PathTable::AddExport(ServerSlot server, std::string_view prefix) {
+  const std::string norm = NormalizePrefix(prefix);
+  for (auto& e : entries_) {
+    if (e.prefix == norm) {
+      e.servers.set(server);
+      return;
+    }
+  }
+  Entry e;
+  e.prefix = norm;
+  e.servers.set(server);
+  entries_.push_back(std::move(e));
+}
+
+void PathTable::RemoveServer(ServerSlot server) {
+  for (auto& e : entries_) e.servers.reset(server);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [](const Entry& e) { return e.servers.empty(); }),
+                 entries_.end());
+}
+
+ServerSet PathTable::Match(std::string_view path) const {
+  const Entry* best = nullptr;
+  for (const auto& e : entries_) {
+    if (PrefixMatches(e.prefix, path) &&
+        (best == nullptr || e.prefix.size() > best->prefix.size())) {
+      best = &e;
+    }
+  }
+  return best ? best->servers : ServerSet::None();
+}
+
+std::vector<std::string> PathTable::ExportsOf(ServerSlot server) const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (e.servers.test(server)) out.push_back(e.prefix);
+  }
+  return out;
+}
+
+bool PathTable::SameExports(ServerSlot server, const std::vector<std::string>& prefixes) const {
+  std::vector<std::string> current = ExportsOf(server);
+  std::vector<std::string> wanted;
+  wanted.reserve(prefixes.size());
+  for (const auto& p : prefixes) wanted.push_back(NormalizePrefix(p));
+  std::sort(current.begin(), current.end());
+  std::sort(wanted.begin(), wanted.end());
+  wanted.erase(std::unique(wanted.begin(), wanted.end()), wanted.end());
+  return current == wanted;
+}
+
+}  // namespace scalla::cms

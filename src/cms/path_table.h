@@ -1,0 +1,56 @@
+// Export-path table: maps path prefixes to the V_m vector of servers
+// eligible to host files under that prefix. "Each exported path is
+// associated with a V_m that defines the servers eligible for that path.
+// The appropriate V_m, relative to the incoming path, is looked up prior
+// and passed to the cache look-up method." (paper section III-A4)
+//
+// Prefixes are directory-style: "/store" matches "/store/x" and "/store"
+// itself but not "/storeroom". Lookup is longest-prefix-match. The table is
+// small (servers export a handful of prefixes) so a sorted vector walk is
+// cache-friendly and simple.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cms/types.h"
+
+namespace scalla::cms {
+
+class PathTable {
+ public:
+  /// Declares that `server` exports `prefix`. Called at login.
+  void AddExport(ServerSlot server, std::string_view prefix);
+
+  /// Removes `server` from every prefix where it appears; prunes prefixes
+  /// with no remaining servers. Called when a server is dropped.
+  void RemoveServer(ServerSlot server);
+
+  /// V_m for `path`: union of servers on the longest matching prefix.
+  /// Empty set when no prefix matches (no server could hold the file).
+  ServerSet Match(std::string_view path) const;
+
+  /// All prefixes exported by `server` (used to detect "reconnected with a
+  /// new set of exported paths", which must be treated as a new server).
+  std::vector<std::string> ExportsOf(ServerSlot server) const;
+
+  /// True if `server`'s current exports equal `prefixes` (order-insensitive).
+  bool SameExports(ServerSlot server, const std::vector<std::string>& prefixes) const;
+
+  std::size_t PrefixCount() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string prefix;  // normalized: no trailing '/'; "/" allowed
+    ServerSet servers;
+  };
+  static bool PrefixMatches(std::string_view prefix, std::string_view path);
+  std::vector<Entry> entries_;
+};
+
+/// Normalizes an export prefix: guarantees a leading '/', strips a trailing
+/// '/' (except for the root prefix "/").
+std::string NormalizePrefix(std::string_view prefix);
+
+}  // namespace scalla::cms

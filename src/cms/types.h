@@ -1,0 +1,59 @@
+// Shared vocabulary types for the cmsd core.
+#pragma once
+
+#include <string>
+
+#include "util/server_set.h"
+#include "util/types.h"
+
+namespace scalla::cms {
+
+/// Access mode a client wants for a file. The fast response queue keeps
+/// separate anchor indices R_r (read) and R_w (write) per location object
+/// (paper section III-B).
+enum class AccessMode { kRead, kWrite };
+
+/// Snapshot of a location object's three state vectors (section III-A1).
+struct LocInfo {
+  ServerSet have;     // V_h: servers that have the file online
+  ServerSet pending;  // V_p: servers preparing the file (e.g. MSS staging)
+  ServerSet query;    // V_q: servers that still need to be queried
+};
+
+/// Tunables for one cmsd instance. Defaults follow the paper's quoted
+/// production values.
+struct CmsConfig {
+  Duration lifetime = std::chrono::hours(8);  // L_t (section III-A2)
+  Duration deadline = std::chrono::seconds(5);  // full delay / processing deadline
+  Duration sweepPeriod = std::chrono::milliseconds(133);  // fast-response sweep
+  Duration dropDelay = std::chrono::minutes(10);  // disconnect -> drop window
+  std::size_t initialBuckets = 89;  // Fibonacci
+  double growthLoadFactor = 0.8;
+  std::size_t responseAnchors = 1024;
+
+  // Ablation switches (all default to the paper's design; the benches
+  // turn them off to quantify each mechanism's contribution).
+  bool fastResponse = true;    // E07: park clients on the fast response queue
+  bool deadlineSync = true;    // E10: deadline-based query synchronization
+  bool correctionMemo = true;  // E05: per-window V_wc/C_wn memoisation
+
+  /// Window tick interval: L_t / 64 ("e.g., 7.5 minutes").
+  Duration WindowTick() const { return lifetime / kMaxServersPerSet; }
+};
+
+/// What a resolution attempt tells the client.
+enum class LocateStatus {
+  kRedirect,   // go to this server
+  kWait,       // wait `wait` then retry (full-delay path)
+  kNotFound,   // no server has the file (deadline expired, V_h/V_p/V_q empty)
+  kRetry,      // transient inconsistency (stale reference); retry now
+};
+
+struct LocateResult {
+  LocateStatus status = LocateStatus::kRetry;
+  ServerSlot server = -1;      // valid for kRedirect
+  bool pending = false;        // redirect target is still staging the file
+  Duration wait{};             // valid for kWait
+};
+
+}  // namespace scalla::cms

@@ -1,0 +1,26 @@
+#include "cnsd/cns_daemon.h"
+
+namespace scalla::cnsd {
+
+void CnsDaemon::OnMessage(net::NodeAddr from, proto::Message message) {
+  std::visit(
+      [this, from](auto&& m) {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, proto::CmsHave>) {
+          names_.insert(m.path);
+        } else if constexpr (std::is_same_v<M, proto::CmsGone>) {
+          names_.erase(m.path);
+        } else if constexpr (std::is_same_v<M, proto::CnsList>) {
+          proto::CnsListResp resp;
+          resp.reqId = m.reqId;
+          for (auto it = names_.lower_bound(m.prefix); it != names_.end(); ++it) {
+            if (it->compare(0, m.prefix.size(), m.prefix) != 0) break;
+            resp.names.push_back(*it);
+          }
+          fabric_.Send(addr_, from, std::move(resp));
+        }
+      },
+      std::move(message));
+}
+
+}  // namespace scalla::cnsd

@@ -1,0 +1,34 @@
+// Cluster Name Space daemon. Scalla managers keep a flat namespace and
+// deliberately do not implement a global ls; "full POSIX semantics can be
+// implemented in higher level functions ... with a Cluster Name Space
+// daemon" (paper section II-B4, footnote 3, and section V). This daemon
+// subscribes to create/unlink notifications (the CmsHave newfile /
+// CmsGone traffic the nodes already emit) and answers CnsList queries
+// with the union namespace.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "net/fabric.h"
+
+namespace scalla::cnsd {
+
+class CnsDaemon : public net::MessageSink {
+ public:
+  CnsDaemon(net::NodeAddr addr, net::Fabric& fabric)
+      : addr_(addr), fabric_(fabric) {}
+
+  // net::MessageSink
+  void OnMessage(net::NodeAddr from, proto::Message message) override;
+
+  std::size_t NameCount() const { return names_.size(); }
+
+ private:
+  net::NodeAddr addr_;
+  net::Fabric& fabric_;
+  std::set<std::string> names_;  // sorted: list is a range scan
+};
+
+}  // namespace scalla::cnsd

@@ -1,0 +1,50 @@
+// Message fabric: how nodes and clients address and reach each other.
+// Two implementations ship:
+//   - sim::SimFabric : in-process, latency-modeled, virtual time — used by
+//     tests and the latency/scaling benchmarks;
+//   - net::TcpFabric : length-framed messages over loopback TCP sockets —
+//     used by the multi-endpoint integration tests ("multi-process test on
+//     one server" per the reproduction band; endpoints are isolated actors
+//     that only communicate through real sockets).
+// Node logic is written once against this interface.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/messages.h"
+
+namespace scalla::net {
+
+/// Flat address of a participant (node or client) on a fabric.
+using NodeAddr = std::uint32_t;
+
+/// Receives messages delivered by the fabric. Handlers run on the
+/// receiver's executor (sim event loop or the endpoint's dispatch thread).
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void OnMessage(NodeAddr from, proto::Message message) = 0;
+  /// A peer became unreachable (TCP: connection closed; sim: injected).
+  virtual void OnPeerDown(NodeAddr peer) { (void)peer; }
+};
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Delivers `message` from `from` to `to`. Asynchronous and unordered
+  /// across peers; ordered per (from,to) pair. Silently drops messages to
+  /// unknown or partitioned destinations (the resolution protocol treats
+  /// non-response as a negative answer, so loss maps onto protocol
+  /// semantics rather than errors).
+  virtual void Send(NodeAddr from, NodeAddr to, proto::Message message) = 0;
+
+  struct Counters {
+    std::uint64_t messagesSent = 0;
+    std::uint64_t messagesDelivered = 0;
+    std::uint64_t messagesDropped = 0;
+  };
+  virtual Counters GetCounters() const = 0;
+};
+
+}  // namespace scalla::net

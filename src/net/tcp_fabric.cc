@@ -1,0 +1,267 @@
+#include "net/tcp_fabric.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "proto/wire.h"
+#include "util/logger.h"
+
+namespace scalla::net {
+namespace {
+
+std::uint64_t PairKey(NodeAddr from, NodeAddr to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+bool WriteAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, data, len, 0);
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct TcpFabric::Endpoint {
+  NodeAddr addr = 0;
+  MessageSink* sink = nullptr;
+  sched::Executor* executor = nullptr;
+  int listenFd = -1;
+  std::thread acceptThread;
+  std::mutex readersMu;
+  std::vector<std::thread> readers;
+  std::vector<int> readerFds;  // parallel to readers; -1 once closed
+  std::atomic<bool> closing{false};
+
+  // Unblocks every reader stuck in recv() so joins cannot hang.
+  void ShutdownReaders() {
+    std::lock_guard lock(readersMu);
+    for (int& fd : readerFds) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  void JoinReaders() {
+    std::lock_guard lock(readersMu);
+    for (auto& t : readers) {
+      if (t.joinable()) t.join();
+    }
+  }
+};
+
+TcpFabric::TcpFabric(std::uint16_t basePort) : basePort_(basePort) {}
+
+TcpFabric::~TcpFabric() {
+  shuttingDown_ = true;
+  std::vector<std::unique_ptr<Endpoint>> eps;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [_, ep] : endpoints_) eps.push_back(std::move(ep));
+    endpoints_.clear();
+    for (auto& [_, fd] : outbound_) ::close(fd);
+    outbound_.clear();
+  }
+  for (auto& ep : eps) {
+    ep->closing = true;
+    ::shutdown(ep->listenFd, SHUT_RDWR);
+    ::close(ep->listenFd);
+    if (ep->acceptThread.joinable()) ep->acceptThread.join();
+    ep->ShutdownReaders();
+    ep->JoinReaders();
+  }
+}
+
+bool TcpFabric::Register(NodeAddr addr, MessageSink* sink, sched::Executor* executor) {
+  auto ep = std::make_unique<Endpoint>();
+  ep->addr = addr;
+  ep->sink = sink;
+  ep->executor = executor;
+
+  ep->listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ep->listenFd < 0) return false;
+  const int one = 1;
+  ::setsockopt(ep->listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(static_cast<std::uint16_t>(basePort_ + addr));
+  if (::bind(ep->listenFd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
+      ::listen(ep->listenFd, 64) != 0) {
+    ::close(ep->listenFd);
+    return false;
+  }
+  Endpoint* raw = ep.get();
+  ep->acceptThread = std::thread([this, raw] { AcceptLoop(raw); });
+  std::lock_guard lock(mu_);
+  endpoints_[addr] = std::move(ep);
+  return true;
+}
+
+void TcpFabric::Unregister(NodeAddr addr) {
+  std::unique_ptr<Endpoint> ep;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = endpoints_.find(addr);
+    if (it == endpoints_.end()) return;
+    ep = std::move(it->second);
+    endpoints_.erase(it);
+    for (auto it2 = outbound_.begin(); it2 != outbound_.end();) {
+      if ((it2->first >> 32) == addr || (it2->first & 0xFFFFFFFFu) == addr) {
+        ::close(it2->second);
+        it2 = outbound_.erase(it2);
+      } else {
+        ++it2;
+      }
+    }
+  }
+  ep->closing = true;
+  ::shutdown(ep->listenFd, SHUT_RDWR);
+  ::close(ep->listenFd);
+  if (ep->acceptThread.joinable()) ep->acceptThread.join();
+  ep->ShutdownReaders();
+  ep->JoinReaders();
+}
+
+void TcpFabric::AcceptLoop(Endpoint* ep) {
+  while (!ep->closing) {
+    const int fd = ::accept(ep->listenFd, nullptr, nullptr);
+    if (fd < 0) break;
+    std::lock_guard lock(ep->readersMu);
+    if (ep->closing) {
+      ::close(fd);
+      break;
+    }
+    ep->readerFds.push_back(fd);
+    ep->readers.emplace_back([this, ep, fd] { ReaderLoop(ep, fd); });
+  }
+}
+
+void TcpFabric::ReaderLoop(Endpoint* ep, int fd) {
+  for (;;) {
+    char header[8];
+    if (!ReadAll(fd, header, sizeof(header))) break;
+    std::uint32_t length = 0, sender = 0;
+    std::memcpy(&length, header, 4);
+    std::memcpy(&sender, header + 4, 4);
+    if (length == 0 || length > proto::kMaxFrameBody) break;
+    std::string body(length, '\0');
+    if (!ReadAll(fd, body.data(), length)) break;
+    auto message = proto::Decode(body);
+    if (!message.has_value()) {
+      SCALLA_WARN("tcp", "endpoint %u: malformed frame from %u", ep->addr, sender);
+      break;
+    }
+    {
+      std::lock_guard lock(mu_);
+      ++counters_.messagesDelivered;
+    }
+    MessageSink* sink = ep->sink;
+    if (ep->executor != nullptr) {
+      ep->executor->Post([sink, sender, msg = std::move(*message)]() mutable {
+        sink->OnMessage(sender, std::move(msg));
+      });
+    } else {
+      sink->OnMessage(sender, std::move(*message));
+    }
+  }
+  ::close(fd);
+}
+
+TcpFabric::Endpoint* TcpFabric::FindEndpoint(NodeAddr addr) {
+  const auto it = endpoints_.find(addr);
+  return it == endpoints_.end() ? nullptr : it->second.get();
+}
+
+int TcpFabric::ConnectTo(NodeAddr from, NodeAddr to) {
+  // Caller holds mu_.
+  const auto it = outbound_.find(PairKey(from, to));
+  if (it != outbound_.end()) return it->second;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(static_cast<std::uint16_t>(basePort_ + to));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  outbound_[PairKey(from, to)] = fd;
+  return fd;
+}
+
+void TcpFabric::CloseOutbound(NodeAddr from, NodeAddr to) {
+  // Caller holds mu_.
+  const auto it = outbound_.find(PairKey(from, to));
+  if (it != outbound_.end()) {
+    ::close(it->second);
+    outbound_.erase(it);
+  }
+}
+
+void TcpFabric::Send(NodeAddr from, NodeAddr to, proto::Message message) {
+  const std::string body = proto::Encode(message);
+  char header[8];
+  const auto length = static_cast<std::uint32_t>(body.size());
+  std::memcpy(header, &length, 4);
+  std::memcpy(header + 4, &from, 4);
+
+  MessageSink* failedSink = nullptr;
+  sched::Executor* failedExec = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.messagesSent;
+    int fd = ConnectTo(from, to);
+    bool ok = fd >= 0 && WriteAll(fd, header, sizeof(header)) &&
+              WriteAll(fd, body.data(), body.size());
+    if (!ok && fd >= 0) {
+      // Stale cached connection (peer restarted): retry once fresh.
+      CloseOutbound(from, to);
+      fd = ConnectTo(from, to);
+      ok = fd >= 0 && WriteAll(fd, header, sizeof(header)) &&
+           WriteAll(fd, body.data(), body.size());
+    }
+    if (!ok) {
+      if (fd >= 0) CloseOutbound(from, to);
+      ++counters_.messagesDropped;
+      Endpoint* sender = FindEndpoint(from);
+      if (sender != nullptr) {
+        failedSink = sender->sink;
+        failedExec = sender->executor;
+      }
+    }
+  }
+  if (failedSink != nullptr) {
+    if (failedExec != nullptr) {
+      failedExec->Post([failedSink, to] { failedSink->OnPeerDown(to); });
+    } else {
+      failedSink->OnPeerDown(to);
+    }
+  }
+}
+
+net::Fabric::Counters TcpFabric::GetCounters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+}  // namespace scalla::net

@@ -1,0 +1,60 @@
+// Loopback TCP transport: each registered endpoint gets a listening socket
+// on basePort+addr; frames are [u32 length][u32 senderAddr][encoded
+// message]. Connections are opened lazily, cached per (local, peer) pair,
+// and torn down on error, at which point the local endpoint's OnPeerDown
+// fires — exactly the signal the cmsd uses to mark a subordinate offline.
+//
+// Incoming messages are posted to the endpoint's executor, so node code
+// keeps its single-threaded actor discipline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/fabric.h"
+#include "sched/executor.h"
+
+namespace scalla::net {
+
+class TcpFabric final : public Fabric {
+ public:
+  /// Endpoints listen on 127.0.0.1:basePort+addr.
+  explicit TcpFabric(std::uint16_t basePort);
+  ~TcpFabric() override;
+
+  TcpFabric(const TcpFabric&) = delete;
+  TcpFabric& operator=(const TcpFabric&) = delete;
+
+  /// Binds an endpoint: starts its listener thread. Returns false if the
+  /// port could not be bound.
+  bool Register(NodeAddr addr, MessageSink* sink, sched::Executor* executor);
+  void Unregister(NodeAddr addr);
+
+  // ---- Fabric ----
+  void Send(NodeAddr from, NodeAddr to, proto::Message message) override;
+  Counters GetCounters() const override;
+
+ private:
+  struct Endpoint;
+  struct Connection;
+
+  Endpoint* FindEndpoint(NodeAddr addr);
+  int ConnectTo(NodeAddr from, NodeAddr to);  // returns fd or -1
+  void ReaderLoop(Endpoint* ep, int fd);
+  void AcceptLoop(Endpoint* ep);
+  void CloseOutbound(NodeAddr from, NodeAddr to);
+
+  std::uint16_t basePort_;
+  mutable std::mutex mu_;
+  std::map<NodeAddr, std::unique_ptr<Endpoint>> endpoints_;
+  std::map<std::uint64_t, int> outbound_;  // (from<<32|to) -> fd
+  mutable Counters counters_;
+  std::atomic<bool> shuttingDown_{false};
+};
+
+}  // namespace scalla::net

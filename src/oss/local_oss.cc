@@ -1,0 +1,98 @@
+#include "oss/local_oss.h"
+
+#include <fstream>
+
+namespace scalla::oss {
+
+namespace fs = std::filesystem;
+
+LocalOss::LocalOss(fs::path root) : root_(std::move(root)) {}
+
+std::optional<fs::path> LocalOss::Resolve(const std::string& path) const {
+  fs::path rel(path);
+  fs::path out = root_;
+  for (const auto& part : rel.relative_path()) {
+    if (part == "..") return std::nullopt;
+    if (part == ".") continue;
+    out /= part;
+  }
+  return out;
+}
+
+FileState LocalOss::StateOf(const std::string& path) {
+  const auto host = Resolve(path);
+  if (!host) return FileState::kAbsent;
+  std::error_code ec;
+  return fs::is_regular_file(*host, ec) ? FileState::kOnline : FileState::kAbsent;
+}
+
+proto::XrdErr LocalOss::Create(const std::string& path) {
+  const auto host = Resolve(path);
+  if (!host) return proto::XrdErr::kInvalid;
+  std::lock_guard lock(mu_);
+  std::error_code ec;
+  if (fs::exists(*host, ec)) return proto::XrdErr::kExists;
+  fs::create_directories(host->parent_path(), ec);
+  std::ofstream out(*host, std::ios::binary);
+  return out.good() ? proto::XrdErr::kNone : proto::XrdErr::kIo;
+}
+
+proto::XrdErr LocalOss::Write(const std::string& path, std::uint64_t offset,
+                              std::string_view data) {
+  const auto host = Resolve(path);
+  if (!host) return proto::XrdErr::kInvalid;
+  std::lock_guard lock(mu_);
+  std::error_code ec;
+  if (!fs::is_regular_file(*host, ec)) return proto::XrdErr::kNotFound;
+  std::fstream out(*host, std::ios::binary | std::ios::in | std::ios::out);
+  if (!out.good()) return proto::XrdErr::kIo;
+  out.seekp(static_cast<std::streamoff>(offset));
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  return out.good() ? proto::XrdErr::kNone : proto::XrdErr::kIo;
+}
+
+proto::XrdErr LocalOss::Read(const std::string& path, std::uint64_t offset,
+                             std::uint32_t length, std::string* out) {
+  const auto host = Resolve(path);
+  if (!host) return proto::XrdErr::kInvalid;
+  std::ifstream in(*host, std::ios::binary);
+  if (!in.good()) return proto::XrdErr::kNotFound;
+  in.seekg(static_cast<std::streamoff>(offset));
+  out->resize(length);
+  in.read(out->data(), static_cast<std::streamsize>(length));
+  out->resize(static_cast<std::size_t>(in.gcount()));
+  return proto::XrdErr::kNone;
+}
+
+std::optional<StatInfo> LocalOss::Stat(const std::string& path) {
+  const auto host = Resolve(path);
+  if (!host) return std::nullopt;
+  std::error_code ec;
+  if (!fs::is_regular_file(*host, ec)) return std::nullopt;
+  StatInfo info;
+  info.size = fs::file_size(*host, ec);
+  return info;
+}
+
+proto::XrdErr LocalOss::Unlink(const std::string& path) {
+  const auto host = Resolve(path);
+  if (!host) return proto::XrdErr::kInvalid;
+  std::lock_guard lock(mu_);
+  std::error_code ec;
+  return fs::remove(*host, ec) ? proto::XrdErr::kNone : proto::XrdErr::kNotFound;
+}
+
+std::vector<std::string> LocalOss::List(const std::string& prefix) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    std::string logical = "/" + fs::relative(it->path(), root_, ec).generic_string();
+    if (logical.compare(0, prefix.size(), prefix) == 0) out.push_back(std::move(logical));
+  }
+  return out;
+}
+
+}  // namespace scalla::oss

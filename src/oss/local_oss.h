@@ -1,0 +1,36 @@
+// Directory-backed storage: Scalla paths map onto files under a root
+// directory via the host's native file system, matching production
+// xrootd's data-server behaviour.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "oss/oss.h"
+
+namespace scalla::oss {
+
+class LocalOss final : public Oss {
+ public:
+  /// `root` must exist and be a directory.
+  explicit LocalOss(std::filesystem::path root);
+
+  FileState StateOf(const std::string& path) override;
+  proto::XrdErr Create(const std::string& path) override;
+  proto::XrdErr Write(const std::string& path, std::uint64_t offset,
+                      std::string_view data) override;
+  proto::XrdErr Read(const std::string& path, std::uint64_t offset, std::uint32_t length,
+                     std::string* out) override;
+  std::optional<StatInfo> Stat(const std::string& path) override;
+  proto::XrdErr Unlink(const std::string& path) override;
+  std::vector<std::string> List(const std::string& prefix) override;
+
+ private:
+  /// Maps a Scalla path to a host path, rejecting escapes ("..").
+  std::optional<std::filesystem::path> Resolve(const std::string& path) const;
+
+  std::filesystem::path root_;
+  std::mutex mu_;  // serializes multi-step create/write sequences
+};
+
+}  // namespace scalla::oss

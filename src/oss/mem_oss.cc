@@ -1,0 +1,96 @@
+#include "oss/mem_oss.h"
+
+#include <algorithm>
+
+namespace scalla::oss {
+
+FileState MemOss::StateOf(const std::string& path) {
+  std::lock_guard lock(mu_);
+  return files_.count(path) != 0 ? FileState::kOnline : FileState::kAbsent;
+}
+
+std::uint64_t MemOss::TotalBytesLocked() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, f] : files_) total += f.data.size();
+  return total;
+}
+
+proto::XrdErr MemOss::Create(const std::string& path) {
+  std::lock_guard lock(mu_);
+  if (files_.count(path) != 0) return proto::XrdErr::kExists;
+  if (capacity_ != 0 && TotalBytesLocked() >= capacity_) return proto::XrdErr::kNoSpace;
+  files_[path] = File{std::string(), clock_.Now()};
+  return proto::XrdErr::kNone;
+}
+
+proto::XrdErr MemOss::Write(const std::string& path, std::uint64_t offset,
+                            std::string_view data) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return proto::XrdErr::kNotFound;
+  File& f = it->second;
+  if (offset + data.size() > f.data.size()) {
+    const std::uint64_t growth = offset + data.size() - f.data.size();
+    if (capacity_ != 0 && TotalBytesLocked() + growth > capacity_) {
+      return proto::XrdErr::kNoSpace;
+    }
+    f.data.resize(offset + data.size(), '\0');
+  }
+  std::copy(data.begin(), data.end(), f.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  f.mtime = clock_.Now();
+  return proto::XrdErr::kNone;
+}
+
+proto::XrdErr MemOss::Read(const std::string& path, std::uint64_t offset,
+                           std::uint32_t length, std::string* out) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return proto::XrdErr::kNotFound;
+  const File& f = it->second;
+  out->clear();
+  if (offset >= f.data.size()) return proto::XrdErr::kNone;  // EOF: empty read
+  const std::size_t n = std::min<std::size_t>(length, f.data.size() - offset);
+  out->assign(f.data, offset, n);
+  return proto::XrdErr::kNone;
+}
+
+std::optional<StatInfo> MemOss::Stat(const std::string& path) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return StatInfo{it->second.data.size(), it->second.mtime};
+}
+
+proto::XrdErr MemOss::Unlink(const std::string& path) {
+  std::lock_guard lock(mu_);
+  return files_.erase(path) != 0 ? proto::XrdErr::kNone : proto::XrdErr::kNotFound;
+}
+
+std::vector<std::string> MemOss::List(const std::string& prefix) {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+void MemOss::Put(const std::string& path, std::string data) {
+  std::lock_guard lock(mu_);
+  files_[path] = File{std::move(data), clock_.Now()};
+}
+
+std::size_t MemOss::FileCount() const {
+  std::lock_guard lock(mu_);
+  return files_.size();
+}
+
+std::uint64_t MemOss::TotalBytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [_, f] : files_) total += f.data.size();
+  return total;
+}
+
+}  // namespace scalla::oss

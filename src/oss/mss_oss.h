@@ -1,0 +1,43 @@
+// Mass Storage System simulator. The paper's clusters front tape systems:
+// a file may be "offline" (on tape), and a server that can stage it
+// answers location queries with "being prepared to be online" — the V_p
+// state — while the stage takes minutes. Here the MSS is a catalog of
+// (path, size) entries plus a configurable stage delay; completion is
+// evaluated lazily against the injected clock so the simulator needs no
+// background thread.
+#pragma once
+
+#include <unordered_map>
+
+#include "oss/mem_oss.h"
+
+namespace scalla::oss {
+
+struct MssConfig {
+  Duration stageDelay = std::chrono::seconds(30);
+};
+
+class MssOss final : public MemOss {
+ public:
+  MssOss(util::Clock& clock, MssConfig config) : MemOss(clock), config_(config) {}
+
+  /// Registers a file as resident on the MSS (not online).
+  void PutInMss(const std::string& path, std::uint64_t size);
+
+  FileState StateOf(const std::string& path) override;
+  std::optional<Duration> BeginStage(const std::string& path) override;
+
+  /// Files currently staging (after lazily completing finished ones).
+  std::size_t StagingCount();
+
+ private:
+  // Completes any stage whose deadline has passed: materializes the file
+  // online with synthetic content of the cataloged size.
+  void SettleLocked();
+
+  MssConfig config_;
+  std::unordered_map<std::string, std::uint64_t> catalog_;    // on tape
+  std::unordered_map<std::string, TimePoint> staging_;        // path -> done-at
+};
+
+}  // namespace scalla::oss

@@ -1,0 +1,73 @@
+// Storage-system abstraction behind each data server, mirroring xrootd's
+// oss layer. "At a data server level, the namespace conforms to full POSIX
+// semantics since each data server uses the host's native file system"
+// (paper section II-B4). Three backends:
+//   MemOss   — in-memory store (tests, simulation, Qserv workers);
+//   MssOss   — MemOss plus a simulated Mass Storage System: named files
+//              exist on "tape" and must be staged online, which takes a
+//              configurable delay and drives the V_p (pending) machinery;
+//   LocalOss — a real directory on the host file system.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/messages.h"
+#include "util/types.h"
+
+namespace scalla::oss {
+
+enum class FileState {
+  kAbsent,   // nowhere on this server
+  kOnline,   // readable right now
+  kStaging,  // being copied from the MSS; readable once done
+  kInMss,    // on the MSS only; a stage must be requested
+};
+
+struct StatInfo {
+  std::uint64_t size = 0;
+  TimePoint mtime{};
+};
+
+class Oss {
+ public:
+  virtual ~Oss() = default;
+
+  virtual FileState StateOf(const std::string& path) = 0;
+
+  /// Creates an empty online file. kExists if it is already present
+  /// anywhere (online or MSS).
+  virtual proto::XrdErr Create(const std::string& path) = 0;
+
+  /// Writes at `offset`, extending the file as needed. kNotFound if the
+  /// file is not online.
+  virtual proto::XrdErr Write(const std::string& path, std::uint64_t offset,
+                              std::string_view data) = 0;
+
+  /// Reads up to `length` bytes at `offset`; short reads at EOF.
+  virtual proto::XrdErr Read(const std::string& path, std::uint64_t offset,
+                             std::uint32_t length, std::string* out) = 0;
+
+  virtual std::optional<StatInfo> Stat(const std::string& path) = 0;
+
+  virtual proto::XrdErr Unlink(const std::string& path) = 0;
+
+  /// Online files under `prefix` (data-server-local namespace; the global
+  /// view is assembled by the Cluster Name Space daemon).
+  virtual std::vector<std::string> List(const std::string& prefix) = 0;
+
+  /// Requests a stage for a kInMss file. Returns the remaining time until
+  /// it is online, or std::nullopt if the file is not stageable. Safe to
+  /// call repeatedly; repeated calls report the remaining time.
+  virtual std::optional<Duration> BeginStage(const std::string& path) {
+    (void)path;
+    return std::nullopt;
+  }
+
+  /// Bytes currently stored, when the backend can tell cheaply (feeds the
+  /// free-space selection metric via load reports).
+  virtual std::optional<std::uint64_t> UsedBytes() { return std::nullopt; }
+};
+
+}  // namespace scalla::oss

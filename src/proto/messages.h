@@ -1,0 +1,260 @@
+// Protocol messages. Two protocol families share one transport:
+//   - cms: node-to-node cluster management (login, locate queries, have
+//     responses, load reports) — the cmsd protocol;
+//   - xrd: client-to-node file access (open/read/write/close/stat/...,
+//     with redirect/wait responses) — the xrootd protocol.
+// Messages are plain structs gathered into a std::variant; the in-process
+// transports pass them directly, the TCP transport serializes them via
+// proto/wire.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/types.h"
+
+namespace scalla::proto {
+
+// --------------------------------------------------------------------
+// cms protocol (node <-> node)
+
+/// Subordinate -> parent: join the cluster, declaring export prefixes.
+/// Registration is deliberately light — path prefixes only, never a file
+/// manifest (paper section V).
+struct CmsLogin {
+  std::string name;                   // stable identity ("host:port")
+  std::vector<std::string> exports;   // exported path prefixes
+  bool allowWrite = true;
+  bool isSupervisor = false;          // subordinate heads its own subtree
+};
+
+struct CmsLoginResp {
+  bool ok = false;
+  std::int32_t slot = -1;   // assigned server slot (bit position)
+  std::string error;
+  // When a cluster set is full (64 members, paper section II-B1), the
+  // head redirects the newcomer to one of its supervisor subordinates,
+  // keeping "nodes can be added easily" true past 64 servers.
+  std::uint32_t redirect = 0;  // try logging in here instead (0 = none)
+};
+
+/// Parent -> subordinates: "do you have <path>?" (request-rarely-respond:
+/// holders answer CmsHave; everyone else stays silent).
+struct CmsQuery {
+  std::string path;
+  std::uint32_t hash = 0;   // CRC32, forwarded so responders can echo it
+  std::uint8_t mode = 0;    // AccessMode
+  bool refresh = false;     // supervisors refresh their subtree view too
+};
+
+/// Subordinate -> parent: positive response. Also used as an unsolicited
+/// new-file notification (newfile=true), which supervisors propagate
+/// upward so manager caches learn about creations without re-flooding.
+struct CmsHave {
+  std::string path;
+  std::uint32_t hash = 0;   // echoed so the manager never re-hashes
+  bool pending = false;     // file is being staged (V_p rather than V_h)
+  bool allowWrite = true;
+  bool newfile = false;
+};
+
+/// Subordinate -> parent: explicit negative response. Only emitted by the
+/// always-respond baseline protocol (experiment E06); real Scalla treats
+/// non-response as "no".
+struct CmsNoHave {
+  std::string path;
+  std::uint32_t hash = 0;
+};
+
+/// Subordinate -> parent: the file is gone (unlinked / lost).
+struct CmsGone {
+  std::string path;
+};
+
+/// Subordinate -> parent: periodic load/space report used for selection.
+struct CmsLoad {
+  std::uint32_t load = 0;
+  std::uint64_t freeSpace = 0;
+};
+
+// --------------------------------------------------------------------
+// xrd protocol (client <-> node)
+
+enum class XrdStatus : std::uint8_t {
+  kOk = 0,
+  kRedirect = 1,  // re-issue the request at `host`
+  kWait = 2,      // wait `waitNs`, then retry here
+  kError = 3,
+};
+
+enum class XrdErr : std::int32_t {
+  kNone = 0,
+  kNotFound = 2,       // ENOENT
+  kIo = 5,             // EIO
+  kExists = 17,        // EEXIST
+  kInvalid = 22,       // EINVAL
+  kNoSpace = 28,       // ENOSPC
+  kStale = 116,        // ESTALE: retry from a consistent state
+};
+
+struct XrdOpen {
+  std::uint64_t reqId = 0;
+  std::string path;
+  std::uint8_t mode = 0;      // AccessMode
+  bool create = false;
+  bool refresh = false;       // ask for a cache refresh (client recovery)
+  std::uint32_t avoidNode = 0;  // fabric address of the node that failed (0 = none)
+};
+
+struct XrdOpenResp {
+  std::uint64_t reqId = 0;
+  XrdStatus status = XrdStatus::kError;
+  XrdErr err = XrdErr::kNone;
+  std::uint32_t redirectNode = 0;  // transport address of the target node
+  std::int64_t waitNs = 0;
+  std::uint64_t fileHandle = 0;
+  std::string message;
+};
+
+struct XrdRead {
+  std::uint64_t reqId = 0;
+  std::uint64_t fileHandle = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+};
+
+struct XrdReadResp {
+  std::uint64_t reqId = 0;
+  XrdErr err = XrdErr::kNone;
+  std::string data;
+};
+
+struct XrdWrite {
+  std::uint64_t reqId = 0;
+  std::uint64_t fileHandle = 0;
+  std::uint64_t offset = 0;
+  std::string data;
+};
+
+struct XrdWriteResp {
+  std::uint64_t reqId = 0;
+  XrdErr err = XrdErr::kNone;
+  std::uint32_t written = 0;
+};
+
+/// One segment of a vector read.
+struct ReadSeg {
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  bool operator==(const ReadSeg&) const = default;
+};
+
+/// Vector read: many (offset, length) segments in one request — the
+/// pattern ROOT analysis produces (sparse branch reads), served in a
+/// single round trip.
+struct XrdReadV {
+  std::uint64_t reqId = 0;
+  std::uint64_t fileHandle = 0;
+  std::vector<ReadSeg> segments;
+};
+
+struct XrdReadVResp {
+  std::uint64_t reqId = 0;
+  XrdErr err = XrdErr::kNone;
+  std::vector<std::string> chunks;  // one per requested segment
+};
+
+/// Checksum query (xrootd's kXR_query checksum): managers redirect it
+/// like any meta-data operation; the data server computes CRC32 over the
+/// file content.
+struct XrdChecksum {
+  std::uint64_t reqId = 0;
+  std::string path;
+};
+
+struct XrdChecksumResp {
+  std::uint64_t reqId = 0;
+  XrdStatus status = XrdStatus::kError;
+  XrdErr err = XrdErr::kNone;
+  std::uint32_t redirectNode = 0;
+  std::int64_t waitNs = 0;
+  std::uint32_t crc32 = 0;
+};
+
+struct XrdClose {
+  std::uint64_t reqId = 0;
+  std::uint64_t fileHandle = 0;
+};
+
+struct XrdCloseResp {
+  std::uint64_t reqId = 0;
+  XrdErr err = XrdErr::kNone;
+};
+
+struct XrdStat {
+  std::uint64_t reqId = 0;
+  std::string path;
+};
+
+struct XrdStatResp {
+  std::uint64_t reqId = 0;
+  XrdStatus status = XrdStatus::kError;  // managers redirect stats too
+  XrdErr err = XrdErr::kNone;
+  std::uint32_t redirectNode = 0;
+  std::int64_t waitNs = 0;
+  std::uint64_t size = 0;
+};
+
+struct XrdUnlink {
+  std::uint64_t reqId = 0;
+  std::string path;
+};
+
+struct XrdUnlinkResp {
+  std::uint64_t reqId = 0;
+  XrdStatus status = XrdStatus::kError;
+  XrdErr err = XrdErr::kNone;
+  std::uint32_t redirectNode = 0;
+  std::int64_t waitNs = 0;
+};
+
+/// Parallel prepare (paper section III-B2): a list of files that will be
+/// needed; the node spawns parallel background look-ups so the client
+/// externally observes at most one full delay.
+struct XrdPrepare {
+  std::uint64_t reqId = 0;
+  std::vector<std::string> paths;
+  std::uint8_t mode = 0;
+};
+
+struct XrdPrepareResp {
+  std::uint64_t reqId = 0;
+  XrdErr err = XrdErr::kNone;
+};
+
+/// Global namespace listing, served by the Cluster Name Space daemon
+/// (paper footnote 3) — NOT by managers, which keep a flat namespace.
+struct CnsList {
+  std::uint64_t reqId = 0;
+  std::string prefix;
+};
+
+struct CnsListResp {
+  std::uint64_t reqId = 0;
+  XrdErr err = XrdErr::kNone;
+  std::vector<std::string> names;
+};
+
+using Message =
+    std::variant<CmsLogin, CmsLoginResp, CmsQuery, CmsHave, CmsNoHave, CmsGone, CmsLoad,
+                 XrdOpen, XrdOpenResp, XrdRead, XrdReadResp, XrdWrite, XrdWriteResp,
+                 XrdClose, XrdCloseResp, XrdStat, XrdStatResp, XrdUnlink, XrdUnlinkResp,
+                 XrdPrepare, XrdPrepareResp, CnsList, CnsListResp, XrdReadV, XrdReadVResp,
+                 XrdChecksum, XrdChecksumResp>;
+
+/// Human-readable tag for logging.
+const char* MessageName(const Message& m);
+
+}  // namespace scalla::proto

@@ -1,0 +1,263 @@
+#include "proto/wire.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace scalla::proto {
+namespace {
+
+class Writer {
+ public:
+  std::string out;
+
+  void Put(bool v) { out.push_back(v ? 1 : 0); }
+  void Put(std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+  void Put(std::uint32_t v) { PutLe(v); }
+  void Put(std::int32_t v) { PutLe(static_cast<std::uint32_t>(v)); }
+  void Put(std::uint64_t v) { PutLe(v); }
+  void Put(std::int64_t v) { PutLe(static_cast<std::uint64_t>(v)); }
+  void Put(const std::string& s) {
+    Put(static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+  }
+  void Put(const std::vector<std::string>& v) {
+    Put(static_cast<std::uint32_t>(v.size()));
+    for (const auto& s : v) Put(s);
+  }
+  void Put(const ReadSeg& seg) {
+    Put(seg.offset);
+    Put(seg.length);
+  }
+  void Put(const std::vector<ReadSeg>& v) {
+    Put(static_cast<std::uint32_t>(v.size()));
+    for (const auto& seg : v) Put(seg);
+  }
+  template <typename E>
+    requires std::is_enum_v<E>
+  void Put(E v) {
+    Put(static_cast<std::underlying_type_t<E>>(v));
+  }
+
+  template <typename... Ts>
+  void Fields(const Ts&... fields) {
+    (Put(fields), ...);
+  }
+
+ private:
+  template <typename T>
+  void PutLe(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view in) : in_(in) {}
+
+  bool ok() const { return ok_ && in_.empty(); }
+
+  void Get(bool& v) {
+    std::uint8_t b = 0;
+    GetLe(b);
+    v = b != 0;
+  }
+  void Get(std::uint8_t& v) { GetLe(v); }
+  void Get(std::uint32_t& v) { GetLe(v); }
+  void Get(std::int32_t& v) {
+    std::uint32_t u = 0;
+    GetLe(u);
+    v = static_cast<std::int32_t>(u);
+  }
+  void Get(std::uint64_t& v) { GetLe(v); }
+  void Get(std::int64_t& v) {
+    std::uint64_t u = 0;
+    GetLe(u);
+    v = static_cast<std::int64_t>(u);
+  }
+  void Get(std::string& s) {
+    std::uint32_t len = 0;
+    GetLe(len);
+    if (!ok_ || len > in_.size() || len > kMaxFrameBody) {
+      ok_ = false;
+      return;
+    }
+    s.assign(in_.data(), len);
+    in_.remove_prefix(len);
+  }
+  void Get(std::vector<std::string>& v) {
+    std::uint32_t count = 0;
+    GetLe(count);
+    if (!ok_ || count > in_.size()) {  // each entry needs >= 4 bytes
+      ok_ = false;
+      return;
+    }
+    v.clear();
+    v.reserve(count);
+    for (std::uint32_t i = 0; i < count && ok_; ++i) {
+      v.emplace_back();
+      Get(v.back());
+    }
+  }
+  void Get(ReadSeg& seg) {
+    GetLe(seg.offset);
+    GetLe(seg.length);
+  }
+  void Get(std::vector<ReadSeg>& v) {
+    std::uint32_t count = 0;
+    GetLe(count);
+    if (!ok_ || count > in_.size()) {  // each entry needs >= 12 bytes
+      ok_ = false;
+      return;
+    }
+    v.clear();
+    v.reserve(count);
+    for (std::uint32_t i = 0; i < count && ok_; ++i) {
+      v.emplace_back();
+      Get(v.back());
+    }
+  }
+  template <typename E>
+    requires std::is_enum_v<E>
+  void Get(E& v) {
+    std::underlying_type_t<E> raw{};
+    Get(raw);
+    v = static_cast<E>(raw);
+  }
+
+  template <typename... Ts>
+  void Fields(Ts&... fields) {
+    (Get(fields), ...);
+  }
+
+ private:
+  template <typename T>
+  void GetLe(T& v) {
+    if (!ok_ || in_.size() < sizeof(T)) {
+      ok_ = false;
+      v = T{};
+      return;
+    }
+    T out{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<unsigned char>(in_[i])) << (8 * i);
+    }
+    in_.remove_prefix(sizeof(T));
+    v = out;
+  }
+
+  std::string_view in_;
+  bool ok_ = true;
+};
+
+// One Visit overload per message type, shared by Encode (Writer) and
+// Decode (Reader); fields are listed once, in declaration order.
+template <class Ar, class M>
+void Visit(Ar& ar, M& m) = delete;
+
+template <class Ar> void Visit(Ar& ar, CmsLogin& m) {
+  ar.Fields(m.name, m.exports, m.allowWrite, m.isSupervisor);
+}
+template <class Ar> void Visit(Ar& ar, CmsLoginResp& m) {
+  ar.Fields(m.ok, m.slot, m.error, m.redirect);
+}
+template <class Ar> void Visit(Ar& ar, CmsQuery& m) {
+  ar.Fields(m.path, m.hash, m.mode, m.refresh);
+}
+template <class Ar> void Visit(Ar& ar, CmsHave& m) {
+  ar.Fields(m.path, m.hash, m.pending, m.allowWrite, m.newfile);
+}
+template <class Ar> void Visit(Ar& ar, CmsNoHave& m) { ar.Fields(m.path, m.hash); }
+template <class Ar> void Visit(Ar& ar, CmsGone& m) { ar.Fields(m.path); }
+template <class Ar> void Visit(Ar& ar, CmsLoad& m) { ar.Fields(m.load, m.freeSpace); }
+template <class Ar> void Visit(Ar& ar, XrdOpen& m) {
+  ar.Fields(m.reqId, m.path, m.mode, m.create, m.refresh, m.avoidNode);
+}
+template <class Ar> void Visit(Ar& ar, XrdOpenResp& m) {
+  ar.Fields(m.reqId, m.status, m.err, m.redirectNode, m.waitNs, m.fileHandle, m.message);
+}
+template <class Ar> void Visit(Ar& ar, XrdRead& m) {
+  ar.Fields(m.reqId, m.fileHandle, m.offset, m.length);
+}
+template <class Ar> void Visit(Ar& ar, XrdReadResp& m) { ar.Fields(m.reqId, m.err, m.data); }
+template <class Ar> void Visit(Ar& ar, XrdWrite& m) {
+  ar.Fields(m.reqId, m.fileHandle, m.offset, m.data);
+}
+template <class Ar> void Visit(Ar& ar, XrdWriteResp& m) {
+  ar.Fields(m.reqId, m.err, m.written);
+}
+template <class Ar> void Visit(Ar& ar, XrdClose& m) { ar.Fields(m.reqId, m.fileHandle); }
+template <class Ar> void Visit(Ar& ar, XrdCloseResp& m) { ar.Fields(m.reqId, m.err); }
+template <class Ar> void Visit(Ar& ar, XrdStat& m) { ar.Fields(m.reqId, m.path); }
+template <class Ar> void Visit(Ar& ar, XrdStatResp& m) {
+  ar.Fields(m.reqId, m.status, m.err, m.redirectNode, m.waitNs, m.size);
+}
+template <class Ar> void Visit(Ar& ar, XrdUnlink& m) { ar.Fields(m.reqId, m.path); }
+template <class Ar> void Visit(Ar& ar, XrdUnlinkResp& m) {
+  ar.Fields(m.reqId, m.status, m.err, m.redirectNode, m.waitNs);
+}
+template <class Ar> void Visit(Ar& ar, XrdPrepare& m) {
+  ar.Fields(m.reqId, m.paths, m.mode);
+}
+template <class Ar> void Visit(Ar& ar, XrdPrepareResp& m) { ar.Fields(m.reqId, m.err); }
+template <class Ar> void Visit(Ar& ar, CnsList& m) { ar.Fields(m.reqId, m.prefix); }
+template <class Ar> void Visit(Ar& ar, CnsListResp& m) {
+  ar.Fields(m.reqId, m.err, m.names);
+}
+template <class Ar> void Visit(Ar& ar, XrdReadV& m) {
+  ar.Fields(m.reqId, m.fileHandle, m.segments);
+}
+template <class Ar> void Visit(Ar& ar, XrdReadVResp& m) {
+  ar.Fields(m.reqId, m.err, m.chunks);
+}
+template <class Ar> void Visit(Ar& ar, XrdChecksum& m) { ar.Fields(m.reqId, m.path); }
+template <class Ar> void Visit(Ar& ar, XrdChecksumResp& m) {
+  ar.Fields(m.reqId, m.status, m.err, m.redirectNode, m.waitNs, m.crc32);
+}
+
+template <std::size_t I = 0>
+std::optional<Message> DecodeIndex(std::size_t index, Reader& reader) {
+  if constexpr (I >= std::variant_size_v<Message>) {
+    (void)reader;
+    return std::nullopt;
+  } else {
+    if (index == I) {
+      std::variant_alternative_t<I, Message> m{};
+      Visit(reader, m);
+      if (!reader.ok()) return std::nullopt;
+      return Message(std::move(m));
+    }
+    return DecodeIndex<I + 1>(index, reader);
+  }
+}
+
+}  // namespace
+
+std::string Encode(const Message& message) {
+  Writer writer;
+  writer.Put(static_cast<std::uint8_t>(message.index()));
+  std::visit([&writer](const auto& m) { Visit(writer, const_cast<std::decay_t<decltype(m)>&>(m)); },
+             message);
+  return std::move(writer.out);
+}
+
+std::optional<Message> Decode(std::string_view body) {
+  if (body.empty() || body.size() > kMaxFrameBody) return std::nullopt;
+  const auto index = static_cast<std::size_t>(static_cast<unsigned char>(body[0]));
+  Reader reader(body.substr(1));
+  return DecodeIndex(index, reader);
+}
+
+const char* MessageName(const Message& m) {
+  static constexpr const char* kNames[] = {
+      "CmsLogin", "CmsLoginResp", "CmsQuery", "CmsHave", "CmsNoHave", "CmsGone",
+      "CmsLoad", "XrdOpen", "XrdOpenResp", "XrdRead", "XrdReadResp", "XrdWrite",
+      "XrdWriteResp", "XrdClose", "XrdCloseResp", "XrdStat", "XrdStatResp",
+      "XrdUnlink", "XrdUnlinkResp", "XrdPrepare", "XrdPrepareResp", "CnsList",
+      "CnsListResp", "XrdReadV", "XrdReadVResp", "XrdChecksum", "XrdChecksumResp"};
+  static_assert(sizeof(kNames) / sizeof(kNames[0]) == std::variant_size_v<Message>);
+  return kNames[m.index()];
+}
+
+}  // namespace scalla::proto

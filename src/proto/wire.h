@@ -1,0 +1,28 @@
+// Binary wire format for proto::Message, used by the TCP transport. A
+// frame on the wire is:
+//   u32 length (of everything after this field, little-endian)
+//   u8  message type (variant index)
+//   ... payload fields in declaration order
+// Integers are little-endian; strings are u32 length + bytes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "proto/messages.h"
+
+namespace scalla::proto {
+
+/// Serializes a message, WITHOUT the outer length prefix (the transport
+/// adds framing).
+std::string Encode(const Message& message);
+
+/// Parses a frame body produced by Encode. std::nullopt on malformed input
+/// (truncation, unknown type, oversized string).
+std::optional<Message> Decode(std::string_view body);
+
+/// Maximum accepted frame body; protects the decoder from hostile lengths.
+inline constexpr std::size_t kMaxFrameBody = 64 * 1024 * 1024;
+
+}  // namespace scalla::proto

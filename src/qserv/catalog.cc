@@ -1,0 +1,60 @@
+#include "qserv/catalog.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace scalla::qserv {
+
+int ChunkOf(double ra, int nChunks) {
+  while (ra < 0) ra += 360.0;
+  while (ra >= 360.0) ra -= 360.0;
+  const int chunk = static_cast<int>(ra / (360.0 / nChunks));
+  return chunk >= nChunks ? nChunks - 1 : chunk;
+}
+
+std::map<int, std::vector<ObjectRow>> GenerateCatalog(std::size_t nObjects, int nChunks,
+                                                      util::Rng& rng) {
+  std::map<int, std::vector<ObjectRow>> chunks;
+  for (std::size_t i = 0; i < nObjects; ++i) {
+    ObjectRow row;
+    row.objectId = i + 1;
+    row.ra = rng.NextDouble() * 360.0;
+    row.dec = rng.NextDouble() * 180.0 - 90.0;
+    row.mag = 14.0 + rng.NextDouble() * 14.0;
+    chunks[ChunkOf(row.ra, nChunks)].push_back(row);
+  }
+  return chunks;
+}
+
+std::string SerializeRows(const std::vector<ObjectRow>& rows) {
+  std::string out;
+  char line[128];
+  for (const auto& r : rows) {
+    std::snprintf(line, sizeof(line), "%llu %.6f %.6f %.4f\n",
+                  static_cast<unsigned long long>(r.objectId), r.ra, r.dec, r.mag);
+    out += line;
+  }
+  return out;
+}
+
+DirectorIndex BuildDirectorIndex(const std::map<int, std::vector<ObjectRow>>& chunks) {
+  DirectorIndex index;
+  for (const auto& [chunk, rows] : chunks) {
+    for (const auto& row : rows) index.Add(row.objectId, chunk);
+  }
+  return index;
+}
+
+std::vector<ObjectRow> ParseRows(const std::string& text) {
+  std::vector<ObjectRow> rows;
+  std::istringstream in(text);
+  ObjectRow row;
+  unsigned long long id = 0;
+  while (in >> id >> row.ra >> row.dec >> row.mag) {
+    row.objectId = id;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace scalla::qserv

@@ -1,0 +1,58 @@
+// Synthetic astronomical catalog for the Qserv demonstration (paper
+// section IV-B). LSST's real catalog holds billions of objects; here a
+// generator produces objects with (ra, dec, mag) attributes, spatially
+// partitioned into chunks by right-ascension stripe — the shared-nothing
+// partitioning Qserv dispatches against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace scalla::qserv {
+
+struct ObjectRow {
+  std::uint64_t objectId = 0;
+  double ra = 0;   // right ascension, [0, 360)
+  double dec = 0;  // declination, [-90, 90]
+  double mag = 0;  // magnitude, ~[14, 28]
+};
+
+/// Chunk number of a position: RA stripes of width 360/nChunks.
+int ChunkOf(double ra, int nChunks);
+
+/// Generates `nObjects` rows grouped by chunk (chunk -> rows).
+std::map<int, std::vector<ObjectRow>> GenerateCatalog(std::size_t nObjects, int nChunks,
+                                                      util::Rng& rng);
+
+/// Serializes rows to the on-disk text form workers load ("id ra dec mag"
+/// per line) and back — the CSV-ish interchange the demo loader uses.
+std::string SerializeRows(const std::vector<ObjectRow>& rows);
+std::vector<ObjectRow> ParseRows(const std::string& text);
+
+/// Director index: objectId -> chunk. LSST's catalog "support[s] both
+/// quick retrieval (retrieve all facts for a single object) and longer
+/// analysis" (paper section IV-B); the quick path needs to know WHICH
+/// partition holds an object without scanning them all — Qserv calls this
+/// the secondary/director index. Built once at load time.
+class DirectorIndex {
+ public:
+  void Add(std::uint64_t objectId, int chunk) { index_[objectId] = chunk; }
+  /// -1 when the object is unknown.
+  int ChunkOfObject(std::uint64_t objectId) const {
+    const auto it = index_.find(objectId);
+    return it == index_.end() ? -1 : it->second;
+  }
+  std::size_t Size() const { return index_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, int> index_;
+};
+
+/// Builds the director index for a partitioned catalog.
+DirectorIndex BuildDirectorIndex(const std::map<int, std::vector<ObjectRow>>& chunks);
+
+}  // namespace scalla::qserv

@@ -1,0 +1,128 @@
+#include "qserv/master.h"
+
+#include <memory>
+
+namespace scalla::qserv {
+
+struct QservMaster::Pending {
+  Query query;
+  ResultCallback done;
+  int outstanding = 0;
+  QueryResult result;
+
+  void ShardDone(bool ok, const Partial& partial) {
+    if (ok) {
+      result.combined = Combine(result.combined, partial);
+      ++result.chunksOk;
+    } else {
+      ++result.chunksFailed;
+    }
+    if (--outstanding == 0) {
+      result.err = result.chunksFailed == 0 ? proto::XrdErr::kNone : proto::XrdErr::kIo;
+      result.value = Finalize(query, result.combined);
+      done(result);
+    }
+  }
+};
+
+void QservMaster::RunQuery(const std::string& queryText, const std::vector<int>& chunks,
+                           ResultCallback done) {
+  auto pending = std::make_shared<Pending>();
+  const auto parsed = ParseQuery(queryText);
+  if (!parsed.has_value() || chunks.empty()) {
+    QueryResult bad;
+    bad.err = proto::XrdErr::kInvalid;
+    done(bad);
+    return;
+  }
+  pending->query = *parsed;
+  pending->done = std::move(done);
+  pending->outstanding = static_cast<int>(chunks.size());
+  for (const int chunk : chunks) DispatchShard(pending, chunk);
+}
+
+void QservMaster::DispatchRaw(int chunk, const std::string& taskText,
+                              std::function<void(proto::XrdErr, std::string)> done) {
+  const std::uint64_t qid = nextQueryId_++;
+
+  // 1. Open the chunk's task inbox for write: Scalla locates a worker
+  //    hosting this partition — the master configures no worker list.
+  client_.Open(
+      TaskInboxPath(chunk), cms::AccessMode::kWrite, /*create=*/false,
+      [this, chunk, qid, taskText, done](const client::OpenOutcome& open) {
+        if (open.err != proto::XrdErr::kNone) {
+          done(open.err, std::string());
+          return;
+        }
+        // 2. Write the task; the worker executes it inline.
+        const std::string payload = std::to_string(qid) + "\n" + taskText;
+        client_.Write(
+            open.file, 0, payload,
+            [this, chunk, qid, done, file = open.file](proto::XrdErr werr,
+                                                       std::uint32_t) {
+              client_.Close(file, [](proto::XrdErr) {});
+              if (werr != proto::XrdErr::kNone) {
+                done(werr, std::string());
+                return;
+              }
+              // 3. Read the result file back.
+              client_.Open(
+                  ResultPath(chunk, qid), cms::AccessMode::kRead, false,
+                  [this, done](const client::OpenOutcome& ropen) {
+                    if (ropen.err != proto::XrdErr::kNone) {
+                      done(ropen.err, std::string());
+                      return;
+                    }
+                    client_.Read(ropen.file, 0, 1 << 16,
+                                 [this, done, file = ropen.file](proto::XrdErr rerr,
+                                                                 std::string data) {
+                                   client_.Close(file, [](proto::XrdErr) {});
+                                   done(rerr, std::move(data));
+                                 });
+                  });
+            });
+      });
+}
+
+void QservMaster::DispatchShard(std::shared_ptr<Pending> pending, int chunk) {
+  DispatchRaw(chunk, FormatQuery(pending->query),
+              [pending](proto::XrdErr err, std::string data) {
+                if (err != proto::XrdErr::kNone) {
+                  pending->ShardDone(false, Partial{});
+                  return;
+                }
+                const auto partial = ParsePartial(data);
+                pending->ShardDone(partial.has_value(), partial.value_or(Partial{}));
+              });
+}
+
+void QservMaster::GetObject(std::uint64_t objectId, const DirectorIndex& index,
+                            ObjectCallback done) {
+  const int chunk = index.ChunkOfObject(objectId);
+  if (chunk < 0) {
+    done(proto::XrdErr::kNotFound, std::nullopt);
+    return;
+  }
+  Query q;
+  q.agg = Agg::kGet;
+  q.objectId = objectId;
+  DispatchRaw(chunk, FormatQuery(q),
+              [done](proto::XrdErr err, std::string data) {
+                if (err != proto::XrdErr::kNone) {
+                  done(err, std::nullopt);
+                  return;
+                }
+                if (data.rfind("NOTFOUND", 0) == 0 || data.rfind("ERROR", 0) == 0) {
+                  done(proto::XrdErr::kNotFound, std::nullopt);
+                  return;
+                }
+                const auto rows = ParseRows(data);
+                if (rows.size() != 1) {
+                  done(proto::XrdErr::kIo, std::nullopt);
+                  return;
+                }
+                done(proto::XrdErr::kNone, rows[0]);
+              });
+}
+
+}  // namespace scalla::qserv

@@ -1,0 +1,65 @@
+// Qserv master: shards an aggregate query across chunks, dispatching each
+// shard by opening the chunk's task inbox *by path* — Scalla's data->host
+// mapping finds a worker hosting that partition; the master holds no
+// worker list and "there is no configuration for the number of nodes in
+// the cluster" (paper section IV-B). Partial results come back the same
+// way, as files.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/scalla_client.h"
+#include "qserv/query.h"
+#include "qserv/worker.h"
+
+namespace scalla::qserv {
+
+struct QueryResult {
+  proto::XrdErr err = proto::XrdErr::kNone;
+  double value = 0;            // finalized aggregate
+  Partial combined;            // the folded partials
+  int chunksOk = 0;
+  int chunksFailed = 0;
+};
+
+class QservMaster {
+ public:
+  /// `client` must outlive the master; all dispatch I/O flows through it
+  /// (and therefore through the Scalla cluster it points at).
+  explicit QservMaster(client::ScallaClient& client) : client_(client) {}
+
+  using ResultCallback = std::function<void(const QueryResult&)>;
+
+  /// Runs `queryText` over `chunks`, fanning all shards out concurrently;
+  /// `done` fires once every shard finished (or failed).
+  void RunQuery(const std::string& queryText, const std::vector<int>& chunks,
+                ResultCallback done);
+
+  using ObjectCallback =
+      std::function<void(proto::XrdErr, std::optional<ObjectRow>)>;
+
+  /// Quick retrieval (paper section IV-B): fetch one object's record. The
+  /// director index names the single chunk to visit; Scalla's path
+  /// mapping names the worker — one shard dispatch instead of a scan.
+  void GetObject(std::uint64_t objectId, const DirectorIndex& index,
+                 ObjectCallback done);
+
+ private:
+  struct Shard;   // one chunk's dispatch state machine
+  struct Pending; // one query's aggregation state
+
+  void DispatchShard(std::shared_ptr<Pending> pending, int chunk);
+  /// Shared open-write-open-read cycle: runs `taskText` on `chunk` and
+  /// hands the raw result text to `done` (empty + error on failure).
+  void DispatchRaw(int chunk, const std::string& taskText,
+                   std::function<void(proto::XrdErr, std::string)> done);
+
+  client::ScallaClient& client_;
+  std::uint64_t nextQueryId_ = 1;
+};
+
+}  // namespace scalla::qserv

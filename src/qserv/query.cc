@@ -1,0 +1,198 @@
+#include "qserv/query.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace scalla::qserv {
+namespace {
+
+std::optional<Field> FieldOf(const std::string& token) {
+  if (token == "ra") return Field::kRa;
+  if (token == "dec") return Field::kDec;
+  if (token == "mag") return Field::kMag;
+  if (token == "id") return Field::kId;
+  return std::nullopt;
+}
+
+const char* FieldName(Field f) {
+  switch (f) {
+    case Field::kRa: return "ra";
+    case Field::kDec: return "dec";
+    case Field::kMag: return "mag";
+    case Field::kId: return "id";
+  }
+  return "?";
+}
+
+double ValueOf(const ObjectRow& row, Field f) {
+  switch (f) {
+    case Field::kRa: return row.ra;
+    case Field::kDec: return row.dec;
+    case Field::kMag: return row.mag;
+    case Field::kId: return static_cast<double>(row.objectId);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::optional<Query> ParseQuery(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string token;
+  Query q;
+  if (!(in >> token)) {
+    if (error) *error = "empty query";
+    return std::nullopt;
+  }
+  if (token == "COUNT") {
+    q.agg = Agg::kCount;
+  } else if (token == "GET") {
+    q.agg = Agg::kGet;
+    unsigned long long id = 0;
+    if (!(in >> id) || id == 0) {
+      if (error) *error = "GET needs a positive object id";
+      return std::nullopt;
+    }
+    q.objectId = id;
+    std::string extra;
+    if (in >> extra) {
+      if (error) *error = "GET takes no further clauses";
+      return std::nullopt;
+    }
+    return q;
+  } else if (token == "SUM" || token == "MIN" || token == "MAX" || token == "AVG") {
+    q.agg = token == "SUM" ? Agg::kSum
+            : token == "MIN" ? Agg::kMin
+            : token == "MAX" ? Agg::kMax
+                             : Agg::kAvg;
+    std::string fieldTok;
+    if (!(in >> fieldTok)) {
+      if (error) *error = token + " needs a field";
+      return std::nullopt;
+    }
+    const auto field = FieldOf(fieldTok);
+    if (!field) {
+      if (error) *error = "unknown field: " + fieldTok;
+      return std::nullopt;
+    }
+    q.field = *field;
+  } else {
+    if (error) *error = "unknown aggregate: " + token;
+    return std::nullopt;
+  }
+
+  if (in >> token) {
+    if (token != "WHERE") {
+      if (error) *error = "expected WHERE, got " + token;
+      return std::nullopt;
+    }
+    std::string fieldTok, betweenTok, andTok;
+    if (!(in >> fieldTok >> betweenTok >> q.lo >> andTok >> q.hi) ||
+        betweenTok != "BETWEEN" || andTok != "AND") {
+      if (error) *error = "malformed WHERE clause";
+      return std::nullopt;
+    }
+    const auto field = FieldOf(fieldTok);
+    if (!field) {
+      if (error) *error = "unknown field: " + fieldTok;
+      return std::nullopt;
+    }
+    q.hasWhere = true;
+    q.whereField = *field;
+  }
+  return q;
+}
+
+std::string FormatQuery(const Query& q) {
+  std::string out;
+  switch (q.agg) {
+    case Agg::kCount: out = "COUNT"; break;
+    case Agg::kSum: out = std::string("SUM ") + FieldName(q.field); break;
+    case Agg::kMin: out = std::string("MIN ") + FieldName(q.field); break;
+    case Agg::kMax: out = std::string("MAX ") + FieldName(q.field); break;
+    case Agg::kAvg: out = std::string("AVG ") + FieldName(q.field); break;
+    case Agg::kGet: return "GET " + std::to_string(q.objectId);
+  }
+  if (q.hasWhere) {
+    char where[96];
+    std::snprintf(where, sizeof(where), " WHERE %s BETWEEN %.6f AND %.6f",
+                  FieldName(q.whereField), q.lo, q.hi);
+    out += where;
+  }
+  return out;
+}
+
+Partial ExecuteOnRows(const Query& q, const std::vector<ObjectRow>& rows) {
+  Partial p;
+  if (q.agg == Agg::kGet) {
+    // Point retrieval: the "value" of a hit is its row; the partial only
+    // carries found/not-found — callers use FindRow for the full record.
+    for (const auto& row : rows) {
+      if (row.objectId == q.objectId) {
+        p.count = 1;
+        p.sum = p.min = p.max = static_cast<double>(row.objectId);
+        break;
+      }
+    }
+    return p;
+  }
+  for (const auto& row : rows) {
+    if (q.hasWhere) {
+      const double v = ValueOf(row, q.whereField);
+      if (v < q.lo || v > q.hi) continue;
+    }
+    const double v = ValueOf(row, q.field);
+    if (p.count == 0) {
+      p.min = v;
+      p.max = v;
+    } else {
+      p.min = std::min(p.min, v);
+      p.max = std::max(p.max, v);
+    }
+    p.sum += v;
+    ++p.count;
+  }
+  return p;
+}
+
+Partial Combine(const Partial& a, const Partial& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  Partial out;
+  out.sum = a.sum + b.sum;
+  out.count = a.count + b.count;
+  out.min = std::min(a.min, b.min);
+  out.max = std::max(a.max, b.max);
+  return out;
+}
+
+double Finalize(const Query& q, const Partial& p) {
+  switch (q.agg) {
+    case Agg::kCount: return static_cast<double>(p.count);
+    case Agg::kSum: return p.sum;
+    case Agg::kMin: return p.count == 0 ? 0 : p.min;
+    case Agg::kMax: return p.count == 0 ? 0 : p.max;
+    case Agg::kAvg: return p.count == 0 ? 0 : p.sum / static_cast<double>(p.count);
+    case Agg::kGet: return static_cast<double>(p.count);  // found flag
+  }
+  return 0;
+}
+
+std::string SerializePartial(const Partial& p) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.10g %llu %.10g %.10g", p.sum,
+                static_cast<unsigned long long>(p.count), p.min, p.max);
+  return buf;
+}
+
+std::optional<Partial> ParsePartial(const std::string& text) {
+  Partial p;
+  unsigned long long count = 0;
+  std::istringstream in(text);
+  if (!(in >> p.sum >> count >> p.min >> p.max)) return std::nullopt;
+  p.count = count;
+  return p;
+}
+
+}  // namespace scalla::qserv

@@ -1,0 +1,58 @@
+// Minimal aggregate query language for the Qserv demonstration. The paper
+// uses MySQL as the per-node engine; the queries Qserv shards are
+// partition-local scans whose partials a master combines, which this
+// grammar captures:
+//
+//   COUNT | SUM <field> | MIN <field> | MAX <field> | AVG <field>
+//     [ WHERE <field> BETWEEN <lo> AND <hi> ]
+//   GET <objectId>
+//
+// with <field> in {ra, dec, mag, id}. Workers return a partial
+// "<sum> <count> <min> <max>" for aggregates; GET returns the row itself
+// and supports the paper's "quick retrieval (retrieve all facts for a
+// single object)" access mode — the master routes it to exactly one
+// chunk via the director index.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "qserv/catalog.h"
+
+namespace scalla::qserv {
+
+enum class Agg { kCount, kSum, kMin, kMax, kAvg, kGet };
+enum class Field { kRa, kDec, kMag, kId };
+
+struct Query {
+  Agg agg = Agg::kCount;
+  Field field = Field::kMag;
+  bool hasWhere = false;
+  Field whereField = Field::kRa;
+  double lo = 0;
+  double hi = 0;
+  std::uint64_t objectId = 0;  // kGet only
+};
+
+/// Parses the grammar above; std::nullopt with *error set on bad input.
+std::optional<Query> ParseQuery(const std::string& text, std::string* error = nullptr);
+
+std::string FormatQuery(const Query& q);
+
+/// Partial aggregate, combinable across chunks.
+struct Partial {
+  double sum = 0;
+  std::uint64_t count = 0;
+  double min = 0;
+  double max = 0;  // min/max meaningful only when count > 0
+};
+
+Partial ExecuteOnRows(const Query& q, const std::vector<ObjectRow>& rows);
+Partial Combine(const Partial& a, const Partial& b);
+/// The final scalar the user asked for (0 for empty COUNT-like results).
+double Finalize(const Query& q, const Partial& p);
+
+std::string SerializePartial(const Partial& p);
+std::optional<Partial> ParsePartial(const std::string& text);
+
+}  // namespace scalla::qserv

@@ -1,0 +1,85 @@
+#include "qserv/worker.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scalla::qserv {
+
+std::string ChunkPrefix(int chunk) { return "/qserv/chunk" + std::to_string(chunk); }
+std::string TaskInboxPath(int chunk) { return ChunkPrefix(chunk) + "/task"; }
+std::string ResultPath(int chunk, std::uint64_t qid) {
+  return ChunkPrefix(chunk) + "/r/" + std::to_string(qid);
+}
+
+std::string QservOss::HostChunk(int chunk, std::vector<ObjectRow> rows) {
+  const std::string prefix = ChunkPrefix(chunk);
+  Put(prefix + "/data", SerializeRows(rows));
+  Put(TaskInboxPath(chunk), std::string());
+  {
+    std::lock_guard lock(mu_);
+    chunks_[chunk] = std::move(rows);
+  }
+  return prefix;
+}
+
+std::vector<std::string> QservOss::Exports() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(chunks_.size());
+  for (const auto& [chunk, _] : chunks_) out.push_back(ChunkPrefix(chunk));
+  return out;
+}
+
+proto::XrdErr QservOss::Write(const std::string& path, std::uint64_t offset,
+                              std::string_view data) {
+  const proto::XrdErr err = MemOss::Write(path, offset, data);
+  if (err != proto::XrdErr::kNone) return err;
+
+  // Task submission? Path shape: /qserv/chunk<N>/task
+  constexpr std::string_view kPrefix = "/qserv/chunk";
+  if (path.compare(0, kPrefix.size(), kPrefix) != 0) return err;
+  const std::size_t slash = path.find('/', kPrefix.size());
+  if (slash == std::string::npos || path.substr(slash) != "/task") return err;
+  const int chunk = std::atoi(path.c_str() + kPrefix.size());
+
+  // Payload: "<qid>\n<query text>".
+  const std::string payload(data);
+  const std::size_t newline = payload.find('\n');
+  if (newline == std::string::npos) return err;
+  const std::uint64_t qid = std::strtoull(payload.c_str(), nullptr, 10);
+  const auto query = ParseQuery(payload.substr(newline + 1));
+  if (!query.has_value()) {
+    Put(ResultPath(chunk, qid), "ERROR bad query");
+    return err;
+  }
+
+  std::vector<ObjectRow>* rows = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = chunks_.find(chunk);
+    if (it != chunks_.end()) rows = &it->second;
+  }
+  if (rows == nullptr) {
+    Put(ResultPath(chunk, qid), "ERROR no such chunk");
+    return err;
+  }
+  if (query->agg == Agg::kGet) {
+    // Point retrieval: return the full record (or NOTFOUND).
+    std::string result = "NOTFOUND";
+    for (const auto& row : *rows) {
+      if (row.objectId == query->objectId) {
+        result = SerializeRows({row});
+        break;
+      }
+    }
+    Put(ResultPath(chunk, qid), std::move(result));
+    ++tasksExecuted_;
+    return err;
+  }
+  const Partial partial = ExecuteOnRows(*query, *rows);
+  Put(ResultPath(chunk, qid), SerializePartial(partial));
+  ++tasksExecuted_;
+  return err;
+}
+
+}  // namespace scalla::qserv

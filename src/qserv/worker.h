@@ -1,0 +1,51 @@
+// Qserv worker storage: an oss backend that doubles as a task executor.
+// "Qserv masters communicate with workers by opening, reading, writing,
+// and closing files in Scalla. Workers ... report their data availability
+// by publishing or exporting paths that include a partition number"
+// (paper section IV-B). Concretely:
+//   - the worker exports /qserv/chunk<N> for each chunk it hosts and seeds
+//     a task inbox file /qserv/chunk<N>/task;
+//   - a master write of "<qid>\n<query>" to the inbox is intercepted here,
+//     the query runs against the chunk's rows, and the partial result
+//     materializes at /qserv/chunk<N>/r/<qid> for the master to read.
+// The worker never knows the cluster size or the master's identity — all
+// rendezvous flows through Scalla's data->host mapping.
+#pragma once
+
+#include <map>
+
+#include "oss/mem_oss.h"
+#include "qserv/query.h"
+
+namespace scalla::qserv {
+
+class QservOss final : public oss::MemOss {
+ public:
+  explicit QservOss(util::Clock& clock) : MemOss(clock) {}
+
+  /// Hosts `rows` as chunk `chunk`: stores the data file and the task
+  /// inbox. Returns the export prefix ("/qserv/chunk<N>") the owning node
+  /// must publish.
+  std::string HostChunk(int chunk, std::vector<ObjectRow> rows);
+
+  /// Export prefixes for every hosted chunk.
+  std::vector<std::string> Exports() const;
+
+  proto::XrdErr Write(const std::string& path, std::uint64_t offset,
+                      std::string_view data) override;
+
+  std::size_t TasksExecuted() const { return tasksExecuted_; }
+
+ private:
+  std::map<int, std::vector<ObjectRow>> chunks_;
+  std::size_t tasksExecuted_ = 0;
+};
+
+/// "/qserv/chunk<N>" for chunk N.
+std::string ChunkPrefix(int chunk);
+/// "/qserv/chunk<N>/task".
+std::string TaskInboxPath(int chunk);
+/// "/qserv/chunk<N>/r/<qid>".
+std::string ResultPath(int chunk, std::uint64_t qid);
+
+}  // namespace scalla::qserv

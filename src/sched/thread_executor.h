@@ -1,0 +1,60 @@
+// Single-threaded real-time executor: one dispatch thread drains posted
+// tasks and due timers in order. Each node in a threaded (TCP) cluster owns
+// one ThreadExecutor, giving the node's logic serialized execution — the
+// actor-style equivalent of the paper's "avoid locks whenever possible".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "sched/executor.h"
+
+namespace scalla::sched {
+
+class ThreadExecutor final : public Executor {
+ public:
+  ThreadExecutor();
+  ~ThreadExecutor() override;
+
+  ThreadExecutor(const ThreadExecutor&) = delete;
+  ThreadExecutor& operator=(const ThreadExecutor&) = delete;
+
+  void Post(Task task) override;
+  TimerId RunAfter(Duration delay, Task task) override;
+  TimerId RunEvery(Duration period, Task task) override;
+  bool Cancel(TimerId id) override;
+  util::Clock& clock() override { return clock_; }
+
+  /// Requests shutdown and joins the dispatch thread. Pending tasks are
+  /// dropped; running task completes. Idempotent.
+  void Stop();
+
+  /// True when called from the dispatch thread (for assertions).
+  bool InDispatchThread() const;
+
+ private:
+  struct Timer {
+    TimerId id;
+    TimePoint due;
+    Duration period;  // zero => one-shot
+    Task task;
+  };
+
+  void Run();
+  TimerId AddTimer(Duration delay, Duration period, Task task);
+
+  util::SystemClock clock_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  std::multimap<TimePoint, Timer> timers_;
+  std::uint64_t nextTimerId_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace scalla::sched

@@ -1,0 +1,272 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scalla::sim {
+
+SimCluster::SimCluster(const ClusterSpec& spec)
+    : spec_(spec), fabric_(engine_, spec.latency) {
+  assert(spec_.servers >= 1);
+  assert(spec_.managers >= 1);
+  assert(spec_.fanout >= 2 && spec_.fanout <= kMaxServersPerSet);
+
+  if (spec_.withCnsd) {
+    cnsAddr_ = NextAddr();
+    cns_ = std::make_unique<cnsd::CnsDaemon>(cnsAddr_, fabric_);
+    fabric_.Register(cnsAddr_, cns_.get());
+  }
+
+  // The logical head: one manager, or several redundant ones that every
+  // top-level subordinate logs into.
+  std::vector<net::NodeAddr> heads;
+  for (int m = 0; m < spec_.managers; ++m) {
+    xrd::NodeConfig cfg;
+    cfg.role = xrd::NodeRole::kManager;
+    cfg.name = "manager" + std::to_string(m);
+    cfg.addr = NextAddr();
+    cfg.exports = spec_.exports;
+    cfg.cms = spec_.cms;
+    cfg.selection = spec_.selection;
+    cfg.alwaysRespond = spec_.alwaysRespond;
+    auto node = std::make_unique<xrd::ScallaNode>(cfg, engine_, fabric_, nullptr);
+    fabric_.Register(cfg.addr, node.get());
+    heads.push_back(cfg.addr);
+    managers_.push_back(std::move(node));
+  }
+
+  int maxChildDepth = 0;
+  BuildChildren(heads, spec_.servers, /*level=*/1, &maxChildDepth);
+  depth_ = maxChildDepth + 1;
+}
+
+SimCluster::~SimCluster() {
+  // Nodes hold timers on the engine; stop them before members tear down.
+  for (auto& m : managers_) m->Stop();
+  for (auto& s : supervisors_) s->Stop();
+  for (auto& l : leaves_) l->Stop();
+}
+
+void SimCluster::BuildChildren(const std::vector<net::NodeAddr>& parents, int nServers,
+                               int level, int* maxChildDepth) {
+  // Split the servers across at most `fanout` children. A child with one
+  // server is a leaf; a larger share becomes a supervisor subtree.
+  int remaining = nServers;
+  const int children = std::min(spec_.fanout, nServers);
+  for (int c = 0; c < children; ++c) {
+    const int share =
+        remaining / (children - c) + (remaining % (children - c) != 0 ? 1 : 0);
+    const BuildResult child = BuildSubtree(parents, share, level);
+    *maxChildDepth = std::max(*maxChildDepth, child.depth);
+    remaining -= share;
+  }
+}
+
+SimCluster::BuildResult SimCluster::BuildSubtree(const std::vector<net::NodeAddr>& parents,
+                                                 int nServers, int level) {
+  const net::NodeAddr addr = NextAddr();
+  xrd::NodeConfig cfg;
+  cfg.addr = addr;
+  cfg.parent = parents.front();
+  cfg.extraParents.assign(parents.begin() + 1, parents.end());
+  cfg.exports = spec_.exports;
+  cfg.cms = spec_.cms;
+  cfg.selection = spec_.selection;
+  cfg.alwaysRespond = spec_.alwaysRespond;
+
+  if (nServers == 1) {
+    const std::size_t idx = leaves_.size();
+    auto storage = spec_.withMss
+                       ? std::make_unique<oss::MssOss>(engine_.clock(), spec_.mss)
+                       : std::make_unique<oss::MemOss>(engine_.clock());
+    cfg.role = xrd::NodeRole::kServer;
+    cfg.name = "server" + std::to_string(idx);
+    cfg.cnsd = cnsAddr_;  // leaves publish namespace events (0 = none)
+    auto node = std::make_unique<xrd::ScallaNode>(cfg, engine_, fabric_, storage.get());
+    fabric_.Register(addr, node.get());
+    leaves_.push_back(std::move(node));
+    storages_.push_back(std::move(storage));
+    return BuildResult{addr, 0};
+  }
+
+  cfg.role = xrd::NodeRole::kSupervisor;
+  cfg.name = "sup" + std::to_string(supervisorSeq_++);
+  auto node = std::make_unique<xrd::ScallaNode>(cfg, engine_, fabric_, nullptr);
+  fabric_.Register(addr, node.get());
+  supervisors_.push_back(std::move(node));
+
+  int maxChildDepth = 0;
+  BuildChildren({addr}, nServers, level + 1, &maxChildDepth);
+  return BuildResult{addr, maxChildDepth + 1};
+}
+
+void SimCluster::Start() {
+  for (auto& m : managers_) m->Start();
+  for (auto& s : supervisors_) s->Start();
+  for (auto& l : leaves_) l->Start();
+  engine_.RunUntilIdle();  // logins settle
+}
+
+oss::MssOss* SimCluster::mssStorage(std::size_t i) {
+  return spec_.withMss ? static_cast<oss::MssOss*>(storages_[i].get()) : nullptr;
+}
+
+std::pair<proto::XrdErr, std::vector<std::string>> SimCluster::ListAndWait(
+    client::ScallaClient& c, const std::string& prefix) {
+  // Callbacks that outlive a timed-out wait land in shared storage, never
+  // in dead stack slots (same pattern in every AndWait helper below).
+  auto result =
+      std::make_shared<std::optional<std::pair<proto::XrdErr, std::vector<std::string>>>>();
+  c.List(prefix, [result](proto::XrdErr err, std::vector<std::string> names) {
+    *result = std::make_pair(err, std::move(names));
+  });
+  engine_.RunUntilPredicate([result] { return result->has_value(); },
+                            engine_.Now() + std::chrono::seconds(30));
+  return result->value_or(
+      std::make_pair(proto::XrdErr::kIo, std::vector<std::string>()));
+}
+
+client::ScallaClient& SimCluster::NewClient() {
+  client::ClientConfig cfg;
+  cfg.addr = NextAddr();
+  cfg.head = managers_[0]->config().addr;
+  cfg.cnsd = cnsAddr_;
+  for (std::size_t m = 1; m < managers_.size(); ++m) {
+    cfg.extraHeads.push_back(managers_[m]->config().addr);
+  }
+  auto c = std::make_unique<client::ScallaClient>(cfg, engine_, fabric_);
+  fabric_.Register(cfg.addr, c.get());
+  clients_.push_back(std::move(c));
+  return *clients_.back();
+}
+
+void SimCluster::PlaceFile(std::size_t i, const std::string& path, std::string data) {
+  storages_[i]->Put(path, std::move(data));
+}
+
+client::OpenOutcome SimCluster::OpenAndWait(client::ScallaClient& c,
+                                            const std::string& path, cms::AccessMode mode,
+                                            bool create, Duration timeout) {
+  auto result = std::make_shared<std::optional<client::OpenOutcome>>();
+  c.Open(path, mode, create,
+         [result](const client::OpenOutcome& o) { *result = o; });
+  engine_.RunUntilPredicate([result] { return result->has_value(); },
+                            engine_.Now() + timeout);
+  if (!result->has_value()) {
+    client::OpenOutcome timedOut;
+    timedOut.err = proto::XrdErr::kIo;
+    return timedOut;
+  }
+  return **result;
+}
+
+std::pair<proto::XrdErr, std::string> SimCluster::ReadAll(client::ScallaClient& c,
+                                                          const std::string& path) {
+  const auto open = OpenAndWait(c, path, cms::AccessMode::kRead, false);
+  if (open.err != proto::XrdErr::kNone) return {open.err, std::string()};
+  std::string all;
+  std::uint64_t offset = 0;
+  for (;;) {
+    auto result = std::make_shared<std::optional<std::pair<proto::XrdErr, std::string>>>();
+    c.Read(open.file, offset, 1 << 16, [result](proto::XrdErr err, std::string data) {
+      *result = std::make_pair(err, std::move(data));
+    });
+    engine_.RunUntilPredicate([result] { return result->has_value(); },
+                              engine_.Now() + std::chrono::seconds(30));
+    if (!result->has_value()) return {proto::XrdErr::kIo, std::string()};
+    if ((*result)->first != proto::XrdErr::kNone) {
+      return {(*result)->first, std::string()};
+    }
+    if ((*result)->second.empty()) break;
+    offset += (*result)->second.size();
+    all += std::move((*result)->second);
+  }
+  auto closed = std::make_shared<std::optional<proto::XrdErr>>();
+  c.Close(open.file, [closed](proto::XrdErr err) { *closed = err; });
+  engine_.RunUntilPredicate([closed] { return closed->has_value(); },
+                            engine_.Now() + std::chrono::seconds(30));
+  return {proto::XrdErr::kNone, std::move(all)};
+}
+
+proto::XrdErr SimCluster::PutFile(client::ScallaClient& c, const std::string& path,
+                                  std::string data) {
+  const auto open = OpenAndWait(c, path, cms::AccessMode::kWrite, /*create=*/true);
+  if (open.err != proto::XrdErr::kNone) return open.err;
+  auto werr = std::make_shared<std::optional<proto::XrdErr>>();
+  c.Write(open.file, 0, std::move(data),
+          [werr](proto::XrdErr err, std::uint32_t) { *werr = err; });
+  engine_.RunUntilPredicate([werr] { return werr->has_value(); },
+                            engine_.Now() + std::chrono::seconds(30));
+  auto cerr = std::make_shared<std::optional<proto::XrdErr>>();
+  c.Close(open.file, [cerr](proto::XrdErr err) { *cerr = err; });
+  engine_.RunUntilPredicate([cerr] { return cerr->has_value(); },
+                            engine_.Now() + std::chrono::seconds(30));
+  if (!werr->has_value() || **werr != proto::XrdErr::kNone) {
+    return werr->value_or(proto::XrdErr::kIo);
+  }
+  return cerr->value_or(proto::XrdErr::kIo);
+}
+
+proto::XrdErr SimCluster::UnlinkAndWait(client::ScallaClient& c, const std::string& path) {
+  auto result = std::make_shared<std::optional<proto::XrdErr>>();
+  c.Unlink(path, [result](proto::XrdErr err) { *result = err; });
+  engine_.RunUntilPredicate([result] { return result->has_value(); },
+                            engine_.Now() + std::chrono::seconds(60));
+  return result->value_or(proto::XrdErr::kIo);
+}
+
+proto::XrdErr SimCluster::PrepareAndWait(client::ScallaClient& c,
+                                         const std::vector<std::string>& paths,
+                                         cms::AccessMode mode) {
+  auto result = std::make_shared<std::optional<proto::XrdErr>>();
+  c.Prepare(paths, mode, [result](proto::XrdErr err) { *result = err; });
+  engine_.RunUntilPredicate([result] { return result->has_value(); },
+                            engine_.Now() + std::chrono::seconds(60));
+  return result->value_or(proto::XrdErr::kIo);
+}
+
+xrd::ScallaNode* SimCluster::FindNode(net::NodeAddr addr) {
+  for (auto& m : managers_) {
+    if (m->config().addr == addr) return m.get();
+  }
+  for (auto& s : supervisors_) {
+    if (s->config().addr == addr) return s.get();
+  }
+  for (auto& l : leaves_) {
+    if (l->config().addr == addr) return l.get();
+  }
+  return nullptr;
+}
+
+void SimCluster::CrashServer(std::size_t i) {
+  fabric_.SetDown(leaves_[i]->config().addr, true);
+  // Every parent discovers the loss when it next touches the peer;
+  // surface it immediately the way a broken TCP connection would.
+  const net::NodeAddr addr = leaves_[i]->config().addr;
+  std::vector<net::NodeAddr> parents = leaves_[i]->Parents();
+  engine_.Post([this, parents, addr] {
+    for (const net::NodeAddr parent : parents) {
+      if (xrd::ScallaNode* p = FindNode(parent)) p->OnPeerDown(addr);
+    }
+  });
+}
+
+void SimCluster::CrashManager(std::size_t i) {
+  const net::NodeAddr addr = managers_[i]->config().addr;
+  fabric_.SetDown(addr, true);
+  // Clients and subordinates learn on their next send (the fabric calls
+  // their OnPeerDown), mirroring TCP connection failure.
+}
+
+void SimCluster::RestoreManager(std::size_t i) {
+  fabric_.SetDown(managers_[i]->config().addr, false);
+}
+
+void SimCluster::RestartServer(std::size_t i) {
+  fabric_.SetDown(leaves_[i]->config().addr, false);
+  // The node's login retry timer re-announces it; nudge immediately.
+  leaves_[i]->Stop();
+  leaves_[i]->Start();
+}
+
+}  // namespace scalla::sim

@@ -1,0 +1,125 @@
+// Cluster harness: builds a complete Scalla deployment — 64-ary tree of
+// manager / supervisors / servers (Figure 1), per-leaf storage, clients —
+// inside one discrete-event simulation, and provides synchronous driving
+// helpers for tests, benchmarks and examples.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/scalla_client.h"
+#include "cnsd/cns_daemon.h"
+#include "oss/mem_oss.h"
+#include "oss/mss_oss.h"
+#include "sim/event_engine.h"
+#include "sim/sim_fabric.h"
+#include "xrd/scalla_node.h"
+
+namespace scalla::sim {
+
+struct ClusterSpec {
+  int servers = 4;   // leaf data servers
+  int managers = 1;  // redundant logical heads ("which can be one of many")
+  int fanout = kMaxServersPerSet;  // children per head (64 in the paper)
+  std::vector<std::string> exports{"/store"};
+  cms::CmsConfig cms;
+  LatencyModel latency;
+  cms::SelectCriterion selection = cms::SelectCriterion::kRoundRobin;
+  bool alwaysRespond = false;  // E06 baseline protocol
+  bool withMss = false;        // leaves get a staging-capable backend
+  oss::MssConfig mss;
+  bool withCnsd = false;       // run a Cluster Name Space daemon
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(const ClusterSpec& spec);
+  ~SimCluster();
+
+  /// Starts every node and settles logins (virtual time advances a hair).
+  void Start();
+
+  EventEngine& engine() { return engine_; }
+  SimFabric& fabric() { return fabric_; }
+  xrd::ScallaNode& head() { return *managers_[0]; }
+  std::size_t ManagerCount() const { return managers_.size(); }
+  xrd::ScallaNode& manager(std::size_t i) { return *managers_[i]; }
+  /// Crashes / restores a redundant manager (head failover testing).
+  void CrashManager(std::size_t i);
+  void RestoreManager(std::size_t i);
+
+  std::size_t ServerCount() const { return leaves_.size(); }
+  xrd::ScallaNode& server(std::size_t i) { return *leaves_[i]; }
+  oss::MemOss& storage(std::size_t i) { return *storages_[i]; }
+  oss::MssOss* mssStorage(std::size_t i);
+  std::size_t SupervisorCount() const { return supervisors_.size(); }
+  xrd::ScallaNode& supervisor(std::size_t i) { return *supervisors_[i]; }
+
+  /// Tree depth in redirection hops from the head to a leaf (1 when the
+  /// manager's children are the servers).
+  int Depth() const { return depth_; }
+
+  /// Creates a client endpoint attached to the head.
+  client::ScallaClient& NewClient();
+
+  /// The namespace daemon (spec.withCnsd), or nullptr.
+  cnsd::CnsDaemon* cns() { return cns_.get(); }
+  /// Drives a client List through the cnsd to completion.
+  std::pair<proto::XrdErr, std::vector<std::string>> ListAndWait(
+      client::ScallaClient& c, const std::string& prefix);
+
+  /// Seeds `path` with `data` on leaf `i` (bypassing the protocol, like
+  /// files pre-placed by a transfer system).
+  void PlaceFile(std::size_t i, const std::string& path, std::string data);
+
+  // ---- synchronous driving helpers (run the engine until completion) ----
+  client::OpenOutcome OpenAndWait(client::ScallaClient& c, const std::string& path,
+                                  cms::AccessMode mode, bool create,
+                                  Duration timeout = std::chrono::seconds(120));
+  std::pair<proto::XrdErr, std::string> ReadAll(client::ScallaClient& c,
+                                                const std::string& path);
+  proto::XrdErr PutFile(client::ScallaClient& c, const std::string& path,
+                        std::string data);
+  proto::XrdErr UnlinkAndWait(client::ScallaClient& c, const std::string& path);
+  proto::XrdErr PrepareAndWait(client::ScallaClient& c,
+                               const std::vector<std::string>& paths,
+                               cms::AccessMode mode);
+
+  /// Crashes leaf `i`: drops it from the fabric so peers see it down.
+  void CrashServer(std::size_t i);
+  /// Restarts leaf `i` (it re-logs-in; run the engine to settle).
+  void RestartServer(std::size_t i);
+
+  const ClusterSpec& spec() const { return spec_; }
+
+ private:
+  struct BuildResult {
+    net::NodeAddr addr = 0;
+    int depth = 0;
+  };
+  BuildResult BuildSubtree(const std::vector<net::NodeAddr>& parents, int nServers,
+                           int level);
+  void BuildChildren(const std::vector<net::NodeAddr>& parents, int nServers, int level,
+                     int* maxChildDepth);
+  net::NodeAddr NextAddr() { return nextAddr_++; }
+  xrd::ScallaNode* FindNode(net::NodeAddr addr);
+
+  ClusterSpec spec_;
+  EventEngine engine_;
+  SimFabric fabric_;
+  net::NodeAddr nextAddr_ = 1;
+  int depth_ = 0;
+  int supervisorSeq_ = 0;
+
+  std::unique_ptr<cnsd::CnsDaemon> cns_;
+  net::NodeAddr cnsAddr_ = 0;
+  std::vector<std::unique_ptr<xrd::ScallaNode>> managers_;
+  std::vector<std::unique_ptr<xrd::ScallaNode>> supervisors_;
+  std::vector<std::unique_ptr<xrd::ScallaNode>> leaves_;
+  std::vector<std::unique_ptr<oss::MemOss>> storages_;
+  std::vector<std::unique_ptr<client::ScallaClient>> clients_;
+};
+
+}  // namespace scalla::sim

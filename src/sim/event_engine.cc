@@ -1,0 +1,77 @@
+#include "sim/event_engine.h"
+
+#include <utility>
+
+namespace scalla::sim {
+
+void EventEngine::Post(sched::Task task) { ScheduleAt(clock_.Now(), std::move(task)); }
+
+void EventEngine::ScheduleAt(TimePoint at, sched::Task task) {
+  if (at < clock_.Now()) at = clock_.Now();
+  events_.emplace(at, Event{0, Duration::zero(), std::move(task)});
+  ++nonPeriodic_;
+}
+
+sched::TimerId EventEngine::RunAfter(Duration delay, sched::Task task) {
+  const sched::TimerId id = nextTimerId_++;
+  events_.emplace(clock_.Now() + delay, Event{id, Duration::zero(), std::move(task)});
+  ++nonPeriodic_;
+  return id;
+}
+
+sched::TimerId EventEngine::RunEvery(Duration period, sched::Task task) {
+  const sched::TimerId id = nextTimerId_++;
+  events_.emplace(clock_.Now() + period, Event{id, period, std::move(task)});
+  return id;
+}
+
+bool EventEngine::Cancel(sched::TimerId id) {
+  if (id == sched::kInvalidTimer) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventEngine::RunOne() {
+  while (!events_.empty()) {
+    auto node = events_.extract(events_.begin());
+    Event ev = std::move(node.mapped());
+    const TimePoint due = node.key();
+    if (ev.period == Duration::zero()) --nonPeriodic_;
+    if (ev.id != 0 && cancelled_.erase(ev.id) > 0) continue;  // lazily dropped
+    clock_.Set(due);
+    if (ev.period > Duration::zero()) {
+      // Re-arm before running so the task can Cancel itself.
+      events_.emplace(due + ev.period, Event{ev.id, ev.period, ev.task});
+    }
+    ev.task();
+    ++processed_;
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventEngine::RunUntilIdle() {
+  std::size_t n = 0;
+  while (nonPeriodic_ > 0 && RunOne()) ++n;
+  return n;
+}
+
+std::size_t EventEngine::RunUntil(TimePoint deadline) {
+  std::size_t n = 0;
+  while (!events_.empty() && events_.begin()->first <= deadline && RunOne()) ++n;
+  if (clock_.Now() < deadline) clock_.Set(deadline);
+  return n;
+}
+
+bool EventEngine::RunUntilPredicate(const std::function<bool()>& stop, TimePoint deadline) {
+  while (!stop()) {
+    if (events_.empty() || events_.begin()->first > deadline) {
+      if (clock_.Now() < deadline) clock_.Set(deadline);
+      return stop();
+    }
+    RunOne();
+  }
+  return true;
+}
+
+}  // namespace scalla::sim

@@ -1,0 +1,102 @@
+#include "sim/sim_fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace scalla::sim {
+namespace {
+
+std::uint64_t LinkKey(net::NodeAddr a, net::NodeAddr b) {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+}  // namespace
+
+SimFabric::SimFabric(EventEngine& engine, LatencyModel model, std::uint64_t seed)
+    : engine_(engine), model_(model), rng_(seed) {}
+
+void SimFabric::Register(net::NodeAddr addr, net::MessageSink* sink) {
+  sinks_[addr] = sink;
+}
+
+void SimFabric::Unregister(net::NodeAddr addr) { sinks_.erase(addr); }
+
+bool SimFabric::Reachable(net::NodeAddr from, net::NodeAddr to) const {
+  if (down_.count(from) != 0 || down_.count(to) != 0) return false;
+  if (cutLinks_.count(LinkKey(from, to)) != 0) return false;
+  return sinks_.count(to) != 0;
+}
+
+void SimFabric::Send(net::NodeAddr from, net::NodeAddr to, proto::Message message) {
+  ++counters_.messagesSent;
+  if (!Reachable(from, to)) {
+    ++counters_.messagesDropped;
+    // Model a broken connection: the sender learns its peer is gone.
+    const auto senderIt = sinks_.find(from);
+    if (senderIt != sinks_.end() && down_.count(from) == 0) {
+      net::MessageSink* sender = senderIt->second;
+      engine_.Post([sender, to] { sender->OnPeerDown(to); });
+    }
+    return;
+  }
+  Duration wire = model_.linkLatency;
+  if (model_.jitter > Duration::zero()) {
+    wire += Duration(static_cast<std::int64_t>(
+        rng_.NextBelow(static_cast<std::uint64_t>(model_.jitter.count()))));
+  }
+  // Single-threaded receiver model: the message starts service when it
+  // arrives AND the receiver is free; handler runs at service completion.
+  TimePoint deliverAt = engine_.Now() + wire + model_.serviceTime;
+  if (model_.serialService) {
+    const TimePoint arrival = engine_.Now() + wire;
+    TimePoint& busy = busyUntil_[to];
+    const TimePoint start = std::max(arrival, busy);
+    busy = start + model_.serviceTime;
+    deliverAt = busy;
+  }
+  const std::size_t type = message.index();
+  engine_.ScheduleAt(deliverAt,
+                     [this, from, to, msg = std::move(message), type]() mutable {
+                       // Re-check reachability at delivery time: a link cut
+                       // while the message was "in flight" loses it.
+                       if (!Reachable(from, to)) {
+                         ++counters_.messagesDropped;
+                         return;
+                       }
+                       ++counters_.messagesDelivered;
+                       ++deliveredByType_[type];
+                       sinks_[to]->OnMessage(from, std::move(msg));
+                     });
+}
+
+net::Fabric::Counters SimFabric::GetCounters() const { return counters_; }
+
+void SimFabric::SetDown(net::NodeAddr addr, bool down) {
+  if (down) {
+    down_.insert(addr);
+  } else {
+    down_.erase(addr);
+  }
+}
+
+void SimFabric::SetLinkCut(net::NodeAddr a, net::NodeAddr b, bool cut) {
+  if (cut) {
+    cutLinks_.insert(LinkKey(a, b));
+  } else {
+    cutLinks_.erase(LinkKey(a, b));
+  }
+}
+
+std::uint64_t SimFabric::DeliveredOfType(std::size_t variantIndex) const {
+  const auto it = deliveredByType_.find(variantIndex);
+  return it == deliveredByType_.end() ? 0 : it->second;
+}
+
+void SimFabric::ResetCounters() {
+  counters_ = Counters{};
+  deliveredByType_.clear();
+}
+
+}  // namespace scalla::sim

@@ -1,0 +1,71 @@
+// In-process message fabric with a configurable latency model, driven by
+// the discrete-event engine. Reproduces the paper's LAN environment shape:
+// a per-link one-way latency (default 25 us) plus a per-message CPU
+// service time (default 5 us), with optional jitter. Supports failure
+// injection (downed endpoints, cut links) and per-message-type counters
+// for the protocol-efficiency experiment (E06).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/fabric.h"
+#include "sim/event_engine.h"
+#include "util/rng.h"
+
+namespace scalla::sim {
+
+struct LatencyModel {
+  Duration linkLatency = std::chrono::microseconds(25);   // one-way wire+stack
+  Duration serviceTime = std::chrono::microseconds(5);    // receiver CPU cost
+  Duration jitter = Duration::zero();                     // uniform [0, jitter)
+  // When true (default) each endpoint serves messages one at a time, so
+  // offered load queues behind a busy receiver — the contention that makes
+  // "redirection time rises with a very low linear slope as load
+  // increases" (paper section II-B5) measurable. When false, delivery is
+  // pure delay (infinite receiver capacity).
+  bool serialService = true;
+};
+
+class SimFabric final : public net::Fabric {
+ public:
+  explicit SimFabric(EventEngine& engine, LatencyModel model = {},
+                     std::uint64_t seed = 0xfab41cULL);
+
+  /// Registers an endpoint. Delivery runs as an engine event.
+  void Register(net::NodeAddr addr, net::MessageSink* sink);
+  void Unregister(net::NodeAddr addr);
+
+  // ---- net::Fabric ----
+  void Send(net::NodeAddr from, net::NodeAddr to, proto::Message message) override;
+  Counters GetCounters() const override;
+
+  // ---- failure injection ----
+  /// Downed endpoints drop everything in and out; peers that later send to
+  /// them get OnPeerDown on first drop (models a broken connection).
+  void SetDown(net::NodeAddr addr, bool down);
+  /// Cuts (or restores) the bidirectional link between two endpoints.
+  void SetLinkCut(net::NodeAddr a, net::NodeAddr b, bool cut);
+
+  /// Per-message-type delivered counts, keyed by variant index (E06).
+  std::uint64_t DeliveredOfType(std::size_t variantIndex) const;
+  void ResetCounters();
+
+ private:
+  bool Reachable(net::NodeAddr from, net::NodeAddr to) const;
+
+  EventEngine& engine_;
+  LatencyModel model_;
+  util::Rng rng_;
+  std::unordered_map<net::NodeAddr, net::MessageSink*> sinks_;
+  std::unordered_map<net::NodeAddr, TimePoint> busyUntil_;  // per-receiver queue
+  std::unordered_set<net::NodeAddr> down_;
+  std::unordered_set<std::uint64_t> cutLinks_;  // key: min<<32|max
+  Counters counters_;
+  std::unordered_map<std::size_t, std::uint64_t> deliveredByType_;
+};
+
+}  // namespace scalla::sim

@@ -1,0 +1,92 @@
+#include "sim/workload.h"
+
+#include <unordered_set>
+
+namespace scalla::sim {
+
+std::vector<std::string> PopulateFiles(SimCluster& cluster, std::size_t nFiles,
+                                       int replication, util::Rng& rng,
+                                       std::size_t fileSize) {
+  std::vector<std::string> paths;
+  paths.reserve(nFiles);
+  const std::size_t nServers = cluster.ServerCount();
+  for (std::size_t i = 0; i < nFiles; ++i) {
+    std::string path = util::MakeFilePath(i / 1000, i % 1000);
+    std::unordered_set<std::size_t> placed;
+    const int copies = std::min<int>(replication, static_cast<int>(nServers));
+    while (static_cast<int>(placed.size()) < copies) {
+      const std::size_t s = rng.NextBelow(nServers);
+      if (placed.insert(s).second) {
+        cluster.PlaceFile(s, path, std::string(fileSize, 'D'));
+      }
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+WorkloadResult RunOpenStream(SimCluster& cluster, client::ScallaClient& client,
+                             const std::vector<std::string>& paths, std::size_t nOps,
+                             double zipfS, util::Rng& rng) {
+  WorkloadResult result;
+  const util::ZipfSampler zipf(paths.size(), zipfS);
+  for (std::size_t i = 0; i < nOps; ++i) {
+    const std::string& path = paths[zipf.Sample(rng)];
+    const TimePoint start = cluster.engine().Now();
+    const auto outcome = cluster.OpenAndWait(client, path, cms::AccessMode::kRead, false);
+    if (outcome.err == proto::XrdErr::kNone) {
+      result.latency.Record(cluster.engine().Now() - start);
+      ++result.completed;
+      auto closed = std::make_shared<std::optional<proto::XrdErr>>();
+      client.Close(outcome.file, [closed](proto::XrdErr err) { *closed = err; });
+      cluster.engine().RunUntilPredicate([closed] { return closed->has_value(); },
+                                         cluster.engine().Now() + std::chrono::seconds(5));
+    } else {
+      ++result.errors;
+    }
+  }
+  return result;
+}
+
+WorkloadResult RunClosedLoopLoad(SimCluster& cluster, std::size_t nClients,
+                                 const std::vector<std::string>& paths,
+                                 std::size_t totalOps, double zipfS, util::Rng& rng) {
+  WorkloadResult result;
+  const util::ZipfSampler zipf(paths.size(), zipfS);
+  std::size_t issued = 0;
+
+  struct Loop {
+    client::ScallaClient* client;
+  };
+  std::vector<Loop> loops;
+  loops.reserve(nClients);
+  for (std::size_t i = 0; i < nClients; ++i) loops.push_back({&cluster.NewClient()});
+
+  // Each completion immediately issues the next open; captures reference
+  // state that outlives every callback (function-local, driven below).
+  std::function<void(Loop&)> issueNext = [&](Loop& loop) {
+    if (issued >= totalOps) return;
+    ++issued;
+    const std::string& path = paths[zipf.Sample(rng)];
+    const TimePoint start = cluster.engine().Now();
+    loop.client->Open(path, cms::AccessMode::kRead, false,
+                      [&, start](const client::OpenOutcome& o) {
+                        if (o.err == proto::XrdErr::kNone) {
+                          result.latency.Record(cluster.engine().Now() - start);
+                          ++result.completed;
+                          loop.client->Close(o.file, [](proto::XrdErr) {});
+                        } else {
+                          ++result.errors;
+                        }
+                        issueNext(loop);
+                      });
+  };
+
+  for (auto& loop : loops) issueNext(loop);
+  cluster.engine().RunUntilPredicate(
+      [&] { return result.completed + result.errors >= totalOps; },
+      cluster.engine().Now() + std::chrono::hours(2));
+  return result;
+}
+
+}  // namespace scalla::sim

@@ -1,0 +1,45 @@
+// Workload generation and measurement over a SimCluster: file population
+// with configurable replication, Zipf-popularity open streams, and a
+// closed-loop multi-client load driver — the synthetic stand-ins for the
+// paper's HEP analysis traffic (section II-A: "several meta-data
+// operations on dozens of files per job", thousands of transactions/s).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace scalla::sim {
+
+/// Seeds `nFiles` distinct files, each replicated on `replication` random
+/// distinct leaves. Returns the paths ("/store/data/runNNN/fileNNN.root").
+std::vector<std::string> PopulateFiles(SimCluster& cluster, std::size_t nFiles,
+                                       int replication, util::Rng& rng,
+                                       std::size_t fileSize = 0);
+
+struct WorkloadResult {
+  util::LatencyRecorder latency;  // client-observed open latency
+  std::size_t completed = 0;
+  std::size_t errors = 0;
+};
+
+/// Sequential open stream from one client; file choice is Zipf(s) over
+/// `paths` (s = 0 -> uniform). Each open is driven to completion before
+/// the next (pure latency measurement, no queueing).
+WorkloadResult RunOpenStream(SimCluster& cluster, client::ScallaClient& client,
+                             const std::vector<std::string>& paths, std::size_t nOps,
+                             double zipfS, util::Rng& rng);
+
+/// Closed-loop load: `nClients` clients each keep one open outstanding
+/// (completing one immediately issues the next) until `totalOps` complete.
+/// This is how the "redirection time rises with a very low linear slope as
+/// load increases" claim (section II-B5) is measured: offered load scales
+/// with the client count.
+WorkloadResult RunClosedLoopLoad(SimCluster& cluster, std::size_t nClients,
+                                 const std::vector<std::string>& paths,
+                                 std::size_t totalOps, double zipfS, util::Rng& rng);
+
+}  // namespace scalla::sim

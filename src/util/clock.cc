@@ -1,0 +1,14 @@
+#include "util/clock.h"
+
+namespace scalla::util {
+
+TimePoint SystemClock::Now() const {
+  return std::chrono::time_point_cast<Duration>(std::chrono::steady_clock::now());
+}
+
+SystemClock& SystemClock::Instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace scalla::util

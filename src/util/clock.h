@@ -1,0 +1,38 @@
+// Injectable time source. Every paper mechanism that involves time — the
+// L_t/64 window tick, the 133 ms fast-response sweep, the 5 s processing
+// deadline, drop timeouts — reads time through this interface so the same
+// cmsd code runs against real time (SystemClock) and against the
+// discrete-event simulator's virtual time (sim::SimClock).
+#pragma once
+
+#include "util/types.h"
+
+namespace scalla::util {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+/// Real steady-clock time.
+class SystemClock final : public Clock {
+ public:
+  TimePoint Now() const override;
+  /// Process-wide instance for call sites that do not need injection.
+  static SystemClock& Instance();
+};
+
+/// A clock advanced explicitly by tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = TimePoint{}) : now_(start) {}
+  TimePoint Now() const override { return now_; }
+  void Advance(Duration d) { now_ += d; }
+  void Set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace scalla::util

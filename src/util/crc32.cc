@@ -1,0 +1,59 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace scalla::util {
+namespace {
+
+// 8 tables of 256 entries each, generated at static-init time. Table 0 is
+// the classic byte-at-a-time table; table k folds k additional zero bytes,
+// enabling the slice-by-8 inner loop to consume 8 bytes per iteration.
+struct Crc32Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  Crc32Tables() {
+    constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) ? kPoly : 0u);
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[k][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto& t = Tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+
+  // Align-insensitive slice-by-8 main loop.
+  while (len >= 8) {
+    const std::uint32_t lo = crc ^ (std::uint32_t{p[0]} | std::uint32_t{p[1]} << 8 |
+                                    std::uint32_t{p[2]} << 16 | std::uint32_t{p[3]} << 24);
+    const std::uint32_t hi = std::uint32_t{p[4]} | std::uint32_t{p[5]} << 8 |
+                             std::uint32_t{p[6]} << 16 | std::uint32_t{p[7]} << 24;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace scalla::util

@@ -1,0 +1,22 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) used as the file-name hash for
+// the cmsd location cache ("The hash key is a CRC32 encoding of the file
+// name", paper section III-A1). Implemented with a slice-by-8 table walk so
+// hashing long paths stays off the critical-path profile.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace scalla::util {
+
+/// Computes the CRC32 of `data`, continuing from `seed` (pass 0 to start a
+/// fresh checksum). The result matches zlib's crc32().
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+/// Convenience overload for string keys (file paths).
+inline std::uint32_t Crc32(std::string_view s, std::uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace scalla::util

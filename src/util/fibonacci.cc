@@ -1,0 +1,49 @@
+#include "util/fibonacci.h"
+
+#include <array>
+
+namespace scalla::util {
+namespace {
+
+// All Fibonacci numbers that fit in 64 bits (F(1)..F(93)), deduplicated at
+// the front (F(1)=F(2)=1).
+constexpr std::array<std::uint64_t, 92> BuildTable() {
+  std::array<std::uint64_t, 92> t{};
+  std::uint64_t a = 1, b = 2;
+  for (auto& v : t) {
+    v = a;
+    const std::uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  return t;
+}
+
+constexpr auto kFib = BuildTable();
+
+}  // namespace
+
+std::uint64_t FibonacciAtLeast(std::uint64_t n) {
+  for (const std::uint64_t f : kFib) {
+    if (f >= n) return f;
+  }
+  return kFib.back();
+}
+
+std::uint64_t NextFibonacci(std::uint64_t fib) {
+  for (std::size_t i = 0; i < kFib.size(); ++i) {
+    if (kFib[i] == fib) return i + 1 < kFib.size() ? kFib[i + 1] : kFib.back();
+    if (kFib[i] > fib) return kFib[i];  // tolerate non-Fibonacci input
+  }
+  return kFib.back();
+}
+
+bool IsFibonacci(std::uint64_t n) {
+  for (const std::uint64_t f : kFib) {
+    if (f == n) return true;
+    if (f > n) return false;
+  }
+  return false;
+}
+
+}  // namespace scalla::util

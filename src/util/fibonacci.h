@@ -1,0 +1,24 @@
+// Fibonacci table sizing. The location-cache hash table "is sized to be a
+// Fibonacci number of entries" and grows to "the subsequent Fibonacci
+// number" when 80% full (paper section III-A1, Figure 2). The authors found
+// CRC32 modulo a Fibonacci number disperses file names much more uniformly
+// than power-of-two tables (footnote 4); bench/bench_hash_fibonacci.cc
+// reproduces that comparison.
+#pragma once
+
+#include <cstdint>
+
+namespace scalla::util {
+
+/// Returns the smallest Fibonacci number >= n (n >= 1). Saturates at the
+/// largest Fibonacci number representable in 64 bits.
+std::uint64_t FibonacciAtLeast(std::uint64_t n);
+
+/// Returns the Fibonacci number immediately after `fib`. `fib` must itself
+/// be a Fibonacci number >= 1. Saturates as above.
+std::uint64_t NextFibonacci(std::uint64_t fib);
+
+/// True if n is a Fibonacci number (n >= 1).
+bool IsFibonacci(std::uint64_t n);
+
+}  // namespace scalla::util

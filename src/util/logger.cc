@@ -1,0 +1,39 @@
+#include "util/logger.h"
+
+#include <cstdarg>
+
+namespace scalla::util {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, std::string_view component, std::string_view message) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::lock_guard lock(mu_);
+  std::fprintf(stderr, "%s [%.*s] %.*s\n", kNames[static_cast<int>(level)],
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+namespace detail {
+
+std::string FormatLog(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace detail
+}  // namespace scalla::util

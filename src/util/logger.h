@@ -1,0 +1,55 @@
+// Minimal leveled logger. Production Scalla logs through XrdSysError; here
+// a single process hosts entire simulated clusters, so the logger carries a
+// component tag per message and is globally rate-independent (no locking
+// hot paths: level check first, then a single mutexed write).
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace scalla::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+  /// Writes "LEVEL [component] message\n" to stderr.
+  void Write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+std::string FormatLog(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define SCALLA_LOG(level, component, ...)                                   \
+  do {                                                                      \
+    auto& scalla_logger = ::scalla::util::Logger::Instance();               \
+    if (scalla_logger.Enabled(level)) {                                     \
+      scalla_logger.Write(level, component,                                 \
+                          ::scalla::util::detail::FormatLog(__VA_ARGS__));  \
+    }                                                                       \
+  } while (0)
+
+#define SCALLA_DEBUG(component, ...) \
+  SCALLA_LOG(::scalla::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define SCALLA_INFO(component, ...) \
+  SCALLA_LOG(::scalla::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define SCALLA_WARN(component, ...) \
+  SCALLA_LOG(::scalla::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define SCALLA_ERROR(component, ...) \
+  SCALLA_LOG(::scalla::util::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace scalla::util

@@ -1,0 +1,17 @@
+#include "util/server_set.h"
+
+namespace scalla {
+
+std::string ServerSet::ToString() const {
+  std::string out = "{";
+  bool firstOut = true;
+  for (ServerSlot s = first(); s >= 0; s = next(s)) {
+    if (!firstOut) out += ',';
+    out += std::to_string(s);
+    firstOut = false;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace scalla

@@ -1,0 +1,73 @@
+// ServerSet: a 64-bit vector in which bit i stands for server slot i of a
+// cluster set. The cmsd location state is "described by three 64-bit
+// vectors: V_h, V_p and V_q" (paper section III-A1); ServerSet is the type
+// of those vectors as well as of the correction vectors V_m and V_c
+// (section III-A4).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "util/types.h"
+
+namespace scalla {
+
+class ServerSet {
+ public:
+  constexpr ServerSet() = default;
+  constexpr explicit ServerSet(std::uint64_t bits) : bits_(bits) {}
+
+  /// The set {slot}.
+  static constexpr ServerSet Single(ServerSlot slot) {
+    return ServerSet(std::uint64_t{1} << slot);
+  }
+  /// The set {0, 1, ..., n-1}; n == 64 yields the full set.
+  static constexpr ServerSet FirstN(int n) {
+    return n >= kMaxServersPerSet ? All() : ServerSet((std::uint64_t{1} << n) - 1);
+  }
+  static constexpr ServerSet All() { return ServerSet(~std::uint64_t{0}); }
+  static constexpr ServerSet None() { return ServerSet(0); }
+
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int count() const { return std::popcount(bits_); }
+  constexpr bool test(ServerSlot slot) const { return (bits_ >> slot) & 1u; }
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  constexpr void set(ServerSlot slot) { bits_ |= std::uint64_t{1} << slot; }
+  constexpr void reset(ServerSlot slot) { bits_ &= ~(std::uint64_t{1} << slot); }
+  constexpr void clear() { bits_ = 0; }
+
+  /// Lowest slot present, or -1 when empty.
+  constexpr ServerSlot first() const {
+    return bits_ == 0 ? -1 : std::countr_zero(bits_);
+  }
+  /// Lowest slot greater than `slot`, or -1. Enables `for (s = first(); s
+  /// >= 0; s = next(s))` iteration.
+  constexpr ServerSlot next(ServerSlot slot) const {
+    const std::uint64_t rest = slot >= 63 ? 0 : bits_ & ~((std::uint64_t{2} << slot) - 1);
+    return rest == 0 ? -1 : std::countr_zero(rest);
+  }
+
+  constexpr ServerSet operator|(ServerSet o) const { return ServerSet(bits_ | o.bits_); }
+  constexpr ServerSet operator&(ServerSet o) const { return ServerSet(bits_ & o.bits_); }
+  constexpr ServerSet operator^(ServerSet o) const { return ServerSet(bits_ ^ o.bits_); }
+  constexpr ServerSet operator~() const { return ServerSet(~bits_); }
+  constexpr ServerSet& operator|=(ServerSet o) { bits_ |= o.bits_; return *this; }
+  constexpr ServerSet& operator&=(ServerSet o) { bits_ &= o.bits_; return *this; }
+  constexpr ServerSet& operator^=(ServerSet o) { bits_ ^= o.bits_; return *this; }
+  constexpr bool operator==(const ServerSet&) const = default;
+
+  /// Set difference: the members of *this not in `o`.
+  constexpr ServerSet Without(ServerSet o) const { return ServerSet(bits_ & ~o.bits_); }
+  constexpr bool Intersects(ServerSet o) const { return (bits_ & o.bits_) != 0; }
+  constexpr bool Contains(ServerSet o) const { return (bits_ & o.bits_) == o.bits_; }
+
+  /// "{0,3,17}" style rendering for logs and test failure messages.
+  std::string ToString() const;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace scalla

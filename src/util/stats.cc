@@ -1,0 +1,81 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace scalla::util {
+
+LatencyRecorder::LatencyRecorder(std::size_t maxSamples) : maxSamples_(maxSamples) {
+  min_ = std::numeric_limits<std::int64_t>::max();
+  max_ = std::numeric_limits<std::int64_t>::min();
+}
+
+void LatencyRecorder::Record(Duration d) { RecordNanos(d.count()); }
+
+void LatencyRecorder::RecordNanos(std::int64_t ns) {
+  ++count_;
+  sum_ += static_cast<double>(ns);
+  min_ = std::min(min_, ns);
+  max_ = std::max(max_, ns);
+  if (samples_.size() < maxSamples_) {
+    samples_.push_back(ns);
+    sortedValid_ = false;
+  }
+}
+
+double LatencyRecorder::MeanNanos() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::int64_t LatencyRecorder::MinNanos() const { return count_ == 0 ? 0 : min_; }
+std::int64_t LatencyRecorder::MaxNanos() const { return count_ == 0 ? 0 : max_; }
+
+std::int64_t LatencyRecorder::PercentileNanos(double q) const {
+  if (samples_.empty()) return 0;
+  if (!sortedValid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return sorted_[idx];
+}
+
+void LatencyRecorder::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sortedValid_ = false;
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<std::int64_t>::max();
+  max_ = std::numeric_limits<std::int64_t>::min();
+}
+
+std::string LatencyRecorder::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%zu mean=%s p50=%s p99=%s max=%s", count_,
+                FormatNanos(MeanNanos()).c_str(),
+                FormatNanos(static_cast<double>(PercentileNanos(0.5))).c_str(),
+                FormatNanos(static_cast<double>(PercentileNanos(0.99))).c_str(),
+                FormatNanos(static_cast<double>(MaxNanos())).c_str());
+  return buf;
+}
+
+std::string FormatNanos(double ns) {
+  char buf[48];
+  const double abs = ns < 0 ? -ns : ns;
+  if (abs < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (abs < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else if (abs < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace scalla::util

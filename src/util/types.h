@@ -1,0 +1,29 @@
+// Common type aliases used throughout the Scalla reproduction.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace scalla {
+
+/// All internal timekeeping is done in nanoseconds on a steady timeline.
+/// Under simulation the timeline is virtual; under real execution it is
+/// std::chrono::steady_clock. Both are exposed through util::Clock.
+using Duration = std::chrono::nanoseconds;
+
+/// A point on the (real or virtual) steady timeline.
+using TimePoint = std::chrono::time_point<std::chrono::steady_clock, Duration>;
+
+using namespace std::chrono_literals;
+
+/// Identifies a server slot within one cluster set (0..63). Slot numbering
+/// is what maps servers onto bits of the V_h/V_p/V_q vectors (paper
+/// section III-A1).
+using ServerSlot = int;
+
+/// Maximum number of directly addressable servers per cluster set; Scalla
+/// clusters nodes "in sets of 64 and the sets are arranged in a 64-ary
+/// tree" (paper section II-B1).
+inline constexpr int kMaxServersPerSet = 64;
+
+}  // namespace scalla

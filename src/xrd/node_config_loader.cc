@@ -1,0 +1,135 @@
+#include "xrd/node_config_loader.h"
+
+#include <set>
+#include <sstream>
+
+namespace scalla::xrd {
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
+                                               std::string* error) {
+  const auto parsed = util::Config::Parse(text, error);
+  if (!parsed.has_value()) return std::nullopt;
+
+  static const std::set<std::string> kKnown = {
+      "all.role",      "all.name",      "all.addr",     "all.manager",
+      "all.export",    "cms.lifetime",  "cms.delay",    "cms.sweep",
+      "cms.dropdelay", "cms.selection", "xrd.allowwrite", "xrd.loadreport",
+      "oss.localroot", "all.cnsd"};
+  for (const auto& [key, _] : parsed->entries()) {
+    if (kKnown.count(key) == 0) {
+      Fail(error, "unknown directive: " + key);
+      return std::nullopt;
+    }
+  }
+
+  LoadedNodeConfig out;
+  NodeConfig& cfg = out.node;
+
+  const auto role = parsed->GetString("all.role");
+  if (!role.has_value()) {
+    Fail(error, "all.role is required");
+    return std::nullopt;
+  }
+  if (*role == "manager") {
+    cfg.role = NodeRole::kManager;
+  } else if (*role == "supervisor") {
+    cfg.role = NodeRole::kSupervisor;
+  } else if (*role == "server") {
+    cfg.role = NodeRole::kServer;
+  } else {
+    Fail(error, "all.role must be manager|supervisor|server, got " + *role);
+    return std::nullopt;
+  }
+
+  const auto addr = parsed->GetInt("all.addr");
+  if (!addr.has_value() || *addr <= 0) {
+    Fail(error, "all.addr (positive integer) is required");
+    return std::nullopt;
+  }
+  cfg.addr = static_cast<net::NodeAddr>(*addr);
+  cfg.name = parsed->GetStringOr("all.name", "node" + std::to_string(*addr));
+
+  if (const auto managers = parsed->GetString("all.manager"); managers.has_value()) {
+    std::istringstream in(*managers);
+    std::string tok;
+    std::vector<net::NodeAddr> parents;
+    while (in >> tok) {
+      const long value = std::strtol(tok.c_str(), nullptr, 10);
+      if (value <= 0) {
+        Fail(error, "all.manager entries must be positive integers");
+        return std::nullopt;
+      }
+      parents.push_back(static_cast<net::NodeAddr>(value));
+    }
+    if (!parents.empty()) {
+      cfg.parent = parents.front();
+      cfg.extraParents.assign(parents.begin() + 1, parents.end());
+    }
+  }
+  if (cfg.role != NodeRole::kManager && cfg.parent == 0) {
+    Fail(error, "all.manager is required for supervisor/server roles");
+    return std::nullopt;
+  }
+
+  cfg.exports.clear();  // the struct default ("/") must be stated explicitly
+  if (const auto exports = parsed->GetString("all.export"); exports.has_value()) {
+    std::istringstream in(*exports);
+    std::string tok;
+    while (in >> tok) cfg.exports.push_back(tok);
+  }
+  if (cfg.exports.empty()) {
+    Fail(error, "all.export must list at least one prefix");
+    return std::nullopt;
+  }
+
+  cfg.cms.lifetime = parsed->GetDurationOr("cms.lifetime", cfg.cms.lifetime);
+  cfg.cms.deadline = parsed->GetDurationOr("cms.delay", cfg.cms.deadline);
+  cfg.cms.sweepPeriod = parsed->GetDurationOr("cms.sweep", cfg.cms.sweepPeriod);
+  cfg.cms.dropDelay = parsed->GetDurationOr("cms.dropdelay", cfg.cms.dropDelay);
+
+  if (const auto sel = parsed->GetString("cms.selection"); sel.has_value()) {
+    if (*sel == "roundrobin") {
+      cfg.selection = cms::SelectCriterion::kRoundRobin;
+    } else if (*sel == "load") {
+      cfg.selection = cms::SelectCriterion::kLoad;
+    } else if (*sel == "space") {
+      cfg.selection = cms::SelectCriterion::kSpace;
+    } else if (*sel == "frequency") {
+      cfg.selection = cms::SelectCriterion::kFrequency;
+    } else if (*sel == "random") {
+      cfg.selection = cms::SelectCriterion::kRandom;
+    } else {
+      Fail(error, "cms.selection: unknown criterion " + *sel);
+      return std::nullopt;
+    }
+  }
+
+  if (const auto allow = parsed->GetBool("xrd.allowwrite"); allow.has_value()) {
+    cfg.allowWrite = *allow;
+  } else if (parsed->Has("xrd.allowwrite")) {
+    Fail(error, "xrd.allowwrite must be a boolean");
+    return std::nullopt;
+  }
+  cfg.loadReportInterval =
+      parsed->GetDurationOr("xrd.loadreport", cfg.loadReportInterval);
+  if (const auto cnsd = parsed->GetInt("all.cnsd"); cnsd.has_value()) {
+    cfg.cnsd = static_cast<net::NodeAddr>(*cnsd);
+  }
+
+  out.localRoot = parsed->GetStringOr("oss.localroot", "");
+  if (!out.localRoot.empty() && cfg.role != NodeRole::kServer) {
+    Fail(error, "oss.localroot only applies to the server role");
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace scalla::xrd

@@ -1,0 +1,40 @@
+// Directive-file configuration for Scalla nodes, in the spirit of
+// xrootd's xrd.cf:
+//
+//   all.role        server            # manager | supervisor | server
+//   all.name        dataserver07
+//   all.addr        12                # fabric address (TCP: basePort+addr)
+//   all.manager     1                 # parent address(es), space-separated
+//   all.export      /store /scratch
+//   cms.lifetime    8h
+//   cms.delay       5s
+//   cms.sweep       133ms
+//   cms.dropdelay   10m
+//   cms.selection   roundrobin        # load | space | frequency | random
+//   xrd.allowwrite  true
+//   xrd.loadreport  30s
+//   oss.localroot   /data/xrd         # serve a real directory (server role)
+//
+// Unknown keys are reported as errors so typos do not silently default.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/config.h"
+#include "xrd/scalla_node.h"
+
+namespace scalla::xrd {
+
+struct LoadedNodeConfig {
+  NodeConfig node;
+  std::string localRoot;  // non-empty => back the server with LocalOss
+};
+
+/// Parses directive text into a node configuration. Returns std::nullopt
+/// and fills *error on malformed input, unknown keys, or missing
+/// requirements (role, addr; manager for non-manager roles).
+std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
+                                               std::string* error);
+
+}  // namespace scalla::xrd

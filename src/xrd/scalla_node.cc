@@ -1,0 +1,761 @@
+#include "xrd/scalla_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/logger.h"
+
+namespace scalla::xrd {
+
+using cms::AccessMode;
+using cms::LocateResult;
+using cms::LocateStatus;
+
+namespace {
+
+AccessMode ModeOf(std::uint8_t raw) {
+  return raw == 0 ? AccessMode::kRead : AccessMode::kWrite;
+}
+
+}  // namespace
+
+ScallaNode::ScallaNode(NodeConfig config, sched::Executor& executor, net::Fabric& fabric,
+                       oss::Oss* storage)
+    : config_(std::move(config)),
+      executor_(executor),
+      fabric_(fabric),
+      storage_(storage),
+      membership_(config_.cms, executor.clock()),
+      cache_(config_.cms, executor.clock(), membership_.corrections()),
+      respq_(config_.cms, executor.clock()),
+      selection_(config_.selection),
+      resolver_(config_.cms, executor.clock(), membership_, cache_, respq_, selection_,
+                [this](ServerSet targets, const std::string& path, std::uint32_t hash,
+                       AccessMode mode) { SendQueryDown(targets, path, hash, mode); }) {
+  slotAddr_.fill(0);
+  respq_.SetBusyNotifier([this] { StartSweepTimer(); });
+  if (config_.parent != 0) parents_.push_back(config_.parent);
+  for (const net::NodeAddr p : config_.extraParents) {
+    if (p != 0) parents_.push_back(p);
+  }
+}
+
+bool ScallaNode::LoggedIn() const { return slotAtParent_.size() == parents_.size(); }
+
+bool ScallaNode::LoggedInTo(net::NodeAddr parent) const {
+  return slotAtParent_.count(parent) != 0;
+}
+
+bool ScallaNode::IsParent(net::NodeAddr addr) const {
+  for (const net::NodeAddr p : parents_) {
+    if (p == addr) return true;
+  }
+  return false;
+}
+
+ScallaNode::~ScallaNode() { Stop(); }
+
+void ScallaNode::Start() {
+  if (started_) return;
+  started_ = true;
+  if (!parents_.empty()) SendLogins();
+  if (!config_.startTimers) return;
+  windowTimer_ = executor_.RunEvery(config_.cms.WindowTick(), [this] {
+    if (auto purge = cache_.OnWindowTick()) executor_.Post(std::move(purge));
+  });
+  if (config_.role == NodeRole::kServer && config_.loadReportInterval > Duration::zero()) {
+    loadTimer_ = executor_.RunEvery(config_.loadReportInterval, [this] {
+      const std::uint64_t used = storage_->UsedBytes().value_or(0);
+      const std::uint64_t free =
+          used < config_.assumedCapacity ? config_.assumedCapacity - used : 0;
+      ReportLoad(static_cast<std::uint32_t>(openFiles_.size()), free);
+    });
+  }
+  if (IsHead()) {
+    dropTimer_ = executor_.RunEvery(config_.cms.dropDelay / 4, [this] {
+      for (const ServerSlot slot : membership_.DropExpired()) {
+        const net::NodeAddr addr = slotAddr_[slot];
+        if (addr != 0) {
+          addrSlot_.erase(addr);
+          slotAddr_[slot] = 0;
+        }
+      }
+    });
+  }
+}
+
+void ScallaNode::Stop() {
+  for (sched::TimerId* id :
+       {&windowTimer_, &sweepTimer_, &dropTimer_, &loginTimer_, &loadTimer_}) {
+    if (*id != sched::kInvalidTimer) {
+      executor_.Cancel(*id);
+      *id = sched::kInvalidTimer;
+    }
+  }
+  started_ = false;
+}
+
+void ScallaNode::StartSweepTimer() {
+  if (sweepTimer_ != sched::kInvalidTimer) return;
+  sweepTimer_ = executor_.RunEvery(config_.cms.sweepPeriod, [this] {
+    respq_.Sweep();
+    if (respq_.Empty() && sweepTimer_ != sched::kInvalidTimer) {
+      executor_.Cancel(sweepTimer_);
+      sweepTimer_ = sched::kInvalidTimer;
+    }
+  });
+}
+
+net::NodeAddr ScallaNode::AddrOfSlot(ServerSlot slot) const {
+  return slot >= 0 && slot < kMaxServersPerSet ? slotAddr_[slot] : 0;
+}
+
+std::optional<ServerSlot> ScallaNode::SlotOfAddr(net::NodeAddr addr) const {
+  const auto it = addrSlot_.find(addr);
+  if (it == addrSlot_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ScallaNode::SendLoginTo(net::NodeAddr parent) {
+  proto::CmsLogin login;
+  login.name = config_.name;
+  login.exports = config_.exports;
+  login.allowWrite = config_.allowWrite;
+  login.isSupervisor = config_.role == NodeRole::kSupervisor;
+  fabric_.Send(config_.addr, parent, std::move(login));
+}
+
+void ScallaNode::SendLogins() {
+  for (const net::NodeAddr parent : parents_) SendLoginTo(parent);
+  // Re-send until responses arrive (lost logins / parent restarts).
+  if (loginTimer_ == sched::kInvalidTimer) {
+    loginTimer_ = executor_.RunEvery(config_.loginRetry, [this] {
+      for (const net::NodeAddr parent : parents_) {
+        if (!LoggedInTo(parent)) SendLoginTo(parent);
+      }
+    });
+  }
+}
+
+void ScallaNode::SendQueryDown(ServerSet targets, const std::string& path,
+                               std::uint32_t hash, AccessMode mode) {
+  proto::CmsQuery query;
+  query.path = path;
+  query.hash = hash;
+  query.mode = mode == AccessMode::kRead ? 0 : 1;
+  for (ServerSlot s = targets.first(); s >= 0; s = targets.next(s)) {
+    const net::NodeAddr addr = slotAddr_[s];
+    if (addr != 0) fabric_.Send(config_.addr, addr, query);
+  }
+}
+
+void ScallaNode::NotifyParentHave(const std::string& path, bool pending) {
+  proto::CmsHave have;
+  have.path = path;
+  have.hash = cms::LocationCache::HashOf(path);
+  have.pending = pending;
+  have.allowWrite = config_.allowWrite;
+  have.newfile = true;
+  if (config_.cnsd != 0) fabric_.Send(config_.addr, config_.cnsd, have);
+  for (const net::NodeAddr parent : parents_) fabric_.Send(config_.addr, parent, have);
+}
+
+std::string ScallaNode::DescribeStatus() const {
+  const auto cache = cache_.GetStats();
+  const auto resolver = resolver_.GetStats();
+  const auto respq = respq_.GetStats();
+  char buf[640];
+  const char* role = config_.role == NodeRole::kManager      ? "manager"
+                     : config_.role == NodeRole::kSupervisor ? "supervisor"
+                                                             : "server";
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s '%s' addr=%u members=%zu online=%d\n"
+      "  cache: %zu live / %zu buckets (fib), %zu lookups (%.1f%% hit), "
+      "%zu rehashes, %zu corrections (%zu memoized), %zu recycled\n"
+      "  resolver: %zu locates, %zu cached redirects, %zu fast redirects, "
+      "%zu floods (%zu msgs), %zu not-found, %zu full delays\n"
+      "  respq: %zu anchors busy, %zu adds, %zu releases, %zu expirations\n"
+      "  files: %zu open handles, %llu opens, %llu creates, %llu queries answered",
+      role, config_.name.c_str(), config_.addr, membership_.MemberCount(),
+      membership_.OnlineSet().count(), cache.liveObjects, cache.buckets, cache.lookups,
+      cache.lookups == 0 ? 0.0
+                         : 100.0 * static_cast<double>(cache.hits) /
+                               static_cast<double>(cache.lookups),
+      cache.rehashes, cache.corrections, cache.correctionMemoHits, cache.recycled,
+      resolver.locates, resolver.redirects, resolver.fastRedirects,
+      resolver.queriesSent, resolver.queryMessages, resolver.notFound,
+      resolver.fullDelays, respq.anchorsInUse, respq.adds, respq.releases,
+      respq.expirations, openFiles_.size(),
+      static_cast<unsigned long long>(stats_.opensServed),
+      static_cast<unsigned long long>(stats_.creates),
+      static_cast<unsigned long long>(stats_.queriesAnswered));
+  return buf;
+}
+
+void ScallaNode::ReportLoad(std::uint32_t load, std::uint64_t freeSpace) {
+  for (const net::NodeAddr parent : parents_) {
+    fabric_.Send(config_.addr, parent, proto::CmsLoad{load, freeSpace});
+  }
+}
+
+void ScallaNode::OnPeerDown(net::NodeAddr peer) {
+  if (IsParent(peer)) {
+    slotAtParent_.erase(peer);
+    return;  // loginTimer_ keeps retrying
+  }
+  const auto slot = SlotOfAddr(peer);
+  if (slot.has_value()) membership_.Disconnect(*slot);
+}
+
+void ScallaNode::OnMessage(net::NodeAddr from, proto::Message message) {
+  std::visit(
+      [this, from](auto&& m) {
+        using M = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<M, proto::CmsLogin>) {
+          HandleLogin(from, m);
+        } else if constexpr (std::is_same_v<M, proto::CmsLoginResp>) {
+          HandleLoginResp(from, m);
+        } else if constexpr (std::is_same_v<M, proto::CmsQuery>) {
+          HandleQuery(from, m);
+        } else if constexpr (std::is_same_v<M, proto::CmsHave>) {
+          HandleHave(from, m);
+        } else if constexpr (std::is_same_v<M, proto::CmsNoHave>) {
+          // Request-rarely-respond: negatives carry no information here.
+          // (Only the always-respond baseline emits them; the fabric's
+          // per-type counters measure their cost in experiment E06.)
+        } else if constexpr (std::is_same_v<M, proto::CmsGone>) {
+          HandleGone(from, m);
+        } else if constexpr (std::is_same_v<M, proto::CmsLoad>) {
+          HandleLoad(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdOpen>) {
+          HandleOpen(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdRead>) {
+          HandleRead(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdReadV>) {
+          HandleReadV(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdChecksum>) {
+          HandleChecksum(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdWrite>) {
+          HandleWrite(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdClose>) {
+          HandleClose(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdStat>) {
+          HandleStat(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdUnlink>) {
+          HandleUnlink(from, m);
+        } else if constexpr (std::is_same_v<M, proto::XrdPrepare>) {
+          HandlePrepare(from, m);
+        } else {
+          // CnsList et al. are served by the namespace daemon, not nodes.
+        }
+      },
+      std::move(message));
+}
+
+// ---------------------------------------------------------------------
+// cms handlers
+
+void ScallaNode::HandleLogin(net::NodeAddr from, const proto::CmsLogin& m) {
+  proto::CmsLoginResp resp;
+  if (!IsHead()) {
+    resp.ok = false;
+    resp.error = "not a cluster head";
+    fabric_.Send(config_.addr, from, std::move(resp));
+    return;
+  }
+  // A re-login from a known address may land on a different slot (changed
+  // exports drop the old identity); clear the stale mapping first.
+  const auto oldSlot = SlotOfAddr(from);
+  const auto result = membership_.Login(m.name, m.exports, m.allowWrite, m.isSupervisor);
+  if (!result.has_value()) {
+    // Set full: send the newcomer down to a supervisor with capacity —
+    // the 64-ary tree grows at the leaves, not by widening a set.
+    resp.ok = false;
+    resp.error = "cluster set full";
+    for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+      const auto info = membership_.InfoOf(s);
+      if (info && info->online && info->isSupervisor && slotAddr_[s] != 0) {
+        resp.redirect = slotAddr_[s];
+        break;
+      }
+    }
+    fabric_.Send(config_.addr, from, std::move(resp));
+    return;
+  }
+  if (oldSlot.has_value() && *oldSlot != result->slot) slotAddr_[*oldSlot] = 0;
+  slotAddr_[result->slot] = from;
+  addrSlot_[from] = result->slot;
+  resp.ok = true;
+  resp.slot = result->slot;
+  fabric_.Send(config_.addr, from, std::move(resp));
+}
+
+void ScallaNode::HandleLoginResp(net::NodeAddr from, const proto::CmsLoginResp& m) {
+  if (!IsParent(from)) return;
+  if (!m.ok) {
+    if (m.redirect != 0 && !IsParent(m.redirect)) {
+      // The head's set is full; adopt the supervisor it pointed us at as
+      // our parent on that side of the tree and log in there.
+      for (net::NodeAddr& parent : parents_) {
+        if (parent == from) {
+          slotAtParent_.erase(from);
+          parent = m.redirect;
+          SendLoginTo(m.redirect);
+          return;
+        }
+      }
+    }
+    SCALLA_WARN("node", "%s: login rejected: %s", config_.name.c_str(), m.error.c_str());
+    return;
+  }
+  slotAtParent_[from] = m.slot;
+}
+
+void ScallaNode::HandleQuery(net::NodeAddr from, const proto::CmsQuery& m) {
+  const AccessMode mode = ModeOf(m.mode);
+  if (config_.role == NodeRole::kServer) {
+    // Leaf: consult local storage. Request-rarely-respond — only holders
+    // answer; an MSS-resident file counts as "being prepared to be online"
+    // (V_p) since this server can stage it.
+    const oss::FileState state = storage_->StateOf(m.path);
+    bool have = false, pending = false;
+    switch (state) {
+      case oss::FileState::kOnline:
+        have = true;
+        break;
+      case oss::FileState::kStaging:
+      case oss::FileState::kInMss:
+        have = true;
+        pending = true;
+        break;
+      case oss::FileState::kAbsent:
+        break;
+    }
+    if (have && mode == AccessMode::kWrite && !config_.allowWrite) have = false;
+    if (have) {
+      proto::CmsHave resp;
+      resp.path = m.path;
+      resp.hash = m.hash;
+      resp.pending = pending;
+      resp.allowWrite = config_.allowWrite;
+      fabric_.Send(config_.addr, from, std::move(resp));
+      ++stats_.queriesAnswered;
+    } else if (config_.alwaysRespond) {
+      fabric_.Send(config_.addr, from, proto::CmsNoHave{m.path, m.hash});
+    } else {
+      ++stats_.queriesSilent;  // silence IS the negative response
+    }
+    return;
+  }
+
+  // Supervisor: resolve within the subtree; if anything down there has the
+  // file, answer with a single CmsHave — "multiple responses ... are
+  // compressed into a single response indicating that the supervisor has
+  // the file" (section II-B2).
+  cms::LocateOptions opts;
+  opts.mode = mode;
+  opts.refresh = m.refresh;
+  resolver_.Locate(m.path, opts,
+                   [this, from, path = m.path, hash = m.hash](const LocateResult& r) {
+                     if (r.status == LocateStatus::kRedirect) {
+                       proto::CmsHave resp;
+                       resp.path = path;
+                       resp.hash = hash;
+                       resp.pending = r.pending;
+                       resp.allowWrite = config_.allowWrite;
+                       fabric_.Send(config_.addr, from, std::move(resp));
+                       ++stats_.queriesAnswered;
+                     } else if (r.status == LocateStatus::kNotFound &&
+                                config_.alwaysRespond) {
+                       fabric_.Send(config_.addr, from, proto::CmsNoHave{path, hash});
+                     } else {
+                       ++stats_.queriesSilent;
+                     }
+                   });
+}
+
+void ScallaNode::HandleHave(net::NodeAddr from, const proto::CmsHave& m) {
+  const auto slot = SlotOfAddr(from);
+  if (!slot.has_value()) return;  // not a subordinate we know
+  resolver_.OnHave(m.path, m.hash, *slot, m.pending, m.allowWrite);
+  // New-file notifications propagate to the root so every level's cache
+  // learns about creations that happened beneath it.
+  if (m.newfile && !parents_.empty()) {
+    proto::CmsHave up = m;
+    up.allowWrite = config_.allowWrite;
+    for (const net::NodeAddr parent : parents_) fabric_.Send(config_.addr, parent, up);
+  }
+}
+
+void ScallaNode::HandleGone(net::NodeAddr from, const proto::CmsGone& m) {
+  const auto slot = SlotOfAddr(from);
+  if (!slot.has_value()) return;
+  resolver_.OnGone(m.path, *slot);
+  for (const net::NodeAddr parent : parents_) fabric_.Send(config_.addr, parent, m);
+}
+
+void ScallaNode::HandleLoad(net::NodeAddr from, const proto::CmsLoad& m) {
+  const auto slot = SlotOfAddr(from);
+  if (!slot.has_value()) return;
+  membership_.ReportLoad(*slot, m.load, m.freeSpace);
+}
+
+// ---------------------------------------------------------------------
+// xrd handlers
+
+void ScallaNode::HandleOpen(net::NodeAddr from, const proto::XrdOpen& m) {
+  if (IsHead()) {
+    HeadOpen(from, m);
+  } else {
+    LeafOpen(from, m);
+  }
+}
+
+void ScallaNode::HeadOpen(net::NodeAddr from, const proto::XrdOpen& m) {
+  cms::LocateOptions opts;
+  opts.mode = ModeOf(m.mode);
+  opts.refresh = m.refresh;
+  if (m.avoidNode != 0) {
+    const auto avoidSlot = SlotOfAddr(m.avoidNode);
+    if (avoidSlot.has_value()) opts.avoid = *avoidSlot;
+  }
+  resolver_.Locate(
+      m.path, opts,
+      [this, from, reqId = m.reqId, path = m.path, create = m.create,
+       avoid = opts.avoid, mode = opts.mode](const LocateResult& r) {
+        proto::XrdOpenResp resp;
+        resp.reqId = reqId;
+        switch (r.status) {
+          case LocateStatus::kRedirect:
+            resp.status = proto::XrdStatus::kRedirect;
+            resp.redirectNode = AddrOfSlot(r.server);
+            ++stats_.redirectsIssued;
+            break;
+          case LocateStatus::kWait:
+            resp.status = proto::XrdStatus::kWait;
+            resp.waitNs = r.wait.count();
+            ++stats_.waitsIssued;
+            break;
+          case LocateStatus::kRetry:
+            resp.status = proto::XrdStatus::kError;
+            resp.err = proto::XrdErr::kStale;
+            break;
+          case LocateStatus::kNotFound: {
+            if (!create) {
+              resp.status = proto::XrdStatus::kError;
+              resp.err = proto::XrdErr::kNotFound;
+              break;
+            }
+            // Creation: the full delay has confirmed non-existence; place
+            // the new file on an eligible, online, writable subordinate —
+            // avoiding a server that already refused this client (e.g.
+            // out of space).
+            ServerSet candidates =
+                membership_.EligibleFor(path) & membership_.OnlineSet();
+            ServerSet writable;
+            for (ServerSlot s = candidates.first(); s >= 0;
+                 s = candidates.next(s)) {
+              const auto info = membership_.InfoOf(s);
+              if (info && info->allowWrite) writable.set(s);
+            }
+            ServerSet avoidSet;
+            if (avoid >= 0) avoidSet.set(avoid);
+            const ServerSlot target = selection_.Choose(
+                writable.Without(avoidSet).empty() ? writable
+                                                   : writable.Without(avoidSet),
+                ServerSet::None(), membership_);
+            if (target < 0) {
+              resp.status = proto::XrdStatus::kError;
+              resp.err = proto::XrdErr::kNoSpace;
+            } else {
+              resp.status = proto::XrdStatus::kRedirect;
+              resp.redirectNode = AddrOfSlot(target);
+              ++stats_.redirectsIssued;
+            }
+            break;
+          }
+        }
+        fabric_.Send(config_.addr, from, std::move(resp));
+      });
+}
+
+void ScallaNode::LeafOpen(net::NodeAddr from, const proto::XrdOpen& m) {
+  proto::XrdOpenResp resp;
+  resp.reqId = m.reqId;
+  const AccessMode mode = ModeOf(m.mode);
+  if (mode == AccessMode::kWrite && !config_.allowWrite) {
+    resp.status = proto::XrdStatus::kError;
+    resp.err = proto::XrdErr::kInvalid;
+    resp.message = "read-only server";
+    fabric_.Send(config_.addr, from, std::move(resp));
+    return;
+  }
+
+  switch (storage_->StateOf(m.path)) {
+    case oss::FileState::kOnline: {
+      const std::uint64_t fh = nextHandle_++;
+      openFiles_[fh] = OpenFile{m.path, mode};
+      resp.status = proto::XrdStatus::kOk;
+      resp.fileHandle = fh;
+      ++stats_.opensServed;
+      break;
+    }
+    case oss::FileState::kInMss:
+      ++stats_.stagesStarted;
+      [[fallthrough]];
+    case oss::FileState::kStaging: {
+      // Kick (or poll) the stage and tell the client how long to wait.
+      const auto remaining = storage_->BeginStage(m.path);
+      resp.status = proto::XrdStatus::kWait;
+      const Duration wait = remaining.value_or(config_.stagePollHint);
+      resp.waitNs = std::min(wait, config_.stagePollHint).count();
+      if (resp.waitNs <= 0) resp.waitNs = Duration(std::chrono::milliseconds(1)).count();
+      ++stats_.waitsIssued;
+      break;
+    }
+    case oss::FileState::kAbsent: {
+      if (!m.create) {
+        // The manager's cache vectored the client here in error (timing
+        // edge, deletion race): the client recovers by re-asking the head
+        // with refresh + avoid (section III-C1).
+        resp.status = proto::XrdStatus::kError;
+        resp.err = proto::XrdErr::kNotFound;
+        break;
+      }
+      const proto::XrdErr err = storage_->Create(m.path);
+      if (err != proto::XrdErr::kNone) {
+        resp.status = proto::XrdStatus::kError;
+        resp.err = err;
+        break;
+      }
+      const std::uint64_t fh = nextHandle_++;
+      openFiles_[fh] = OpenFile{m.path, mode};
+      resp.status = proto::XrdStatus::kOk;
+      resp.fileHandle = fh;
+      ++stats_.creates;
+      ++stats_.opensServed;
+      NotifyParentHave(m.path, false);
+      break;
+    }
+  }
+  fabric_.Send(config_.addr, from, std::move(resp));
+}
+
+void ScallaNode::HandleRead(net::NodeAddr from, const proto::XrdRead& m) {
+  proto::XrdReadResp resp;
+  resp.reqId = m.reqId;
+  const auto it = openFiles_.find(m.fileHandle);
+  if (config_.role != NodeRole::kServer || it == openFiles_.end()) {
+    resp.err = proto::XrdErr::kInvalid;
+  } else {
+    resp.err = storage_->Read(it->second.path, m.offset, m.length, &resp.data);
+    ++stats_.reads;
+  }
+  fabric_.Send(config_.addr, from, std::move(resp));
+}
+
+void ScallaNode::HandleReadV(net::NodeAddr from, const proto::XrdReadV& m) {
+  // Vector read: every segment served from one request — the sparse
+  // access pattern ROOT produces, without per-segment round trips.
+  proto::XrdReadVResp resp;
+  resp.reqId = m.reqId;
+  const auto it = openFiles_.find(m.fileHandle);
+  if (config_.role != NodeRole::kServer || it == openFiles_.end()) {
+    resp.err = proto::XrdErr::kInvalid;
+  } else {
+    resp.chunks.reserve(m.segments.size());
+    for (const auto& seg : m.segments) {
+      std::string chunk;
+      const proto::XrdErr err = storage_->Read(it->second.path, seg.offset, seg.length,
+                                               &chunk);
+      if (err != proto::XrdErr::kNone) {
+        resp.err = err;
+        resp.chunks.clear();
+        break;
+      }
+      resp.chunks.push_back(std::move(chunk));
+      ++stats_.reads;
+    }
+  }
+  fabric_.Send(config_.addr, from, std::move(resp));
+}
+
+void ScallaNode::HandleChecksum(net::NodeAddr from, const proto::XrdChecksum& m) {
+  proto::XrdChecksumResp resp;
+  resp.reqId = m.reqId;
+  if (!IsHead()) {
+    // Data server: checksum the whole file content.
+    std::string data;
+    std::uint32_t crc = 0;
+    std::uint64_t offset = 0;
+    proto::XrdErr err = proto::XrdErr::kNone;
+    for (;;) {
+      err = storage_->Read(m.path, offset, 1 << 16, &data);
+      if (err != proto::XrdErr::kNone || data.empty()) break;
+      crc = util::Crc32(data, crc);
+      offset += data.size();
+    }
+    if (err != proto::XrdErr::kNone && offset == 0) {
+      resp.status = proto::XrdStatus::kError;
+      resp.err = err;
+    } else {
+      resp.status = proto::XrdStatus::kOk;
+      resp.crc32 = crc;
+    }
+    fabric_.Send(config_.addr, from, std::move(resp));
+    return;
+  }
+  // Head: redirect like any meta-data operation.
+  cms::LocateOptions opts;
+  resolver_.Locate(m.path, opts,
+                   [this, from, reqId = m.reqId](const LocateResult& r) {
+                     proto::XrdChecksumResp out;
+                     out.reqId = reqId;
+                     switch (r.status) {
+                       case LocateStatus::kRedirect:
+                         out.status = proto::XrdStatus::kRedirect;
+                         out.redirectNode = AddrOfSlot(r.server);
+                         break;
+                       case LocateStatus::kWait:
+                         out.status = proto::XrdStatus::kWait;
+                         out.waitNs = r.wait.count();
+                         break;
+                       default:
+                         out.status = proto::XrdStatus::kError;
+                         out.err = r.status == LocateStatus::kRetry
+                                       ? proto::XrdErr::kStale
+                                       : proto::XrdErr::kNotFound;
+                     }
+                     fabric_.Send(config_.addr, from, std::move(out));
+                   });
+}
+
+void ScallaNode::HandleWrite(net::NodeAddr from, const proto::XrdWrite& m) {
+  proto::XrdWriteResp resp;
+  resp.reqId = m.reqId;
+  const auto it = openFiles_.find(m.fileHandle);
+  if (config_.role != NodeRole::kServer || it == openFiles_.end()) {
+    resp.err = proto::XrdErr::kInvalid;
+  } else if (it->second.mode != AccessMode::kWrite) {
+    resp.err = proto::XrdErr::kInvalid;
+  } else {
+    resp.err = storage_->Write(it->second.path, m.offset, m.data);
+    resp.written = resp.err == proto::XrdErr::kNone
+                       ? static_cast<std::uint32_t>(m.data.size())
+                       : 0;
+    ++stats_.writes;
+  }
+  fabric_.Send(config_.addr, from, std::move(resp));
+}
+
+void ScallaNode::HandleClose(net::NodeAddr from, const proto::XrdClose& m) {
+  proto::XrdCloseResp resp;
+  resp.reqId = m.reqId;
+  resp.err = openFiles_.erase(m.fileHandle) != 0 ? proto::XrdErr::kNone
+                                                 : proto::XrdErr::kInvalid;
+  fabric_.Send(config_.addr, from, std::move(resp));
+}
+
+void ScallaNode::HandleStat(net::NodeAddr from, const proto::XrdStat& m) {
+  proto::XrdStatResp resp;
+  resp.reqId = m.reqId;
+  if (!IsHead()) {
+    const auto info = storage_->Stat(m.path);
+    if (info.has_value()) {
+      resp.status = proto::XrdStatus::kOk;
+      resp.size = info->size;
+    } else {
+      resp.status = proto::XrdStatus::kError;
+      resp.err = proto::XrdErr::kNotFound;
+    }
+    fabric_.Send(config_.addr, from, std::move(resp));
+    return;
+  }
+  cms::LocateOptions opts;  // stat is a read-mode meta-data operation
+  resolver_.Locate(m.path, opts,
+                   [this, from, reqId = m.reqId](const LocateResult& r) {
+                     proto::XrdStatResp out;
+                     out.reqId = reqId;
+                     switch (r.status) {
+                       case LocateStatus::kRedirect:
+                         out.status = proto::XrdStatus::kRedirect;
+                         out.redirectNode = AddrOfSlot(r.server);
+                         break;
+                       case LocateStatus::kWait:
+                         out.status = proto::XrdStatus::kWait;
+                         out.waitNs = r.wait.count();
+                         break;
+                       default:
+                         out.status = proto::XrdStatus::kError;
+                         out.err = r.status == LocateStatus::kRetry
+                                       ? proto::XrdErr::kStale
+                                       : proto::XrdErr::kNotFound;
+                     }
+                     fabric_.Send(config_.addr, from, std::move(out));
+                   });
+}
+
+void ScallaNode::HandleUnlink(net::NodeAddr from, const proto::XrdUnlink& m) {
+  proto::XrdUnlinkResp resp;
+  resp.reqId = m.reqId;
+  if (!IsHead()) {
+    const proto::XrdErr err = storage_->Unlink(m.path);
+    resp.status = err == proto::XrdErr::kNone ? proto::XrdStatus::kOk
+                                              : proto::XrdStatus::kError;
+    resp.err = err;
+    if (err == proto::XrdErr::kNone) {
+      for (const net::NodeAddr parent : parents_) {
+        fabric_.Send(config_.addr, parent, proto::CmsGone{m.path});
+      }
+      if (config_.cnsd != 0) {
+        fabric_.Send(config_.addr, config_.cnsd, proto::CmsGone{m.path});
+      }
+    }
+    fabric_.Send(config_.addr, from, std::move(resp));
+    return;
+  }
+  cms::LocateOptions opts;
+  resolver_.Locate(m.path, opts,
+                   [this, from, reqId = m.reqId](const LocateResult& r) {
+                     proto::XrdUnlinkResp out;
+                     out.reqId = reqId;
+                     switch (r.status) {
+                       case LocateStatus::kRedirect:
+                         out.status = proto::XrdStatus::kRedirect;
+                         out.redirectNode = AddrOfSlot(r.server);
+                         break;
+                       case LocateStatus::kWait:
+                         out.status = proto::XrdStatus::kWait;
+                         out.waitNs = r.wait.count();
+                         break;
+                       default:
+                         out.status = proto::XrdStatus::kError;
+                         out.err = r.status == LocateStatus::kRetry
+                                       ? proto::XrdErr::kStale
+                                       : proto::XrdErr::kNotFound;
+                     }
+                     fabric_.Send(config_.addr, from, std::move(out));
+                   });
+}
+
+void ScallaNode::HandlePrepare(net::NodeAddr from, const proto::XrdPrepare& m) {
+  // Parallel prepare (section III-B2): spawn one background look-up per
+  // file; each may suffer the full delay internally, but the client sees
+  // at most one because they run concurrently.
+  if (IsHead()) {
+    cms::LocateOptions opts;
+    opts.mode = ModeOf(m.mode);
+    for (const auto& path : m.paths) {
+      resolver_.Locate(path, opts, [](const LocateResult&) { /* warming only */ });
+    }
+  } else {
+    for (const auto& path : m.paths) storage_->BeginStage(path);
+  }
+  proto::XrdPrepareResp resp;
+  resp.reqId = m.reqId;
+  fabric_.Send(config_.addr, from, std::move(resp));
+}
+
+}  // namespace scalla::xrd

@@ -1,0 +1,186 @@
+// A Scalla node: the xrootd data/redirector server paired with its cmsd,
+// modeled as one object with two protocol roles (the paper's systems are
+// "symmetric in that for each xrootd there is a corresponding cmsd").
+//
+// Roles (paper section II-B):
+//   kManager    — a cluster head: accepts subordinate logins, resolves
+//                 client requests, redirects clients downward.
+//   kSupervisor — a manager for its subtree AND a server to its parent:
+//                 answers parent CmsQuery by resolving within its subtree,
+//                 compressing multiple subordinate responses into a single
+//                 "I have it"; redirects clients that reach it further down.
+//   kServer     — a leaf: answers CmsQuery from its storage (oss), serves
+//                 actual file I/O, stages MSS-resident files.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cms/location_cache.h"
+#include "cms/membership.h"
+#include "cms/resolver.h"
+#include "cms/response_queue.h"
+#include "cms/selection.h"
+#include "cms/types.h"
+#include "net/fabric.h"
+#include "oss/oss.h"
+#include "sched/executor.h"
+
+namespace scalla::xrd {
+
+enum class NodeRole { kManager, kSupervisor, kServer };
+
+struct NodeConfig {
+  NodeRole role = NodeRole::kServer;
+  std::string name;              // stable identity, e.g. "server07"
+  net::NodeAddr addr = 0;
+  net::NodeAddr parent = 0;      // 0 = none (manager)
+  // Additional redundant heads. "Clients first contact the logical head
+  // node (which can be one of many)" and "every node in the cluster can
+  // be replicated" (paper sections II-B1/II-B2): a subordinate logs into
+  // ALL of its heads so each keeps an independent location view and any
+  // of them can serve clients.
+  std::vector<net::NodeAddr> extraParents;
+  std::vector<std::string> exports{"/"};
+  cms::CmsConfig cms;
+  cms::SelectCriterion selection = cms::SelectCriterion::kRoundRobin;
+  bool allowWrite = true;
+  bool alwaysRespond = false;    // E06 baseline: emit explicit CmsNoHave
+  bool startTimers = true;       // window tick / sweep / drop scan
+  net::NodeAddr cnsd = 0;        // Cluster Name Space daemon to notify (0 = none)
+  Duration loginRetry = std::chrono::seconds(2);
+  Duration stagePollHint = std::chrono::seconds(5);  // wait we hand staging clients
+  // Periodic load/space reports to parents (selection metrics, paper
+  // section II-B3). Zero disables; tests may call ReportLoad directly.
+  Duration loadReportInterval = Duration::zero();
+  std::uint64_t assumedCapacity = std::uint64_t{1} << 40;  // 1 TB default
+};
+
+class ScallaNode : public net::MessageSink {
+ public:
+  /// `storage` is required for kServer, ignored otherwise. The node does
+  /// not own it (workloads pre-populate and inspect it).
+  ScallaNode(NodeConfig config, sched::Executor& executor, net::Fabric& fabric,
+             oss::Oss* storage);
+  ~ScallaNode() override;
+
+  ScallaNode(const ScallaNode&) = delete;
+  ScallaNode& operator=(const ScallaNode&) = delete;
+
+  /// Logs into the parent (if any) and starts maintenance timers.
+  void Start();
+  /// Cancels timers; the node stops answering (used before teardown).
+  void Stop();
+
+  // net::MessageSink
+  void OnMessage(net::NodeAddr from, proto::Message message) override;
+  void OnPeerDown(net::NodeAddr peer) override;
+
+  // ---- introspection (tests / benches / examples) ----
+  const NodeConfig& config() const { return config_; }
+  /// Logged into every configured parent?
+  bool LoggedIn() const;
+  bool LoggedInTo(net::NodeAddr parent) const;
+  const std::vector<net::NodeAddr>& Parents() const { return parents_; }
+  cms::Membership& membership() { return membership_; }
+  cms::LocationCache& cache() { return cache_; }
+  cms::Resolver& resolver() { return resolver_; }
+  cms::FastResponseQueue& respq() { return respq_; }
+  oss::Oss* storage() { return storage_; }
+  net::NodeAddr AddrOfSlot(ServerSlot slot) const;
+  std::optional<ServerSlot> SlotOfAddr(net::NodeAddr addr) const;
+
+  struct Stats {
+    std::uint64_t opensServed = 0;      // leaf opens completed
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t queriesAnswered = 0;  // CmsHave sent
+    std::uint64_t queriesSilent = 0;    // non-responses (rarely-respond)
+    std::uint64_t redirectsIssued = 0;
+    std::uint64_t waitsIssued = 0;
+    std::uint64_t stagesStarted = 0;
+    std::uint64_t creates = 0;
+  };
+  Stats GetStats() const { return stats_; }
+
+  /// Sends a load/space report to the parent (selection metrics).
+  void ReportLoad(std::uint32_t load, std::uint64_t freeSpace);
+
+  /// Multi-line human-readable status (role, membership, cache, resolver,
+  /// response-queue counters) for operator tooling and logs.
+  std::string DescribeStatus() const;
+
+ private:
+  bool IsHead() const { return config_.role != NodeRole::kServer; }
+
+  // cms message handlers
+  void HandleLogin(net::NodeAddr from, const proto::CmsLogin& m);
+  void HandleLoginResp(net::NodeAddr from, const proto::CmsLoginResp& m);
+  void HandleQuery(net::NodeAddr from, const proto::CmsQuery& m);
+  void HandleHave(net::NodeAddr from, const proto::CmsHave& m);
+  void HandleGone(net::NodeAddr from, const proto::CmsGone& m);
+  void HandleLoad(net::NodeAddr from, const proto::CmsLoad& m);
+
+  // xrd message handlers
+  void HandleOpen(net::NodeAddr from, const proto::XrdOpen& m);
+  void HandleRead(net::NodeAddr from, const proto::XrdRead& m);
+  void HandleReadV(net::NodeAddr from, const proto::XrdReadV& m);
+  void HandleChecksum(net::NodeAddr from, const proto::XrdChecksum& m);
+  void HandleWrite(net::NodeAddr from, const proto::XrdWrite& m);
+  void HandleClose(net::NodeAddr from, const proto::XrdClose& m);
+  void HandleStat(net::NodeAddr from, const proto::XrdStat& m);
+  void HandleUnlink(net::NodeAddr from, const proto::XrdUnlink& m);
+  void HandlePrepare(net::NodeAddr from, const proto::XrdPrepare& m);
+
+  // role-specific pieces
+  void HeadOpen(net::NodeAddr from, const proto::XrdOpen& m);
+  void LeafOpen(net::NodeAddr from, const proto::XrdOpen& m);
+  void SendLogins();
+  void SendLoginTo(net::NodeAddr parent);
+  bool IsParent(net::NodeAddr addr) const;
+  void SendQueryDown(ServerSet targets, const std::string& path, std::uint32_t hash,
+                     cms::AccessMode mode);
+  void NotifyParentHave(const std::string& path, bool pending);
+  void StartSweepTimer();
+
+  NodeConfig config_;
+  sched::Executor& executor_;
+  net::Fabric& fabric_;
+  oss::Oss* storage_;
+
+  cms::Membership membership_;
+  cms::LocationCache cache_;
+  cms::FastResponseQueue respq_;
+  cms::SelectionPolicy selection_;
+  cms::Resolver resolver_;
+
+  // slot <-> fabric address maps for subordinates
+  std::array<net::NodeAddr, kMaxServersPerSet> slotAddr_{};
+  std::unordered_map<net::NodeAddr, ServerSlot> addrSlot_;
+
+  bool started_ = false;
+  std::vector<net::NodeAddr> parents_;  // config_.parent + extraParents
+  std::unordered_map<net::NodeAddr, ServerSlot> slotAtParent_;  // logged-in only
+
+  // leaf open-file table
+  struct OpenFile {
+    std::string path;
+    cms::AccessMode mode = cms::AccessMode::kRead;
+  };
+  std::unordered_map<std::uint64_t, OpenFile> openFiles_;
+  std::uint64_t nextHandle_ = 1;
+
+  sched::TimerId windowTimer_ = sched::kInvalidTimer;
+  sched::TimerId sweepTimer_ = sched::kInvalidTimer;
+  sched::TimerId dropTimer_ = sched::kInvalidTimer;
+  sched::TimerId loginTimer_ = sched::kInvalidTimer;
+  sched::TimerId loadTimer_ = sched::kInvalidTimer;
+
+  Stats stats_;
+};
+
+}  // namespace scalla::xrd

@@ -1,0 +1,195 @@
+// Tests for the baseline apparatus used by the comparison experiments:
+// sizing-policy hash tables (E01), full-scan TTL eviction (E04),
+// re-chaining policies (E09), and the GFS-style central directory (E12).
+#include <gtest/gtest.h>
+
+#include "baseline/central_directory.h"
+#include "baseline/chained_table.h"
+#include "baseline/full_scan_cache.h"
+#include "baseline/window_chains.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace scalla::baseline {
+namespace {
+
+// ---------------------------------------------------------- ChainedTable
+
+class ChainedTableTest : public ::testing::TestWithParam<SizingPolicy> {};
+
+TEST_P(ChainedTableTest, PutGetEraseAcrossGrowth) {
+  ChainedTable table(GetParam(), 89);
+  for (int i = 0; i < 5000; ++i) {
+    table.Put(util::MakeFilePath(i / 100, i % 100), static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(table.Size(), 5000u);
+  EXPECT_GT(table.Rehashes(), 0u);
+  for (int i = 0; i < 5000; ++i) {
+    std::uint64_t v = 0;
+    ASSERT_TRUE(table.Get(util::MakeFilePath(i / 100, i % 100), &v)) << i;
+    EXPECT_EQ(v, static_cast<std::uint64_t>(i));
+  }
+  std::uint64_t v = 0;
+  EXPECT_FALSE(table.Get("/absent", &v));
+
+  EXPECT_TRUE(table.Erase(util::MakeFilePath(0, 0)));
+  EXPECT_FALSE(table.Erase(util::MakeFilePath(0, 0)));
+  EXPECT_FALSE(table.Get(util::MakeFilePath(0, 0), &v));
+  EXPECT_EQ(table.Size(), 4999u);
+}
+
+TEST_P(ChainedTableTest, OverwriteKeepsSize) {
+  ChainedTable table(GetParam(), 89);
+  table.Put("/k", 1);
+  table.Put("/k", 2);
+  EXPECT_EQ(table.Size(), 1u);
+  std::uint64_t v = 0;
+  table.Get("/k", &v);
+  EXPECT_EQ(v, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ChainedTableTest,
+                         ::testing::Values(SizingPolicy::kFibonacci,
+                                           SizingPolicy::kPowerOfTwo,
+                                           SizingPolicy::kPrime));
+
+TEST(ChainedTableStatsTest, ChainStatsConsistent) {
+  ChainedTable table(SizingPolicy::kFibonacci, 89);
+  for (int i = 0; i < 1000; ++i) table.Put("/f" + std::to_string(i), 0);
+  const auto stats = table.GetChainStats();
+  EXPECT_EQ(stats.collisions + (table.Buckets() - stats.emptyBuckets),
+            table.Size());  // first-of-bucket + collisions = entries
+  EXPECT_GE(stats.maxChain, 1u);
+}
+
+// --------------------------------------------------------- FullScanCache
+
+TEST(FullScanCacheTest, TtlExpiryNeedsScan) {
+  util::ManualClock clock;
+  FullScanCache cache(clock, std::chrono::minutes(10));
+  cache.Put("/a", 1);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(cache.Get("/a", &v));
+
+  clock.Advance(std::chrono::minutes(11));
+  EXPECT_FALSE(cache.Get("/a", &v));  // expired even before the scan
+  EXPECT_EQ(cache.Size(), 1u);        // ...but still occupying memory
+
+  std::size_t touched = 0;
+  EXPECT_EQ(cache.ScanAndEvict(&touched), 1u);
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_EQ(touched, 1u);
+}
+
+TEST(FullScanCacheTest, ScanTouchesWholeCacheForTinyExpiry) {
+  // The design flaw E04 quantifies: evicting 1% of entries costs a scan
+  // over 100%.
+  util::ManualClock clock;
+  FullScanCache cache(clock, std::chrono::minutes(64));
+  for (int i = 0; i < 990; ++i) cache.Put("/old" + std::to_string(i), 0);
+  clock.Advance(std::chrono::minutes(63));
+  for (int i = 0; i < 10; ++i) cache.Put("/new" + std::to_string(i), 0);
+  clock.Advance(std::chrono::minutes(2));  // only the old 990 expired
+
+  std::size_t touched = 0;
+  EXPECT_EQ(cache.ScanAndEvict(&touched), 990u);
+  EXPECT_EQ(touched, 1000u);
+  EXPECT_EQ(cache.Size(), 10u);
+}
+
+TEST(FullScanCacheTest, PutRefreshesTtl) {
+  util::ManualClock clock;
+  FullScanCache cache(clock, std::chrono::minutes(10));
+  cache.Put("/a", 1);
+  clock.Advance(std::chrono::minutes(9));
+  cache.Put("/a", 2);
+  clock.Advance(std::chrono::minutes(9));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(cache.Get("/a", &v));
+  EXPECT_EQ(v, 2u);
+}
+
+// ---------------------------------------------------------- WindowChains
+
+TEST(WindowChainsTest, PurgeFreesOwnWindowOnly) {
+  WindowChains chains(RechainPolicy::kDeferred);
+  chains.Add(5);
+  chains.Add(5);
+  const auto other = chains.Add(9);
+  EXPECT_EQ(chains.Purge(5), 2u);
+  EXPECT_EQ(chains.SizeOf(5), 0u);
+  EXPECT_EQ(chains.SizeOf(9), 1u);
+  (void)other;
+}
+
+TEST(WindowChainsTest, DeferredRefreshSurvivesPurgeAndRechains) {
+  WindowChains chains(RechainPolicy::kDeferred);
+  const auto id = chains.Add(5);
+  chains.Refresh(id, 20);
+  EXPECT_EQ(chains.SizeOf(5), 1u);  // physically still on the old chain
+  EXPECT_EQ(chains.Purge(5), 0u);   // not freed: T_a says window 20
+  EXPECT_EQ(chains.SizeOf(20), 1u); // re-chained in the purge pass
+  EXPECT_EQ(chains.Purge(20), 1u);
+}
+
+TEST(WindowChainsTest, ImmediateRefreshMovesNow) {
+  WindowChains chains(RechainPolicy::kImmediate);
+  const auto id = chains.Add(5);
+  chains.Refresh(id, 20);
+  EXPECT_EQ(chains.SizeOf(5), 0u);
+  EXPECT_EQ(chains.SizeOf(20), 1u);
+}
+
+TEST(WindowChainsTest, DeferredCostsLinearImmediateQuadratic) {
+  // N objects in one window, each refreshed once: deferred traversals stay
+  // O(N); immediate pays the chain search per refresh, O(N^2) in total.
+  constexpr int kN = 2000;
+  WindowChains deferred(RechainPolicy::kDeferred);
+  WindowChains immediate(RechainPolicy::kImmediate);
+  std::vector<std::uint64_t> dIds, iIds;
+  for (int i = 0; i < kN; ++i) {
+    dIds.push_back(deferred.Add(0));
+    iIds.push_back(immediate.Add(0));
+  }
+  deferred.ResetTraversals();
+  immediate.ResetTraversals();
+  // Refresh in insertion order: each immediate unlink walks the chain.
+  for (int i = 0; i < kN; ++i) {
+    deferred.Refresh(dIds[static_cast<std::size_t>(i)], 1);
+    immediate.Refresh(iIds[static_cast<std::size_t>(i)], 1);
+  }
+  deferred.Purge(0);  // the single linear pass
+  const auto deferredCost = deferred.Traversals();
+  const auto immediateCost = immediate.Traversals();
+  EXPECT_LE(deferredCost, static_cast<std::uint64_t>(2 * kN));
+  EXPECT_GT(immediateCost, static_cast<std::uint64_t>(kN) * kN / 4);
+}
+
+// ----------------------------------------------------- CentralDirectory
+
+TEST(CentralDirectoryTest, RegistrationCostScalesWithManifest) {
+  CentralDirectory dir;
+  std::vector<std::string> manifest;
+  for (int i = 0; i < 1000; ++i) manifest.push_back(util::MakeFilePath(1, i));
+  const std::uint64_t bytes = dir.RegisterServer(0, manifest);
+  EXPECT_GT(bytes, 1000u * 30);  // every path shipped over the wire
+  EXPECT_EQ(dir.EntryCount(), 1000u);
+
+  EXPECT_EQ(dir.Locate(manifest[7]), ServerSet::Single(0));
+  EXPECT_TRUE(dir.Locate("/absent").empty());
+}
+
+TEST(CentralDirectoryTest, MultiServerReplicasAndDeregister) {
+  CentralDirectory dir;
+  dir.RegisterServer(0, {"/a", "/b"});
+  dir.RegisterServer(1, {"/b", "/c"});
+  EXPECT_EQ(dir.Locate("/b").count(), 2);
+  const std::size_t touched = dir.DeregisterServer(0);
+  EXPECT_EQ(touched, 2u);
+  EXPECT_TRUE(dir.Locate("/a").empty());
+  EXPECT_EQ(dir.Locate("/b"), ServerSet::Single(1));
+  EXPECT_EQ(dir.EntryCount(), 2u);  // "/a" pruned
+}
+
+}  // namespace
+}  // namespace scalla::baseline

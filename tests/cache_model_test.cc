@@ -1,0 +1,234 @@
+// Model-based cross-validation of the location cache: a deliberately
+// simple reference implementation (hash map + per-entry state, no slabs,
+// no windows, no memoisation) executes the same random operation sequence
+// — lookups, server responses, refreshes, membership churn, window ticks
+// — and every fetch's V_h/V_p/V_q must match the real cache bit for bit.
+// This checks the Figure-3 correction algebra, the offline shift, and the
+// window lifetime against an independent encoding of the paper's rules.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cms/correction_state.h"
+#include "cms/location_cache.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace scalla::cms {
+namespace {
+
+// Reference model of one location object.
+struct ModelEntry {
+  ServerSet vh, vp, vq;
+  std::uint64_t cn = 0;
+  std::uint64_t expiresAtTick = 0;  // tick index at which it gets hidden
+};
+
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(const CorrectionState& corrections)
+      : corrections_(corrections) {}
+
+  // Mirrors LocationCache::Lookup with kCreate.
+  LocInfo Lookup(const std::string& path, ServerSet vm, ServerSet offline) {
+    auto it = entries_.find(path);
+    if (it == entries_.end()) {
+      ModelEntry e;
+      e.vq = vm;
+      e.cn = corrections_.Epoch();
+      e.expiresAtTick = tick_ + 64;
+      it = entries_.emplace(path, e).first;
+      return LocInfo{it->second.vh, it->second.vp, it->second.vq};
+    }
+    ModelEntry& e = it->second;
+    // Figure 3.
+    if (e.cn != corrections_.Epoch()) {
+      const ServerSet vc = corrections_.CorrectionSince(e.cn);
+      e.vq = (e.vq | vc) & vm;
+      e.vh = e.vh.Without(e.vq) & vm;
+      e.vp = e.vp.Without(e.vq) & vm;
+      e.cn = corrections_.Epoch();
+    }
+    const ServerSet off = offline & (e.vh | e.vp) & vm;
+    e.vq |= off;
+    e.vh = e.vh.Without(off);
+    e.vp = e.vp.Without(off);
+    return LocInfo{e.vh, e.vp, e.vq};
+  }
+
+  void BeginQuery(const std::string& path, ServerSet queried) {
+    const auto it = entries_.find(path);
+    if (it != entries_.end()) it->second.vq = it->second.vq.Without(queried);
+  }
+
+  void AddLocation(const std::string& path, ServerSlot server, bool pending) {
+    const auto it = entries_.find(path);
+    if (it == entries_.end()) return;
+    ModelEntry& e = it->second;
+    e.vq.reset(server);
+    if (pending) {
+      e.vp.set(server);
+    } else {
+      e.vh.set(server);
+      e.vp.reset(server);
+    }
+  }
+
+  void Refresh(const std::string& path, ServerSet vm) {
+    const auto it = entries_.find(path);
+    if (it == entries_.end()) return;
+    ModelEntry& e = it->second;
+    e.vh = ServerSet::None();
+    e.vp = ServerSet::None();
+    e.vq = vm;
+    e.cn = corrections_.Epoch();
+    e.expiresAtTick = tick_ + 64;
+  }
+
+  void RemoveLocation(const std::string& path, ServerSlot server) {
+    const auto it = entries_.find(path);
+    if (it == entries_.end()) return;
+    it->second.vh.reset(server);
+    it->second.vp.reset(server);
+  }
+
+  void Tick() {
+    ++tick_;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.expiresAtTick <= tick_) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  bool Contains(const std::string& path) const { return entries_.count(path) != 0; }
+  std::size_t Size() const { return entries_.size(); }
+
+ private:
+  const CorrectionState& corrections_;
+  std::map<std::string, ModelEntry> entries_;
+  std::uint64_t tick_ = 0;
+};
+
+class CacheModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheModelTest, RandomOpsAgreeWithReference) {
+  CmsConfig config;
+  util::ManualClock clock;
+  CorrectionState corrections;
+  ServerSet vm;
+  for (int s = 0; s < 6; ++s) {
+    corrections.OnConnect(s);
+    vm.set(s);
+  }
+  LocationCache cache(config, clock, corrections);
+  ReferenceModel model(corrections);
+  util::Rng rng(GetParam());
+
+  ServerSet offline;
+  int nextSlot = 6;
+
+  const auto pathOf = [](std::uint64_t i) { return "/f/" + std::to_string(i); };
+
+  for (int step = 0; step < 30000; ++step) {
+    const std::string path = pathOf(rng.NextBelow(300));
+    switch (rng.NextBelow(12)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // lookup/create and compare state
+        const auto real =
+            cache.Lookup(path, vm, offline, LocationCache::AddPolicy::kCreate);
+        const LocInfo ref = model.Lookup(path, vm, offline);
+        ASSERT_EQ(real.info.have.bits(), ref.have.bits())
+            << "step " << step << " path " << path;
+        ASSERT_EQ(real.info.pending.bits(), ref.pending.bits())
+            << "step " << step << " path " << path;
+        ASSERT_EQ(real.info.query.bits(), ref.query.bits())
+            << "step " << step << " path " << path;
+        break;
+      }
+      case 4:
+      case 5: {  // server response
+        const auto slot = static_cast<ServerSlot>(rng.NextBelow(6));
+        const bool pending = rng.NextBool(0.25);
+        cache.AddLocation(path, LocationCache::HashOf(path), slot, pending, true);
+        model.AddLocation(path, slot, pending);
+        break;
+      }
+      case 6: {  // begin query on a fresh ref
+        const auto r =
+            cache.Lookup(path, vm, offline, LocationCache::AddPolicy::kFindOnly);
+        if (r.found) {
+          const LocInfo ref = model.Lookup(path, vm, offline);  // keep in sync
+          const ServerSet toQuery = ref.query & ~offline;
+          cache.BeginQuery(r.ref, toQuery, clock.Now() + config.deadline);
+          model.BeginQuery(path, toQuery);
+        }
+        break;
+      }
+      case 7: {  // refresh
+        const auto r =
+            cache.Lookup(path, vm, offline, LocationCache::AddPolicy::kFindOnly);
+        if (r.found) {
+          model.Lookup(path, vm, offline);  // mirror the fetch side effects
+          cache.Refresh(r.ref, vm, clock.Now() + config.deadline);
+          model.Refresh(path, vm);
+        }
+        break;
+      }
+      case 8: {  // remove a location (same slot on both sides)
+        const auto slot = static_cast<ServerSlot>(rng.NextBelow(6));
+        cache.RemoveLocation(path, slot);
+        model.RemoveLocation(path, slot);
+        break;
+      }
+      case 9: {  // membership churn: a new server joins (epoch moves)
+        if (rng.NextBool(0.3) && nextSlot < kMaxServersPerSet) {
+          corrections.OnConnect(nextSlot);
+          vm.set(nextSlot);
+          ++nextSlot;
+        }
+        break;
+      }
+      case 10: {  // offline flapping
+        const ServerSlot s = static_cast<ServerSlot>(rng.NextBelow(6));
+        if (offline.test(s)) {
+          offline.reset(s);
+        } else if (rng.NextBool(0.3)) {
+          offline.set(s);
+        }
+        break;
+      }
+      case 11: {  // window tick
+        clock.Advance(config.WindowTick());
+        auto purge = cache.OnWindowTick();
+        if (purge) purge();
+        model.Tick();
+        break;
+      }
+    }
+  }
+
+  // Final agreement sweep over every possible path.
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const std::string path = pathOf(i);
+    const auto real =
+        cache.Lookup(path, vm, offline, LocationCache::AddPolicy::kFindOnly);
+    ASSERT_EQ(real.found, model.Contains(path)) << path;
+    if (real.found) {
+      const LocInfo ref = model.Lookup(path, vm, offline);
+      EXPECT_EQ(real.info.have.bits(), ref.have.bits()) << path;
+      EXPECT_EQ(real.info.pending.bits(), ref.pending.bits()) << path;
+      EXPECT_EQ(real.info.query.bits(), ref.query.bits()) << path;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheModelTest,
+                         ::testing::Values(1, 7, 42, 1234, 987654));
+
+}  // namespace
+}  // namespace scalla::cms

@@ -1,0 +1,139 @@
+// Chaos and capacity tests: the recoverability story (§VI) under
+// sustained abuse — servers crash and return mid-workload, servers fill
+// up and refuse creations — while clients keep making progress through
+// the standard recovery rules, with no persistent state anywhere.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/workload.h"
+
+namespace scalla::sim {
+namespace {
+
+using cms::AccessMode;
+
+TEST(ChaosTest, WorkloadSurvivesCrashRestartCycles) {
+  ClusterSpec spec;
+  spec.servers = 8;
+  spec.cms.deadline = std::chrono::milliseconds(400);
+  spec.cms.dropDelay = std::chrono::minutes(30);  // crashes stay "offline"
+  SimCluster cluster(spec);
+  cluster.Start();
+
+  // Every file is on >= 2 servers, so one crash never removes the data.
+  util::Rng rng(0xC4A05);
+  const auto paths = PopulateFiles(cluster, 60, 2, rng);
+  auto& client = cluster.NewClient();
+
+  std::size_t ok = 0, failed = 0;
+  for (int round = 0; round < 12; ++round) {
+    // Crash one random server; restart the previous victim.
+    const std::size_t victim = rng.NextBelow(cluster.ServerCount());
+    cluster.CrashServer(victim);
+    cluster.engine().RunUntilIdle();
+
+    for (int i = 0; i < 20; ++i) {
+      const auto& path = paths[rng.NextBelow(paths.size())];
+      const auto open = cluster.OpenAndWait(client, path, AccessMode::kRead, false,
+                                            std::chrono::minutes(2));
+      if (open.err == proto::XrdErr::kNone) {
+        ++ok;
+        // Never redirected to the dead server.
+        EXPECT_NE(open.file.node, cluster.server(victim).config().addr);
+        std::optional<proto::XrdErr> closed;
+        client.Close(open.file, [&closed](proto::XrdErr e) { closed = e; });
+        cluster.engine().RunUntilIdle();
+      } else {
+        ++failed;
+      }
+    }
+    cluster.RestartServer(victim);
+    cluster.engine().RunFor(std::chrono::seconds(5));  // re-login settles
+    EXPECT_EQ(cluster.head().membership().OnlineSet().count(), 8);
+  }
+  // With 2x replication and single-victim crashes, everything is servable.
+  EXPECT_EQ(failed, 0u);
+  EXPECT_EQ(ok, 12u * 20u);
+}
+
+TEST(ChaosTest, ConcurrentCrashDuringResolution) {
+  // A server dies between answering the location query and serving the
+  // open: the client recovers through refresh/avoid onto the replica.
+  ClusterSpec spec;
+  spec.servers = 3;
+  spec.cms.deadline = std::chrono::milliseconds(400);
+  SimCluster cluster(spec);
+  cluster.Start();
+  cluster.PlaceFile(0, "/store/f", "x");
+  cluster.PlaceFile(1, "/store/f", "x");
+  auto& client = cluster.NewClient();
+  // Warm the cache, then kill whichever server the NEXT redirect picks by
+  // crashing both candidates alternately across iterations.
+  cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+
+  cluster.CrashServer(0);
+  // Do NOT let the manager hear about it: the cache still lists server 0
+  // online until a send fails — the timing edge the refresh path covers.
+  for (int i = 0; i < 4; ++i) {
+    const auto open = cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false,
+                                          std::chrono::minutes(2));
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    EXPECT_EQ(open.file.node, cluster.server(1).config().addr);
+  }
+}
+
+TEST(ChaosTest, FullServerCreationFailsOverToEmptyOne) {
+  // Build a 2-server cluster manually so one leaf has a tiny capacity.
+  ClusterSpec spec;
+  spec.servers = 2;
+  spec.cms.deadline = std::chrono::milliseconds(300);
+  SimCluster cluster(spec);
+  cluster.Start();
+
+  // Replace leaf 0's storage view by filling it beyond a pretend quota:
+  // simplest honest setup — a dedicated capacity-limited node.
+  oss::MemOss fullStorage(cluster.engine().clock(), /*capacityBytes=*/8);
+  fullStorage.Put("/store/existing", "12345678");  // at capacity
+  xrd::NodeConfig cfg = cluster.server(0).config();
+  cfg.addr = 700;
+  cfg.name = "fullserver";
+  xrd::ScallaNode fullNode(cfg, cluster.engine(), cluster.fabric(), &fullStorage);
+  cluster.fabric().Register(700, &fullNode);
+  fullNode.Start();
+  cluster.engine().RunUntilIdle();
+  ASSERT_TRUE(fullNode.LoggedIn());
+
+  // Force placement onto the full server first: round-robin will hit it
+  // for some creations; every PutFile must still succeed via recovery.
+  auto& client = cluster.NewClient();
+  int recoveries = 0;
+  for (int i = 0; i < 6; ++i) {
+    const std::string path = "/store/new" + std::to_string(i);
+    const auto open = cluster.OpenAndWait(client, path, AccessMode::kWrite, true,
+                                          std::chrono::minutes(2));
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << path;
+    EXPECT_NE(open.file.node, 700u) << path;  // never lands on the full one
+    recoveries += open.recoveries;
+    std::optional<proto::XrdErr> closed;
+    client.Close(open.file, [&closed](proto::XrdErr e) { closed = e; });
+    cluster.engine().RunUntilIdle();
+  }
+  // At least one creation was bounced by the full server and recovered.
+  EXPECT_GE(recoveries, 1);
+  EXPECT_EQ(fullStorage.FileCount(), 1u);  // nothing new squeezed in
+}
+
+TEST(ChaosTest, CapacityEnforcedOnWriteGrowth) {
+  util::ManualClock clock;
+  oss::MemOss fs(clock, /*capacityBytes=*/10);
+  ASSERT_EQ(fs.Create("/f"), proto::XrdErr::kNone);
+  EXPECT_EQ(fs.Write("/f", 0, "1234567890"), proto::XrdErr::kNone);   // exactly fits
+  EXPECT_EQ(fs.Write("/f", 10, "x"), proto::XrdErr::kNoSpace);        // would grow
+  EXPECT_EQ(fs.Write("/f", 0, "overwrite!"), proto::XrdErr::kNone);   // in place ok
+  EXPECT_EQ(fs.Create("/g"), proto::XrdErr::kNoSpace);
+  ASSERT_EQ(fs.Unlink("/f"), proto::XrdErr::kNone);
+  EXPECT_EQ(fs.Create("/g"), proto::XrdErr::kNone);  // space reclaimed
+}
+
+}  // namespace
+}  // namespace scalla::sim

@@ -1,0 +1,213 @@
+// Tests for the extended client/protocol surface: vector reads, checksum
+// queries, the namespace daemon end-to-end, load-based selection with
+// periodic reports, and client bounds (hop caps, recovery caps).
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "util/crc32.h"
+
+namespace scalla::sim {
+namespace {
+
+using cms::AccessMode;
+
+ClusterSpec FastSpec(int servers) {
+  ClusterSpec spec;
+  spec.servers = servers;
+  spec.cms.deadline = std::chrono::milliseconds(600);
+  return spec;
+}
+
+TEST(ClientFeaturesTest, VectorReadReturnsAllSegments) {
+  SimCluster cluster(FastSpec(3));
+  cluster.Start();
+  std::string content;
+  for (int i = 0; i < 1000; ++i) content += static_cast<char>('a' + i % 26);
+  cluster.PlaceFile(1, "/store/v", content);
+
+  auto& client = cluster.NewClient();
+  const auto open = cluster.OpenAndWait(client, "/store/v", AccessMode::kRead, false);
+  ASSERT_EQ(open.err, proto::XrdErr::kNone);
+
+  std::vector<proto::ReadSeg> segs{{0, 5}, {100, 10}, {990, 20}, {5000, 4}};
+  std::optional<std::pair<proto::XrdErr, std::vector<std::string>>> result;
+  client.ReadV(open.file, segs,
+               [&result](proto::XrdErr err, std::vector<std::string> chunks) {
+                 result = std::make_pair(err, std::move(chunks));
+               });
+  cluster.engine().RunUntilIdle();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->first, proto::XrdErr::kNone);
+  ASSERT_EQ(result->second.size(), 4u);
+  EXPECT_EQ(result->second[0], content.substr(0, 5));
+  EXPECT_EQ(result->second[1], content.substr(100, 10));
+  EXPECT_EQ(result->second[2], content.substr(990, 10));  // truncated at EOF
+  EXPECT_TRUE(result->second[3].empty());                 // wholly past EOF
+}
+
+TEST(ClientFeaturesTest, VectorReadBadHandleFails) {
+  SimCluster cluster(FastSpec(2));
+  cluster.Start();
+  cluster.PlaceFile(0, "/store/v", "x");
+  auto& client = cluster.NewClient();
+  const auto open = cluster.OpenAndWait(client, "/store/v", AccessMode::kRead, false);
+  ASSERT_EQ(open.err, proto::XrdErr::kNone);
+  std::optional<proto::XrdErr> err;
+  client.ReadV(client::FileRef{open.file.node, 0xDEAD},
+               {{0, 4}},
+               [&err](proto::XrdErr e, std::vector<std::string>) { err = e; });
+  cluster.engine().RunUntilIdle();
+  EXPECT_EQ(err, proto::XrdErr::kInvalid);
+}
+
+TEST(ClientFeaturesTest, ChecksumMatchesLocalCrc) {
+  SimCluster cluster(FastSpec(4));
+  cluster.Start();
+  const std::string content = "checksummed content with some length to it";
+  cluster.PlaceFile(2, "/store/c", content);
+
+  auto& client = cluster.NewClient();
+  std::optional<std::pair<proto::XrdErr, std::uint32_t>> result;
+  client.Checksum("/store/c", [&result](proto::XrdErr err, std::uint32_t crc) {
+    result = std::make_pair(err, crc);
+  });
+  cluster.engine().RunUntilPredicate([&result] { return result.has_value(); },
+                                     cluster.engine().Now() + std::chrono::seconds(30));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->first, proto::XrdErr::kNone);
+  EXPECT_EQ(result->second, util::Crc32(content));
+}
+
+TEST(ClientFeaturesTest, ChecksumOfMissingFileFails) {
+  SimCluster cluster(FastSpec(2));
+  cluster.Start();
+  auto& client = cluster.NewClient();
+  std::optional<proto::XrdErr> err;
+  client.Checksum("/store/ghost",
+                  [&err](proto::XrdErr e, std::uint32_t) { err = e; });
+  cluster.engine().RunUntilPredicate([&err] { return err.has_value(); },
+                                     cluster.engine().Now() + std::chrono::seconds(30));
+  EXPECT_EQ(err, proto::XrdErr::kNotFound);
+}
+
+TEST(ClientFeaturesTest, NamespaceDaemonListsClusterWideCreates) {
+  ClusterSpec spec = FastSpec(4);
+  spec.withCnsd = true;
+  SimCluster cluster(spec);
+  cluster.Start();
+  ASSERT_NE(cluster.cns(), nullptr);
+
+  auto& client = cluster.NewClient();
+  ASSERT_EQ(cluster.PutFile(client, "/store/a/one", "1"), proto::XrdErr::kNone);
+  ASSERT_EQ(cluster.PutFile(client, "/store/a/two", "2"), proto::XrdErr::kNone);
+  ASSERT_EQ(cluster.PutFile(client, "/store/b/three", "3"), proto::XrdErr::kNone);
+  cluster.engine().RunUntilIdle();
+
+  auto [err, names] = cluster.ListAndWait(client, "/store/a/");
+  EXPECT_EQ(err, proto::XrdErr::kNone);
+  EXPECT_EQ(names, (std::vector<std::string>{"/store/a/one", "/store/a/two"}));
+
+  // Unlink removes the name from the global view.
+  ASSERT_EQ(cluster.UnlinkAndWait(client, "/store/a/one"), proto::XrdErr::kNone);
+  cluster.engine().RunUntilIdle();
+  std::tie(err, names) = cluster.ListAndWait(client, "/store/a/");
+  EXPECT_EQ(names, (std::vector<std::string>{"/store/a/two"}));
+}
+
+TEST(ClientFeaturesTest, ListWithoutCnsdFailsCleanly) {
+  SimCluster cluster(FastSpec(2));  // no cnsd configured
+  cluster.Start();
+  auto& client = cluster.NewClient();
+  const auto [err, names] = cluster.ListAndWait(client, "/store");
+  EXPECT_EQ(err, proto::XrdErr::kInvalid);
+  EXPECT_TRUE(names.empty());
+}
+
+TEST(ClientFeaturesTest, LoadBasedSelectionPrefersIdleServer) {
+  ClusterSpec spec = FastSpec(2);
+  spec.selection = cms::SelectCriterion::kLoad;
+  SimCluster cluster(spec);
+  cluster.Start();
+  cluster.PlaceFile(0, "/store/f", "x");
+  cluster.PlaceFile(1, "/store/f", "x");
+
+  // Server 0 reports heavy load, server 1 is idle.
+  cluster.server(0).ReportLoad(90, 1 << 30);
+  cluster.server(1).ReportLoad(2, 1 << 30);
+  cluster.engine().RunUntilIdle();
+
+  auto& client = cluster.NewClient();
+  // First access resolves via the fast response queue (first responder
+  // wins); selection criteria apply to cached redirects.
+  cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+  for (int i = 0; i < 4; ++i) {
+    const auto open = cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone);
+    EXPECT_EQ(open.file.node, cluster.server(1).config().addr) << i;
+  }
+}
+
+TEST(ClientFeaturesTest, PeriodicLoadReportsReachManager) {
+  ClusterSpec spec = FastSpec(2);
+  SimCluster cluster(spec);
+  // Rebuild leaf 0's behaviour is fixed by spec; instead start reports
+  // manually by invoking the public API and advancing virtual time.
+  cluster.Start();
+  cluster.server(0).ReportLoad(7, 1234);
+  cluster.engine().RunUntilIdle();
+  const auto slot = cluster.head().SlotOfAddr(cluster.server(0).config().addr);
+  ASSERT_TRUE(slot.has_value());
+  const auto info = cluster.head().membership().InfoOf(*slot);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->load, 7u);
+  EXPECT_EQ(info->freeSpace, 1234u);
+}
+
+TEST(ClientFeaturesTest, SpaceSelectionPrefersEmptierServer) {
+  ClusterSpec spec = FastSpec(2);
+  spec.selection = cms::SelectCriterion::kSpace;
+  SimCluster cluster(spec);
+  cluster.Start();
+  auto& client = cluster.NewClient();
+
+  cluster.server(0).ReportLoad(0, 10);          // nearly full
+  cluster.server(1).ReportLoad(0, 1 << 30);     // lots of space
+  cluster.engine().RunUntilIdle();
+
+  // New-file placement consults the same selection policy.
+  ASSERT_EQ(cluster.PutFile(client, "/store/new1", "d"), proto::XrdErr::kNone);
+  ASSERT_EQ(cluster.PutFile(client, "/store/new2", "d"), proto::XrdErr::kNone);
+  EXPECT_EQ(cluster.storage(1).FileCount(), 2u);
+  EXPECT_EQ(cluster.storage(0).FileCount(), 0u);
+}
+
+TEST(ClientFeaturesTest, RecoveryCapStopsInfiniteRefreshLoops) {
+  SimCluster cluster(FastSpec(2));
+  cluster.Start();
+  cluster.PlaceFile(0, "/store/f", "x");
+  auto& client = cluster.NewClient();
+  cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+
+  // The file silently disappears everywhere: every refresh re-discovers
+  // nothing; the client must give up after maxRecoveries.
+  cluster.storage(0).Unlink("/store/f");
+  const auto open = cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false,
+                                        std::chrono::minutes(5));
+  EXPECT_EQ(open.err, proto::XrdErr::kNotFound);
+  EXPECT_LE(open.recoveries, 5);
+}
+
+TEST(ClientFeaturesTest, OpenLatencyRecorderAccumulates) {
+  SimCluster cluster(FastSpec(2));
+  cluster.Start();
+  cluster.PlaceFile(0, "/store/f", "x");
+  auto& client = cluster.NewClient();
+  for (int i = 0; i < 5; ++i) {
+    cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+  }
+  EXPECT_EQ(client.OpenLatency().count(), 5u);
+  EXPECT_GT(client.OpenLatency().MeanNanos(), 0.0);
+}
+
+}  // namespace
+}  // namespace scalla::sim

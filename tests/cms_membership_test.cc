@@ -1,0 +1,198 @@
+// Tests for membership (login/disconnect/drop/reconnect lifecycle), the
+// export-path table (V_m), and the correction counters (C[], N_c).
+#include <gtest/gtest.h>
+
+#include "cms/membership.h"
+#include "util/clock.h"
+
+namespace scalla::cms {
+namespace {
+
+class MembershipTest : public ::testing::Test {
+ protected:
+  MembershipTest() : membership_(config_, clock_) {}
+
+  CmsConfig config_;
+  util::ManualClock clock_;
+  Membership membership_;
+};
+
+TEST_F(MembershipTest, LoginAssignsSlotsAndEligibility) {
+  const auto a = membership_.Login("s0", {"/store"});
+  const auto b = membership_.Login("s1", {"/store", "/scratch"});
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(a->isNew);
+  EXPECT_NE(a->slot, b->slot);
+
+  EXPECT_EQ(membership_.EligibleFor("/store/x"), (ServerSet::Single(a->slot) |
+                                                  ServerSet::Single(b->slot)));
+  EXPECT_EQ(membership_.EligibleFor("/scratch/y"), ServerSet::Single(b->slot));
+  EXPECT_TRUE(membership_.EligibleFor("/other/z").empty());
+}
+
+TEST_F(MembershipTest, LongestPrefixWins) {
+  const auto a = membership_.Login("coarse", {"/store"});
+  const auto b = membership_.Login("fine", {"/store/hot"});
+  // /store/hot files are eligible only on the longest-prefix exporter.
+  EXPECT_EQ(membership_.EligibleFor("/store/hot/f"), ServerSet::Single(b->slot));
+  EXPECT_EQ(membership_.EligibleFor("/store/cold/f"), ServerSet::Single(a->slot));
+  // Prefix match is component-wise: /store/hotel is NOT under /store/hot.
+  EXPECT_EQ(membership_.EligibleFor("/store/hotel/f"), ServerSet::Single(a->slot));
+}
+
+TEST_F(MembershipTest, LoginBumpsCorrectionEpoch) {
+  const std::uint64_t e0 = membership_.corrections().Epoch();
+  membership_.Login("s0", {"/store"});
+  EXPECT_EQ(membership_.corrections().Epoch(), e0 + 1);
+}
+
+TEST_F(MembershipTest, ReconnectSameExportsKeepsSlotAndEpoch) {
+  const auto first = membership_.Login("s0", {"/store"});
+  membership_.Disconnect(first->slot);
+  EXPECT_TRUE(membership_.OfflineSet().test(first->slot));
+
+  const std::uint64_t epoch = membership_.corrections().Epoch();
+  const auto again = membership_.Login("s0", {"/store"});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->slot, first->slot);
+  EXPECT_FALSE(again->isNew);
+  EXPECT_TRUE(again->reconnected);
+  // No correction needed: cached info for this slot is still valid.
+  EXPECT_EQ(membership_.corrections().Epoch(), epoch);
+  EXPECT_TRUE(membership_.OnlineSet().test(first->slot));
+}
+
+TEST_F(MembershipTest, ReconnectWithNewExportsIsNewServer) {
+  const auto first = membership_.Login("s0", {"/store"});
+  membership_.Disconnect(first->slot);
+  const std::uint64_t epoch = membership_.corrections().Epoch();
+
+  const auto again = membership_.Login("s0", {"/different"});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->isNew);
+  EXPECT_EQ(membership_.corrections().Epoch(), epoch + 1);
+  EXPECT_TRUE(membership_.EligibleFor("/store/x").empty());
+  EXPECT_FALSE(membership_.EligibleFor("/different/x").empty());
+}
+
+TEST_F(MembershipTest, DropAfterDelayFreesSlotAndEligibility) {
+  const auto a = membership_.Login("s0", {"/store"});
+  membership_.Disconnect(a->slot);
+
+  clock_.Advance(config_.dropDelay / 2);
+  EXPECT_TRUE(membership_.DropExpired().empty());  // not yet
+
+  clock_.Advance(config_.dropDelay);
+  const auto dropped = membership_.DropExpired();
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], a->slot);
+  EXPECT_TRUE(membership_.EligibleFor("/store/x").empty());
+  EXPECT_FALSE(membership_.InfoOf(a->slot).has_value());
+  EXPECT_EQ(membership_.MemberCount(), 0u);
+}
+
+TEST_F(MembershipTest, RelogAfterDropIsNew) {
+  const auto a = membership_.Login("s0", {"/store"});
+  membership_.Disconnect(a->slot);
+  clock_.Advance(config_.dropDelay * 2);
+  membership_.DropExpired();
+  const auto again = membership_.Login("s0", {"/store"});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->isNew);
+}
+
+TEST_F(MembershipTest, SetFullRejectsLogin) {
+  for (int i = 0; i < kMaxServersPerSet; ++i) {
+    ASSERT_TRUE(membership_.Login("s" + std::to_string(i), {"/store"}).has_value());
+  }
+  EXPECT_FALSE(membership_.Login("overflow", {"/store"}).has_value());
+  EXPECT_EQ(membership_.MemberCount(), 64u);
+}
+
+TEST_F(MembershipTest, OnlineOfflineSetsTrackState) {
+  const auto a = membership_.Login("s0", {"/store"});
+  const auto b = membership_.Login("s1", {"/store"});
+  EXPECT_EQ(membership_.OnlineSet().count(), 2);
+  membership_.Disconnect(a->slot);
+  EXPECT_EQ(membership_.OnlineSet().count(), 1);
+  EXPECT_EQ(membership_.OfflineSet().count(), 1);
+  EXPECT_EQ(membership_.MemberSet().count(), 2);
+  (void)b;
+}
+
+TEST_F(MembershipTest, LoadReportsStored) {
+  const auto a = membership_.Login("s0", {"/store"});
+  membership_.ReportLoad(a->slot, 17, 1 << 30);
+  const auto info = membership_.InfoOf(a->slot);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->load, 17u);
+  EXPECT_EQ(info->freeSpace, 1u << 30);
+}
+
+// ------------------------------------------------------- CorrectionState
+
+TEST(CorrectionStateTest, CorrectionSinceTracksNewcomers) {
+  CorrectionState cs;
+  cs.OnConnect(0);
+  cs.OnConnect(1);
+  const std::uint64_t snapshot = cs.Epoch();
+  cs.OnConnect(2);
+  cs.OnConnect(3);
+  const ServerSet vc = cs.CorrectionSince(snapshot);
+  EXPECT_FALSE(vc.test(0));
+  EXPECT_FALSE(vc.test(1));
+  EXPECT_TRUE(vc.test(2));
+  EXPECT_TRUE(vc.test(3));
+  EXPECT_TRUE(cs.CorrectionSince(cs.Epoch()).empty());
+}
+
+TEST(CorrectionStateTest, ReusedSlotGetsFreshCounter) {
+  CorrectionState cs;
+  cs.OnConnect(0);
+  const std::uint64_t snap = cs.Epoch();
+  cs.OnDrop(0);
+  cs.OnConnect(0);  // slot reused by a different server
+  EXPECT_TRUE(cs.CorrectionSince(snap).test(0));
+}
+
+// ------------------------------------------------------------ PathTable
+
+TEST(PathTableTest, NormalizationAndMatching) {
+  PathTable t;
+  t.AddExport(0, "store/");  // missing leading slash, trailing slash
+  EXPECT_EQ(t.Match("/store/a"), ServerSet::Single(0));
+  EXPECT_EQ(t.Match("/store"), ServerSet::Single(0));
+  EXPECT_TRUE(t.Match("/storeroom").empty());
+}
+
+TEST(PathTableTest, RootPrefixMatchesEverything) {
+  PathTable t;
+  t.AddExport(3, "/");
+  EXPECT_EQ(t.Match("/anything/at/all"), ServerSet::Single(3));
+  EXPECT_TRUE(t.Match("relative").empty());
+}
+
+TEST(PathTableTest, RemoveServerPrunesEmptyPrefixes) {
+  PathTable t;
+  t.AddExport(0, "/a");
+  t.AddExport(1, "/a");
+  t.AddExport(1, "/b");
+  t.RemoveServer(1);
+  EXPECT_EQ(t.Match("/a/x"), ServerSet::Single(0));
+  EXPECT_TRUE(t.Match("/b/x").empty());
+  EXPECT_EQ(t.PrefixCount(), 1u);
+}
+
+TEST(PathTableTest, SameExportsIsOrderAndDupInsensitive) {
+  PathTable t;
+  t.AddExport(2, "/a");
+  t.AddExport(2, "/b");
+  EXPECT_TRUE(t.SameExports(2, {"/b", "/a"}));
+  EXPECT_TRUE(t.SameExports(2, {"/b", "/a", "/a"}));
+  EXPECT_FALSE(t.SameExports(2, {"/a"}));
+  EXPECT_FALSE(t.SameExports(2, {"/a", "/b", "/c"}));
+}
+
+}  // namespace
+}  // namespace scalla::cms

@@ -1,0 +1,364 @@
+// Tests for the resolution engine: the paper's steps 1-6, deadline-based
+// query synchronization, fast-response release, refresh recovery, and the
+// full-delay fallbacks.
+#include <gtest/gtest.h>
+
+#include "cms/resolver.h"
+#include "util/clock.h"
+
+namespace scalla::cms {
+namespace {
+
+struct SentQuery {
+  ServerSet targets;
+  std::string path;
+  std::uint32_t hash;
+  AccessMode mode;
+};
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest()
+      : membership_(config_, clock_),
+        cache_(config_, clock_, membership_.corrections()),
+        respq_(config_, clock_),
+        selection_(SelectCriterion::kRoundRobin),
+        resolver_(config_, clock_, membership_, cache_, respq_, selection_,
+                  [this](ServerSet targets, const std::string& path, std::uint32_t hash,
+                         AccessMode mode) {
+                    queries_.push_back({targets, path, hash, mode});
+                  }) {}
+
+  void AddServers(int n, const std::string& prefix = "/store") {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(membership_.Login("s" + std::to_string(i), {prefix}).has_value());
+    }
+  }
+
+  // NOTE: when the client parks (unknown file), the callback fires only
+  // on a later OnHave/Sweep — the shared_ptr keeps its landing spot alive
+  // past this helper's return.
+  std::optional<LocateResult> Locate(const std::string& path,
+                                     LocateOptions opts = LocateOptions{}) {
+    auto out = std::make_shared<std::optional<LocateResult>>();
+    resolver_.Locate(path, opts, [out](const LocateResult& r) { *out = r; });
+    return *out;
+  }
+
+  CmsConfig config_;
+  util::ManualClock clock_;
+  Membership membership_;
+  LocationCache cache_;
+  FastResponseQueue respq_;
+  SelectionPolicy selection_;
+  Resolver resolver_;
+  std::vector<SentQuery> queries_;
+};
+
+TEST_F(ResolverTest, UnknownFileFloodsAllEligibleServers) {
+  AddServers(4);
+  const auto result = Locate("/store/f1");
+  EXPECT_FALSE(result.has_value());  // parked, waiting for responses
+  ASSERT_EQ(queries_.size(), 1u);
+  EXPECT_EQ(queries_[0].targets.count(), 4);
+  EXPECT_EQ(queries_[0].path, "/store/f1");
+  EXPECT_EQ(queries_[0].hash, LocationCache::HashOf("/store/f1"));
+}
+
+TEST_F(ResolverTest, NoEligiblePathIsImmediateNotFound) {
+  AddServers(2);
+  const auto result = Locate("/elsewhere/f");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, LocateStatus::kNotFound);
+  EXPECT_TRUE(queries_.empty());
+}
+
+TEST_F(ResolverTest, HaveResponseReleasesParkedClientFast) {
+  AddServers(4);
+  std::optional<LocateResult> out;
+  resolver_.Locate("/store/f1", LocateOptions{}, [&out](const LocateResult& r) { out = r; });
+  EXPECT_FALSE(out.has_value());
+
+  // Server 2 answers ~100us later: the waiter releases immediately, far
+  // before the 5s full delay (the fast response mechanism).
+  clock_.Advance(std::chrono::microseconds(100));
+  resolver_.OnHave("/store/f1", LocationCache::HashOf("/store/f1"), 2, false, true);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, LocateStatus::kRedirect);
+  EXPECT_EQ(out->server, 2);
+  EXPECT_EQ(resolver_.GetStats().fastRedirects, 1u);
+}
+
+TEST_F(ResolverTest, CachedLocationRedirectsWithoutQuerying) {
+  AddServers(4);
+  Locate("/store/f1");
+  resolver_.OnHave("/store/f1", LocationCache::HashOf("/store/f1"), 1, false, true);
+  queries_.clear();
+
+  const auto result = Locate("/store/f1");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, LocateStatus::kRedirect);
+  EXPECT_EQ(result->server, 1);
+  EXPECT_TRUE(queries_.empty());  // pure cache hit, no flood
+}
+
+TEST_F(ResolverTest, DeadlineSuppressesDuplicateQueries) {
+  AddServers(4);
+  Locate("/store/f1");
+  ASSERT_EQ(queries_.size(), 1u);
+
+  // Concurrent clients for the same unknown file must NOT re-flood while
+  // the first flood's deadline is active (section III-C2).
+  Locate("/store/f1");
+  Locate("/store/f1");
+  EXPECT_EQ(queries_.size(), 1u);
+  EXPECT_EQ(resolver_.GetStats().deferrals, 2u);
+
+  // After the deadline expires with every server queried and silent, V_q
+  // is empty: the verdict is "does not exist", not a re-flood (step 2).
+  clock_.Advance(config_.deadline + std::chrono::milliseconds(1));
+  const auto verdict = Locate("/store/f1");
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->status, LocateStatus::kNotFound);
+  EXPECT_EQ(queries_.size(), 1u);
+
+  // But if new servers appear (V_q refills via the correction vectors), a
+  // post-deadline client DOES trigger a fresh query round.
+  membership_.Login("late", {"/store"});
+  Locate("/store/f1");
+  EXPECT_EQ(queries_.size(), 2u);
+  EXPECT_EQ(queries_[1].targets, ServerSet::Single(membership_.SlotOf("late").value()));
+}
+
+TEST_F(ResolverTest, NotFoundAfterDeadlineWithAllSilent) {
+  AddServers(3);
+  Locate("/store/ghost");  // floods; nobody will answer
+  clock_.Advance(config_.deadline + std::chrono::milliseconds(1));
+  const auto result = Locate("/store/ghost");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, LocateStatus::kNotFound);
+}
+
+TEST_F(ResolverTest, SweepExpiryYieldsFullDelayWait) {
+  AddServers(3);
+  std::optional<LocateResult> out;
+  resolver_.Locate("/store/ghost", LocateOptions{},
+                   [&out](const LocateResult& r) { out = r; });
+  clock_.Advance(config_.sweepPeriod * 2);
+  respq_.Sweep();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, LocateStatus::kWait);
+  EXPECT_EQ(out->wait, config_.deadline);  // wait a full time period
+}
+
+TEST_F(ResolverTest, WriteModeAvoidsReadOnlyServers) {
+  ASSERT_TRUE(membership_.Login("rw", {"/store"}, /*allowWrite=*/true).has_value());
+  ASSERT_TRUE(membership_.Login("ro", {"/store"}, /*allowWrite=*/false).has_value());
+  const auto rwSlot = membership_.SlotOf("rw").value();
+  const auto roSlot = membership_.SlotOf("ro").value();
+
+  Locate("/store/f1");
+  const std::uint32_t hash = LocationCache::HashOf("/store/f1");
+  resolver_.OnHave("/store/f1", hash, rwSlot, false, true);
+  resolver_.OnHave("/store/f1", hash, roSlot, false, false);
+
+  LocateOptions w;
+  w.mode = AccessMode::kWrite;
+  for (int i = 0; i < 4; ++i) {
+    const auto result = Locate("/store/f1", w);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, LocateStatus::kRedirect);
+    EXPECT_EQ(result->server, rwSlot);  // never the read-only replica
+  }
+}
+
+TEST_F(ResolverTest, RoundRobinSpreadsReplicas) {
+  AddServers(3);
+  Locate("/store/f1");
+  const std::uint32_t hash = LocationCache::HashOf("/store/f1");
+  for (int s = 0; s < 3; ++s) resolver_.OnHave("/store/f1", hash, s, false, true);
+
+  ServerSet chosen;
+  for (int i = 0; i < 3; ++i) {
+    const auto result = Locate("/store/f1");
+    ASSERT_TRUE(result.has_value());
+    chosen.set(result->server);
+  }
+  EXPECT_EQ(chosen.count(), 3);  // all replicas used
+}
+
+TEST_F(ResolverTest, AvoidSkipsFailingServer) {
+  AddServers(2);
+  Locate("/store/f1");
+  const std::uint32_t hash = LocationCache::HashOf("/store/f1");
+  resolver_.OnHave("/store/f1", hash, 0, false, true);
+  resolver_.OnHave("/store/f1", hash, 1, false, true);
+
+  LocateOptions opts;
+  opts.avoid = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto result = Locate("/store/f1", opts);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->server, 1);
+  }
+}
+
+TEST_F(ResolverTest, RefreshRefloodsAndAvoids) {
+  AddServers(3);
+  Locate("/store/f1");
+  const std::uint32_t hash = LocationCache::HashOf("/store/f1");
+  resolver_.OnHave("/store/f1", hash, 0, false, true);
+  queries_.clear();
+
+  // Client was vectored to server 0 which failed: refresh re-queries all
+  // relevant servers (section III-C1).
+  LocateOptions opts;
+  opts.refresh = true;
+  opts.avoid = 0;
+  std::optional<LocateResult> out;
+  resolver_.Locate("/store/f1", opts, [&out](const LocateResult& r) { out = r; });
+  EXPECT_FALSE(out.has_value());  // must wait for fresh information
+  ASSERT_EQ(queries_.size(), 1u);
+  EXPECT_EQ(queries_[0].targets.count(), 3);
+
+  // Only server 1 actually has it now.
+  resolver_.OnHave("/store/f1", hash, 1, false, true);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, LocateStatus::kRedirect);
+  EXPECT_EQ(out->server, 1);
+}
+
+TEST_F(ResolverTest, PendingOnlyLocationRedirectsWithPendingFlag) {
+  AddServers(2);
+  Locate("/store/staged");
+  const std::uint32_t hash = LocationCache::HashOf("/store/staged");
+  resolver_.OnHave("/store/staged", hash, 1, /*pending=*/true, true);
+
+  const auto result = Locate("/store/staged");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, LocateStatus::kRedirect);
+  EXPECT_EQ(result->server, 1);
+  EXPECT_TRUE(result->pending);
+}
+
+TEST_F(ResolverTest, OfflineHolderFallsBackToQueryOnReconnect) {
+  AddServers(2);
+  Locate("/store/f1");
+  const std::uint32_t hash = LocationCache::HashOf("/store/f1");
+  resolver_.OnHave("/store/f1", hash, 0, false, true);
+
+  // The only holder disconnects.
+  membership_.Disconnect(0);
+  queries_.clear();
+  std::optional<LocateResult> out;
+  clock_.Advance(config_.deadline + std::chrono::seconds(1));
+  resolver_.Locate("/store/f1", LocateOptions{}, [&out](const LocateResult& r) { out = r; });
+  // The fetch moved the offline holder into V_q; only ONLINE servers are
+  // queried, and server 1 was already asked, so nothing is sent — server 0
+  // simply waits in V_q until it returns, and the client parks.
+  EXPECT_FALSE(out.has_value());
+  EXPECT_TRUE(queries_.empty());
+
+  // It reconnects and answers.
+  membership_.Login("s0", {"/store"});
+  resolver_.OnHave("/store/f1", hash, 0, false, true);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, LocateStatus::kRedirect);
+  EXPECT_EQ(out->server, 0);
+}
+
+TEST_F(ResolverTest, GoneRemovesLocation) {
+  AddServers(2);
+  Locate("/store/f1");
+  const std::uint32_t hash = LocationCache::HashOf("/store/f1");
+  resolver_.OnHave("/store/f1", hash, 0, false, true);
+  resolver_.OnGone("/store/f1", 0);
+  clock_.Advance(config_.deadline * 2);
+  const auto result = Locate("/store/f1");
+  // Nothing known, nothing to query (all were queried): not found.
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, LocateStatus::kNotFound);
+}
+
+TEST_F(ResolverTest, QueueExhaustionYieldsImmediateFullDelay) {
+  CmsConfig tiny;
+  tiny.responseAnchors = 1;
+  Membership membership(tiny, clock_);
+  membership.Login("s0", {"/store"});
+  LocationCache cache(tiny, clock_, membership.corrections());
+  FastResponseQueue respq(tiny, clock_);
+  SelectionPolicy selection;
+  Resolver resolver(tiny, clock_, membership, cache, respq, selection,
+                    [](ServerSet, const std::string&, std::uint32_t, AccessMode) {});
+
+  // First unknown file occupies the single anchor...
+  resolver.Locate("/store/a", LocateOptions{}, [](const LocateResult&) {});
+  // ...the second cannot park: it gets the full-delay answer immediately.
+  std::optional<LocateResult> out;
+  resolver.Locate("/store/b", LocateOptions{},
+                  [&out](const LocateResult& r) { out = r; });
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, LocateStatus::kWait);
+  EXPECT_EQ(out->wait, tiny.deadline);
+  EXPECT_EQ(resolver.GetStats().fullDelays, 1u);
+}
+
+TEST_F(ResolverTest, SecondResponderUpdatesCacheAfterRelease) {
+  AddServers(3);
+  std::optional<LocateResult> out;
+  resolver_.Locate("/store/f1", LocateOptions{},
+                   [&out](const LocateResult& r) { out = r; });
+  const std::uint32_t hash = LocationCache::HashOf("/store/f1");
+  resolver_.OnHave("/store/f1", hash, 0, false, true);  // releases the waiter
+  ASSERT_TRUE(out.has_value());
+  resolver_.OnHave("/store/f1", hash, 2, false, true);  // late response
+
+  // Both replicas are now cached; selection can rotate across them.
+  ServerSet chosen;
+  for (int i = 0; i < 4; ++i) {
+    const auto r = Locate("/store/f1");
+    ASSERT_TRUE(r.has_value());
+    chosen.set(r->server);
+  }
+  EXPECT_TRUE(chosen.test(0));
+  EXPECT_TRUE(chosen.test(2));
+}
+
+TEST_F(ResolverTest, FastResponseAblationAlwaysFullDelays) {
+  CmsConfig cfg;
+  cfg.fastResponse = false;
+  Membership membership(cfg, clock_);
+  membership.Login("s0", {"/store"});
+  LocationCache cache(cfg, clock_, membership.corrections());
+  FastResponseQueue respq(cfg, clock_);
+  SelectionPolicy selection;
+  int sent = 0;
+  Resolver resolver(cfg, clock_, membership, cache, respq, selection,
+                    [&sent](ServerSet, const std::string&, std::uint32_t, AccessMode) {
+                      ++sent;
+                    });
+  std::optional<LocateResult> out;
+  resolver.Locate("/store/x", LocateOptions{},
+                  [&out](const LocateResult& r) { out = r; });
+  // Queries still flood, but the client is told to wait the full period
+  // instead of parking on the (disabled) fast response queue.
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, LocateStatus::kWait);
+  EXPECT_EQ(sent, 1);
+}
+
+TEST_F(ResolverTest, StatsLedger) {
+  AddServers(2);
+  Locate("/store/f1");
+  resolver_.OnHave("/store/f1", LocationCache::HashOf("/store/f1"), 0, false, true);
+  Locate("/store/f1");
+  const auto stats = resolver_.GetStats();
+  EXPECT_EQ(stats.locates, 2u);
+  EXPECT_EQ(stats.redirects, 1u);
+  EXPECT_EQ(stats.fastRedirects, 1u);
+  EXPECT_EQ(stats.queriesSent, 1u);
+  EXPECT_EQ(stats.queryMessages, 2u);
+}
+
+}  // namespace
+}  // namespace scalla::cms

@@ -1,0 +1,182 @@
+// Tests for the fast response queue (paper section III-B): anchor
+// allocation/joining, release-on-response, the 133 ms sweep, epoch-based
+// loose coupling, and exhaustion behaviour.
+#include <gtest/gtest.h>
+
+#include "cms/response_queue.h"
+
+#include "util/rng.h"
+#include "util/clock.h"
+
+namespace scalla::cms {
+namespace {
+
+class RespQueueTest : public ::testing::Test {
+ protected:
+  RespQueueTest() : respq_(config_, clock_) {}
+
+  static CmsConfig SmallConfig() {
+    CmsConfig cfg;
+    cfg.responseAnchors = 8;  // small so exhaustion is testable
+    return cfg;
+  }
+
+  CmsConfig config_ = SmallConfig();
+  util::ManualClock clock_;
+  FastResponseQueue respq_;
+};
+
+TEST_F(RespQueueTest, AddThenReleaseRedirectsWaiter) {
+  std::optional<RespOutcome> got;
+  const auto slot = respq_.Add(RespSlotRef{}, [&got](const RespOutcome& o) { got = o; });
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_FALSE(respq_.Empty());
+
+  EXPECT_EQ(respq_.Release(*slot, /*server=*/5, /*pending=*/false), 1u);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, RespStatus::kRedirect);
+  EXPECT_EQ(got->server, 5);
+  EXPECT_TRUE(respq_.Empty());
+}
+
+TEST_F(RespQueueTest, MultipleWaitersShareAnchor) {
+  int released = 0;
+  const auto first =
+      respq_.Add(RespSlotRef{}, [&released](const RespOutcome&) { ++released; });
+  ASSERT_TRUE(first.has_value());
+  // Two more clients for the same file join the same anchor.
+  const auto second = respq_.Add(*first, [&released](const RespOutcome&) { ++released; });
+  const auto third = respq_.Add(*first, [&released](const RespOutcome&) { ++released; });
+  EXPECT_EQ(second->slot, first->slot);
+  EXPECT_EQ(third->epoch, first->epoch);
+  EXPECT_EQ(respq_.GetStats().joins, 2u);
+
+  EXPECT_EQ(respq_.Release(*first, 1, false), 3u);
+  EXPECT_EQ(released, 3);
+}
+
+TEST_F(RespQueueTest, StaleReferenceReleaseIsNoop) {
+  std::optional<RespOutcome> got;
+  const auto slot = respq_.Add(RespSlotRef{}, [&got](const RespOutcome& o) { got = o; });
+  respq_.Release(*slot, 1, false);
+  got.reset();
+  // Releasing again with the now-stale epoch touches nothing.
+  EXPECT_EQ(respq_.Release(*slot, 2, false), 0u);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST_F(RespQueueTest, SweepExpiresOldAnchors) {
+  std::optional<RespOutcome> got;
+  respq_.Add(RespSlotRef{}, [&got](const RespOutcome& o) { got = o; });
+
+  // Within the sweep period: nothing expires.
+  EXPECT_EQ(respq_.Sweep(), 0u);
+  EXPECT_FALSE(got.has_value());
+
+  clock_.Advance(config_.sweepPeriod + std::chrono::milliseconds(1));
+  EXPECT_EQ(respq_.Sweep(), 1u);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, RespStatus::kRetryFullDelay);
+  EXPECT_TRUE(respq_.Empty());
+}
+
+TEST_F(RespQueueTest, SweepInvalidatesAssociation) {
+  const auto slot = respq_.Add(RespSlotRef{}, [](const RespOutcome&) {});
+  clock_.Advance(config_.sweepPeriod * 2);
+  respq_.Sweep();
+  // Joining the old reference allocates a NEW anchor.
+  const auto fresh = respq_.Add(*slot, [](const RespOutcome&) {});
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_TRUE(fresh->slot != slot->slot || fresh->epoch != slot->epoch);
+  EXPECT_EQ(respq_.GetStats().joins, 0u);
+}
+
+TEST_F(RespQueueTest, ExhaustionRejectsWithFullDelay) {
+  for (std::size_t i = 0; i < config_.responseAnchors; ++i) {
+    EXPECT_TRUE(respq_.Add(RespSlotRef{}, [](const RespOutcome&) {}).has_value());
+  }
+  EXPECT_FALSE(respq_.Add(RespSlotRef{}, [](const RespOutcome&) {}).has_value());
+  EXPECT_EQ(respq_.GetStats().rejectedFull, 1u);
+}
+
+TEST_F(RespQueueTest, AnchorsRecycleAfterRelease) {
+  for (std::size_t round = 0; round < 5; ++round) {
+    std::vector<RespSlotRef> slots;
+    for (std::size_t i = 0; i < config_.responseAnchors; ++i) {
+      const auto s = respq_.Add(RespSlotRef{}, [](const RespOutcome&) {});
+      ASSERT_TRUE(s.has_value());
+      slots.push_back(*s);
+    }
+    for (const auto& s : slots) respq_.Release(s, 0, false);
+    EXPECT_TRUE(respq_.Empty());
+  }
+}
+
+TEST_F(RespQueueTest, BusyNotifierFiresOnEmptyToBusyOnly) {
+  int notifications = 0;
+  respq_.SetBusyNotifier([&notifications] { ++notifications; });
+  const auto a = respq_.Add(RespSlotRef{}, [](const RespOutcome&) {});
+  EXPECT_EQ(notifications, 1);
+  respq_.Add(RespSlotRef{}, [](const RespOutcome&) {});  // already busy
+  EXPECT_EQ(notifications, 1);
+  respq_.Release(*a, 0, false);
+  respq_.Add(RespSlotRef{}, [](const RespOutcome&) {});  // still busy (one anchor left)
+  EXPECT_EQ(notifications, 1);
+  clock_.Advance(config_.sweepPeriod * 2);
+  respq_.Sweep();
+  EXPECT_TRUE(respq_.Empty());
+  respq_.Add(RespSlotRef{}, [](const RespOutcome&) {});
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST_F(RespQueueTest, PendingFlagPropagates) {
+  std::optional<RespOutcome> got;
+  const auto slot = respq_.Add(RespSlotRef{}, [&got](const RespOutcome& o) { got = o; });
+  respq_.Release(*slot, 3, /*pending=*/true);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->pending);
+}
+
+// Parameterized: sweep never expires a fresher anchor than the period and
+// the stats ledger always balances adds = releases + expirations + parked.
+class RespQueueSweepSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RespQueueSweepSweep, LedgerBalances) {
+  CmsConfig config;
+  config.responseAnchors = 64;
+  util::ManualClock clock;
+  FastResponseQueue q(config, clock);
+  util::Rng rng(GetParam());
+
+  std::size_t delivered = 0;
+  std::vector<RespSlotRef> live;
+  std::size_t parked = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const auto action = rng.NextBelow(4);
+    if (action <= 1) {
+      const auto s = q.Add(live.empty() ? RespSlotRef{} : live[rng.NextBelow(live.size())],
+                           [&delivered](const RespOutcome&) { ++delivered; });
+      if (s.has_value()) {
+        ++parked;
+        live.push_back(*s);
+      }
+    } else if (action == 2 && !live.empty()) {
+      const auto idx = rng.NextBelow(live.size());
+      q.Release(live[idx], 0, false);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      clock.Advance(std::chrono::milliseconds(rng.NextBelow(200)));
+      q.Sweep();
+    }
+  }
+  const auto stats = q.GetStats();
+  EXPECT_EQ(stats.releases + stats.expirations + (parked - delivered) -
+                (parked - delivered),
+            delivered);  // delivered = released + expired
+  EXPECT_EQ(stats.releases + stats.expirations, delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RespQueueSweepSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace scalla::cms

@@ -1,0 +1,101 @@
+// Tests for the directive-file node configuration loader.
+#include <gtest/gtest.h>
+
+#include "xrd/node_config_loader.h"
+
+namespace scalla::xrd {
+namespace {
+
+TEST(NodeConfigLoaderTest, FullServerConfig) {
+  std::string error;
+  const auto loaded = LoadNodeConfig(R"(
+# data server
+all.role        server
+all.name        dataserver07
+all.addr        12
+all.manager     1 2
+all.export      /store /scratch
+cms.lifetime    4h
+cms.delay       2s
+cms.sweep       100ms
+cms.dropdelay   5m
+cms.selection   load
+xrd.allowwrite  false
+xrd.loadreport  30s
+oss.localroot   /data/xrd
+)",
+                                     &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  const NodeConfig& cfg = loaded->node;
+  EXPECT_EQ(cfg.role, NodeRole::kServer);
+  EXPECT_EQ(cfg.name, "dataserver07");
+  EXPECT_EQ(cfg.addr, 12u);
+  EXPECT_EQ(cfg.parent, 1u);
+  EXPECT_EQ(cfg.extraParents, (std::vector<net::NodeAddr>{2}));
+  EXPECT_EQ(cfg.exports, (std::vector<std::string>{"/store", "/scratch"}));
+  EXPECT_EQ(cfg.cms.lifetime, Duration(std::chrono::hours(4)));
+  EXPECT_EQ(cfg.cms.deadline, Duration(std::chrono::seconds(2)));
+  EXPECT_EQ(cfg.cms.sweepPeriod, Duration(std::chrono::milliseconds(100)));
+  EXPECT_EQ(cfg.cms.dropDelay, Duration(std::chrono::minutes(5)));
+  EXPECT_EQ(cfg.selection, cms::SelectCriterion::kLoad);
+  EXPECT_FALSE(cfg.allowWrite);
+  EXPECT_EQ(cfg.loadReportInterval, Duration(std::chrono::seconds(30)));
+  EXPECT_EQ(loaded->localRoot, "/data/xrd");
+}
+
+TEST(NodeConfigLoaderTest, MinimalManager) {
+  std::string error;
+  const auto loaded =
+      LoadNodeConfig("all.role manager\nall.addr 1\nall.export /store\n", &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->node.role, NodeRole::kManager);
+  EXPECT_EQ(loaded->node.parent, 0u);
+  EXPECT_EQ(loaded->node.name, "node1");  // defaulted from addr
+  // Paper defaults survive when not overridden.
+  EXPECT_EQ(loaded->node.cms.lifetime, Duration(std::chrono::hours(8)));
+  EXPECT_EQ(loaded->node.cms.sweepPeriod, Duration(std::chrono::milliseconds(133)));
+}
+
+TEST(NodeConfigLoaderTest, RejectsUnknownDirective) {
+  std::string error;
+  EXPECT_FALSE(LoadNodeConfig("all.role manager\nall.addr 1\nall.export /\n"
+                              "all.portt 99\n",
+                              &error)
+                   .has_value());
+  EXPECT_NE(error.find("all.portt"), std::string::npos);
+}
+
+TEST(NodeConfigLoaderTest, RequiresRoleAddrExport) {
+  std::string error;
+  EXPECT_FALSE(LoadNodeConfig("all.addr 1\nall.export /\n", &error).has_value());
+  EXPECT_FALSE(LoadNodeConfig("all.role manager\nall.export /\n", &error).has_value());
+  EXPECT_FALSE(LoadNodeConfig("all.role manager\nall.addr 1\n", &error).has_value());
+}
+
+TEST(NodeConfigLoaderTest, ServerNeedsManager) {
+  std::string error;
+  EXPECT_FALSE(
+      LoadNodeConfig("all.role server\nall.addr 5\nall.export /\n", &error).has_value());
+  EXPECT_NE(error.find("all.manager"), std::string::npos);
+}
+
+TEST(NodeConfigLoaderTest, RejectsBadRoleAndSelection) {
+  std::string error;
+  EXPECT_FALSE(LoadNodeConfig("all.role czar\nall.addr 1\nall.export /\n", &error)
+                   .has_value());
+  EXPECT_FALSE(LoadNodeConfig("all.role manager\nall.addr 1\nall.export /\n"
+                              "cms.selection dartboard\n",
+                              &error)
+                   .has_value());
+}
+
+TEST(NodeConfigLoaderTest, LocalRootOnlyForServers) {
+  std::string error;
+  EXPECT_FALSE(LoadNodeConfig("all.role manager\nall.addr 1\nall.export /\n"
+                              "oss.localroot /data\n",
+                              &error)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace scalla::xrd

@@ -1,0 +1,180 @@
+// Tests for head-node replication (paper sections II-B1/II-B2: "the
+// logical head node (which can be one of many)"; "every node in the
+// cluster can be replicated to provide an arbitrary level of
+// reliability"): subordinates log into all managers, each manager keeps
+// an independent location view, and clients fail over between heads.
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+
+namespace scalla::sim {
+namespace {
+
+using cms::AccessMode;
+
+ClusterSpec ReplicatedSpec(int servers, int managers) {
+  ClusterSpec spec;
+  spec.servers = servers;
+  spec.managers = managers;
+  spec.cms.deadline = std::chrono::milliseconds(600);
+  return spec;
+}
+
+TEST(ReplicationTest, SubordinatesLogIntoEveryManager) {
+  SimCluster cluster(ReplicatedSpec(6, 3));
+  cluster.Start();
+  ASSERT_EQ(cluster.ManagerCount(), 3u);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(cluster.manager(m).membership().MemberCount(), 6u) << m;
+    EXPECT_EQ(cluster.manager(m).membership().OnlineSet().count(), 6) << m;
+  }
+  for (std::size_t s = 0; s < 6; ++s) {
+    EXPECT_TRUE(cluster.server(s).LoggedIn()) << s;
+    EXPECT_EQ(cluster.server(s).Parents().size(), 3u);
+  }
+}
+
+TEST(ReplicationTest, AnyManagerResolves) {
+  SimCluster cluster(ReplicatedSpec(4, 2));
+  cluster.Start();
+  cluster.PlaceFile(2, "/store/f", "x");
+
+  // Ask each manager directly by pointing a dedicated client at it.
+  for (std::size_t m = 0; m < 2; ++m) {
+    client::ClientConfig cc;
+    cc.addr = 800 + static_cast<net::NodeAddr>(m);
+    cc.head = cluster.manager(m).config().addr;
+    client::ScallaClient probe(cc, cluster.engine(), cluster.fabric());
+    cluster.fabric().Register(cc.addr, &probe);
+    const auto open = cluster.OpenAndWait(probe, "/store/f", AccessMode::kRead, false);
+    EXPECT_EQ(open.err, proto::XrdErr::kNone) << m;
+    EXPECT_EQ(open.file.node, cluster.server(2).config().addr) << m;
+  }
+}
+
+TEST(ReplicationTest, ManagersKeepIndependentCaches) {
+  SimCluster cluster(ReplicatedSpec(4, 2));
+  cluster.Start();
+  cluster.PlaceFile(1, "/store/f", "x");
+  auto& client = cluster.NewClient();
+  cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+
+  // Only the head actually consulted caches the location.
+  EXPECT_EQ(cluster.manager(0).cache().GetStats().creates, 1u);
+  EXPECT_EQ(cluster.manager(1).cache().GetStats().creates, 0u);
+}
+
+TEST(ReplicationTest, NewFileNotificationReachesAllManagers) {
+  SimCluster cluster(ReplicatedSpec(4, 3));
+  cluster.Start();
+  auto& client = cluster.NewClient();
+  ASSERT_EQ(cluster.PutFile(client, "/store/new", "data"), proto::XrdErr::kNone);
+  cluster.engine().RunUntilIdle();
+  // Every manager heard the unsolicited newfile CmsHave. Managers that
+  // had no cached object simply ignored it; what matters is that a
+  // subsequent locate at ANY manager succeeds fast (fresh flood finds it).
+  for (std::size_t m = 0; m < 3; ++m) {
+    client::ClientConfig cc;
+    cc.addr = 900 + static_cast<net::NodeAddr>(m);
+    cc.head = cluster.manager(m).config().addr;
+    client::ScallaClient probe(cc, cluster.engine(), cluster.fabric());
+    cluster.fabric().Register(cc.addr, &probe);
+    const auto open = cluster.OpenAndWait(probe, "/store/new", AccessMode::kRead, false);
+    EXPECT_EQ(open.err, proto::XrdErr::kNone) << m;
+  }
+}
+
+TEST(ReplicationTest, ClientFailsOverWhenHeadDies) {
+  SimCluster cluster(ReplicatedSpec(4, 2));
+  cluster.Start();
+  cluster.PlaceFile(3, "/store/f", "x");
+  auto& client = cluster.NewClient();
+
+  // Normal operation via manager 0.
+  auto open = cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+  ASSERT_EQ(open.err, proto::XrdErr::kNone);
+  EXPECT_EQ(client.CurrentHead(), cluster.manager(0).config().addr);
+
+  // Manager 0 dies; the next open bounces, rotates to manager 1, and
+  // succeeds there.
+  cluster.CrashManager(0);
+  open = cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+  EXPECT_EQ(open.err, proto::XrdErr::kNone);
+  EXPECT_GE(open.recoveries, 1);
+  EXPECT_EQ(client.CurrentHead(), cluster.manager(1).config().addr);
+  EXPECT_EQ(open.file.node, cluster.server(3).config().addr);
+
+  // And stays on the surviving head for subsequent traffic.
+  open = cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+  EXPECT_EQ(open.err, proto::XrdErr::kNone);
+  EXPECT_EQ(open.recoveries, 0);
+}
+
+TEST(ReplicationTest, SingleHeadClientFailsWithoutAlternate) {
+  SimCluster cluster(ReplicatedSpec(2, 1));
+  cluster.Start();
+  cluster.PlaceFile(0, "/store/f", "x");
+  auto& client = cluster.NewClient();
+  cluster.CrashManager(0);
+  const auto open = cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+  EXPECT_EQ(open.err, proto::XrdErr::kIo);
+}
+
+TEST(ReplicationTest, FailoverUnderSupervisorTree) {
+  ClusterSpec spec = ReplicatedSpec(8, 2);
+  spec.fanout = 4;  // supervisors between heads and leaves
+  SimCluster cluster(spec);
+  cluster.Start();
+  ASSERT_GE(cluster.SupervisorCount(), 1u);
+  // Top-level supervisors log into both managers.
+  EXPECT_EQ(cluster.supervisor(0).Parents().size(), 2u);
+
+  cluster.PlaceFile(5, "/store/deep", "x");
+  auto& client = cluster.NewClient();
+  auto open = cluster.OpenAndWait(client, "/store/deep", AccessMode::kRead, false);
+  ASSERT_EQ(open.err, proto::XrdErr::kNone);
+
+  cluster.CrashManager(0);
+  open = cluster.OpenAndWait(client, "/store/deep", AccessMode::kRead, false);
+  EXPECT_EQ(open.err, proto::XrdErr::kNone);
+  EXPECT_EQ(open.file.node, cluster.server(5).config().addr);
+}
+
+TEST(ReplicationTest, HeadReturnsAndServesAgain) {
+  SimCluster cluster(ReplicatedSpec(3, 2));
+  cluster.Start();
+  cluster.PlaceFile(1, "/store/f", "x");
+  auto& client = cluster.NewClient();
+  cluster.CrashManager(0);
+  auto open = cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+  ASSERT_EQ(open.err, proto::XrdErr::kNone);
+
+  cluster.RestoreManager(0);
+  cluster.engine().RunFor(std::chrono::seconds(5));
+  // A fresh client starting at manager 0 works again.
+  auto& fresh = cluster.NewClient();
+  open = cluster.OpenAndWait(fresh, "/store/f", AccessMode::kRead, false);
+  EXPECT_EQ(open.err, proto::XrdErr::kNone);
+}
+
+// Parameterized sweep: every (managers, servers) combination keeps the
+// basic invariant that all managers see all servers and any head serves.
+class ReplicationSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReplicationSweep, AllHeadsConsistent) {
+  const int managers = std::get<0>(GetParam());
+  const int servers = std::get<1>(GetParam());
+  SimCluster cluster(ReplicatedSpec(servers, managers));
+  cluster.Start();
+  for (int m = 0; m < managers; ++m) {
+    EXPECT_EQ(cluster.manager(static_cast<std::size_t>(m)).membership().MemberCount(),
+              static_cast<std::size_t>(std::min(servers, kMaxServersPerSet)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ReplicationSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3, 16)));
+
+}  // namespace
+}  // namespace scalla::sim

@@ -1,0 +1,142 @@
+// scalla_cli: command-line client for a running Scalla cluster (see
+// scalla_daemon). Speaks the xrd protocol over loopback TCP.
+//
+//   scalla_cli [--head N] [--base-port N] [--addr N] <command> ...
+//
+//   commands:
+//     put <path> <text>        create a file with the given content
+//     get <path>               print a file's content
+//     stat <path>              print the file size
+//     rm <path>                unlink a file
+//     cksum <path>             CRC32 of the file content (server-side)
+//     prepare <path> [...]     announce upcoming accesses (parallel prepare)
+//     ls <prefix> --cnsd N     list the global namespace via the cnsd
+#include <cstdio>
+#include <future>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "client/sync_client.h"
+#include "net/tcp_fabric.h"
+#include "sched/thread_executor.h"
+
+using namespace scalla;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: scalla_cli [--head N] [--base-port N] [--addr N] [--cnsd N]\n"
+               "                  put|get|stat|rm|cksum|prepare|ls <args>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  client::ClientConfig cfg;
+  cfg.addr = 999;
+  cfg.head = 1;
+  std::uint16_t basePort = 10940;
+
+  int i = 1;
+  for (; i + 1 < argc && argv[i][0] == '-'; i += 2) {
+    if (std::strcmp(argv[i], "--head") == 0) {
+      cfg.head = static_cast<net::NodeAddr>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--base-port") == 0) {
+      basePort = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--addr") == 0) {
+      cfg.addr = static_cast<net::NodeAddr>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--cnsd") == 0) {
+      cfg.cnsd = static_cast<net::NodeAddr>(std::atoi(argv[i + 1]));
+    } else {
+      return Usage();
+    }
+  }
+  if (i >= argc) return Usage();
+  const std::string command = argv[i++];
+
+  net::TcpFabric fabric(basePort);
+  sched::ThreadExecutor executor;
+  client::SyncClient client(cfg, executor, fabric, std::chrono::seconds(30));
+  if (!fabric.Register(cfg.addr, &client.async(), &executor)) {
+    std::fprintf(stderr, "cannot bind client port %u\n", basePort + cfg.addr);
+    return 1;
+  }
+
+  if (command == "put" && i + 1 < argc) {
+    const proto::XrdErr err = client.PutFile(argv[i], argv[i + 1]);
+    std::printf("put %s: %s\n", argv[i], err == proto::XrdErr::kNone ? "ok" : "FAILED");
+    return err == proto::XrdErr::kNone ? 0 : 1;
+  }
+  if (command == "get" && i < argc) {
+    const auto [err, data] = client.GetFile(argv[i]);
+    if (err != proto::XrdErr::kNone) {
+      std::fprintf(stderr, "get %s: error %d\n", argv[i], static_cast<int>(err));
+      return 1;
+    }
+    std::fwrite(data.data(), 1, data.size(), stdout);
+    std::printf("\n");
+    return 0;
+  }
+  if (command == "stat" && i < argc) {
+    const auto [err, size] = client.Stat(argv[i]);
+    if (err != proto::XrdErr::kNone) {
+      std::fprintf(stderr, "stat %s: error %d\n", argv[i], static_cast<int>(err));
+      return 1;
+    }
+    std::printf("%s: %llu bytes\n", argv[i], static_cast<unsigned long long>(size));
+    return 0;
+  }
+  if (command == "rm" && i < argc) {
+    const proto::XrdErr err = client.Unlink(argv[i]);
+    std::printf("rm %s: %s\n", argv[i], err == proto::XrdErr::kNone ? "ok" : "FAILED");
+    return err == proto::XrdErr::kNone ? 0 : 1;
+  }
+  if (command == "cksum" && i < argc) {
+    const auto [err, crc] = client.Checksum(argv[i]);
+    if (err != proto::XrdErr::kNone) {
+      std::fprintf(stderr, "cksum %s: error %d\n", argv[i], static_cast<int>(err));
+      return 1;
+    }
+    std::printf("%s: crc32 %08X\n", argv[i], crc);
+    return 0;
+  }
+  if (command == "prepare" && i < argc) {
+    std::vector<std::string> paths;
+    for (; i < argc; ++i) paths.emplace_back(argv[i]);
+    const proto::XrdErr err = client.Prepare(paths, cms::AccessMode::kRead);
+    std::printf("prepare %zu file(s): %s\n", paths.size(),
+                err == proto::XrdErr::kNone ? "ok" : "FAILED");
+    return err == proto::XrdErr::kNone ? 0 : 1;
+  }
+  if (command == "ls" && i < argc) {
+    if (cfg.cnsd == 0) {
+      std::fprintf(stderr, "ls needs --cnsd N (managers keep a flat namespace;\n"
+                           "global listing is served by the namespace daemon)\n");
+      return 2;
+    }
+    std::promise<std::pair<proto::XrdErr, std::vector<std::string>>> prom;
+    auto fut = prom.get_future();
+    executor.Post([&client, &prom, prefix = std::string(argv[i])] {
+      client.async().List(prefix, [&prom](proto::XrdErr err,
+                                          std::vector<std::string> names) {
+        prom.set_value({err, std::move(names)});
+      });
+    });
+    if (fut.wait_for(std::chrono::seconds(10)) != std::future_status::ready) {
+      std::fprintf(stderr, "ls: timeout\n");
+      return 1;
+    }
+    const auto [err, names] = fut.get();
+    if (err != proto::XrdErr::kNone) {
+      std::fprintf(stderr, "ls: error %d\n", static_cast<int>(err));
+      return 1;
+    }
+    for (const auto& name : names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  return Usage();
+}
