@@ -36,7 +36,7 @@ double CreateWorkloadSeconds(int files, bool withPrepare, Duration deadline) {
   if (withPrepare) {
     // Announce the upcoming creations; the cluster resolves non-existence
     // for every path in parallel in the background.
-    cluster.PrepareAndWait(client, paths, AccessMode::kWrite);
+    (void)cluster.PrepareAndWait(client, paths, AccessMode::kWrite);
     cluster.engine().RunFor(deadline + std::chrono::milliseconds(200));
   }
   for (const auto& path : paths) {
@@ -72,7 +72,7 @@ double StagingWorkloadSeconds(int files, bool withPrepare, Duration stageDelay) 
     // when the leaf receives the first open... here the prepare itself
     // triggers BeginStage on each hosting leaf via background locates
     // followed by the client's bulk open loop.
-    cluster.PrepareAndWait(client, paths, AccessMode::kRead);
+    (void)cluster.PrepareAndWait(client, paths, AccessMode::kRead);
     cluster.engine().RunFor(std::chrono::milliseconds(500));
     // Kick every stage by opening all files once without waiting (the
     // first open returns kWait immediately and staging proceeds).

@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
 
     const TimePoint jobStart = cluster.engine().Now();
     // Announce the file list: the cluster resolves and stages in parallel.
-    cluster.PrepareAndWait(job, wanted, cms::AccessMode::kRead);
+    (void)cluster.PrepareAndWait(job, wanted, cms::AccessMode::kRead);
 
     for (const auto& path : wanted) {
       const auto open = cluster.OpenAndWait(job, path, cms::AccessMode::kRead, false,

@@ -30,14 +30,14 @@ int main() {
   // 2. A client writes a new file. The manager confirms non-existence
   //    (the full-delay check), picks a server, and redirects the client.
   client::ScallaClient& client = cluster.NewClient();
-  const proto::XrdErr putErr =
+  const Result<void> put =
       cluster.PutFile(client, "/store/hello.root", "hello, scalla!");
   std::printf("create /store/hello.root: %s\n",
-              putErr == proto::XrdErr::kNone ? "ok" : "FAILED");
+              put ? "ok" : put.error().message.c_str());
 
   // 3. Read it back. The open goes manager -> (location cache) -> leaf.
-  const auto [getErr, data] = cluster.ReadAll(client, "/store/hello.root");
-  std::printf("read back: \"%s\"\n", data.c_str());
+  const Result<std::string> data = cluster.ReadAll(client, "/store/hello.root");
+  std::printf("read back: \"%s\"\n", data ? data.value().c_str() : "FAILED");
 
   // 4. Open it again: the second open rides the manager's location cache.
   const auto open =
@@ -56,5 +56,12 @@ int main() {
               "%zu query messages\n",
               resolverStats.locates, resolverStats.redirects,
               resolverStats.fastRedirects, resolverStats.queryMessages);
+
+  // 6. One StatsQuery to the head folds every node's metrics registry
+  //    into a single snapshot (kStatsQuery travels down the tree,
+  //    kStatsReply merges on the way back up).
+  const auto stats = cluster.ClusterStats(&client);
+  std::printf("\ncluster-wide stats (%u nodes):\n%s",
+              stats.nodeCount, stats.snapshot.ToText().c_str());
   return 0;
 }

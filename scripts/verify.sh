@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification: the regular build + test suite, then the same suite
+# under AddressSanitizer + UndefinedBehaviorSanitizer (CMake presets
+# "default" and "asan-ubsan"). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== build + test: default preset ==="
+cmake --preset default
+cmake --build --preset default -j
+ctest --preset default -j
+
+echo
+echo "=== build + test: asan-ubsan preset ==="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j
+ctest --preset asan-ubsan -j
+
+echo
+echo "verify: all suites passed"

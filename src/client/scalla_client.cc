@@ -6,7 +6,14 @@ namespace scalla::client {
 
 ScallaClient::ScallaClient(const ClientConfig& config, sched::Executor& executor,
                            net::Fabric& fabric)
-    : config_(config), executor_(executor), fabric_(fabric) {
+    : config_(config),
+      executor_(executor),
+      fabric_(fabric),
+      openLatency_(metrics_.GetHistogram("client.open_latency")),
+      retriesMetric_(metrics_.GetCounter("client.retries")),
+      failoversMetric_(metrics_.GetCounter("client.head_failovers")),
+      recoveriesMetric_(metrics_.GetCounter("client.recoveries")),
+      redirectsMetric_(metrics_.GetCounter("client.redirects_followed")) {
   heads_.push_back(config_.head);
   for (const net::NodeAddr h : config_.extraHeads) {
     if (h != 0) heads_.push_back(h);
@@ -23,6 +30,7 @@ bool ScallaClient::IsHead(net::NodeAddr addr) const {
 void ScallaClient::RotateHeadAwayFrom(net::NodeAddr dead) {
   if (heads_.size() < 2 || CurrentHead() != dead) return;
   headIdx_ = (headIdx_ + 1) % heads_.size();
+  failoversMetric_.Inc();
 }
 
 void ScallaClient::Open(const std::string& path, cms::AccessMode mode, bool create,
@@ -81,6 +89,7 @@ void ScallaClient::HandleOpenResp(net::NodeAddr from, const proto::XrdOpenResp& 
         FinishOpen(m.reqId, proto::XrdErr::kIo, {});
         return;
       }
+      redirectsMetric_.Inc();
       s.currentNode = m.redirectNode;
       SendOpen(m.reqId);
       return;
@@ -90,6 +99,7 @@ void ScallaClient::HandleOpenResp(net::NodeAddr from, const proto::XrdOpenResp& 
         FinishOpen(m.reqId, proto::XrdErr::kIo, {});
         return;
       }
+      retriesMetric_.Inc();
       const Duration wait{m.waitNs};
       executor_.RunAfter(wait, [this, reqId = m.reqId] { SendOpen(reqId); });
       return;
@@ -98,6 +108,7 @@ void ScallaClient::HandleOpenResp(net::NodeAddr from, const proto::XrdOpenResp& 
     case proto::XrdStatus::kError:
       if (m.err == proto::XrdErr::kStale) {
         // Transient inconsistency: retry immediately from the head.
+        retriesMetric_.Inc();
         s.currentNode = CurrentHead();
         SendOpen(m.reqId);
         return;
@@ -112,6 +123,7 @@ void ScallaClient::HandleOpenResp(net::NodeAddr from, const proto::XrdOpenResp& 
           FinishOpen(m.reqId, proto::XrdErr::kNotFound, {});
           return;
         }
+        recoveriesMetric_.Inc();
         s.refresh = true;
         s.avoidNode = from;
         s.currentNode = CurrentHead();
@@ -326,6 +338,7 @@ void ScallaClient::OnPeerDown(net::NodeAddr peer) {
     for (auto& [id, s] : opens_) {
       if (s.currentNode != peer) continue;
       if (haveAlternate && ++s.outcome.recoveries <= config_.maxRecoveries) {
+        recoveriesMetric_.Inc();
         s.currentNode = CurrentHead();
         SendOpen(id);
       } else {
@@ -333,6 +346,14 @@ void ScallaClient::OnPeerDown(net::NodeAddr peer) {
       }
     }
     for (const std::uint64_t id : dead) FinishOpen(id, proto::XrdErr::kIo, {});
+    if (haveAlternate) {
+      // Stats queries only ever target the head: re-issue every pending
+      // one at the standby (the original timeout keeps running).
+      for (const auto& [id, s] : statsQueries_) {
+        (void)s;
+        fabric_.Send(config_.addr, CurrentHead(), proto::StatsQuery{id});
+      }
+    }
     return;
   }
   // A data server died: restart affected opens at the head with the
@@ -343,6 +364,7 @@ void ScallaClient::OnPeerDown(net::NodeAddr peer) {
       // Cap reached; surface the failure. (Finish outside the loop.)
       continue;
     }
+    recoveriesMetric_.Inc();
     s.refresh = true;
     s.avoidNode = peer;
     s.currentNode = CurrentHead();
@@ -355,6 +377,31 @@ void ScallaClient::OnPeerDown(net::NodeAddr peer) {
     }
   }
   for (const std::uint64_t id : failed) FinishOpen(id, proto::XrdErr::kIo, {});
+}
+
+void ScallaClient::QueryStats(StatsQueryCallback done, Duration timeout) {
+  const std::uint64_t reqId = nextReqId_++;
+  StatsQueryState state;
+  state.done = std::move(done);
+  state.timer = executor_.RunAfter(timeout, [this, reqId] {
+    auto node = statsQueries_.extract(reqId);
+    if (node.empty()) return;
+    node.mapped().done(ClusterStats{});  // ok=false: head never answered
+  });
+  statsQueries_.emplace(reqId, std::move(state));
+  fabric_.Send(config_.addr, CurrentHead(), proto::StatsQuery{reqId});
+}
+
+void ScallaClient::HandleStatsReply(net::NodeAddr from, const proto::StatsReply& m) {
+  (void)from;
+  auto node = statsQueries_.extract(m.reqId);
+  if (node.empty()) return;  // reply after timeout
+  if (node.mapped().timer != sched::kInvalidTimer) executor_.Cancel(node.mapped().timer);
+  ClusterStats out;
+  out.ok = true;
+  out.nodeCount = m.nodeCount;
+  out.snapshot = m.snapshot;
+  node.mapped().done(out);
 }
 
 void ScallaClient::List(const std::string& prefix, ListCallback done) {
@@ -397,6 +444,8 @@ void ScallaClient::OnMessage(net::NodeAddr from, proto::Message message) {
         } else if constexpr (std::is_same_v<M, proto::CnsListResp>) {
           auto node = lists_.extract(m.reqId);
           if (!node.empty()) node.mapped()(m.err, std::move(m.names));
+        } else if constexpr (std::is_same_v<M, proto::StatsReply>) {
+          HandleStatsReply(from, m);
         }
       },
       std::move(message));

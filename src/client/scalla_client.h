@@ -17,8 +17,8 @@
 
 #include "cms/types.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
 #include "sched/executor.h"
-#include "util/stats.h"
 
 namespace scalla::client {
 
@@ -93,6 +93,17 @@ class ScallaClient : public net::MessageSink {
   /// do not implement ls — paper section II-B4). Requires config.cnsd.
   void List(const std::string& prefix, ListCallback done);
 
+  /// Tree-aggregated cluster metrics: the head folds its whole subtree's
+  /// snapshots into one (kStatsQuery/kStatsReply). ok=false means the head
+  /// never answered within `timeout`.
+  struct ClusterStats {
+    bool ok = false;
+    std::uint32_t nodeCount = 0;  // nodes folded into the snapshot
+    obs::MetricsSnapshot snapshot;
+  };
+  using StatsQueryCallback = std::function<void(const ClusterStats&)>;
+  void QueryStats(StatsQueryCallback done, Duration timeout = std::chrono::seconds(5));
+
   // net::MessageSink
   void OnMessage(net::NodeAddr from, proto::Message message) override;
   /// Connection-loss recovery: pending opens/stats/unlinks aimed at the
@@ -102,7 +113,12 @@ class ScallaClient : public net::MessageSink {
 
   /// Latency of completed Open calls (the redirection-latency metric the
   /// paper quotes: "<50us per tree level" once cached).
-  const util::LatencyRecorder& OpenLatency() const { return openLatency_; }
+  const obs::Histogram& OpenLatency() const { return openLatency_; }
+
+  /// The client's own instruments (retries, failovers, recoveries, open
+  /// latency) — local counters, distinct from QueryStats' cluster view.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::MetricsSnapshot SnapshotMetrics() const { return metrics_.Snapshot(); }
 
   /// The head this client currently targets (changes on head failover).
   net::NodeAddr CurrentHead() const { return heads_[headIdx_]; }
@@ -141,6 +157,10 @@ class ScallaClient : public net::MessageSink {
     int hops = 0;
     int waits = 0;
   };
+  struct StatsQueryState {
+    StatsQueryCallback done;
+    sched::TimerId timer = sched::kInvalidTimer;
+  };
 
   void SendOpen(std::uint64_t reqId);
   void FinishOpen(std::uint64_t reqId, proto::XrdErr err, FileRef file);
@@ -148,6 +168,7 @@ class ScallaClient : public net::MessageSink {
   void HandleStatResp(net::NodeAddr from, const proto::XrdStatResp& m);
   void HandleUnlinkResp(net::NodeAddr from, const proto::XrdUnlinkResp& m);
   void HandleChecksumResp(net::NodeAddr from, const proto::XrdChecksumResp& m);
+  void HandleStatsReply(net::NodeAddr from, const proto::StatsReply& m);
 
   bool IsHead(net::NodeAddr addr) const;
   void RotateHeadAwayFrom(net::NodeAddr dead);
@@ -169,8 +190,15 @@ class ScallaClient : public net::MessageSink {
   std::unordered_map<std::uint64_t, DoneCallback> closes_;
   std::unordered_map<std::uint64_t, DoneCallback> prepares_;
   std::unordered_map<std::uint64_t, ListCallback> lists_;
+  std::unordered_map<std::uint64_t, StatsQueryState> statsQueries_;
 
-  util::LatencyRecorder openLatency_;
+  // Registry first: the instrument references below point into it.
+  obs::MetricsRegistry metrics_;
+  obs::Histogram& openLatency_;   // client.open_latency
+  obs::Counter& retriesMetric_;   // client.retries — wait/stale re-issues
+  obs::Counter& failoversMetric_; // client.head_failovers
+  obs::Counter& recoveriesMetric_;  // client.recoveries — refresh/avoid cycles
+  obs::Counter& redirectsMetric_;   // client.redirects_followed
 };
 
 }  // namespace scalla::client

@@ -13,6 +13,10 @@ T Await(std::future<T>& future, Duration timeout, T timeoutValue) {
   return future.get();
 }
 
+ScallaError MakeError(proto::XrdErr err, const char* op, const std::string& subject) {
+  return ScallaError{err, std::string(op) + " '" + subject + "': " + XrdErrName(err)};
+}
+
 }  // namespace
 
 SyncClient::SyncClient(const ClientConfig& config, sched::Executor& executor,
@@ -31,9 +35,8 @@ OpenOutcome SyncClient::Open(const std::string& path, cms::AccessMode mode, bool
   return Await(fut, timeout_, timedOut);
 }
 
-std::pair<proto::XrdErr, std::string> SyncClient::Read(const FileRef& file,
-                                                       std::uint64_t offset,
-                                                       std::uint32_t length) {
+Result<std::string> SyncClient::Read(const FileRef& file, std::uint64_t offset,
+                                     std::uint32_t length) {
   auto prom = std::make_shared<std::promise<std::pair<proto::XrdErr, std::string>>>();
   auto fut = prom->get_future();
   executor_.Post([this, file, offset, length, prom] {
@@ -41,11 +44,13 @@ std::pair<proto::XrdErr, std::string> SyncClient::Read(const FileRef& file,
       prom->set_value({err, std::move(data)});
     });
   });
-  return Await(fut, timeout_, {proto::XrdErr::kIo, std::string()});
+  auto [err, data] = Await(fut, timeout_, {proto::XrdErr::kIo, std::string()});
+  if (err != proto::XrdErr::kNone) return MakeError(err, "read", "handle");
+  return std::move(data);
 }
 
-std::pair<proto::XrdErr, std::vector<std::string>> SyncClient::ReadV(
-    const FileRef& file, std::vector<proto::ReadSeg> segments) {
+Result<std::vector<std::string>> SyncClient::ReadV(const FileRef& file,
+                                                   std::vector<proto::ReadSeg> segments) {
   auto prom = std::make_shared<
       std::promise<std::pair<proto::XrdErr, std::vector<std::string>>>>();
   auto fut = prom->get_future();
@@ -55,10 +60,12 @@ std::pair<proto::XrdErr, std::vector<std::string>> SyncClient::ReadV(
                    prom->set_value({err, std::move(chunks)});
                  });
   });
-  return Await(fut, timeout_, {proto::XrdErr::kIo, std::vector<std::string>()});
+  auto [err, chunks] = Await(fut, timeout_, {proto::XrdErr::kIo, std::vector<std::string>()});
+  if (err != proto::XrdErr::kNone) return MakeError(err, "readv", "handle");
+  return std::move(chunks);
 }
 
-std::pair<proto::XrdErr, std::uint32_t> SyncClient::Checksum(const std::string& path) {
+Result<std::uint32_t> SyncClient::Checksum(const std::string& path) {
   auto prom = std::make_shared<std::promise<std::pair<proto::XrdErr, std::uint32_t>>>();
   auto fut = prom->get_future();
   executor_.Post([this, path, prom] {
@@ -66,31 +73,36 @@ std::pair<proto::XrdErr, std::uint32_t> SyncClient::Checksum(const std::string& 
       prom->set_value({err, crc});
     });
   });
-  return Await(fut, timeout_, {proto::XrdErr::kIo, std::uint32_t{0}});
+  const auto [err, crc] = Await(fut, timeout_, {proto::XrdErr::kIo, std::uint32_t{0}});
+  if (err != proto::XrdErr::kNone) return MakeError(err, "checksum", path);
+  return crc;
 }
 
-std::pair<proto::XrdErr, std::uint32_t> SyncClient::Write(const FileRef& file,
-                                                          std::uint64_t offset,
-                                                          std::string data) {
+Result<std::uint32_t> SyncClient::Write(const FileRef& file, std::uint64_t offset,
+                                        std::string data) {
   auto prom = std::make_shared<std::promise<std::pair<proto::XrdErr, std::uint32_t>>>();
   auto fut = prom->get_future();
   executor_.Post([this, file, offset, data = std::move(data), prom]() mutable {
     inner_.Write(file, offset, std::move(data),
                  [prom](proto::XrdErr err, std::uint32_t n) { prom->set_value({err, n}); });
   });
-  return Await(fut, timeout_, {proto::XrdErr::kIo, std::uint32_t{0}});
+  const auto [err, n] = Await(fut, timeout_, {proto::XrdErr::kIo, std::uint32_t{0}});
+  if (err != proto::XrdErr::kNone) return MakeError(err, "write", "handle");
+  return n;
 }
 
-proto::XrdErr SyncClient::Close(const FileRef& file) {
+Result<void> SyncClient::Close(const FileRef& file) {
   auto prom = std::make_shared<std::promise<proto::XrdErr>>();
   auto fut = prom->get_future();
   executor_.Post([this, file, prom] {
     inner_.Close(file, [prom](proto::XrdErr err) { prom->set_value(err); });
   });
-  return Await(fut, timeout_, proto::XrdErr::kIo);
+  const proto::XrdErr err = Await(fut, timeout_, proto::XrdErr::kIo);
+  if (err != proto::XrdErr::kNone) return MakeError(err, "close", "handle");
+  return Result<void>::Ok();
 }
 
-std::pair<proto::XrdErr, std::uint64_t> SyncClient::Stat(const std::string& path) {
+Result<std::uint64_t> SyncClient::Stat(const std::string& path) {
   auto prom = std::make_shared<std::promise<std::pair<proto::XrdErr, std::uint64_t>>>();
   auto fut = prom->get_future();
   executor_.Post([this, path, prom] {
@@ -98,55 +110,77 @@ std::pair<proto::XrdErr, std::uint64_t> SyncClient::Stat(const std::string& path
       prom->set_value({err, size});
     });
   });
-  return Await(fut, timeout_, {proto::XrdErr::kIo, std::uint64_t{0}});
+  const auto [err, size] = Await(fut, timeout_, {proto::XrdErr::kIo, std::uint64_t{0}});
+  if (err != proto::XrdErr::kNone) return MakeError(err, "stat", path);
+  return size;
 }
 
-proto::XrdErr SyncClient::Unlink(const std::string& path) {
+Result<void> SyncClient::Unlink(const std::string& path) {
   auto prom = std::make_shared<std::promise<proto::XrdErr>>();
   auto fut = prom->get_future();
   executor_.Post([this, path, prom] {
     inner_.Unlink(path, [prom](proto::XrdErr err) { prom->set_value(err); });
   });
-  return Await(fut, timeout_, proto::XrdErr::kIo);
+  const proto::XrdErr err = Await(fut, timeout_, proto::XrdErr::kIo);
+  if (err != proto::XrdErr::kNone) return MakeError(err, "unlink", path);
+  return Result<void>::Ok();
 }
 
-proto::XrdErr SyncClient::Prepare(const std::vector<std::string>& paths,
-                                  cms::AccessMode mode) {
+Result<void> SyncClient::Prepare(const std::vector<std::string>& paths,
+                                 cms::AccessMode mode) {
   auto prom = std::make_shared<std::promise<proto::XrdErr>>();
   auto fut = prom->get_future();
   executor_.Post([this, paths, mode, prom] {
     inner_.Prepare(paths, mode, [prom](proto::XrdErr err) { prom->set_value(err); });
   });
-  return Await(fut, timeout_, proto::XrdErr::kIo);
+  const proto::XrdErr err = Await(fut, timeout_, proto::XrdErr::kIo);
+  if (err != proto::XrdErr::kNone) return MakeError(err, "prepare", "batch");
+  return Result<void>::Ok();
 }
 
-proto::XrdErr SyncClient::PutFile(const std::string& path, std::string data) {
+Result<void> SyncClient::PutFile(const std::string& path, std::string data) {
   const OpenOutcome open = Open(path, cms::AccessMode::kWrite, /*create=*/true);
-  if (open.err != proto::XrdErr::kNone) return open.err;
-  const auto [werr, n] = Write(open.file, 0, std::move(data));
-  const proto::XrdErr cerr = Close(open.file);
-  if (werr != proto::XrdErr::kNone) return werr;
-  (void)n;
-  return cerr;
+  if (open.err != proto::XrdErr::kNone) return MakeError(open.err, "open", path);
+  const auto written = Write(open.file, 0, std::move(data));
+  const auto closed = Close(open.file);
+  if (!written) return written.error();
+  if (!closed) return closed.error();
+  return Result<void>::Ok();
 }
 
-std::pair<proto::XrdErr, std::string> SyncClient::GetFile(const std::string& path) {
+Result<std::string> SyncClient::GetFile(const std::string& path) {
   const OpenOutcome open = Open(path, cms::AccessMode::kRead, /*create=*/false);
-  if (open.err != proto::XrdErr::kNone) return {open.err, std::string()};
+  if (open.err != proto::XrdErr::kNone) return MakeError(open.err, "open", path);
   std::string all;
   std::uint64_t offset = 0;
   for (;;) {
-    auto [err, chunk] = Read(open.file, offset, 1 << 16);
-    if (err != proto::XrdErr::kNone) {
-      Close(open.file);
-      return {err, std::string()};
+    auto chunk = Read(open.file, offset, 1 << 16);
+    if (!chunk) {
+      (void)Close(open.file);
+      return chunk.error();
     }
-    if (chunk.empty()) break;
-    offset += chunk.size();
-    all += std::move(chunk);
+    if (chunk.value().empty()) break;
+    offset += chunk.value().size();
+    all += std::move(chunk).value();
   }
-  Close(open.file);
-  return {proto::XrdErr::kNone, std::move(all)};
+  (void)Close(open.file);
+  return all;
+}
+
+Result<ScallaClient::ClusterStats> SyncClient::Stats() {
+  auto prom = std::make_shared<std::promise<ScallaClient::ClusterStats>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, prom] {
+    inner_.QueryStats(
+        [prom](const ScallaClient::ClusterStats& stats) { prom->set_value(stats); },
+        timeout_);
+  });
+  // The inner query times out on its own; pad the blocking wait a little so
+  // the ok=false outcome (rather than a promise abandonment) surfaces.
+  ScallaClient::ClusterStats stats =
+      Await(fut, timeout_ + std::chrono::seconds(1), ScallaClient::ClusterStats{});
+  if (!stats.ok) return MakeError(proto::XrdErr::kIo, "stats", "cluster");
+  return stats;
 }
 
 }  // namespace scalla::client

@@ -2,11 +2,16 @@
 // call posts the asynchronous operation onto the client's executor and
 // waits for its completion. Intended for application code and the TCP
 // integration tests; simulation code drives ScallaClient directly.
+//
+// Every operation returns scalla::Result<T>: test `if (r)` for success,
+// then r.value(); on failure r.error() carries the protocol code plus a
+// message naming the operation and path.
 #pragma once
 
 #include <memory>
 
 #include "client/scalla_client.h"
+#include "util/result.h"
 
 namespace scalla::client {
 
@@ -20,22 +25,25 @@ class SyncClient {
   ScallaClient& async() { return inner_; }
 
   OpenOutcome Open(const std::string& path, cms::AccessMode mode, bool create = false);
-  std::pair<proto::XrdErr, std::string> Read(const FileRef& file, std::uint64_t offset,
-                                             std::uint32_t length);
-  std::pair<proto::XrdErr, std::vector<std::string>> ReadV(
-      const FileRef& file, std::vector<proto::ReadSeg> segments);
-  std::pair<proto::XrdErr, std::uint32_t> Checksum(const std::string& path);
-  std::pair<proto::XrdErr, std::uint32_t> Write(const FileRef& file, std::uint64_t offset,
-                                                std::string data);
-  proto::XrdErr Close(const FileRef& file);
-  std::pair<proto::XrdErr, std::uint64_t> Stat(const std::string& path);
-  proto::XrdErr Unlink(const std::string& path);
-  proto::XrdErr Prepare(const std::vector<std::string>& paths, cms::AccessMode mode);
+  Result<std::string> Read(const FileRef& file, std::uint64_t offset,
+                           std::uint32_t length);
+  Result<std::vector<std::string>> ReadV(const FileRef& file,
+                                         std::vector<proto::ReadSeg> segments);
+  Result<std::uint32_t> Checksum(const std::string& path);
+  Result<std::uint32_t> Write(const FileRef& file, std::uint64_t offset,
+                              std::string data);
+  Result<void> Close(const FileRef& file);
+  Result<std::uint64_t> Stat(const std::string& path);
+  Result<void> Unlink(const std::string& path);
+  Result<void> Prepare(const std::vector<std::string>& paths, cms::AccessMode mode);
 
   /// Convenience: full write of a small file (open-create, write, close).
-  proto::XrdErr PutFile(const std::string& path, std::string data);
+  Result<void> PutFile(const std::string& path, std::string data);
   /// Convenience: full read of a small file.
-  std::pair<proto::XrdErr, std::string> GetFile(const std::string& path);
+  Result<std::string> GetFile(const std::string& path);
+
+  /// Tree-aggregated cluster metrics from the head (kStatsQuery).
+  Result<ScallaClient::ClusterStats> Stats();
 
  private:
   sched::Executor& executor_;

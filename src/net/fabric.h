@@ -43,6 +43,13 @@ class Fabric {
     std::uint64_t messagesSent = 0;
     std::uint64_t messagesDelivered = 0;
     std::uint64_t messagesDropped = 0;
+    // Wire-level counters; only transports with real framing (TcpFabric)
+    // populate these, the in-process sim fabric leaves them zero.
+    std::uint64_t framesSent = 0;
+    std::uint64_t framesReceived = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t bytesReceived = 0;
+    std::uint64_t reconnects = 0;  // stale cached connections replaced
   };
   virtual Counters GetCounters() const = 0;
 };

@@ -171,6 +171,8 @@ void TcpFabric::ReaderLoop(Endpoint* ep, int fd) {
     {
       std::lock_guard lock(mu_);
       ++counters_.messagesDelivered;
+      ++counters_.framesReceived;
+      counters_.bytesReceived += sizeof(header) + length;
     }
     MessageSink* sink = ep->sink;
     if (ep->executor != nullptr) {
@@ -236,9 +238,14 @@ void TcpFabric::Send(NodeAddr from, NodeAddr to, proto::Message message) {
     if (!ok && fd >= 0) {
       // Stale cached connection (peer restarted): retry once fresh.
       CloseOutbound(from, to);
+      ++counters_.reconnects;
       fd = ConnectTo(from, to);
       ok = fd >= 0 && WriteAll(fd, header, sizeof(header)) &&
            WriteAll(fd, body.data(), body.size());
+    }
+    if (ok) {
+      ++counters_.framesSent;
+      counters_.bytesSent += sizeof(header) + body.size();
     }
     if (!ok) {
       if (fd >= 0) CloseOutbound(from, to);

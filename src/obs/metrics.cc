@@ -1,0 +1,47 @@
+#include "obs/metrics.h"
+
+namespace scalla::obs {
+
+HistogramStat Histogram::Digest() const {
+  std::lock_guard lock(mu_);
+  HistogramStat d;
+  d.count = recorder_.count();
+  if (d.count == 0) return d;
+  d.minNanos = recorder_.MinNanos();
+  d.maxNanos = recorder_.MaxNanos();
+  d.meanNanos = recorder_.MeanNanos();
+  const auto pcts = recorder_.PercentilesNanos({0.5, 0.99});
+  d.p50Nanos = static_cast<double>(pcts[0]);
+  d.p99Nanos = static_cast<double>(pcts[1]);
+  return d;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  return histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c.Value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g.Value());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h.Digest());
+  }
+  return snap;
+}
+
+}  // namespace scalla::obs

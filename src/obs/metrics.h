@@ -1,0 +1,91 @@
+// MetricsRegistry: named Counter/Gauge/Histogram instruments with a cheap
+// Snapshot(). Instruments live as long as the registry (std::map gives
+// stable addresses), so hot paths hold plain references and pay one relaxed
+// atomic op per event. Snapshot() is safe against concurrent writers —
+// counters/gauges are atomics, histograms take a short mutex — which is what
+// lets the daemon thread and the stats protocol read while actors write.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/snapshot.h"
+#include "util/stats.h"
+
+namespace scalla::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, open handles); can go down.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Latency distribution backed by util::LatencyRecorder. The mutex makes
+/// Record/Digest safe across threads; actor hot paths are single-threaded so
+/// the lock is uncontended there.
+class Histogram {
+ public:
+  void Record(Duration d) { RecordNanos(d.count()); }
+  void RecordNanos(std::int64_t ns) {
+    std::lock_guard lock(mu_);
+    recorder_.RecordNanos(ns);
+  }
+
+  std::size_t count() const {
+    std::lock_guard lock(mu_);
+    return recorder_.count();
+  }
+  double MeanNanos() const {
+    std::lock_guard lock(mu_);
+    return recorder_.MeanNanos();
+  }
+  std::int64_t PercentileNanos(double q) const {
+    std::lock_guard lock(mu_);
+    return recorder_.PercentileNanos(q);
+  }
+
+  /// Fixed-quantile digest for snapshots; all-zero when empty.
+  HistogramStat Digest() const;
+
+ private:
+  mutable std::mutex mu_;
+  util::LatencyRecorder recorder_;
+};
+
+/// Owns instruments by name. GetX() registers on first use and returns the
+/// same instrument on every later call, so call sites can cache references.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Point-in-time copy of every instrument, name-sorted.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // guards map shape only, not instrument values
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace scalla::obs

@@ -1,0 +1,137 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace scalla::obs {
+namespace {
+
+// Finds the slot for `name` in a name-sorted vector, inserting a default
+// entry when absent. Returns the (possibly new) element.
+template <typename V>
+V& SortedSlot(std::vector<std::pair<std::string, V>>& table, const std::string& name) {
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it != table.end() && it->first == name) return it->second;
+  return table.insert(it, {name, V{}})->second;
+}
+
+template <typename V>
+const V* SortedFind(const std::vector<std::pair<std::string, V>>& table,
+                    const std::string& name) {
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), name,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it != table.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+std::string JsonNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsSnapshot::AddCounter(const std::string& name, std::uint64_t delta) {
+  SortedSlot(counters, name) += delta;
+}
+
+void MetricsSnapshot::AddGauge(const std::string& name, std::int64_t delta) {
+  SortedSlot(gauges, name) += delta;
+}
+
+void MetricsSnapshot::MergeHistogram(const std::string& name, const HistogramStat& h) {
+  if (h.count == 0) return;  // empty digests carry no information
+  HistogramStat& slot = SortedSlot(histograms, name);
+  if (slot.count == 0) {
+    slot = h;
+    return;
+  }
+  const double a = static_cast<double>(slot.count);
+  const double b = static_cast<double>(h.count);
+  slot.minNanos = std::min(slot.minNanos, h.minNanos);
+  slot.maxNanos = std::max(slot.maxNanos, h.maxNanos);
+  slot.meanNanos = (slot.meanNanos * a + h.meanNanos * b) / (a + b);
+  slot.p50Nanos = (slot.p50Nanos * a + h.p50Nanos * b) / (a + b);
+  slot.p99Nanos = (slot.p99Nanos * a + h.p99Nanos * b) / (a + b);
+  slot.count += h.count;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) AddCounter(name, v);
+  for (const auto& [name, v] : other.gauges) AddGauge(name, v);
+  for (const auto& [name, h] : other.histograms) MergeHistogram(name, h);
+}
+
+std::uint64_t MetricsSnapshot::Counter(const std::string& name) const {
+  const std::uint64_t* v = SortedFind(counters, name);
+  return v == nullptr ? 0 : *v;
+}
+
+std::int64_t MetricsSnapshot::Gauge(const std::string& name) const {
+  const std::int64_t* v = SortedFind(gauges, name);
+  return v == nullptr ? 0 : *v;
+}
+
+const HistogramStat* MetricsSnapshot::Histogram(const std::string& name) const {
+  return SortedFind(histograms, name);
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof(buf), "%-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(buf, sizeof(buf), "%-40s %lld\n", name.c_str(),
+                  static_cast<long long>(v));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-40s n=%llu mean=%.0fns p50=%.0fns p99=%.0fns max=%lldns\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count), h.meanNanos,
+                  h.p50Nanos, h.p99Nanos, static_cast<long long>(h.maxNanos));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{\"count\":" + std::to_string(h.count) +
+           ",\"min_ns\":" + std::to_string(h.minNanos) +
+           ",\"max_ns\":" + std::to_string(h.maxNanos) +
+           ",\"mean_ns\":" + JsonNumber(h.meanNanos) +
+           ",\"p50_ns\":" + JsonNumber(h.p50Nanos) +
+           ",\"p99_ns\":" + JsonNumber(h.p99Nanos) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace scalla::obs

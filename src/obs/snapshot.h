@@ -1,0 +1,58 @@
+// MetricsSnapshot: a point-in-time, plain-data copy of a MetricsRegistry.
+// Snapshots travel on the wire (kStatsReply) and merge up the cluster tree,
+// so this header depends only on the standard library — proto/messages.h
+// includes it to embed a snapshot in a message struct.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scalla::obs {
+
+/// Fixed-quantile digest of a histogram. Percentiles are approximate after
+/// a Merge (count-weighted averages), exact for a single-node snapshot.
+struct HistogramStat {
+  std::uint64_t count = 0;
+  std::int64_t minNanos = 0;
+  std::int64_t maxNanos = 0;
+  double meanNanos = 0;
+  double p50Nanos = 0;
+  double p99Nanos = 0;
+
+  bool operator==(const HistogramStat&) const = default;
+};
+
+/// Name→value tables, each kept sorted by name so snapshots are
+/// deterministic and two snapshots of the same cluster state compare equal.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramStat>> histograms;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+
+  /// Adds `delta` to the named counter, inserting it (sorted) if missing.
+  void AddCounter(const std::string& name, std::uint64_t delta);
+  /// Adds `delta` to the named gauge, inserting it (sorted) if missing.
+  void AddGauge(const std::string& name, std::int64_t delta);
+  /// Merges a histogram digest: counts sum, min/max take extremes,
+  /// mean/percentiles become count-weighted averages.
+  void MergeHistogram(const std::string& name, const HistogramStat& h);
+
+  /// Folds `other` into this snapshot (counter/gauge sums, digest merges).
+  void Merge(const MetricsSnapshot& other);
+
+  /// Value lookups; 0 / nullptr when the name is absent.
+  std::uint64_t Counter(const std::string& name) const;
+  std::int64_t Gauge(const std::string& name) const;
+  const HistogramStat* Histogram(const std::string& name) const;
+
+  /// Single-line-per-metric human listing, sorted by name.
+  std::string ToText() const;
+  /// Compact JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+};
+
+}  // namespace scalla::obs

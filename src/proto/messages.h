@@ -13,6 +13,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/snapshot.h"
 #include "util/types.h"
 
 namespace scalla::proto {
@@ -247,12 +248,30 @@ struct CnsListResp {
   std::vector<std::string> names;
 };
 
+// --------------------------------------------------------------------
+// Observability (any peer <-> node)
+
+/// "Send me your subtree's metrics." A manager or supervisor fans the query
+/// out to its online subordinates, merges their replies into its own
+/// snapshot, and answers with the aggregate; a data server replies
+/// immediately. Clients use the same frame against the head manager, so one
+/// query yields a whole-cluster view.
+struct StatsQuery {
+  std::uint64_t reqId = 0;
+};
+
+struct StatsReply {
+  std::uint64_t reqId = 0;
+  std::uint32_t nodeCount = 0;  // nodes folded into this snapshot
+  obs::MetricsSnapshot snapshot;
+};
+
 using Message =
     std::variant<CmsLogin, CmsLoginResp, CmsQuery, CmsHave, CmsNoHave, CmsGone, CmsLoad,
                  XrdOpen, XrdOpenResp, XrdRead, XrdReadResp, XrdWrite, XrdWriteResp,
                  XrdClose, XrdCloseResp, XrdStat, XrdStatResp, XrdUnlink, XrdUnlinkResp,
                  XrdPrepare, XrdPrepareResp, CnsList, CnsListResp, XrdReadV, XrdReadVResp,
-                 XrdChecksum, XrdChecksumResp>;
+                 XrdChecksum, XrdChecksumResp, StatsQuery, StatsReply>;
 
 /// Human-readable tag for logging.
 const char* MessageName(const Message& m);

@@ -1,5 +1,6 @@
 #include "proto/wire.h"
 
+#include <bit>
 #include <cstring>
 #include <type_traits>
 
@@ -31,6 +32,19 @@ class Writer {
   void Put(const std::vector<ReadSeg>& v) {
     Put(static_cast<std::uint32_t>(v.size()));
     for (const auto& seg : v) Put(seg);
+  }
+  // Doubles travel as their IEEE-754 bit pattern in a u64 (exact round-trip).
+  void Put(double v) { Put(std::bit_cast<std::uint64_t>(v)); }
+  void Put(const obs::HistogramStat& h) {
+    Fields(h.count, h.minNanos, h.maxNanos, h.meanNanos, h.p50Nanos, h.p99Nanos);
+  }
+  void Put(const obs::MetricsSnapshot& s) {
+    Put(static_cast<std::uint32_t>(s.counters.size()));
+    for (const auto& [name, v] : s.counters) Fields(name, v);
+    Put(static_cast<std::uint32_t>(s.gauges.size()));
+    for (const auto& [name, v] : s.gauges) Fields(name, v);
+    Put(static_cast<std::uint32_t>(s.histograms.size()));
+    for (const auto& [name, h] : s.histograms) Fields(name, h);
   }
   template <typename E>
     requires std::is_enum_v<E>
@@ -117,6 +131,33 @@ class Reader {
       v.emplace_back();
       Get(v.back());
     }
+  }
+  void Get(double& v) {
+    std::uint64_t bits = 0;
+    GetLe(bits);
+    v = std::bit_cast<double>(bits);
+  }
+  void Get(obs::HistogramStat& h) {
+    Fields(h.count, h.minNanos, h.maxNanos, h.meanNanos, h.p50Nanos, h.p99Nanos);
+  }
+  void Get(obs::MetricsSnapshot& s) {
+    const auto table = [this](auto& entries) {
+      std::uint32_t count = 0;
+      GetLe(count);
+      if (!ok_ || count > in_.size()) {  // each entry needs >= 4 bytes of name
+        ok_ = false;
+        return;
+      }
+      entries.clear();
+      entries.reserve(count);
+      for (std::uint32_t i = 0; i < count && ok_; ++i) {
+        entries.emplace_back();
+        Fields(entries.back().first, entries.back().second);
+      }
+    };
+    table(s.counters);
+    table(s.gauges);
+    table(s.histograms);
   }
   template <typename E>
     requires std::is_enum_v<E>
@@ -215,6 +256,10 @@ template <class Ar> void Visit(Ar& ar, XrdChecksum& m) { ar.Fields(m.reqId, m.pa
 template <class Ar> void Visit(Ar& ar, XrdChecksumResp& m) {
   ar.Fields(m.reqId, m.status, m.err, m.redirectNode, m.waitNs, m.crc32);
 }
+template <class Ar> void Visit(Ar& ar, StatsQuery& m) { ar.Fields(m.reqId); }
+template <class Ar> void Visit(Ar& ar, StatsReply& m) {
+  ar.Fields(m.reqId, m.nodeCount, m.snapshot);
+}
 
 template <std::size_t I = 0>
 std::optional<Message> DecodeIndex(std::size_t index, Reader& reader) {
@@ -255,7 +300,8 @@ const char* MessageName(const Message& m) {
       "CmsLoad", "XrdOpen", "XrdOpenResp", "XrdRead", "XrdReadResp", "XrdWrite",
       "XrdWriteResp", "XrdClose", "XrdCloseResp", "XrdStat", "XrdStatResp",
       "XrdUnlink", "XrdUnlinkResp", "XrdPrepare", "XrdPrepareResp", "CnsList",
-      "CnsListResp", "XrdReadV", "XrdReadVResp", "XrdChecksum", "XrdChecksumResp"};
+      "CnsListResp", "XrdReadV", "XrdReadVResp", "XrdChecksum", "XrdChecksumResp",
+      "StatsQuery", "StatsReply"};
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == std::variant_size_v<Message>);
   return kNames[m.index()];
 }

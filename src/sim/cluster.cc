@@ -111,8 +111,8 @@ oss::MssOss* SimCluster::mssStorage(std::size_t i) {
   return spec_.withMss ? static_cast<oss::MssOss*>(storages_[i].get()) : nullptr;
 }
 
-std::pair<proto::XrdErr, std::vector<std::string>> SimCluster::ListAndWait(
-    client::ScallaClient& c, const std::string& prefix) {
+Result<std::vector<std::string>> SimCluster::ListAndWait(client::ScallaClient& c,
+                                                         const std::string& prefix) {
   // Callbacks that outlive a timed-out wait land in shared storage, never
   // in dead stack slots (same pattern in every AndWait helper below).
   auto result =
@@ -122,8 +122,14 @@ std::pair<proto::XrdErr, std::vector<std::string>> SimCluster::ListAndWait(
   });
   engine_.RunUntilPredicate([result] { return result->has_value(); },
                             engine_.Now() + std::chrono::seconds(30));
-  return result->value_or(
-      std::make_pair(proto::XrdErr::kIo, std::vector<std::string>()));
+  if (!result->has_value()) {
+    return ScallaError{proto::XrdErr::kIo, "list '" + prefix + "': timed out"};
+  }
+  if ((*result)->first != proto::XrdErr::kNone) {
+    return ScallaError{(*result)->first,
+                       "list '" + prefix + "': " + XrdErrName((*result)->first)};
+  }
+  return std::move((*result)->second);
 }
 
 client::ScallaClient& SimCluster::NewClient() {
@@ -160,10 +166,12 @@ client::OpenOutcome SimCluster::OpenAndWait(client::ScallaClient& c,
   return **result;
 }
 
-std::pair<proto::XrdErr, std::string> SimCluster::ReadAll(client::ScallaClient& c,
-                                                          const std::string& path) {
+Result<std::string> SimCluster::ReadAll(client::ScallaClient& c,
+                                        const std::string& path) {
   const auto open = OpenAndWait(c, path, cms::AccessMode::kRead, false);
-  if (open.err != proto::XrdErr::kNone) return {open.err, std::string()};
+  if (open.err != proto::XrdErr::kNone) {
+    return ScallaError{open.err, "open '" + path + "': " + XrdErrName(open.err)};
+  }
   std::string all;
   std::uint64_t offset = 0;
   for (;;) {
@@ -173,9 +181,12 @@ std::pair<proto::XrdErr, std::string> SimCluster::ReadAll(client::ScallaClient& 
     });
     engine_.RunUntilPredicate([result] { return result->has_value(); },
                               engine_.Now() + std::chrono::seconds(30));
-    if (!result->has_value()) return {proto::XrdErr::kIo, std::string()};
+    if (!result->has_value()) {
+      return ScallaError{proto::XrdErr::kIo, "read '" + path + "': timed out"};
+    }
     if ((*result)->first != proto::XrdErr::kNone) {
-      return {(*result)->first, std::string()};
+      return ScallaError{(*result)->first,
+                         "read '" + path + "': " + XrdErrName((*result)->first)};
     }
     if ((*result)->second.empty()) break;
     offset += (*result)->second.size();
@@ -185,13 +196,15 @@ std::pair<proto::XrdErr, std::string> SimCluster::ReadAll(client::ScallaClient& 
   c.Close(open.file, [closed](proto::XrdErr err) { *closed = err; });
   engine_.RunUntilPredicate([closed] { return closed->has_value(); },
                             engine_.Now() + std::chrono::seconds(30));
-  return {proto::XrdErr::kNone, std::move(all)};
+  return all;
 }
 
-proto::XrdErr SimCluster::PutFile(client::ScallaClient& c, const std::string& path,
-                                  std::string data) {
+Result<void> SimCluster::PutFile(client::ScallaClient& c, const std::string& path,
+                                 std::string data) {
   const auto open = OpenAndWait(c, path, cms::AccessMode::kWrite, /*create=*/true);
-  if (open.err != proto::XrdErr::kNone) return open.err;
+  if (open.err != proto::XrdErr::kNone) {
+    return ScallaError{open.err, "open '" + path + "': " + XrdErrName(open.err)};
+  }
   auto werr = std::make_shared<std::optional<proto::XrdErr>>();
   c.Write(open.file, 0, std::move(data),
           [werr](proto::XrdErr err, std::uint32_t) { *werr = err; });
@@ -201,28 +214,40 @@ proto::XrdErr SimCluster::PutFile(client::ScallaClient& c, const std::string& pa
   c.Close(open.file, [cerr](proto::XrdErr err) { *cerr = err; });
   engine_.RunUntilPredicate([cerr] { return cerr->has_value(); },
                             engine_.Now() + std::chrono::seconds(30));
-  if (!werr->has_value() || **werr != proto::XrdErr::kNone) {
-    return werr->value_or(proto::XrdErr::kIo);
-  }
-  return cerr->value_or(proto::XrdErr::kIo);
+  return Result<void>::From(
+      werr->value_or(proto::XrdErr::kIo) != proto::XrdErr::kNone
+          ? werr->value_or(proto::XrdErr::kIo)
+          : cerr->value_or(proto::XrdErr::kIo),
+      "put '" + path + "'");
 }
 
-proto::XrdErr SimCluster::UnlinkAndWait(client::ScallaClient& c, const std::string& path) {
+Result<void> SimCluster::UnlinkAndWait(client::ScallaClient& c, const std::string& path) {
   auto result = std::make_shared<std::optional<proto::XrdErr>>();
   c.Unlink(path, [result](proto::XrdErr err) { *result = err; });
   engine_.RunUntilPredicate([result] { return result->has_value(); },
                             engine_.Now() + std::chrono::seconds(60));
-  return result->value_or(proto::XrdErr::kIo);
+  return Result<void>::From(result->value_or(proto::XrdErr::kIo),
+                            "unlink '" + path + "'");
 }
 
-proto::XrdErr SimCluster::PrepareAndWait(client::ScallaClient& c,
-                                         const std::vector<std::string>& paths,
-                                         cms::AccessMode mode) {
+Result<void> SimCluster::PrepareAndWait(client::ScallaClient& c,
+                                        const std::vector<std::string>& paths,
+                                        cms::AccessMode mode) {
   auto result = std::make_shared<std::optional<proto::XrdErr>>();
   c.Prepare(paths, mode, [result](proto::XrdErr err) { *result = err; });
   engine_.RunUntilPredicate([result] { return result->has_value(); },
                             engine_.Now() + std::chrono::seconds(60));
-  return result->value_or(proto::XrdErr::kIo);
+  return Result<void>::From(result->value_or(proto::XrdErr::kIo), "prepare batch");
+}
+
+client::ScallaClient::ClusterStats SimCluster::ClusterStats(client::ScallaClient* c) {
+  client::ScallaClient& querier = c ? *c : NewClient();
+  auto result = std::make_shared<std::optional<client::ScallaClient::ClusterStats>>();
+  querier.QueryStats(
+      [result](const client::ScallaClient::ClusterStats& stats) { *result = stats; });
+  engine_.RunUntilPredicate([result] { return result->has_value(); },
+                            engine_.Now() + std::chrono::seconds(30));
+  return result->value_or(client::ScallaClient::ClusterStats{});
 }
 
 xrd::ScallaNode* SimCluster::FindNode(net::NodeAddr addr) {

@@ -15,6 +15,7 @@
 #include "oss/mss_oss.h"
 #include "sim/event_engine.h"
 #include "sim/sim_fabric.h"
+#include "util/result.h"
 #include "xrd/scalla_node.h"
 
 namespace scalla::sim {
@@ -67,8 +68,8 @@ class SimCluster {
   /// The namespace daemon (spec.withCnsd), or nullptr.
   cnsd::CnsDaemon* cns() { return cns_.get(); }
   /// Drives a client List through the cnsd to completion.
-  std::pair<proto::XrdErr, std::vector<std::string>> ListAndWait(
-      client::ScallaClient& c, const std::string& prefix);
+  Result<std::vector<std::string>> ListAndWait(client::ScallaClient& c,
+                                               const std::string& prefix);
 
   /// Seeds `path` with `data` on leaf `i` (bypassing the protocol, like
   /// files pre-placed by a transfer system).
@@ -78,14 +79,18 @@ class SimCluster {
   client::OpenOutcome OpenAndWait(client::ScallaClient& c, const std::string& path,
                                   cms::AccessMode mode, bool create,
                                   Duration timeout = std::chrono::seconds(120));
-  std::pair<proto::XrdErr, std::string> ReadAll(client::ScallaClient& c,
-                                                const std::string& path);
-  proto::XrdErr PutFile(client::ScallaClient& c, const std::string& path,
-                        std::string data);
-  proto::XrdErr UnlinkAndWait(client::ScallaClient& c, const std::string& path);
-  proto::XrdErr PrepareAndWait(client::ScallaClient& c,
-                               const std::vector<std::string>& paths,
-                               cms::AccessMode mode);
+  Result<std::string> ReadAll(client::ScallaClient& c, const std::string& path);
+  Result<void> PutFile(client::ScallaClient& c, const std::string& path,
+                       std::string data);
+  Result<void> UnlinkAndWait(client::ScallaClient& c, const std::string& path);
+  Result<void> PrepareAndWait(client::ScallaClient& c,
+                              const std::vector<std::string>& paths,
+                              cms::AccessMode mode);
+
+  /// Tree-aggregated metrics via the observability protocol: issues a
+  /// StatsQuery from `c` (or a throwaway client when null) against the
+  /// current head and drives the engine until the reply lands.
+  client::ScallaClient::ClusterStats ClusterStats(client::ScallaClient* c = nullptr);
 
   /// Crashes leaf `i`: drops it from the fabric so peers see it down.
   void CrashServer(std::size_t i);

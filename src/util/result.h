@@ -1,0 +1,87 @@
+// Result<T>: the library's unified value-or-error return type. Client
+// facades and cluster driving helpers return Result<T> instead of ad-hoc
+// std::pair<XrdErr, T> tuples, so every call site reads the same way:
+//
+//   auto file = client.GetFile("/store/f");
+//   if (!file) { log(file.error().message); return; }
+//   use(file.value());
+//
+// The error side carries the protocol error code plus a human-readable
+// message naming the operation that failed.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "proto/messages.h"
+
+namespace scalla {
+
+/// Why an operation failed: the xrd protocol code plus context.
+struct ScallaError {
+  proto::XrdErr code = proto::XrdErr::kIo;
+  std::string message;
+};
+
+/// Human-readable tag for an error code ("not found", "I/O error", ...).
+const char* XrdErrName(proto::XrdErr err);
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}                    // NOLINT: implicit
+  Result(ScallaError error) : state_(std::move(error)) {}          // NOLINT: implicit
+
+  static Result Ok(T value) { return Result(std::move(value)); }
+  static Result Err(proto::XrdErr code, std::string message = {}) {
+    return Result(ScallaError{code, std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  /// kNone on success, the failure code otherwise.
+  proto::XrdErr code() const {
+    return ok() ? proto::XrdErr::kNone : std::get<ScallaError>(state_).code;
+  }
+
+  const T& value() const& { assert(ok()); return std::get<T>(state_); }
+  T& value() & { assert(ok()); return std::get<T>(state_); }
+  T&& value() && { assert(ok()); return std::get<T>(std::move(state_)); }
+  T value_or(T fallback) const& { return ok() ? std::get<T>(state_) : std::move(fallback); }
+
+  const ScallaError& error() const { assert(!ok()); return std::get<ScallaError>(state_); }
+
+ private:
+  std::variant<T, ScallaError> state_;
+};
+
+/// Result<void>: success carries no value, failure a ScallaError.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(ScallaError error) : error_(std::move(error)) {}          // NOLINT: implicit
+
+  static Result Ok() { return Result(); }
+  static Result Err(proto::XrdErr code, std::string message = {}) {
+    return Result(ScallaError{code, std::move(message)});
+  }
+  /// Adapter for the transition off raw codes: kNone maps to success.
+  static Result From(proto::XrdErr code, std::string message = {}) {
+    if (code == proto::XrdErr::kNone) return Ok();
+    return Err(code, std::move(message));
+  }
+
+  bool ok() const { return error_.code == proto::XrdErr::kNone; }
+  explicit operator bool() const { return ok(); }
+  proto::XrdErr code() const { return error_.code; }
+  const ScallaError& error() const { assert(!ok()); return error_; }
+
+ private:
+  ScallaError error_{proto::XrdErr::kNone, {}};
+};
+
+}  // namespace scalla

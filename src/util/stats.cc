@@ -18,10 +18,7 @@ void LatencyRecorder::RecordNanos(std::int64_t ns) {
   sum_ += static_cast<double>(ns);
   min_ = std::min(min_, ns);
   max_ = std::max(max_, ns);
-  if (samples_.size() < maxSamples_) {
-    samples_.push_back(ns);
-    sortedValid_ = false;
-  }
+  if (samples_.size() < maxSamples_) samples_.push_back(ns);
 }
 
 double LatencyRecorder::MeanNanos() const {
@@ -31,22 +28,35 @@ double LatencyRecorder::MeanNanos() const {
 std::int64_t LatencyRecorder::MinNanos() const { return count_ == 0 ? 0 : min_; }
 std::int64_t LatencyRecorder::MaxNanos() const { return count_ == 0 ? 0 : max_; }
 
+namespace {
+
+std::int64_t PickQuantile(const std::vector<std::int64_t>& sorted, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[idx];
+}
+
+}  // namespace
+
 std::int64_t LatencyRecorder::PercentileNanos(double q) const {
   if (samples_.empty()) return 0;
-  if (!sortedValid_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sortedValid_ = true;
-  }
-  q = std::clamp(q, 0.0, 1.0);
-  const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted_.size() - 1) + 0.5);
-  return sorted_[idx];
+  std::vector<std::int64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return PickQuantile(sorted, q);
+}
+
+std::vector<std::int64_t> LatencyRecorder::PercentilesNanos(
+    const std::vector<double>& qs) const {
+  std::vector<std::int64_t> out(qs.size(), 0);
+  if (samples_.empty()) return out;
+  std::vector<std::int64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < qs.size(); ++i) out[i] = PickQuantile(sorted, qs[i]);
+  return out;
 }
 
 void LatencyRecorder::Clear() {
   samples_.clear();
-  sorted_.clear();
-  sortedValid_ = false;
   count_ = 0;
   sum_ = 0;
   min_ = std::numeric_limits<std::int64_t>::max();
@@ -54,11 +64,12 @@ void LatencyRecorder::Clear() {
 }
 
 std::string LatencyRecorder::Summary() const {
+  const auto pcts = PercentilesNanos({0.5, 0.99});
   char buf[160];
   std::snprintf(buf, sizeof(buf), "n=%zu mean=%s p50=%s p99=%s max=%s", count_,
                 FormatNanos(MeanNanos()).c_str(),
-                FormatNanos(static_cast<double>(PercentileNanos(0.5))).c_str(),
-                FormatNanos(static_cast<double>(PercentileNanos(0.99))).c_str(),
+                FormatNanos(static_cast<double>(pcts[0])).c_str(),
+                FormatNanos(static_cast<double>(pcts[1])).c_str(),
                 FormatNanos(static_cast<double>(MaxNanos())).c_str());
   return buf;
 }

@@ -23,8 +23,11 @@ class LatencyRecorder {
   double MeanNanos() const;
   std::int64_t MinNanos() const;
   std::int64_t MaxNanos() const;
-  /// q in [0,1]; exact over retained samples (sorts a copy lazily).
+  /// q in [0,1]; exact over retained samples (sorts a local copy, so the
+  /// method is genuinely const and safe to call from snapshot readers).
   std::int64_t PercentileNanos(double q) const;
+  /// Batch variant: one sort for all quantiles. Out matches qs in order.
+  std::vector<std::int64_t> PercentilesNanos(const std::vector<double>& qs) const;
 
   void Clear();
 
@@ -38,8 +41,6 @@ class LatencyRecorder {
   std::int64_t min_ = 0;
   std::int64_t max_ = 0;
   double sum_ = 0;
-  mutable std::vector<std::int64_t> sorted_;
-  mutable bool sortedValid_ = false;
 };
 
 /// Formats nanoseconds with an adaptive unit ("312ns", "41.2us", "1.50s").

@@ -20,6 +20,21 @@ AccessMode ModeOf(std::uint8_t raw) {
 
 }  // namespace
 
+ScallaNode::NodeMetrics::NodeMetrics(obs::MetricsRegistry& r)
+    : opensServed(r.GetCounter("node.opens_served")),
+      reads(r.GetCounter("node.reads")),
+      writes(r.GetCounter("node.writes")),
+      queriesAnswered(r.GetCounter("node.queries_answered")),
+      queriesSilent(r.GetCounter("node.queries_silent")),
+      redirectsIssued(r.GetCounter("node.redirects_issued")),
+      waitsIssued(r.GetCounter("node.waits_issued")),
+      stagesStarted(r.GetCounter("node.stages_started")),
+      creates(r.GetCounter("node.creates")),
+      loginsAccepted(r.GetCounter("node.logins_accepted")),
+      loginsSent(r.GetCounter("node.logins_sent")),
+      refreshes(r.GetCounter("node.refreshes")),
+      statsQueries(r.GetCounter("node.stats_queries")) {}
+
 ScallaNode::ScallaNode(NodeConfig config, sched::Executor& executor, net::Fabric& fabric,
                        oss::Oss* storage)
     : config_(std::move(config)),
@@ -32,9 +47,10 @@ ScallaNode::ScallaNode(NodeConfig config, sched::Executor& executor, net::Fabric
       selection_(config_.selection),
       resolver_(config_.cms, executor.clock(), membership_, cache_, respq_, selection_,
                 [this](ServerSet targets, const std::string& path, std::uint32_t hash,
-                       AccessMode mode) { SendQueryDown(targets, path, hash, mode); }) {
+                       AccessMode mode) { SendQueryDown(targets, path, hash, mode); }),
+      maintenance_(config_.cms, executor, cache_, respq_, membership_),
+      nm_(metrics_) {
   slotAddr_.fill(0);
-  respq_.SetBusyNotifier([this] { StartSweepTimer(); });
   if (config_.parent != 0) parents_.push_back(config_.parent);
   for (const net::NodeAddr p : config_.extraParents) {
     if (p != 0) parents_.push_back(p);
@@ -61,8 +77,15 @@ void ScallaNode::Start() {
   started_ = true;
   if (!parents_.empty()) SendLogins();
   if (!config_.startTimers) return;
-  windowTimer_ = executor_.RunEvery(config_.cms.WindowTick(), [this] {
-    if (auto purge = cache_.OnWindowTick()) executor_.Post(std::move(purge));
+  cms::MaintenanceDriver::Options opts;
+  opts.windowTick = true;
+  opts.dropScan = IsHead();
+  maintenance_.Start(opts, [this](ServerSlot slot) {
+    const net::NodeAddr addr = slotAddr_[slot];
+    if (addr != 0) {
+      addrSlot_.erase(addr);
+      slotAddr_[slot] = 0;
+    }
   });
   if (config_.role == NodeRole::kServer && config_.loadReportInterval > Duration::zero()) {
     loadTimer_ = executor_.RunEvery(config_.loadReportInterval, [this] {
@@ -72,39 +95,23 @@ void ScallaNode::Start() {
       ReportLoad(static_cast<std::uint32_t>(openFiles_.size()), free);
     });
   }
-  if (IsHead()) {
-    dropTimer_ = executor_.RunEvery(config_.cms.dropDelay / 4, [this] {
-      for (const ServerSlot slot : membership_.DropExpired()) {
-        const net::NodeAddr addr = slotAddr_[slot];
-        if (addr != 0) {
-          addrSlot_.erase(addr);
-          slotAddr_[slot] = 0;
-        }
-      }
-    });
-  }
 }
 
 void ScallaNode::Stop() {
-  for (sched::TimerId* id :
-       {&windowTimer_, &sweepTimer_, &dropTimer_, &loginTimer_, &loadTimer_}) {
+  maintenance_.Stop();
+  for (sched::TimerId* id : {&loginTimer_, &loadTimer_}) {
     if (*id != sched::kInvalidTimer) {
       executor_.Cancel(*id);
       *id = sched::kInvalidTimer;
     }
   }
+  // Pending aggregations die with the node; requesters hit their own
+  // timeouts just as they would on a crash.
+  for (auto& [_, agg] : statsAggs_) {
+    if (agg.timer != sched::kInvalidTimer) executor_.Cancel(agg.timer);
+  }
+  statsAggs_.clear();
   started_ = false;
-}
-
-void ScallaNode::StartSweepTimer() {
-  if (sweepTimer_ != sched::kInvalidTimer) return;
-  sweepTimer_ = executor_.RunEvery(config_.cms.sweepPeriod, [this] {
-    respq_.Sweep();
-    if (respq_.Empty() && sweepTimer_ != sched::kInvalidTimer) {
-      executor_.Cancel(sweepTimer_);
-      sweepTimer_ = sched::kInvalidTimer;
-    }
-  });
 }
 
 net::NodeAddr ScallaNode::AddrOfSlot(ServerSlot slot) const {
@@ -123,6 +130,7 @@ void ScallaNode::SendLoginTo(net::NodeAddr parent) {
   login.exports = config_.exports;
   login.allowWrite = config_.allowWrite;
   login.isSupervisor = config_.role == NodeRole::kSupervisor;
+  nm_.loginsSent.Inc();
   fabric_.Send(config_.addr, parent, std::move(login));
 }
 
@@ -188,10 +196,68 @@ std::string ScallaNode::DescribeStatus() const {
       resolver.queriesSent, resolver.queryMessages, resolver.notFound,
       resolver.fullDelays, respq.anchorsInUse, respq.adds, respq.releases,
       respq.expirations, openFiles_.size(),
-      static_cast<unsigned long long>(stats_.opensServed),
-      static_cast<unsigned long long>(stats_.creates),
-      static_cast<unsigned long long>(stats_.queriesAnswered));
+      static_cast<unsigned long long>(nm_.opensServed.Value()),
+      static_cast<unsigned long long>(nm_.creates.Value()),
+      static_cast<unsigned long long>(nm_.queriesAnswered.Value()));
   return buf;
+}
+
+ScallaNode::Stats ScallaNode::GetStats() const {
+  Stats s;
+  s.opensServed = nm_.opensServed.Value();
+  s.reads = nm_.reads.Value();
+  s.writes = nm_.writes.Value();
+  s.queriesAnswered = nm_.queriesAnswered.Value();
+  s.queriesSilent = nm_.queriesSilent.Value();
+  s.redirectsIssued = nm_.redirectsIssued.Value();
+  s.waitsIssued = nm_.waitsIssued.Value();
+  s.stagesStarted = nm_.stagesStarted.Value();
+  s.creates = nm_.creates.Value();
+  return s;
+}
+
+obs::MetricsSnapshot ScallaNode::SnapshotMetrics() const {
+  obs::MetricsSnapshot snap = metrics_.Snapshot();
+  // Component-internal stats join under canonical dotted names, so cluster
+  // aggregates carry the paper's cache/resolution story, not just the
+  // node-level counters.
+  const auto cache = cache_.GetStats();
+  snap.AddCounter("cache.lookups", cache.lookups);
+  snap.AddCounter("cache.hits", cache.hits);
+  snap.AddCounter("cache.misses", cache.lookups - cache.hits);
+  snap.AddCounter("cache.creates", cache.creates);
+  snap.AddCounter("cache.corrections", cache.corrections);
+  snap.AddCounter("cache.correction_memo_hits", cache.correctionMemoHits);
+  snap.AddCounter("cache.rehashes", cache.rehashes);
+  snap.AddCounter("cache.window_ticks", cache.windowTicks);
+  snap.AddCounter("cache.recycled", cache.recycled);
+  snap.AddGauge("cache.live_objects", static_cast<std::int64_t>(cache.liveObjects));
+  snap.AddGauge("cache.approx_bytes", static_cast<std::int64_t>(cache.approxBytes));
+  const auto resolver = resolver_.GetStats();
+  snap.AddCounter("resolver.locates", resolver.locates);
+  snap.AddCounter("resolver.redirects", resolver.redirects);
+  snap.AddCounter("resolver.fast_redirects", resolver.fastRedirects);
+  snap.AddCounter("resolver.not_found", resolver.notFound);
+  snap.AddCounter("resolver.full_delays", resolver.fullDelays);
+  snap.AddCounter("resolver.queries_sent", resolver.queriesSent);
+  snap.AddCounter("resolver.query_messages", resolver.queryMessages);
+  snap.AddCounter("resolver.deferrals", resolver.deferrals);
+  const auto respq = respq_.GetStats();
+  snap.AddCounter("respq.adds", respq.adds);
+  snap.AddCounter("respq.joins", respq.joins);
+  snap.AddCounter("respq.releases", respq.releases);
+  snap.AddCounter("respq.expirations", respq.expirations);
+  snap.AddCounter("respq.rejected_full", respq.rejectedFull);
+  snap.AddGauge("respq.anchors_in_use", static_cast<std::int64_t>(respq.anchorsInUse));
+  const auto maint = maintenance_.GetStats();
+  snap.AddCounter("maintenance.window_ticks", maint.windowTicks);
+  snap.AddCounter("maintenance.sweeps", maint.sweeps);
+  snap.AddCounter("maintenance.drop_scans", maint.dropScans);
+  snap.AddCounter("maintenance.members_dropped", maint.membersDropped);
+  snap.AddGauge("node.open_handles", static_cast<std::int64_t>(openFiles_.size()));
+  snap.AddGauge("node.members", static_cast<std::int64_t>(membership_.MemberCount()));
+  snap.AddCounter("node.count", 1);  // lets aggregated views report fleet size
+  return snap;
 }
 
 void ScallaNode::ReportLoad(std::uint32_t load, std::uint64_t freeSpace) {
@@ -247,11 +313,79 @@ void ScallaNode::OnMessage(net::NodeAddr from, proto::Message message) {
           HandleUnlink(from, m);
         } else if constexpr (std::is_same_v<M, proto::XrdPrepare>) {
           HandlePrepare(from, m);
+        } else if constexpr (std::is_same_v<M, proto::StatsQuery>) {
+          HandleStatsQuery(from, m);
+        } else if constexpr (std::is_same_v<M, proto::StatsReply>) {
+          HandleStatsReply(from, m);
         } else {
           // CnsList et al. are served by the namespace daemon, not nodes.
         }
       },
       std::move(message));
+}
+
+// ---------------------------------------------------------------------
+// stats aggregation
+
+void ScallaNode::HandleStatsQuery(net::NodeAddr from, const proto::StatsQuery& m) {
+  nm_.statsQueries.Inc();
+  // Leaf (or head with no online subordinates): answer from local state.
+  ServerSet online = IsHead() ? membership_.OnlineSet() : ServerSet::None();
+  std::vector<net::NodeAddr> targets;
+  for (ServerSlot s = online.first(); s >= 0; s = online.next(s)) {
+    if (slotAddr_[s] != 0) targets.push_back(slotAddr_[s]);
+  }
+  if (targets.empty()) {
+    proto::StatsReply reply;
+    reply.reqId = m.reqId;
+    reply.nodeCount = 1;
+    reply.snapshot = SnapshotMetrics();
+    fabric_.Send(config_.addr, from, std::move(reply));
+    return;
+  }
+
+  // Head: fan the query down the tree under a fresh reqId (this node's own
+  // downward id space), fold replies, answer the requester when the last
+  // subordinate reports or the timeout fires — whichever comes first.
+  const std::uint64_t aggId = nextStatsAggId_++;
+  StatsAggregation& agg = statsAggs_[aggId];
+  agg.requester = from;
+  agg.requesterReqId = m.reqId;
+  agg.acc = SnapshotMetrics();
+  agg.nodeCount = 1;
+  agg.outstanding = static_cast<int>(targets.size());
+  agg.timer = executor_.RunAfter(config_.statsTimeout,
+                                 [this, aggId] { FinishStatsAggregation(aggId); });
+  for (const net::NodeAddr target : targets) {
+    fabric_.Send(config_.addr, target, proto::StatsQuery{aggId});
+  }
+}
+
+void ScallaNode::HandleStatsReply(net::NodeAddr from, const proto::StatsReply& m) {
+  if (!SlotOfAddr(from).has_value()) return;  // not a subordinate we know
+  const auto it = statsAggs_.find(m.reqId);
+  if (it == statsAggs_.end()) return;  // late reply after timeout
+  StatsAggregation& agg = it->second;
+  agg.acc.Merge(m.snapshot);
+  agg.nodeCount += m.nodeCount;
+  if (--agg.outstanding <= 0) FinishStatsAggregation(m.reqId);
+}
+
+void ScallaNode::FinishStatsAggregation(std::uint64_t aggId) {
+  const auto it = statsAggs_.find(aggId);
+  if (it == statsAggs_.end()) return;
+  StatsAggregation& agg = it->second;
+  if (agg.timer != sched::kInvalidTimer) {
+    executor_.Cancel(agg.timer);
+    agg.timer = sched::kInvalidTimer;
+  }
+  proto::StatsReply reply;
+  reply.reqId = agg.requesterReqId;
+  reply.nodeCount = agg.nodeCount;
+  reply.snapshot = std::move(agg.acc);
+  const net::NodeAddr requester = agg.requester;
+  statsAggs_.erase(it);
+  fabric_.Send(config_.addr, requester, std::move(reply));
 }
 
 // ---------------------------------------------------------------------
@@ -287,6 +421,7 @@ void ScallaNode::HandleLogin(net::NodeAddr from, const proto::CmsLogin& m) {
   if (oldSlot.has_value() && *oldSlot != result->slot) slotAddr_[*oldSlot] = 0;
   slotAddr_[result->slot] = from;
   addrSlot_[from] = result->slot;
+  nm_.loginsAccepted.Inc();
   resp.ok = true;
   resp.slot = result->slot;
   fabric_.Send(config_.addr, from, std::move(resp));
@@ -341,11 +476,11 @@ void ScallaNode::HandleQuery(net::NodeAddr from, const proto::CmsQuery& m) {
       resp.pending = pending;
       resp.allowWrite = config_.allowWrite;
       fabric_.Send(config_.addr, from, std::move(resp));
-      ++stats_.queriesAnswered;
+      nm_.queriesAnswered.Inc();
     } else if (config_.alwaysRespond) {
       fabric_.Send(config_.addr, from, proto::CmsNoHave{m.path, m.hash});
     } else {
-      ++stats_.queriesSilent;  // silence IS the negative response
+      nm_.queriesSilent.Inc();  // silence IS the negative response
     }
     return;
   }
@@ -366,12 +501,12 @@ void ScallaNode::HandleQuery(net::NodeAddr from, const proto::CmsQuery& m) {
                        resp.pending = r.pending;
                        resp.allowWrite = config_.allowWrite;
                        fabric_.Send(config_.addr, from, std::move(resp));
-                       ++stats_.queriesAnswered;
+                       nm_.queriesAnswered.Inc();
                      } else if (r.status == LocateStatus::kNotFound &&
                                 config_.alwaysRespond) {
                        fabric_.Send(config_.addr, from, proto::CmsNoHave{path, hash});
                      } else {
-                       ++stats_.queriesSilent;
+                       nm_.queriesSilent.Inc();
                      }
                    });
 }
@@ -414,6 +549,7 @@ void ScallaNode::HandleOpen(net::NodeAddr from, const proto::XrdOpen& m) {
 }
 
 void ScallaNode::HeadOpen(net::NodeAddr from, const proto::XrdOpen& m) {
+  if (m.refresh) nm_.refreshes.Inc();
   cms::LocateOptions opts;
   opts.mode = ModeOf(m.mode);
   opts.refresh = m.refresh;
@@ -431,12 +567,12 @@ void ScallaNode::HeadOpen(net::NodeAddr from, const proto::XrdOpen& m) {
           case LocateStatus::kRedirect:
             resp.status = proto::XrdStatus::kRedirect;
             resp.redirectNode = AddrOfSlot(r.server);
-            ++stats_.redirectsIssued;
+            nm_.redirectsIssued.Inc();
             break;
           case LocateStatus::kWait:
             resp.status = proto::XrdStatus::kWait;
             resp.waitNs = r.wait.count();
-            ++stats_.waitsIssued;
+            nm_.waitsIssued.Inc();
             break;
           case LocateStatus::kRetry:
             resp.status = proto::XrdStatus::kError;
@@ -472,7 +608,7 @@ void ScallaNode::HeadOpen(net::NodeAddr from, const proto::XrdOpen& m) {
             } else {
               resp.status = proto::XrdStatus::kRedirect;
               resp.redirectNode = AddrOfSlot(target);
-              ++stats_.redirectsIssued;
+              nm_.redirectsIssued.Inc();
             }
             break;
           }
@@ -499,11 +635,11 @@ void ScallaNode::LeafOpen(net::NodeAddr from, const proto::XrdOpen& m) {
       openFiles_[fh] = OpenFile{m.path, mode};
       resp.status = proto::XrdStatus::kOk;
       resp.fileHandle = fh;
-      ++stats_.opensServed;
+      nm_.opensServed.Inc();
       break;
     }
     case oss::FileState::kInMss:
-      ++stats_.stagesStarted;
+      nm_.stagesStarted.Inc();
       [[fallthrough]];
     case oss::FileState::kStaging: {
       // Kick (or poll) the stage and tell the client how long to wait.
@@ -512,7 +648,7 @@ void ScallaNode::LeafOpen(net::NodeAddr from, const proto::XrdOpen& m) {
       const Duration wait = remaining.value_or(config_.stagePollHint);
       resp.waitNs = std::min(wait, config_.stagePollHint).count();
       if (resp.waitNs <= 0) resp.waitNs = Duration(std::chrono::milliseconds(1)).count();
-      ++stats_.waitsIssued;
+      nm_.waitsIssued.Inc();
       break;
     }
     case oss::FileState::kAbsent: {
@@ -534,8 +670,8 @@ void ScallaNode::LeafOpen(net::NodeAddr from, const proto::XrdOpen& m) {
       openFiles_[fh] = OpenFile{m.path, mode};
       resp.status = proto::XrdStatus::kOk;
       resp.fileHandle = fh;
-      ++stats_.creates;
-      ++stats_.opensServed;
+      nm_.creates.Inc();
+      nm_.opensServed.Inc();
       NotifyParentHave(m.path, false);
       break;
     }
@@ -551,7 +687,7 @@ void ScallaNode::HandleRead(net::NodeAddr from, const proto::XrdRead& m) {
     resp.err = proto::XrdErr::kInvalid;
   } else {
     resp.err = storage_->Read(it->second.path, m.offset, m.length, &resp.data);
-    ++stats_.reads;
+    nm_.reads.Inc();
   }
   fabric_.Send(config_.addr, from, std::move(resp));
 }
@@ -576,7 +712,7 @@ void ScallaNode::HandleReadV(net::NodeAddr from, const proto::XrdReadV& m) {
         break;
       }
       resp.chunks.push_back(std::move(chunk));
-      ++stats_.reads;
+      nm_.reads.Inc();
     }
   }
   fabric_.Send(config_.addr, from, std::move(resp));
@@ -645,7 +781,7 @@ void ScallaNode::HandleWrite(net::NodeAddr from, const proto::XrdWrite& m) {
     resp.written = resp.err == proto::XrdErr::kNone
                        ? static_cast<std::uint32_t>(m.data.size())
                        : 0;
-    ++stats_.writes;
+    nm_.writes.Inc();
   }
   fabric_.Send(config_.addr, from, std::move(resp));
 }

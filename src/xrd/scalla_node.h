@@ -21,12 +21,14 @@
 #include <vector>
 
 #include "cms/location_cache.h"
+#include "cms/maintenance.h"
 #include "cms/membership.h"
 #include "cms/resolver.h"
 #include "cms/response_queue.h"
 #include "cms/selection.h"
 #include "cms/types.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
 #include "oss/oss.h"
 #include "sched/executor.h"
 
@@ -58,6 +60,9 @@ struct NodeConfig {
   // section II-B3). Zero disables; tests may call ReportLoad directly.
   Duration loadReportInterval = Duration::zero();
   std::uint64_t assumedCapacity = std::uint64_t{1} << 40;  // 1 TB default
+  // How long a head waits for subordinate StatsReply frames before
+  // answering a StatsQuery with whatever the subtree delivered.
+  Duration statsTimeout = std::chrono::seconds(2);
 };
 
 class ScallaNode : public net::MessageSink {
@@ -105,7 +110,19 @@ class ScallaNode : public net::MessageSink {
     std::uint64_t stagesStarted = 0;
     std::uint64_t creates = 0;
   };
-  Stats GetStats() const { return stats_; }
+  /// Legacy view of the node.* counters (kept for existing tests/benches).
+  Stats GetStats() const;
+
+  /// The node's instrument registry (tests and embedders may add their own
+  /// instruments; they ride along in every snapshot).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Local point-in-time metrics: registry instruments plus the cache /
+  /// resolver / response-queue / maintenance component stats translated to
+  /// canonical dotted names ("cache.hits", "resolver.redirects", ...).
+  obs::MetricsSnapshot SnapshotMetrics() const;
+
+  cms::MaintenanceDriver& maintenance() { return maintenance_; }
 
   /// Sends a load/space report to the parent (selection metrics).
   void ReportLoad(std::uint32_t load, std::uint64_t freeSpace);
@@ -136,6 +153,11 @@ class ScallaNode : public net::MessageSink {
   void HandleUnlink(net::NodeAddr from, const proto::XrdUnlink& m);
   void HandlePrepare(net::NodeAddr from, const proto::XrdPrepare& m);
 
+  // stats aggregation (tentpole observability protocol)
+  void HandleStatsQuery(net::NodeAddr from, const proto::StatsQuery& m);
+  void HandleStatsReply(net::NodeAddr from, const proto::StatsReply& m);
+  void FinishStatsAggregation(std::uint64_t aggId);
+
   // role-specific pieces
   void HeadOpen(net::NodeAddr from, const proto::XrdOpen& m);
   void LeafOpen(net::NodeAddr from, const proto::XrdOpen& m);
@@ -145,7 +167,6 @@ class ScallaNode : public net::MessageSink {
   void SendQueryDown(ServerSet targets, const std::string& path, std::uint32_t hash,
                      cms::AccessMode mode);
   void NotifyParentHave(const std::string& path, bool pending);
-  void StartSweepTimer();
 
   NodeConfig config_;
   sched::Executor& executor_;
@@ -157,6 +178,28 @@ class ScallaNode : public net::MessageSink {
   cms::FastResponseQueue respq_;
   cms::SelectionPolicy selection_;
   cms::Resolver resolver_;
+  cms::MaintenanceDriver maintenance_;
+
+  // Instruments the hot handlers bump. The registry owns them; the struct
+  // caches references so handlers pay one relaxed atomic add per event.
+  obs::MetricsRegistry metrics_;
+  struct NodeMetrics {
+    obs::Counter& opensServed;
+    obs::Counter& reads;
+    obs::Counter& writes;
+    obs::Counter& queriesAnswered;
+    obs::Counter& queriesSilent;
+    obs::Counter& redirectsIssued;
+    obs::Counter& waitsIssued;
+    obs::Counter& stagesStarted;
+    obs::Counter& creates;
+    obs::Counter& loginsAccepted;  // subordinate logins this head admitted
+    obs::Counter& loginsSent;      // login attempts toward parents
+    obs::Counter& refreshes;       // opens carrying the refresh flag
+    obs::Counter& statsQueries;    // StatsQuery frames served
+    explicit NodeMetrics(obs::MetricsRegistry& r);
+  };
+  NodeMetrics nm_;
 
   // slot <-> fabric address maps for subordinates
   std::array<net::NodeAddr, kMaxServersPerSet> slotAddr_{};
@@ -174,13 +217,21 @@ class ScallaNode : public net::MessageSink {
   std::unordered_map<std::uint64_t, OpenFile> openFiles_;
   std::uint64_t nextHandle_ = 1;
 
-  sched::TimerId windowTimer_ = sched::kInvalidTimer;
-  sched::TimerId sweepTimer_ = sched::kInvalidTimer;
-  sched::TimerId dropTimer_ = sched::kInvalidTimer;
   sched::TimerId loginTimer_ = sched::kInvalidTimer;
   sched::TimerId loadTimer_ = sched::kInvalidTimer;
 
-  Stats stats_;
+  // One in-flight subtree aggregation per received StatsQuery. The key is
+  // the reqId used on this node's *downward* queries; replies echo it.
+  struct StatsAggregation {
+    net::NodeAddr requester = 0;
+    std::uint64_t requesterReqId = 0;
+    obs::MetricsSnapshot acc;
+    std::uint32_t nodeCount = 0;
+    int outstanding = 0;
+    sched::TimerId timer = sched::kInvalidTimer;
+  };
+  std::unordered_map<std::uint64_t, StatsAggregation> statsAggs_;
+  std::uint64_t nextStatsAggId_ = 1;
 };
 
 }  // namespace scalla::xrd

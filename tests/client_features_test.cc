@@ -98,29 +98,30 @@ TEST(ClientFeaturesTest, NamespaceDaemonListsClusterWideCreates) {
   ASSERT_NE(cluster.cns(), nullptr);
 
   auto& client = cluster.NewClient();
-  ASSERT_EQ(cluster.PutFile(client, "/store/a/one", "1"), proto::XrdErr::kNone);
-  ASSERT_EQ(cluster.PutFile(client, "/store/a/two", "2"), proto::XrdErr::kNone);
-  ASSERT_EQ(cluster.PutFile(client, "/store/b/three", "3"), proto::XrdErr::kNone);
+  ASSERT_TRUE(cluster.PutFile(client, "/store/a/one", "1").ok());
+  ASSERT_TRUE(cluster.PutFile(client, "/store/a/two", "2").ok());
+  ASSERT_TRUE(cluster.PutFile(client, "/store/b/three", "3").ok());
   cluster.engine().RunUntilIdle();
 
-  auto [err, names] = cluster.ListAndWait(client, "/store/a/");
-  EXPECT_EQ(err, proto::XrdErr::kNone);
-  EXPECT_EQ(names, (std::vector<std::string>{"/store/a/one", "/store/a/two"}));
+  auto names = cluster.ListAndWait(client, "/store/a/");
+  ASSERT_TRUE(names.ok()) << names.error().message;
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"/store/a/one", "/store/a/two"}));
 
   // Unlink removes the name from the global view.
-  ASSERT_EQ(cluster.UnlinkAndWait(client, "/store/a/one"), proto::XrdErr::kNone);
+  ASSERT_TRUE(cluster.UnlinkAndWait(client, "/store/a/one").ok());
   cluster.engine().RunUntilIdle();
-  std::tie(err, names) = cluster.ListAndWait(client, "/store/a/");
-  EXPECT_EQ(names, (std::vector<std::string>{"/store/a/two"}));
+  names = cluster.ListAndWait(client, "/store/a/");
+  ASSERT_TRUE(names.ok()) << names.error().message;
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"/store/a/two"}));
 }
 
 TEST(ClientFeaturesTest, ListWithoutCnsdFailsCleanly) {
   SimCluster cluster(FastSpec(2));  // no cnsd configured
   cluster.Start();
   auto& client = cluster.NewClient();
-  const auto [err, names] = cluster.ListAndWait(client, "/store");
-  EXPECT_EQ(err, proto::XrdErr::kInvalid);
-  EXPECT_TRUE(names.empty());
+  const auto names = cluster.ListAndWait(client, "/store");
+  ASSERT_FALSE(names.ok());
+  EXPECT_EQ(names.code(), proto::XrdErr::kInvalid);
 }
 
 TEST(ClientFeaturesTest, LoadBasedSelectionPrefersIdleServer) {
@@ -175,8 +176,8 @@ TEST(ClientFeaturesTest, SpaceSelectionPrefersEmptierServer) {
   cluster.engine().RunUntilIdle();
 
   // New-file placement consults the same selection policy.
-  ASSERT_EQ(cluster.PutFile(client, "/store/new1", "d"), proto::XrdErr::kNone);
-  ASSERT_EQ(cluster.PutFile(client, "/store/new2", "d"), proto::XrdErr::kNone);
+  ASSERT_TRUE(cluster.PutFile(client, "/store/new1", "d").ok());
+  ASSERT_TRUE(cluster.PutFile(client, "/store/new2", "d").ok());
   EXPECT_EQ(cluster.storage(1).FileCount(), 2u);
   EXPECT_EQ(cluster.storage(0).FileCount(), 0u);
 }

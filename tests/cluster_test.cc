@@ -51,9 +51,9 @@ TEST(ClusterTest, ReadBackContent) {
   cluster.Start();
   cluster.PlaceFile(2, "/store/f1", "the quick brown fox");
   auto& client = cluster.NewClient();
-  const auto [err, data] = cluster.ReadAll(client, "/store/f1");
-  EXPECT_EQ(err, proto::XrdErr::kNone);
-  EXPECT_EQ(data, "the quick brown fox");
+  const auto data = cluster.ReadAll(client, "/store/f1");
+  ASSERT_TRUE(data.ok()) << data.error().message;
+  EXPECT_EQ(data.value(), "the quick brown fox");
 }
 
 TEST(ClusterTest, SecondOpenIsServedFromCache) {
@@ -99,8 +99,7 @@ TEST(ClusterTest, CreatePlacesFileOnSomeServer) {
   SimCluster cluster(FastSpec(6));
   cluster.Start();
   auto& client = cluster.NewClient();
-  EXPECT_EQ(cluster.PutFile(client, "/store/new.root", "fresh data"),
-            proto::XrdErr::kNone);
+  EXPECT_TRUE(cluster.PutFile(client, "/store/new.root", "fresh data").ok());
 
   // Exactly one leaf holds it.
   int holders = 0;
@@ -113,16 +112,16 @@ TEST(ClusterTest, CreatePlacesFileOnSomeServer) {
 
   // And it reads back — including from a different client.
   auto& other = cluster.NewClient();
-  const auto [err, data] = cluster.ReadAll(other, "/store/new.root");
-  EXPECT_EQ(err, proto::XrdErr::kNone);
-  EXPECT_EQ(data, "fresh data");
+  const auto data = cluster.ReadAll(other, "/store/new.root");
+  ASSERT_TRUE(data.ok()) << data.error().message;
+  EXPECT_EQ(data.value(), "fresh data");
 }
 
 TEST(ClusterTest, CreateIsFastAfterNewfileNotification) {
   SimCluster cluster(FastSpec(4));
   cluster.Start();
   auto& client = cluster.NewClient();
-  cluster.PutFile(client, "/store/new.root", "x");
+  ASSERT_TRUE(cluster.PutFile(client, "/store/new.root", "x").ok());
 
   // The creation notified the manager: a second client's open must hit
   // the cache (no flood, no full delay).
@@ -268,7 +267,7 @@ TEST(ClusterTest, PrepareWarmsCacheForBulkAccess) {
     paths.push_back(path);
   }
   auto& client = cluster.NewClient();
-  EXPECT_EQ(cluster.PrepareAndWait(client, paths, AccessMode::kRead), proto::XrdErr::kNone);
+  EXPECT_TRUE(cluster.PrepareAndWait(client, paths, AccessMode::kRead).ok());
   cluster.engine().RunFor(std::chrono::milliseconds(50));  // background lookups settle
 
   // Every subsequent open is a pure cache hit.
@@ -287,7 +286,7 @@ TEST(ClusterTest, UnlinkRemovesFileAndLocation) {
   cluster.Start();
   cluster.PlaceFile(2, "/store/f1", "x");
   auto& client = cluster.NewClient();
-  EXPECT_EQ(cluster.UnlinkAndWait(client, "/store/f1"), proto::XrdErr::kNone);
+  EXPECT_TRUE(cluster.UnlinkAndWait(client, "/store/f1").ok());
   EXPECT_EQ(cluster.storage(2).StateOf("/store/f1"), oss::FileState::kAbsent);
   const auto open = cluster.OpenAndWait(client, "/store/f1", AccessMode::kRead, false);
   EXPECT_EQ(open.err, proto::XrdErr::kNotFound);
@@ -312,9 +311,9 @@ TEST(ClusterTest, TwoLevelTreeResolvesThroughSupervisors) {
 
   // The manager saw ONE CmsHave from the supervisor, not one per leaf:
   // response compression (section II-B2).
-  const auto [err, data] = cluster.ReadAll(client, "/store/deep");
-  EXPECT_EQ(err, proto::XrdErr::kNone);
-  EXPECT_EQ(data, "d");
+  const auto data = cluster.ReadAll(client, "/store/deep");
+  ASSERT_TRUE(data.ok()) << data.error().message;
+  EXPECT_EQ(data.value(), "d");
 }
 
 TEST(ClusterTest, ThreeLevelTreeStillResolves) {

@@ -68,7 +68,7 @@ TEST(ReplicationTest, NewFileNotificationReachesAllManagers) {
   SimCluster cluster(ReplicatedSpec(4, 3));
   cluster.Start();
   auto& client = cluster.NewClient();
-  ASSERT_EQ(cluster.PutFile(client, "/store/new", "data"), proto::XrdErr::kNone);
+  ASSERT_TRUE(cluster.PutFile(client, "/store/new", "data").ok());
   cluster.engine().RunUntilIdle();
   // Every manager heard the unsolicited newfile CmsHave. Managers that
   // had no cached object simply ignored it; what matters is that a

@@ -103,25 +103,25 @@ TEST_F(TcpClusterTest, OpenReadOverRealSockets) {
   EXPECT_EQ(open.file.node, 11u);
   EXPECT_EQ(open.redirects, 1);
 
-  const auto [rerr, data] = client_->Read(open.file, 0, 64);
-  EXPECT_EQ(rerr, proto::XrdErr::kNone);
-  EXPECT_EQ(data, "over the wire");
-  EXPECT_EQ(client_->Close(open.file), proto::XrdErr::kNone);
+  const auto data = client_->Read(open.file, 0, 64);
+  ASSERT_TRUE(data.ok()) << data.error().message;
+  EXPECT_EQ(data.value(), "over the wire");
+  EXPECT_TRUE(client_->Close(open.file).ok());
 }
 
 TEST_F(TcpClusterTest, CreateWriteReadBack) {
-  ASSERT_EQ(client_->PutFile("/store/new", "hello tcp"), proto::XrdErr::kNone);
-  const auto [err, data] = client_->GetFile("/store/new");
-  EXPECT_EQ(err, proto::XrdErr::kNone);
-  EXPECT_EQ(data, "hello tcp");
+  ASSERT_TRUE(client_->PutFile("/store/new", "hello tcp").ok());
+  const auto data = client_->GetFile("/store/new");
+  ASSERT_TRUE(data.ok()) << data.error().message;
+  EXPECT_EQ(data.value(), "hello tcp");
 }
 
 TEST_F(TcpClusterTest, StatAndUnlink) {
   storages_[0]->Put("/store/s", "12345");
-  const auto [serr, size] = client_->Stat("/store/s");
-  EXPECT_EQ(serr, proto::XrdErr::kNone);
-  EXPECT_EQ(size, 5u);
-  EXPECT_EQ(client_->Unlink("/store/s"), proto::XrdErr::kNone);
+  const auto size = client_->Stat("/store/s");
+  ASSERT_TRUE(size.ok()) << size.error().message;
+  EXPECT_EQ(size.value(), 5u);
+  EXPECT_TRUE(client_->Unlink("/store/s").ok());
   const auto open = client_->Open("/store/s", AccessMode::kRead);
   EXPECT_EQ(open.err, proto::XrdErr::kNotFound);
 }
@@ -154,8 +154,8 @@ TEST_F(TcpClusterTest, ConcurrentClientsResolveIndependently) {
     threads.emplace_back([&, c] {
       for (int i = 0; i < 20; ++i) {
         const std::string path = "/store/c" + std::to_string((c + i) % 3);
-        const auto [err, data] = clients[static_cast<std::size_t>(c)]->GetFile(path);
-        if (err != proto::XrdErr::kNone || data != "data") ++failures;
+        const auto data = clients[static_cast<std::size_t>(c)]->GetFile(path);
+        if (!data.ok() || data.value() != "data") ++failures;
       }
     });
   }
@@ -169,7 +169,7 @@ TEST_F(TcpClusterTest, DeadServerTriggersClientRecovery) {
   // Warm the manager cache.
   const auto first = client_->Open("/store/dual", AccessMode::kRead);
   ASSERT_EQ(first.err, proto::XrdErr::kNone);
-  client_->Close(first.file);
+  (void)client_->Close(first.file);
 
   // Kill one replica's endpoint entirely.
   nodes_[0]->Stop();
@@ -181,8 +181,26 @@ TEST_F(TcpClusterTest, DeadServerTriggersClientRecovery) {
     const auto open = client_->Open("/store/dual", AccessMode::kRead);
     ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
     EXPECT_EQ(open.file.node, 12u);
-    client_->Close(open.file);
+    (void)client_->Close(open.file);
   }
+}
+
+TEST_F(TcpClusterTest, StatsQueryAggregatesWholeCluster) {
+  // Generate traffic, then ask the manager for tree-aggregated metrics.
+  storages_[0]->Put("/store/stats1", "aaaa");
+  ASSERT_TRUE(client_->GetFile("/store/stats1").ok());
+  ASSERT_TRUE(client_->PutFile("/store/stats2", "bbbb").ok());
+
+  const auto stats = client_->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  EXPECT_EQ(stats.value().nodeCount, 4u);  // manager + 3 leaves
+  const auto& snap = stats.value().snapshot;
+  EXPECT_EQ(snap.Counter("node.count"), 4u);
+  EXPECT_GE(snap.Counter("node.opens_served"), 2u);
+  EXPECT_GE(snap.Counter("node.redirects_issued"), 1u);
+  EXPECT_GE(snap.Counter("node.logins_accepted"), 3u);
+  EXPECT_GE(snap.Counter("node.reads"), 1u);
+  EXPECT_GE(snap.Counter("node.writes"), 1u);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //     cksum <path>             CRC32 of the file content (server-side)
 //     prepare <path> [...]     announce upcoming accesses (parallel prepare)
 //     ls <prefix> --cnsd N     list the global namespace via the cnsd
+//     stats [--json]           tree-aggregated metrics from the whole cluster
 #include <cstdio>
 #include <future>
 #include <cstdlib>
@@ -29,7 +30,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: scalla_cli [--head N] [--base-port N] [--addr N] [--cnsd N]\n"
-               "                  put|get|stat|rm|cksum|prepare|ls <args>\n");
+               "                  put|get|stat|rm|cksum|prepare|ls|stats <args>\n");
   return 2;
 }
 
@@ -67,50 +68,67 @@ int main(int argc, char** argv) {
   }
 
   if (command == "put" && i + 1 < argc) {
-    const proto::XrdErr err = client.PutFile(argv[i], argv[i + 1]);
-    std::printf("put %s: %s\n", argv[i], err == proto::XrdErr::kNone ? "ok" : "FAILED");
-    return err == proto::XrdErr::kNone ? 0 : 1;
+    const Result<void> put = client.PutFile(argv[i], argv[i + 1]);
+    std::printf("put %s: %s\n", argv[i], put ? "ok" : put.error().message.c_str());
+    return put ? 0 : 1;
   }
   if (command == "get" && i < argc) {
-    const auto [err, data] = client.GetFile(argv[i]);
-    if (err != proto::XrdErr::kNone) {
-      std::fprintf(stderr, "get %s: error %d\n", argv[i], static_cast<int>(err));
+    const Result<std::string> data = client.GetFile(argv[i]);
+    if (!data) {
+      std::fprintf(stderr, "get: %s\n", data.error().message.c_str());
       return 1;
     }
-    std::fwrite(data.data(), 1, data.size(), stdout);
+    std::fwrite(data.value().data(), 1, data.value().size(), stdout);
     std::printf("\n");
     return 0;
   }
   if (command == "stat" && i < argc) {
-    const auto [err, size] = client.Stat(argv[i]);
-    if (err != proto::XrdErr::kNone) {
-      std::fprintf(stderr, "stat %s: error %d\n", argv[i], static_cast<int>(err));
+    const Result<std::uint64_t> size = client.Stat(argv[i]);
+    if (!size) {
+      std::fprintf(stderr, "stat: %s\n", size.error().message.c_str());
       return 1;
     }
-    std::printf("%s: %llu bytes\n", argv[i], static_cast<unsigned long long>(size));
+    std::printf("%s: %llu bytes\n", argv[i],
+                static_cast<unsigned long long>(size.value()));
     return 0;
   }
   if (command == "rm" && i < argc) {
-    const proto::XrdErr err = client.Unlink(argv[i]);
-    std::printf("rm %s: %s\n", argv[i], err == proto::XrdErr::kNone ? "ok" : "FAILED");
-    return err == proto::XrdErr::kNone ? 0 : 1;
+    const Result<void> rm = client.Unlink(argv[i]);
+    std::printf("rm %s: %s\n", argv[i], rm ? "ok" : rm.error().message.c_str());
+    return rm ? 0 : 1;
   }
   if (command == "cksum" && i < argc) {
-    const auto [err, crc] = client.Checksum(argv[i]);
-    if (err != proto::XrdErr::kNone) {
-      std::fprintf(stderr, "cksum %s: error %d\n", argv[i], static_cast<int>(err));
+    const Result<std::uint32_t> crc = client.Checksum(argv[i]);
+    if (!crc) {
+      std::fprintf(stderr, "cksum: %s\n", crc.error().message.c_str());
       return 1;
     }
-    std::printf("%s: crc32 %08X\n", argv[i], crc);
+    std::printf("%s: crc32 %08X\n", argv[i], crc.value());
     return 0;
   }
   if (command == "prepare" && i < argc) {
     std::vector<std::string> paths;
     for (; i < argc; ++i) paths.emplace_back(argv[i]);
-    const proto::XrdErr err = client.Prepare(paths, cms::AccessMode::kRead);
+    const Result<void> prep = client.Prepare(paths, cms::AccessMode::kRead);
     std::printf("prepare %zu file(s): %s\n", paths.size(),
-                err == proto::XrdErr::kNone ? "ok" : "FAILED");
-    return err == proto::XrdErr::kNone ? 0 : 1;
+                prep ? "ok" : prep.error().message.c_str());
+    return prep ? 0 : 1;
+  }
+  if (command == "stats") {
+    const bool json = i < argc && std::strcmp(argv[i], "--json") == 0;
+    const auto stats = client.Stats();
+    if (!stats) {
+      std::fprintf(stderr, "stats: %s\n", stats.error().message.c_str());
+      return 1;
+    }
+    if (json) {
+      std::printf("{\"nodes\":%u,\"metrics\":%s}\n", stats.value().nodeCount,
+                  stats.value().snapshot.ToJson().c_str());
+    } else {
+      std::printf("cluster: %u node(s)\n%s", stats.value().nodeCount,
+                  stats.value().snapshot.ToText().c_str());
+    }
+    return 0;
   }
   if (command == "ls" && i < argc) {
     if (cfg.cnsd == 0) {

@@ -103,13 +103,25 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  // Periodic operator status line (like xrootd's summary monitoring).
-  executor.RunEvery(std::chrono::seconds(60), [&node] {
+  // Periodic operator status line (like xrootd's summary monitoring),
+  // plus the node's full metrics registry and transport counters as one
+  // JSON line a log scraper can ingest.
+  executor.RunEvery(std::chrono::seconds(60), [&node, &fabric] {
     std::printf("%s\n", node.DescribeStatus().c_str());
+    const auto net = fabric.GetCounters();
+    std::printf("metrics %s\n", node.SnapshotMetrics().ToJson().c_str());
+    std::printf("net frames_sent=%llu frames_received=%llu bytes_sent=%llu "
+                "bytes_received=%llu reconnects=%llu\n",
+                static_cast<unsigned long long>(net.framesSent),
+                static_cast<unsigned long long>(net.framesReceived),
+                static_cast<unsigned long long>(net.bytesSent),
+                static_cast<unsigned long long>(net.bytesReceived),
+                static_cast<unsigned long long>(net.reconnects));
     std::fflush(stdout);
   });
   g_shutdown.acquire();
-  std::printf("shutting down\n%s\n", node.DescribeStatus().c_str());
+  std::printf("shutting down\n%s\nmetrics %s\n", node.DescribeStatus().c_str(),
+              node.SnapshotMetrics().ToJson().c_str());
   node.Stop();
   return 0;
 }
