@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full verification: the regular build + test suite, then the same suite
-# under AddressSanitizer + UndefinedBehaviorSanitizer (CMake presets
-# "default" and "asan-ubsan"). Run from the repository root.
+# Full verification: the regular build + test suite, the same suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer, and the threaded suites
+# (pcache proxy, TCP cluster) under ThreadSanitizer (CMake presets
+# "default", "asan-ubsan", "tsan"). Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,12 @@ echo "=== build + test: asan-ubsan preset ==="
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j
 ctest --preset asan-ubsan -j
+
+echo
+echo "=== build + test (threaded suites): tsan preset ==="
+cmake --preset tsan
+cmake --build --preset tsan -j
+ctest --preset tsan -j -R "pcache_test|tcp_cluster_test|sched_test"
 
 echo
 echo "verify: all suites passed"

@@ -404,6 +404,17 @@ void ScallaClient::HandleStatsReply(net::NodeAddr from, const proto::StatsReply&
   node.mapped().done(out);
 }
 
+void ScallaClient::CacheAdmin(proto::PcacheAdminOp op, const std::string& path,
+                              CacheAdminCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  cacheAdmins_.emplace(reqId, std::move(done));
+  proto::PcacheAdmin msg;
+  msg.reqId = reqId;
+  msg.op = op;
+  msg.path = path;
+  fabric_.Send(config_.addr, CurrentHead(), std::move(msg));
+}
+
 void ScallaClient::List(const std::string& prefix, ListCallback done) {
   if (config_.cnsd == 0) {
     done(proto::XrdErr::kInvalid, {});
@@ -446,6 +457,9 @@ void ScallaClient::OnMessage(net::NodeAddr from, proto::Message message) {
           if (!node.empty()) node.mapped()(m.err, std::move(m.names));
         } else if constexpr (std::is_same_v<M, proto::StatsReply>) {
           HandleStatsReply(from, m);
+        } else if constexpr (std::is_same_v<M, proto::PcacheAdminResp>) {
+          auto node = cacheAdmins_.extract(m.reqId);
+          if (!node.empty()) node.mapped()(m.err, std::move(m));
         }
       },
       std::move(message));

@@ -104,6 +104,13 @@ class ScallaClient : public net::MessageSink {
   using StatsQueryCallback = std::function<void(const ClusterStats&)>;
   void QueryStats(StatsQueryCallback done, Duration timeout = std::chrono::seconds(5));
 
+  using CacheAdminCallback =
+      std::function<void(proto::XrdErr, proto::PcacheAdminResp)>;
+  /// Proxy cache administration aimed at the current head: occupancy query
+  /// or purge. A non-proxy head answers kInvalid.
+  void CacheAdmin(proto::PcacheAdminOp op, const std::string& path,
+                  CacheAdminCallback done);
+
   // net::MessageSink
   void OnMessage(net::NodeAddr from, proto::Message message) override;
   /// Connection-loss recovery: pending opens/stats/unlinks aimed at the
@@ -191,6 +198,7 @@ class ScallaClient : public net::MessageSink {
   std::unordered_map<std::uint64_t, DoneCallback> prepares_;
   std::unordered_map<std::uint64_t, ListCallback> lists_;
   std::unordered_map<std::uint64_t, StatsQueryState> statsQueries_;
+  std::unordered_map<std::uint64_t, CacheAdminCallback> cacheAdmins_;
 
   // Registry first: the instrument references below point into it.
   obs::MetricsRegistry metrics_;

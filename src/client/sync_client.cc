@@ -49,12 +49,12 @@ Result<std::string> SyncClient::Read(const FileRef& file, std::uint64_t offset,
   return std::move(data);
 }
 
-Result<std::vector<std::string>> SyncClient::ReadV(const FileRef& file,
-                                                   std::vector<proto::ReadSeg> segments) {
+Result<std::vector<std::string>> SyncClient::ReadV(
+    const FileRef& file, const std::vector<proto::ReadSeg>& segments) {
   auto prom = std::make_shared<
       std::promise<std::pair<proto::XrdErr, std::vector<std::string>>>>();
   auto fut = prom->get_future();
-  executor_.Post([this, file, segments = std::move(segments), prom]() mutable {
+  executor_.Post([this, file, segments, prom]() mutable {
     inner_.ReadV(file, std::move(segments),
                  [prom](proto::XrdErr err, std::vector<std::string> chunks) {
                    prom->set_value({err, std::move(chunks)});
@@ -181,6 +181,20 @@ Result<ScallaClient::ClusterStats> SyncClient::Stats() {
       Await(fut, timeout_ + std::chrono::seconds(1), ScallaClient::ClusterStats{});
   if (!stats.ok) return MakeError(proto::XrdErr::kIo, "stats", "cluster");
   return stats;
+}
+
+Result<proto::PcacheAdminResp> SyncClient::CacheAdmin(proto::PcacheAdminOp op,
+                                                      const std::string& path) {
+  auto prom = std::make_shared<std::promise<std::pair<proto::XrdErr, proto::PcacheAdminResp>>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, op, path, prom] {
+    inner_.CacheAdmin(op, path, [prom](proto::XrdErr err, proto::PcacheAdminResp resp) {
+      prom->set_value({err, std::move(resp)});
+    });
+  });
+  auto [err, resp] = Await(fut, timeout_, {proto::XrdErr::kIo, proto::PcacheAdminResp{}});
+  if (err != proto::XrdErr::kNone) return MakeError(err, "cache-admin", path);
+  return resp;
 }
 
 }  // namespace scalla::client

@@ -28,7 +28,7 @@ class SyncClient {
   Result<std::string> Read(const FileRef& file, std::uint64_t offset,
                            std::uint32_t length);
   Result<std::vector<std::string>> ReadV(const FileRef& file,
-                                         std::vector<proto::ReadSeg> segments);
+                                         const std::vector<proto::ReadSeg>& segments);
   Result<std::uint32_t> Checksum(const std::string& path);
   Result<std::uint32_t> Write(const FileRef& file, std::uint64_t offset,
                               std::string data);
@@ -44,6 +44,11 @@ class SyncClient {
 
   /// Tree-aggregated cluster metrics from the head (kStatsQuery).
   Result<ScallaClient::ClusterStats> Stats();
+
+  /// Proxy cache administration (kPcacheAdmin): purge/occupancy against a
+  /// pcache head. Non-proxy nodes answer kInvalid.
+  Result<proto::PcacheAdminResp> CacheAdmin(proto::PcacheAdminOp op,
+                                            const std::string& path = {});
 
  private:
   sched::Executor& executor_;

@@ -26,42 +26,65 @@ FileState LocalOss::StateOf(const std::string& path) {
   return fs::is_regular_file(*host, ec) ? FileState::kOnline : FileState::kAbsent;
 }
 
-proto::XrdErr LocalOss::Create(const std::string& path) {
+Result<void> LocalOss::Create(const std::string& path) {
   const auto host = Resolve(path);
-  if (!host) return proto::XrdErr::kInvalid;
+  if (!host) {
+    return Result<void>::Err(proto::XrdErr::kInvalid, "create '" + path + "': bad path");
+  }
   std::lock_guard lock(mu_);
   std::error_code ec;
-  if (fs::exists(*host, ec)) return proto::XrdErr::kExists;
+  if (fs::exists(*host, ec)) {
+    return Result<void>::Err(proto::XrdErr::kExists, "create '" + path + "': exists");
+  }
   fs::create_directories(host->parent_path(), ec);
   std::ofstream out(*host, std::ios::binary);
-  return out.good() ? proto::XrdErr::kNone : proto::XrdErr::kIo;
+  if (!out.good()) {
+    return Result<void>::Err(proto::XrdErr::kIo, "create '" + path + "': I/O error");
+  }
+  return Result<void>::Ok();
 }
 
-proto::XrdErr LocalOss::Write(const std::string& path, std::uint64_t offset,
-                              std::string_view data) {
+Result<void> LocalOss::Write(const std::string& path, std::uint64_t offset,
+                             std::string_view data) {
   const auto host = Resolve(path);
-  if (!host) return proto::XrdErr::kInvalid;
+  if (!host) {
+    return Result<void>::Err(proto::XrdErr::kInvalid, "write '" + path + "': bad path");
+  }
   std::lock_guard lock(mu_);
   std::error_code ec;
-  if (!fs::is_regular_file(*host, ec)) return proto::XrdErr::kNotFound;
+  if (!fs::is_regular_file(*host, ec)) {
+    return Result<void>::Err(proto::XrdErr::kNotFound, "write '" + path + "': not found");
+  }
   std::fstream out(*host, std::ios::binary | std::ios::in | std::ios::out);
-  if (!out.good()) return proto::XrdErr::kIo;
+  if (!out.good()) {
+    return Result<void>::Err(proto::XrdErr::kIo, "write '" + path + "': I/O error");
+  }
   out.seekp(static_cast<std::streamoff>(offset));
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  return out.good() ? proto::XrdErr::kNone : proto::XrdErr::kIo;
+  if (!out.good()) {
+    return Result<void>::Err(proto::XrdErr::kIo, "write '" + path + "': I/O error");
+  }
+  return Result<void>::Ok();
 }
 
-proto::XrdErr LocalOss::Read(const std::string& path, std::uint64_t offset,
-                             std::uint32_t length, std::string* out) {
+Result<std::string> LocalOss::Read(const std::string& path, std::uint64_t offset,
+                                   std::uint32_t length) {
   const auto host = Resolve(path);
-  if (!host) return proto::XrdErr::kInvalid;
+  if (!host) {
+    return Result<std::string>::Err(proto::XrdErr::kInvalid,
+                                    "read '" + path + "': bad path");
+  }
   std::ifstream in(*host, std::ios::binary);
-  if (!in.good()) return proto::XrdErr::kNotFound;
+  if (!in.good()) {
+    return Result<std::string>::Err(proto::XrdErr::kNotFound,
+                                    "read '" + path + "': not found");
+  }
   in.seekg(static_cast<std::streamoff>(offset));
-  out->resize(length);
-  in.read(out->data(), static_cast<std::streamsize>(length));
-  out->resize(static_cast<std::size_t>(in.gcount()));
-  return proto::XrdErr::kNone;
+  std::string out;
+  out.resize(length);
+  in.read(out.data(), static_cast<std::streamsize>(length));
+  out.resize(static_cast<std::size_t>(in.gcount()));
+  return out;
 }
 
 std::optional<StatInfo> LocalOss::Stat(const std::string& path) {
@@ -74,12 +97,17 @@ std::optional<StatInfo> LocalOss::Stat(const std::string& path) {
   return info;
 }
 
-proto::XrdErr LocalOss::Unlink(const std::string& path) {
+Result<void> LocalOss::Unlink(const std::string& path) {
   const auto host = Resolve(path);
-  if (!host) return proto::XrdErr::kInvalid;
+  if (!host) {
+    return Result<void>::Err(proto::XrdErr::kInvalid, "unlink '" + path + "': bad path");
+  }
   std::lock_guard lock(mu_);
   std::error_code ec;
-  return fs::remove(*host, ec) ? proto::XrdErr::kNone : proto::XrdErr::kNotFound;
+  if (!fs::remove(*host, ec)) {
+    return Result<void>::Err(proto::XrdErr::kNotFound, "unlink '" + path + "': not found");
+  }
+  return Result<void>::Ok();
 }
 
 std::vector<std::string> LocalOss::List(const std::string& prefix) {

@@ -15,43 +15,50 @@ std::uint64_t MemOss::TotalBytesLocked() const {
   return total;
 }
 
-proto::XrdErr MemOss::Create(const std::string& path) {
+Result<void> MemOss::Create(const std::string& path) {
   std::lock_guard lock(mu_);
-  if (files_.count(path) != 0) return proto::XrdErr::kExists;
-  if (capacity_ != 0 && TotalBytesLocked() >= capacity_) return proto::XrdErr::kNoSpace;
+  if (files_.count(path) != 0) {
+    return Result<void>::Err(proto::XrdErr::kExists, "create '" + path + "': exists");
+  }
+  if (capacity_ != 0 && TotalBytesLocked() >= capacity_) {
+    return Result<void>::Err(proto::XrdErr::kNoSpace, "create '" + path + "': no space");
+  }
   files_[path] = File{std::string(), clock_.Now()};
-  return proto::XrdErr::kNone;
+  return Result<void>::Ok();
 }
 
-proto::XrdErr MemOss::Write(const std::string& path, std::uint64_t offset,
-                            std::string_view data) {
+Result<void> MemOss::Write(const std::string& path, std::uint64_t offset,
+                           std::string_view data) {
   std::lock_guard lock(mu_);
   const auto it = files_.find(path);
-  if (it == files_.end()) return proto::XrdErr::kNotFound;
+  if (it == files_.end()) {
+    return Result<void>::Err(proto::XrdErr::kNotFound, "write '" + path + "': not found");
+  }
   File& f = it->second;
   if (offset + data.size() > f.data.size()) {
     const std::uint64_t growth = offset + data.size() - f.data.size();
     if (capacity_ != 0 && TotalBytesLocked() + growth > capacity_) {
-      return proto::XrdErr::kNoSpace;
+      return Result<void>::Err(proto::XrdErr::kNoSpace, "write '" + path + "': no space");
     }
     f.data.resize(offset + data.size(), '\0');
   }
   std::copy(data.begin(), data.end(), f.data.begin() + static_cast<std::ptrdiff_t>(offset));
   f.mtime = clock_.Now();
-  return proto::XrdErr::kNone;
+  return Result<void>::Ok();
 }
 
-proto::XrdErr MemOss::Read(const std::string& path, std::uint64_t offset,
-                           std::uint32_t length, std::string* out) {
+Result<std::string> MemOss::Read(const std::string& path, std::uint64_t offset,
+                                 std::uint32_t length) {
   std::lock_guard lock(mu_);
   const auto it = files_.find(path);
-  if (it == files_.end()) return proto::XrdErr::kNotFound;
+  if (it == files_.end()) {
+    return Result<std::string>::Err(proto::XrdErr::kNotFound,
+                                    "read '" + path + "': not found");
+  }
   const File& f = it->second;
-  out->clear();
-  if (offset >= f.data.size()) return proto::XrdErr::kNone;  // EOF: empty read
+  if (offset >= f.data.size()) return std::string();  // EOF: empty read
   const std::size_t n = std::min<std::size_t>(length, f.data.size() - offset);
-  out->assign(f.data, offset, n);
-  return proto::XrdErr::kNone;
+  return f.data.substr(offset, n);
 }
 
 std::optional<StatInfo> MemOss::Stat(const std::string& path) {
@@ -61,9 +68,12 @@ std::optional<StatInfo> MemOss::Stat(const std::string& path) {
   return StatInfo{it->second.data.size(), it->second.mtime};
 }
 
-proto::XrdErr MemOss::Unlink(const std::string& path) {
+Result<void> MemOss::Unlink(const std::string& path) {
   std::lock_guard lock(mu_);
-  return files_.erase(path) != 0 ? proto::XrdErr::kNone : proto::XrdErr::kNotFound;
+  if (files_.erase(path) == 0) {
+    return Result<void>::Err(proto::XrdErr::kNotFound, "unlink '" + path + "': not found");
+  }
+  return Result<void>::Ok();
 }
 
 std::vector<std::string> MemOss::List(const std::string& prefix) {

@@ -19,13 +19,13 @@ class MemOss : public Oss {
       : clock_(clock), capacity_(capacityBytes) {}
 
   FileState StateOf(const std::string& path) override;
-  proto::XrdErr Create(const std::string& path) override;
-  proto::XrdErr Write(const std::string& path, std::uint64_t offset,
-                      std::string_view data) override;
-  proto::XrdErr Read(const std::string& path, std::uint64_t offset, std::uint32_t length,
-                     std::string* out) override;
+  Result<void> Create(const std::string& path) override;
+  Result<void> Write(const std::string& path, std::uint64_t offset,
+                     std::string_view data) override;
+  Result<std::string> Read(const std::string& path, std::uint64_t offset,
+                           std::uint32_t length) override;
   std::optional<StatInfo> Stat(const std::string& path) override;
-  proto::XrdErr Unlink(const std::string& path) override;
+  Result<void> Unlink(const std::string& path) override;
   std::vector<std::string> List(const std::string& prefix) override;
 
   /// Seeds a file with content (test/workload setup).

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "proto/messages.h"
+#include "util/result.h"
 #include "util/types.h"
 
 namespace scalla::oss {
@@ -38,20 +39,21 @@ class Oss {
 
   /// Creates an empty online file. kExists if it is already present
   /// anywhere (online or MSS).
-  virtual proto::XrdErr Create(const std::string& path) = 0;
+  virtual Result<void> Create(const std::string& path) = 0;
 
   /// Writes at `offset`, extending the file as needed. kNotFound if the
   /// file is not online.
-  virtual proto::XrdErr Write(const std::string& path, std::uint64_t offset,
-                              std::string_view data) = 0;
+  virtual Result<void> Write(const std::string& path, std::uint64_t offset,
+                             std::string_view data) = 0;
 
-  /// Reads up to `length` bytes at `offset`; short reads at EOF.
-  virtual proto::XrdErr Read(const std::string& path, std::uint64_t offset,
-                             std::uint32_t length, std::string* out) = 0;
+  /// Reads up to `length` bytes at `offset`; short reads at EOF (an empty
+  /// string past it).
+  virtual Result<std::string> Read(const std::string& path, std::uint64_t offset,
+                                   std::uint32_t length) = 0;
 
   virtual std::optional<StatInfo> Stat(const std::string& path) = 0;
 
-  virtual proto::XrdErr Unlink(const std::string& path) = 0;
+  virtual Result<void> Unlink(const std::string& path) = 0;
 
   /// Online files under `prefix` (data-server-local namespace; the global
   /// view is assembled by the Cluster Name Space daemon).

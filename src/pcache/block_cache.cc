@@ -1,0 +1,248 @@
+#include "pcache/block_cache.h"
+
+#include <algorithm>
+
+namespace scalla::pcache {
+
+BlockCache::BlockCache(const BlockCacheConfig& config)
+    : config_(config), shards_(std::max<std::size_t>(config.shards, 1)) {}
+
+BlockCache::Shard& BlockCache::ShardOf(const std::string& path, std::uint64_t index) {
+  const std::size_t h = std::hash<std::string>{}(path) ^ (index * 0x9E3779B97F4A7C15ull);
+  return shards_[h % shards_.size()];
+}
+
+const BlockCache::Shard& BlockCache::ShardOf(const std::string& path,
+                                             std::uint64_t index) const {
+  const std::size_t h = std::hash<std::string>{}(path) ^ (index * 0x9E3779B97F4A7C15ull);
+  return shards_[h % shards_.size()];
+}
+
+std::optional<std::string> BlockCache::Lookup(const std::string& path,
+                                              std::uint64_t index) {
+  Shard& shard = ShardOf(path, index);
+  std::lock_guard lock(shard.mu);
+  const auto fileIt = shard.files.find(path);
+  if (fileIt == shard.files.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const auto it = fileIt->second.find(index);
+  if (it == fileIt->second.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Entry& e = it->second;
+  e.stamp = nextStamp_.fetch_add(1, std::memory_order_relaxed);
+  shard.lru.splice(shard.lru.end(), shard.lru, e.lruIt);  // bump to freshest
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return e.data;
+}
+
+bool BlockCache::Contains(const std::string& path, std::uint64_t index) const {
+  const Shard& shard = ShardOf(path, index);
+  std::lock_guard lock(shard.mu);
+  const auto fileIt = shard.files.find(path);
+  return fileIt != shard.files.end() && fileIt->second.count(index) != 0;
+}
+
+void BlockCache::Insert(const std::string& path, std::uint64_t index,
+                        std::string data, bool pinned) {
+  {
+    Shard& shard = ShardOf(path, index);
+    std::lock_guard lock(shard.mu);
+    auto& perFile = shard.files[path];
+    const auto it = perFile.find(index);
+    if (it != perFile.end()) {
+      // Replace in place; recency bumps like a hit.
+      Entry& e = it->second;
+      usedBytes_.fetch_sub(e.data.size(), std::memory_order_relaxed);
+      usedBytes_.fetch_add(data.size(), std::memory_order_relaxed);
+      e.data = std::move(data);
+      e.stamp = nextStamp_.fetch_add(1, std::memory_order_relaxed);
+      if (pinned) ++e.pins;
+      shard.lru.splice(shard.lru.end(), shard.lru, e.lruIt);
+    } else {
+      Entry e;
+      e.stamp = nextStamp_.fetch_add(1, std::memory_order_relaxed);
+      e.pins = pinned ? 1 : 0;
+      usedBytes_.fetch_add(data.size(), std::memory_order_relaxed);
+      blockCount_.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.push_back(BlockKey{path, index});
+      e.lruIt = std::prev(shard.lru.end());
+      e.data = std::move(data);
+      perFile.emplace(index, std::move(e));
+    }
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto high =
+      static_cast<std::uint64_t>(config_.highWatermark *
+                                 static_cast<double>(config_.capacityBytes));
+  if (usedBytes_.load(std::memory_order_relaxed) > high) EvictToLowWatermark();
+}
+
+void BlockCache::EvictToLowWatermark() {
+  // One sweep at a time: concurrent inserters queue here rather than
+  // racing each other over the same victims.
+  std::lock_guard evictLock(evictMu_);
+  const auto low = static_cast<std::uint64_t>(
+      config_.lowWatermark * static_cast<double>(config_.capacityBytes));
+  while (usedBytes_.load(std::memory_order_relaxed) > low) {
+    // Victim = globally oldest unpinned block: take each shard's oldest
+    // unpinned candidate, then the minimum stamp across shards.
+    Shard* victimShard = nullptr;
+    std::uint64_t victimStamp = 0;
+    BlockKey victimKey;
+    for (Shard& shard : shards_) {
+      std::lock_guard lock(shard.mu);
+      for (const BlockKey& key : shard.lru) {
+        const Entry& e = shard.files.at(key.path).at(key.index);
+        if (e.pins > 0) continue;  // pinned: skip, try the next-oldest
+        if (victimShard == nullptr || e.stamp < victimStamp) {
+          victimShard = &shard;
+          victimStamp = e.stamp;
+          victimKey = key;
+        }
+        break;  // shard's LRU order == stamp order; first unpinned is oldest
+      }
+    }
+    if (victimShard == nullptr) return;  // everything left is pinned
+    std::lock_guard lock(victimShard->mu);
+    const auto fileIt = victimShard->files.find(victimKey.path);
+    if (fileIt == victimShard->files.end()) continue;  // raced with a purge
+    const auto it = fileIt->second.find(victimKey.index);
+    if (it == fileIt->second.end() || it->second.pins > 0 ||
+        it->second.stamp != victimStamp) {
+      continue;  // touched between peek and take; re-scan
+    }
+    usedBytes_.fetch_sub(it->second.data.size(), std::memory_order_relaxed);
+    blockCount_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    victimShard->lru.erase(it->second.lruIt);
+    fileIt->second.erase(it);
+    if (fileIt->second.empty()) victimShard->files.erase(fileIt);
+  }
+}
+
+bool BlockCache::Pin(const std::string& path, std::uint64_t index) {
+  Shard& shard = ShardOf(path, index);
+  std::lock_guard lock(shard.mu);
+  const auto fileIt = shard.files.find(path);
+  if (fileIt == shard.files.end()) return false;
+  const auto it = fileIt->second.find(index);
+  if (it == fileIt->second.end()) return false;
+  ++it->second.pins;
+  return true;
+}
+
+void BlockCache::Unpin(const std::string& path, std::uint64_t index) {
+  Shard& shard = ShardOf(path, index);
+  std::lock_guard lock(shard.mu);
+  const auto fileIt = shard.files.find(path);
+  if (fileIt == shard.files.end()) return;
+  const auto it = fileIt->second.find(index);
+  if (it == fileIt->second.end()) return;
+  if (it->second.pins > 0) --it->second.pins;
+}
+
+std::uint64_t BlockCache::Purge(const std::string& path) {
+  std::uint64_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    const auto fileIt = shard.files.find(path);
+    if (fileIt == shard.files.end()) continue;
+    for (auto it = fileIt->second.begin(); it != fileIt->second.end();) {
+      if (it->second.pins > 0) {
+        ++it;
+        continue;
+      }
+      usedBytes_.fetch_sub(it->second.data.size(), std::memory_order_relaxed);
+      blockCount_.fetch_sub(1, std::memory_order_relaxed);
+      shard.lru.erase(it->second.lruIt);
+      it = fileIt->second.erase(it);
+      ++dropped;
+    }
+    if (fileIt->second.empty()) shard.files.erase(fileIt);
+  }
+  return dropped;
+}
+
+std::uint64_t BlockCache::PurgeAll() {
+  std::uint64_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (auto fileIt = shard.files.begin(); fileIt != shard.files.end();) {
+      for (auto it = fileIt->second.begin(); it != fileIt->second.end();) {
+        if (it->second.pins > 0) {
+          ++it;
+          continue;
+        }
+        usedBytes_.fetch_sub(it->second.data.size(), std::memory_order_relaxed);
+        blockCount_.fetch_sub(1, std::memory_order_relaxed);
+        shard.lru.erase(it->second.lruIt);
+        it = fileIt->second.erase(it);
+        ++dropped;
+      }
+      if (fileIt->second.empty()) {
+        fileIt = shard.files.erase(fileIt);
+      } else {
+        ++fileIt;
+      }
+    }
+  }
+  return dropped;
+}
+
+BlockCacheStats BlockCache::GetStats() const {
+  BlockCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.usedBytes = usedBytes_.load(std::memory_order_relaxed);
+  s.blockCount = blockCount_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint64_t BlockCache::UsedBytes() const {
+  return usedBytes_.load(std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------- SingleFlight
+
+std::string SingleFlight::Key(const std::string& path, std::uint64_t index) {
+  return path + '\0' + std::to_string(index);
+}
+
+bool SingleFlight::Begin(const std::string& path, std::uint64_t index, Waiter waiter) {
+  std::lock_guard lock(mu_);
+  const auto [it, inserted] = inflight_.try_emplace(Key(path, index));
+  it->second.push_back(std::move(waiter));
+  if (!inserted) coalesced_.fetch_add(1, std::memory_order_relaxed);
+  return inserted;
+}
+
+bool SingleFlight::TryOwn(const std::string& path, std::uint64_t index) {
+  std::lock_guard lock(mu_);
+  return inflight_.try_emplace(Key(path, index)).second;
+}
+
+void SingleFlight::Complete(const std::string& path, std::uint64_t index,
+                            proto::XrdErr err, const std::string& data) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = inflight_.find(Key(path, index));
+    if (it == inflight_.end()) return;
+    waiters = std::move(it->second);
+    inflight_.erase(it);
+  }
+  for (const Waiter& w : waiters) w(err, data);
+}
+
+std::size_t SingleFlight::InFlight() const {
+  std::lock_guard lock(mu_);
+  return inflight_.size();
+}
+
+}  // namespace scalla::pcache

@@ -266,12 +266,38 @@ struct StatsReply {
   obs::MetricsSnapshot snapshot;
 };
 
+// --------------------------------------------------------------------
+// Proxy cache administration (client <-> pcache proxy)
+
+enum class PcacheAdminOp : std::uint8_t {
+  kStat = 0,       // report occupancy only
+  kPurgePath = 1,  // drop every cached block of `path`
+  kPurgeAll = 2,   // drop the whole cache
+};
+
+/// Admin frame for a caching proxy (pcache tier). Regular nodes answer it
+/// with kInvalid so a mistargeted purge fails loudly instead of silently.
+struct PcacheAdmin {
+  std::uint64_t reqId = 0;
+  PcacheAdminOp op = PcacheAdminOp::kStat;
+  std::string path;  // kPurgePath only
+};
+
+struct PcacheAdminResp {
+  std::uint64_t reqId = 0;
+  XrdErr err = XrdErr::kNone;       // kInvalid when the target is not a proxy
+  std::uint64_t blocksPurged = 0;
+  std::uint64_t usedBytes = 0;      // post-operation cache occupancy
+  std::uint64_t blockCount = 0;
+};
+
 using Message =
     std::variant<CmsLogin, CmsLoginResp, CmsQuery, CmsHave, CmsNoHave, CmsGone, CmsLoad,
                  XrdOpen, XrdOpenResp, XrdRead, XrdReadResp, XrdWrite, XrdWriteResp,
                  XrdClose, XrdCloseResp, XrdStat, XrdStatResp, XrdUnlink, XrdUnlinkResp,
                  XrdPrepare, XrdPrepareResp, CnsList, CnsListResp, XrdReadV, XrdReadVResp,
-                 XrdChecksum, XrdChecksumResp, StatsQuery, StatsReply>;
+                 XrdChecksum, XrdChecksumResp, StatsQuery, StatsReply, PcacheAdmin,
+                 PcacheAdminResp>;
 
 /// Human-readable tag for logging.
 const char* MessageName(const Message& m);

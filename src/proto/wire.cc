@@ -260,6 +260,12 @@ template <class Ar> void Visit(Ar& ar, StatsQuery& m) { ar.Fields(m.reqId); }
 template <class Ar> void Visit(Ar& ar, StatsReply& m) {
   ar.Fields(m.reqId, m.nodeCount, m.snapshot);
 }
+template <class Ar> void Visit(Ar& ar, PcacheAdmin& m) {
+  ar.Fields(m.reqId, m.op, m.path);
+}
+template <class Ar> void Visit(Ar& ar, PcacheAdminResp& m) {
+  ar.Fields(m.reqId, m.err, m.blocksPurged, m.usedBytes, m.blockCount);
+}
 
 template <std::size_t I = 0>
 std::optional<Message> DecodeIndex(std::size_t index, Reader& reader) {
@@ -301,7 +307,7 @@ const char* MessageName(const Message& m) {
       "XrdWriteResp", "XrdClose", "XrdCloseResp", "XrdStat", "XrdStatResp",
       "XrdUnlink", "XrdUnlinkResp", "XrdPrepare", "XrdPrepareResp", "CnsList",
       "CnsListResp", "XrdReadV", "XrdReadVResp", "XrdChecksum", "XrdChecksumResp",
-      "StatsQuery", "StatsReply"};
+      "StatsQuery", "StatsReply", "PcacheAdmin", "PcacheAdminResp"};
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == std::variant_size_v<Message>);
   return kNames[m.index()];
 }

@@ -30,27 +30,27 @@ std::vector<std::string> QservOss::Exports() const {
   return out;
 }
 
-proto::XrdErr QservOss::Write(const std::string& path, std::uint64_t offset,
-                              std::string_view data) {
-  const proto::XrdErr err = MemOss::Write(path, offset, data);
-  if (err != proto::XrdErr::kNone) return err;
+Result<void> QservOss::Write(const std::string& path, std::uint64_t offset,
+                             std::string_view data) {
+  Result<void> written = MemOss::Write(path, offset, data);
+  if (!written) return written;
 
   // Task submission? Path shape: /qserv/chunk<N>/task
   constexpr std::string_view kPrefix = "/qserv/chunk";
-  if (path.compare(0, kPrefix.size(), kPrefix) != 0) return err;
+  if (path.compare(0, kPrefix.size(), kPrefix) != 0) return written;
   const std::size_t slash = path.find('/', kPrefix.size());
-  if (slash == std::string::npos || path.substr(slash) != "/task") return err;
+  if (slash == std::string::npos || path.substr(slash) != "/task") return written;
   const int chunk = std::atoi(path.c_str() + kPrefix.size());
 
   // Payload: "<qid>\n<query text>".
   const std::string payload(data);
   const std::size_t newline = payload.find('\n');
-  if (newline == std::string::npos) return err;
+  if (newline == std::string::npos) return written;
   const std::uint64_t qid = std::strtoull(payload.c_str(), nullptr, 10);
   const auto query = ParseQuery(payload.substr(newline + 1));
   if (!query.has_value()) {
     Put(ResultPath(chunk, qid), "ERROR bad query");
-    return err;
+    return written;
   }
 
   std::vector<ObjectRow>* rows = nullptr;
@@ -61,7 +61,7 @@ proto::XrdErr QservOss::Write(const std::string& path, std::uint64_t offset,
   }
   if (rows == nullptr) {
     Put(ResultPath(chunk, qid), "ERROR no such chunk");
-    return err;
+    return written;
   }
   if (query->agg == Agg::kGet) {
     // Point retrieval: return the full record (or NOTFOUND).
@@ -74,12 +74,12 @@ proto::XrdErr QservOss::Write(const std::string& path, std::uint64_t offset,
     }
     Put(ResultPath(chunk, qid), std::move(result));
     ++tasksExecuted_;
-    return err;
+    return written;
   }
   const Partial partial = ExecuteOnRows(*query, *rows);
   Put(ResultPath(chunk, qid), SerializePartial(partial));
   ++tasksExecuted_;
-  return err;
+  return written;
 }
 
 }  // namespace scalla::qserv

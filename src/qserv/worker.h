@@ -31,8 +31,8 @@ class QservOss final : public oss::MemOss {
   /// Export prefixes for every hosted chunk.
   std::vector<std::string> Exports() const;
 
-  proto::XrdErr Write(const std::string& path, std::uint64_t offset,
-                      std::string_view data) override;
+  Result<void> Write(const std::string& path, std::uint64_t offset,
+                     std::string_view data) override;
 
   std::size_t TasksExecuted() const { return tasksExecuted_; }
 

@@ -38,6 +38,19 @@ SimCluster::SimCluster(const ClusterSpec& spec)
   int maxChildDepth = 0;
   BuildChildren(heads, spec_.servers, /*level=*/1, &maxChildDepth);
   depth_ = maxChildDepth + 1;
+
+  if (spec_.withProxy) {
+    pcache::ProxyCacheConfig pcfg;
+    pcfg.addr = NextAddr();
+    pcfg.name = "proxy0";
+    pcfg.origin.head = heads.front();
+    pcfg.origin.extraHeads.assign(heads.begin() + 1, heads.end());
+    pcfg.origin.cnsd = cnsAddr_;
+    pcfg.cache = spec_.proxyCache;
+    pcfg.readAhead = spec_.proxyReadAhead;
+    proxy_ = std::make_unique<pcache::ProxyCacheNode>(pcfg, engine_, fabric_);
+    fabric_.Register(pcfg.addr, proxy_.get());
+  }
 }
 
 SimCluster::~SimCluster() {
@@ -140,6 +153,18 @@ client::ScallaClient& SimCluster::NewClient() {
   for (std::size_t m = 1; m < managers_.size(); ++m) {
     cfg.extraHeads.push_back(managers_[m]->config().addr);
   }
+  auto c = std::make_unique<client::ScallaClient>(cfg, engine_, fabric_);
+  fabric_.Register(cfg.addr, c.get());
+  clients_.push_back(std::move(c));
+  return *clients_.back();
+}
+
+client::ScallaClient& SimCluster::NewProxyClient() {
+  assert(proxy_ != nullptr);
+  client::ClientConfig cfg;
+  cfg.addr = NextAddr();
+  cfg.head = proxy_->config().addr;
+  cfg.cnsd = cnsAddr_;
   auto c = std::make_unique<client::ScallaClient>(cfg, engine_, fabric_);
   fabric_.Register(cfg.addr, c.get());
   clients_.push_back(std::move(c));

@@ -13,6 +13,7 @@
 #include "cnsd/cns_daemon.h"
 #include "oss/mem_oss.h"
 #include "oss/mss_oss.h"
+#include "pcache/proxy_node.h"
 #include "sim/event_engine.h"
 #include "sim/sim_fabric.h"
 #include "util/result.h"
@@ -32,6 +33,10 @@ struct ClusterSpec {
   bool withMss = false;        // leaves get a staging-capable backend
   oss::MssConfig mss;
   bool withCnsd = false;       // run a Cluster Name Space daemon
+  // Proxy cache tier (pcache): one caching proxy fronting the head.
+  bool withProxy = false;
+  pcache::BlockCacheConfig proxyCache;
+  int proxyReadAhead = 0;
 };
 
 class SimCluster {
@@ -64,6 +69,11 @@ class SimCluster {
 
   /// Creates a client endpoint attached to the head.
   client::ScallaClient& NewClient();
+
+  /// The proxy cache tier (spec.withProxy), or nullptr.
+  pcache::ProxyCacheNode* proxy() { return proxy_.get(); }
+  /// Creates a client whose head IS the proxy (spec.withProxy required).
+  client::ScallaClient& NewProxyClient();
 
   /// The namespace daemon (spec.withCnsd), or nullptr.
   cnsd::CnsDaemon* cns() { return cns_.get(); }
@@ -123,6 +133,7 @@ class SimCluster {
   std::vector<std::unique_ptr<xrd::ScallaNode>> managers_;
   std::vector<std::unique_ptr<xrd::ScallaNode>> supervisors_;
   std::vector<std::unique_ptr<xrd::ScallaNode>> leaves_;
+  std::unique_ptr<pcache::ProxyCacheNode> proxy_;
   std::vector<std::unique_ptr<oss::MemOss>> storages_;
   std::vector<std::unique_ptr<client::ScallaClient>> clients_;
 };

@@ -11,6 +11,25 @@ bool Fail(std::string* error, const std::string& message) {
   return false;
 }
 
+/// Byte sizes with optional k/m/g suffix ("64k", "256m", "1g", "4096").
+std::optional<std::uint64_t> ParseSize(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return std::nullopt;
+  std::uint64_t scale = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': scale = 1024ull; break;
+      case 'm': case 'M': scale = 1024ull * 1024; break;
+      case 'g': case 'G': scale = 1024ull * 1024 * 1024; break;
+      default: return std::nullopt;
+    }
+    if (*(end + 1) != '\0') return std::nullopt;
+  }
+  return value * scale;
+}
+
 }  // namespace
 
 std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
@@ -22,7 +41,8 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
       "all.role",      "all.name",      "all.addr",     "all.manager",
       "all.export",    "cms.lifetime",  "cms.delay",    "cms.sweep",
       "cms.dropdelay", "cms.selection", "xrd.allowwrite", "xrd.loadreport",
-      "oss.localroot", "all.cnsd"};
+      "oss.localroot", "all.cnsd",      "pcache.blocksize", "pcache.capacity",
+      "pcache.hiwater", "pcache.lowater", "pcache.readahead"};
   for (const auto& [key, _] : parsed->entries()) {
     if (kKnown.count(key) == 0) {
       Fail(error, "unknown directive: " + key);
@@ -44,8 +64,10 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
     cfg.role = NodeRole::kSupervisor;
   } else if (*role == "server") {
     cfg.role = NodeRole::kServer;
+  } else if (*role == "proxy") {
+    cfg.role = NodeRole::kProxy;
   } else {
-    Fail(error, "all.role must be manager|supervisor|server, got " + *role);
+    Fail(error, "all.role must be manager|supervisor|server|proxy, got " + *role);
     return std::nullopt;
   }
 
@@ -85,7 +107,7 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
     std::string tok;
     while (in >> tok) cfg.exports.push_back(tok);
   }
-  if (cfg.exports.empty()) {
+  if (cfg.exports.empty() && cfg.role != NodeRole::kProxy) {
     Fail(error, "all.export must list at least one prefix");
     return std::nullopt;
   }
@@ -128,6 +150,45 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
   if (!out.localRoot.empty() && cfg.role != NodeRole::kServer) {
     Fail(error, "oss.localroot only applies to the server role");
     return std::nullopt;
+  }
+
+  const bool hasPcacheKey = parsed->Has("pcache.blocksize") ||
+                            parsed->Has("pcache.capacity") ||
+                            parsed->Has("pcache.hiwater") ||
+                            parsed->Has("pcache.lowater") ||
+                            parsed->Has("pcache.readahead");
+  if (hasPcacheKey && cfg.role != NodeRole::kProxy) {
+    Fail(error, "pcache.* directives only apply to the proxy role");
+    return std::nullopt;
+  }
+  if (cfg.role == NodeRole::kProxy) {
+    if (const auto bs = parsed->GetString("pcache.blocksize"); bs.has_value()) {
+      const auto size = ParseSize(*bs);
+      if (!size.has_value() || *size == 0) {
+        Fail(error, "pcache.blocksize: bad size " + *bs);
+        return std::nullopt;
+      }
+      out.pcacheCache.blockSize = static_cast<std::uint32_t>(*size);
+    }
+    if (const auto cap = parsed->GetString("pcache.capacity"); cap.has_value()) {
+      const auto size = ParseSize(*cap);
+      if (!size.has_value() || *size == 0) {
+        Fail(error, "pcache.capacity: bad size " + *cap);
+        return std::nullopt;
+      }
+      out.pcacheCache.capacityBytes = *size;
+    }
+    out.pcacheCache.highWatermark =
+        parsed->GetDoubleOr("pcache.hiwater", out.pcacheCache.highWatermark);
+    out.pcacheCache.lowWatermark =
+        parsed->GetDoubleOr("pcache.lowater", out.pcacheCache.lowWatermark);
+    if (out.pcacheCache.lowWatermark > out.pcacheCache.highWatermark ||
+        out.pcacheCache.highWatermark > 1.0 || out.pcacheCache.lowWatermark <= 0) {
+      Fail(error, "pcache watermarks need 0 < lowater <= hiwater <= 1");
+      return std::nullopt;
+    }
+    out.pcacheReadAhead =
+        static_cast<int>(parsed->GetIntOr("pcache.readahead", 0));
   }
   return out;
 }

@@ -15,12 +15,23 @@
 //   xrd.loadreport  30s
 //   oss.localroot   /data/xrd         # serve a real directory (server role)
 //
+// A proxy cache tier (all.role proxy) additionally understands:
+//
+//   pcache.blocksize  64k              # cache block size
+//   pcache.capacity   256m             # total cache bytes
+//   pcache.hiwater    0.95             # eviction trigger (fraction)
+//   pcache.lowater    0.80             # eviction target (fraction)
+//   pcache.readahead  4                # blocks prefetched past a miss
+//
+// (all.manager names the origin cluster heads for a proxy.)
+//
 // Unknown keys are reported as errors so typos do not silently default.
 #pragma once
 
 #include <optional>
 #include <string>
 
+#include "pcache/block_cache.h"
 #include "util/config.h"
 #include "xrd/scalla_node.h"
 
@@ -29,6 +40,9 @@ namespace scalla::xrd {
 struct LoadedNodeConfig {
   NodeConfig node;
   std::string localRoot;  // non-empty => back the server with LocalOss
+  // Proxy role only (node.role == NodeRole::kProxy):
+  pcache::BlockCacheConfig pcacheCache;
+  int pcacheReadAhead = 0;
 };
 
 /// Parses directive text into a node configuration. Returns std::nullopt

@@ -317,6 +317,13 @@ void ScallaNode::OnMessage(net::NodeAddr from, proto::Message message) {
           HandleStatsQuery(from, m);
         } else if constexpr (std::is_same_v<M, proto::StatsReply>) {
           HandleStatsReply(from, m);
+        } else if constexpr (std::is_same_v<M, proto::PcacheAdmin>) {
+          // Cache administration only means something at a pcache proxy;
+          // answer kInvalid so a mistargeted purge fails loudly.
+          proto::PcacheAdminResp resp;
+          resp.reqId = m.reqId;
+          resp.err = proto::XrdErr::kInvalid;
+          fabric_.Send(config_.addr, from, std::move(resp));
         } else {
           // CnsList et al. are served by the namespace daemon, not nodes.
         }
@@ -660,10 +667,11 @@ void ScallaNode::LeafOpen(net::NodeAddr from, const proto::XrdOpen& m) {
         resp.err = proto::XrdErr::kNotFound;
         break;
       }
-      const proto::XrdErr err = storage_->Create(m.path);
-      if (err != proto::XrdErr::kNone) {
+      const Result<void> created = storage_->Create(m.path);
+      if (!created) {
         resp.status = proto::XrdStatus::kError;
-        resp.err = err;
+        resp.err = created.code();
+        resp.message = created.error().message;
         break;
       }
       const std::uint64_t fh = nextHandle_++;
@@ -686,7 +694,12 @@ void ScallaNode::HandleRead(net::NodeAddr from, const proto::XrdRead& m) {
   if (config_.role != NodeRole::kServer || it == openFiles_.end()) {
     resp.err = proto::XrdErr::kInvalid;
   } else {
-    resp.err = storage_->Read(it->second.path, m.offset, m.length, &resp.data);
+    Result<std::string> data = storage_->Read(it->second.path, m.offset, m.length);
+    if (data) {
+      resp.data = std::move(data).value();
+    } else {
+      resp.err = data.code();
+    }
     nm_.reads.Inc();
   }
   fabric_.Send(config_.addr, from, std::move(resp));
@@ -703,15 +716,13 @@ void ScallaNode::HandleReadV(net::NodeAddr from, const proto::XrdReadV& m) {
   } else {
     resp.chunks.reserve(m.segments.size());
     for (const auto& seg : m.segments) {
-      std::string chunk;
-      const proto::XrdErr err = storage_->Read(it->second.path, seg.offset, seg.length,
-                                               &chunk);
-      if (err != proto::XrdErr::kNone) {
-        resp.err = err;
+      Result<std::string> chunk = storage_->Read(it->second.path, seg.offset, seg.length);
+      if (!chunk) {
+        resp.err = chunk.code();
         resp.chunks.clear();
         break;
       }
-      resp.chunks.push_back(std::move(chunk));
+      resp.chunks.push_back(std::move(chunk).value());
       nm_.reads.Inc();
     }
   }
@@ -723,15 +734,18 @@ void ScallaNode::HandleChecksum(net::NodeAddr from, const proto::XrdChecksum& m)
   resp.reqId = m.reqId;
   if (!IsHead()) {
     // Data server: checksum the whole file content.
-    std::string data;
     std::uint32_t crc = 0;
     std::uint64_t offset = 0;
     proto::XrdErr err = proto::XrdErr::kNone;
     for (;;) {
-      err = storage_->Read(m.path, offset, 1 << 16, &data);
-      if (err != proto::XrdErr::kNone || data.empty()) break;
-      crc = util::Crc32(data, crc);
-      offset += data.size();
+      const Result<std::string> data = storage_->Read(m.path, offset, 1 << 16);
+      if (!data) {
+        err = data.code();
+        break;
+      }
+      if (data.value().empty()) break;
+      crc = util::Crc32(data.value(), crc);
+      offset += data.value().size();
     }
     if (err != proto::XrdErr::kNone && offset == 0) {
       resp.status = proto::XrdStatus::kError;
@@ -777,10 +791,9 @@ void ScallaNode::HandleWrite(net::NodeAddr from, const proto::XrdWrite& m) {
   } else if (it->second.mode != AccessMode::kWrite) {
     resp.err = proto::XrdErr::kInvalid;
   } else {
-    resp.err = storage_->Write(it->second.path, m.offset, m.data);
-    resp.written = resp.err == proto::XrdErr::kNone
-                       ? static_cast<std::uint32_t>(m.data.size())
-                       : 0;
+    const Result<void> written = storage_->Write(it->second.path, m.offset, m.data);
+    resp.err = written.code();
+    resp.written = written ? static_cast<std::uint32_t>(m.data.size()) : 0;
     nm_.writes.Inc();
   }
   fabric_.Send(config_.addr, from, std::move(resp));
@@ -837,11 +850,10 @@ void ScallaNode::HandleUnlink(net::NodeAddr from, const proto::XrdUnlink& m) {
   proto::XrdUnlinkResp resp;
   resp.reqId = m.reqId;
   if (!IsHead()) {
-    const proto::XrdErr err = storage_->Unlink(m.path);
-    resp.status = err == proto::XrdErr::kNone ? proto::XrdStatus::kOk
-                                              : proto::XrdStatus::kError;
-    resp.err = err;
-    if (err == proto::XrdErr::kNone) {
+    const Result<void> unlinked = storage_->Unlink(m.path);
+    resp.status = unlinked ? proto::XrdStatus::kOk : proto::XrdStatus::kError;
+    resp.err = unlinked.code();
+    if (unlinked) {
       for (const net::NodeAddr parent : parents_) {
         fabric_.Send(config_.addr, parent, proto::CmsGone{m.path});
       }

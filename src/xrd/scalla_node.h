@@ -34,7 +34,9 @@
 
 namespace scalla::xrd {
 
-enum class NodeRole { kManager, kSupervisor, kServer };
+// kProxy names a pcache::ProxyCacheNode in configuration files; ScallaNode
+// itself is never constructed with it (the daemon branches on the role).
+enum class NodeRole { kManager, kSupervisor, kServer, kProxy };
 
 struct NodeConfig {
   NodeRole role = NodeRole::kServer;

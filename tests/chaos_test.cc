@@ -126,13 +126,13 @@ TEST(ChaosTest, FullServerCreationFailsOverToEmptyOne) {
 TEST(ChaosTest, CapacityEnforcedOnWriteGrowth) {
   util::ManualClock clock;
   oss::MemOss fs(clock, /*capacityBytes=*/10);
-  ASSERT_EQ(fs.Create("/f"), proto::XrdErr::kNone);
-  EXPECT_EQ(fs.Write("/f", 0, "1234567890"), proto::XrdErr::kNone);   // exactly fits
-  EXPECT_EQ(fs.Write("/f", 10, "x"), proto::XrdErr::kNoSpace);        // would grow
-  EXPECT_EQ(fs.Write("/f", 0, "overwrite!"), proto::XrdErr::kNone);   // in place ok
-  EXPECT_EQ(fs.Create("/g"), proto::XrdErr::kNoSpace);
-  ASSERT_EQ(fs.Unlink("/f"), proto::XrdErr::kNone);
-  EXPECT_EQ(fs.Create("/g"), proto::XrdErr::kNone);  // space reclaimed
+  ASSERT_TRUE(fs.Create("/f"));
+  EXPECT_TRUE(fs.Write("/f", 0, "1234567890"));                         // exactly fits
+  EXPECT_EQ(fs.Write("/f", 10, "x").code(), proto::XrdErr::kNoSpace);   // would grow
+  EXPECT_TRUE(fs.Write("/f", 0, "overwrite!"));                         // in place ok
+  EXPECT_EQ(fs.Create("/g").code(), proto::XrdErr::kNoSpace);
+  ASSERT_TRUE(fs.Unlink("/f"));
+  EXPECT_TRUE(fs.Create("/g"));  // space reclaimed
 }
 
 }  // namespace

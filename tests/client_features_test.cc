@@ -191,7 +191,7 @@ TEST(ClientFeaturesTest, RecoveryCapStopsInfiniteRefreshLoops) {
 
   // The file silently disappears everywhere: every refresh re-discovers
   // nothing; the client must give up after maxRecoveries.
-  cluster.storage(0).Unlink("/store/f");
+  (void)cluster.storage(0).Unlink("/store/f");
   const auto open = cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false,
                                         std::chrono::minutes(5));
   EXPECT_EQ(open.err, proto::XrdErr::kNotFound);

@@ -160,9 +160,9 @@ TEST(ClusterTest, WriteGoesToWritableReplica) {
   client.Write(open.file, 0, "v2", [&](proto::XrdErr e, std::uint32_t) { werr = e; });
   cluster.engine().RunUntilIdle();
   EXPECT_EQ(werr, proto::XrdErr::kNone);
-  std::string data;
-  cluster.storage(0).Read("/store/f", 0, 16, &data);
-  EXPECT_EQ(data, "v2");
+  const Result<std::string> data = cluster.storage(0).Read("/store/f", 0, 16);
+  ASSERT_TRUE(data);
+  EXPECT_EQ(data.value(), "v2");
 }
 
 // ------------------------------------------------------ failure handling
@@ -176,7 +176,7 @@ TEST(ClusterTest, StaleCacheRecoversViaRefresh) {
 
   // The file vanishes from server 1 behind the manager's back and appears
   // on server 2 (timing edge / out-of-band move).
-  cluster.storage(1).Unlink("/store/f1");
+  (void)cluster.storage(1).Unlink("/store/f1");
   cluster.PlaceFile(2, "/store/f1", "a");
 
   const auto open = cluster.OpenAndWait(client, "/store/f1", AccessMode::kRead, false);

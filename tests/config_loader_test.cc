@@ -97,5 +97,42 @@ TEST(NodeConfigLoaderTest, LocalRootOnlyForServers) {
                    .has_value());
 }
 
+TEST(NodeConfigLoaderTest, ProxyConfigWithPcacheDirectives) {
+  std::string error;
+  const auto loaded = LoadNodeConfig(
+      "all.role proxy\n"
+      "all.addr 50\n"
+      "all.manager 1 2\n"
+      "pcache.blocksize 64k\n"
+      "pcache.capacity 256m\n"
+      "pcache.hiwater 0.9\n"
+      "pcache.lowater 0.6\n"
+      "pcache.readahead 4\n",
+      &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->node.role, NodeRole::kProxy);
+  EXPECT_EQ(loaded->node.parent, 1u);
+  ASSERT_EQ(loaded->node.extraParents.size(), 1u);
+  EXPECT_EQ(loaded->node.extraParents[0], 2u);
+  EXPECT_EQ(loaded->pcacheCache.blockSize, 64u * 1024);
+  EXPECT_EQ(loaded->pcacheCache.capacityBytes, 256u * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(loaded->pcacheCache.highWatermark, 0.9);
+  EXPECT_DOUBLE_EQ(loaded->pcacheCache.lowWatermark, 0.6);
+  EXPECT_EQ(loaded->pcacheReadAhead, 4);
+
+  // A proxy needs no all.export, but does need an origin head.
+  EXPECT_FALSE(LoadNodeConfig("all.role proxy\nall.addr 50\n", &error).has_value());
+  // pcache.* directives are proxy-only.
+  EXPECT_FALSE(LoadNodeConfig("all.role manager\nall.addr 1\nall.export /\n"
+                              "pcache.capacity 1g\n",
+                              &error)
+                   .has_value());
+  // Watermark sanity: lowater must not exceed hiwater.
+  EXPECT_FALSE(LoadNodeConfig("all.role proxy\nall.addr 50\nall.manager 1\n"
+                              "pcache.hiwater 0.5\npcache.lowater 0.8\n",
+                              &error)
+                   .has_value());
+}
+
 }  // namespace
 }  // namespace scalla::xrd

@@ -119,6 +119,21 @@ TEST(WireTest, XrdMessagesRoundTrip) {
   EXPECT_EQ(RoundTrip(ckResp).crc32, 0xDEADBEEFu);
 }
 
+TEST(WireTest, PcacheAdminRoundTrip) {
+  proto::PcacheAdmin admin{11, proto::PcacheAdminOp::kPurgePath, "/store/old"};
+  const auto admin2 = RoundTrip(admin);
+  EXPECT_EQ(admin2.reqId, 11u);
+  EXPECT_EQ(admin2.op, proto::PcacheAdminOp::kPurgePath);
+  EXPECT_EQ(admin2.path, "/store/old");
+
+  proto::PcacheAdminResp resp{11, proto::XrdErr::kNone, 7, 1 << 20, 16};
+  const auto resp2 = RoundTrip(resp);
+  EXPECT_EQ(resp2.blocksPurged, 7u);
+  EXPECT_EQ(resp2.usedBytes, 1u << 20);
+  EXPECT_EQ(resp2.blockCount, 16u);
+  EXPECT_EQ(resp2.err, proto::XrdErr::kNone);
+}
+
 TEST(WireTest, DecodeRejectsMalformedInput) {
   EXPECT_FALSE(Decode("").has_value());
   EXPECT_FALSE(Decode(std::string(1, '\xFF')).has_value());  // unknown type
@@ -155,36 +170,38 @@ TEST(MemOssTest, CreateWriteReadStatUnlink) {
   util::ManualClock clock;
   oss::MemOss fs(clock);
   EXPECT_EQ(fs.StateOf("/f"), oss::FileState::kAbsent);
-  EXPECT_EQ(fs.Create("/f"), proto::XrdErr::kNone);
-  EXPECT_EQ(fs.Create("/f"), proto::XrdErr::kExists);
-  EXPECT_EQ(fs.Write("/f", 0, "hello "), proto::XrdErr::kNone);
-  EXPECT_EQ(fs.Write("/f", 6, "world"), proto::XrdErr::kNone);
+  EXPECT_TRUE(fs.Create("/f"));
+  EXPECT_EQ(fs.Create("/f").code(), proto::XrdErr::kExists);
+  EXPECT_TRUE(fs.Write("/f", 0, "hello "));
+  EXPECT_TRUE(fs.Write("/f", 6, "world"));
 
-  std::string data;
-  EXPECT_EQ(fs.Read("/f", 0, 100, &data), proto::XrdErr::kNone);
-  EXPECT_EQ(data, "hello world");
-  EXPECT_EQ(fs.Read("/f", 6, 5, &data), proto::XrdErr::kNone);
-  EXPECT_EQ(data, "world");
-  EXPECT_EQ(fs.Read("/f", 100, 5, &data), proto::XrdErr::kNone);
-  EXPECT_TRUE(data.empty());  // past EOF
+  Result<std::string> data = fs.Read("/f", 0, 100);
+  ASSERT_TRUE(data);
+  EXPECT_EQ(data.value(), "hello world");
+  data = fs.Read("/f", 6, 5);
+  ASSERT_TRUE(data);
+  EXPECT_EQ(data.value(), "world");
+  data = fs.Read("/f", 100, 5);
+  ASSERT_TRUE(data);
+  EXPECT_TRUE(data.value().empty());  // past EOF
 
   const auto info = fs.Stat("/f");
   ASSERT_TRUE(info.has_value());
   EXPECT_EQ(info->size, 11u);
 
-  EXPECT_EQ(fs.Unlink("/f"), proto::XrdErr::kNone);
-  EXPECT_EQ(fs.Unlink("/f"), proto::XrdErr::kNotFound);
-  EXPECT_EQ(fs.Read("/f", 0, 1, &data), proto::XrdErr::kNotFound);
+  EXPECT_TRUE(fs.Unlink("/f"));
+  EXPECT_EQ(fs.Unlink("/f").code(), proto::XrdErr::kNotFound);
+  EXPECT_EQ(fs.Read("/f", 0, 1).code(), proto::XrdErr::kNotFound);
 }
 
 TEST(MemOssTest, SparseWriteZeroFills) {
   util::ManualClock clock;
   oss::MemOss fs(clock);
-  fs.Create("/f");
-  fs.Write("/f", 4, "x");
-  std::string data;
-  fs.Read("/f", 0, 5, &data);
-  EXPECT_EQ(data, std::string("\0\0\0\0x", 5));
+  (void)fs.Create("/f");
+  (void)fs.Write("/f", 4, "x");
+  const Result<std::string> data = fs.Read("/f", 0, 5);
+  ASSERT_TRUE(data);
+  EXPECT_EQ(data.value(), std::string("\0\0\0\0x", 5));
 }
 
 TEST(MemOssTest, ListByPrefix) {
@@ -252,24 +269,24 @@ class LocalOssTest : public ::testing::Test {
 
 TEST_F(LocalOssTest, FullLifecycleOnDisk) {
   oss::LocalOss fs(root_);
-  EXPECT_EQ(fs.Create("/store/run1/f.root"), proto::XrdErr::kNone);
+  EXPECT_TRUE(fs.Create("/store/run1/f.root"));
   EXPECT_EQ(fs.StateOf("/store/run1/f.root"), oss::FileState::kOnline);
-  EXPECT_EQ(fs.Write("/store/run1/f.root", 0, "payload"), proto::XrdErr::kNone);
-  std::string data;
-  EXPECT_EQ(fs.Read("/store/run1/f.root", 0, 64, &data), proto::XrdErr::kNone);
-  EXPECT_EQ(data, "payload");
+  EXPECT_TRUE(fs.Write("/store/run1/f.root", 0, "payload"));
+  const Result<std::string> data = fs.Read("/store/run1/f.root", 0, 64);
+  ASSERT_TRUE(data);
+  EXPECT_EQ(data.value(), "payload");
   EXPECT_EQ(fs.Stat("/store/run1/f.root")->size, 7u);
   const auto listed = fs.List("/store");
   ASSERT_EQ(listed.size(), 1u);
   EXPECT_EQ(listed[0], "/store/run1/f.root");
-  EXPECT_EQ(fs.Unlink("/store/run1/f.root"), proto::XrdErr::kNone);
+  EXPECT_TRUE(fs.Unlink("/store/run1/f.root"));
   EXPECT_EQ(fs.StateOf("/store/run1/f.root"), oss::FileState::kAbsent);
 }
 
 TEST_F(LocalOssTest, RejectsPathEscape) {
   oss::LocalOss fs(root_);
-  EXPECT_EQ(fs.Create("/../escape"), proto::XrdErr::kInvalid);
-  EXPECT_EQ(fs.Write("/a/../../escape", 0, "x"), proto::XrdErr::kInvalid);
+  EXPECT_EQ(fs.Create("/../escape").code(), proto::XrdErr::kInvalid);
+  EXPECT_EQ(fs.Write("/a/../../escape", 0, "x").code(), proto::XrdErr::kInvalid);
 }
 
 }  // namespace

@@ -96,12 +96,12 @@ TEST(WorkerTest, TaskWriteExecutesQuery) {
   EXPECT_EQ(prefix, "/qserv/chunk3");
   EXPECT_EQ(oss.StateOf("/qserv/chunk3/task"), oss::FileState::kOnline);
 
-  EXPECT_EQ(oss.Write(TaskInboxPath(3), 0, "42\nCOUNT"), proto::XrdErr::kNone);
+  EXPECT_TRUE(oss.Write(TaskInboxPath(3), 0, "42\nCOUNT"));
   EXPECT_EQ(oss.TasksExecuted(), 1u);
 
-  std::string result;
-  ASSERT_EQ(oss.Read(ResultPath(3, 42), 0, 256, &result), proto::XrdErr::kNone);
-  const auto partial = ParsePartial(result);
+  const Result<std::string> result = oss.Read(ResultPath(3, 42), 0, 256);
+  ASSERT_TRUE(result);
+  const auto partial = ParsePartial(result.value());
   ASSERT_TRUE(partial.has_value());
   EXPECT_EQ(partial->count, 10u);
 }
@@ -110,18 +110,18 @@ TEST(WorkerTest, BadQueryYieldsErrorResult) {
   util::ManualClock clock;
   QservOss oss(clock);
   oss.HostChunk(1, {});
-  oss.Write(TaskInboxPath(1), 0, "7\nGARBAGE");
-  std::string result;
-  ASSERT_EQ(oss.Read(ResultPath(1, 7), 0, 256, &result), proto::XrdErr::kNone);
-  EXPECT_EQ(result.substr(0, 5), "ERROR");
+  (void)oss.Write(TaskInboxPath(1), 0, "7\nGARBAGE");
+  const Result<std::string> result = oss.Read(ResultPath(1, 7), 0, 256);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result.value().substr(0, 5), "ERROR");
 }
 
 TEST(WorkerTest, NonTaskWritesAreOrdinary) {
   util::ManualClock clock;
   QservOss oss(clock);
   oss.HostChunk(1, {});
-  oss.Create("/qserv/chunk1/scratch");
-  EXPECT_EQ(oss.Write("/qserv/chunk1/scratch", 0, "data"), proto::XrdErr::kNone);
+  (void)oss.Create("/qserv/chunk1/scratch");
+  EXPECT_TRUE(oss.Write("/qserv/chunk1/scratch", 0, "data"));
   EXPECT_EQ(oss.TasksExecuted(), 0u);
 }
 

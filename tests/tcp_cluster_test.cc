@@ -161,6 +161,9 @@ TEST_F(TcpClusterTest, ConcurrentClientsResolveIndependently) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
+  // The fixture's fabric outlives the local executors; detach them first
+  // so no reader thread can Post into a dying executor.
+  for (int c = 0; c < 3; ++c) fabric_->Unregister(static_cast<net::NodeAddr>(120 + c));
 }
 
 TEST_F(TcpClusterTest, DeadServerTriggersClientRecovery) {

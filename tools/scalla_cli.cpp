@@ -12,6 +12,9 @@
 //     prepare <path> [...]     announce upcoming accesses (parallel prepare)
 //     ls <prefix> --cnsd N     list the global namespace via the cnsd
 //     stats [--json]           tree-aggregated metrics from the whole cluster
+//     purge [path]             drop a pcache proxy's cached blocks (all, or
+//                              one path); --head must be the proxy
+//     cachestat                a pcache proxy's occupancy (blocks / bytes)
 #include <cstdio>
 #include <future>
 #include <cstdlib>
@@ -30,7 +33,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: scalla_cli [--head N] [--base-port N] [--addr N] [--cnsd N]\n"
-               "                  put|get|stat|rm|cksum|prepare|ls|stats <args>\n");
+               "                  put|get|stat|rm|cksum|prepare|ls|stats|purge|cachestat"
+               " <args>\n");
   return 2;
 }
 
@@ -128,6 +132,31 @@ int main(int argc, char** argv) {
       std::printf("cluster: %u node(s)\n%s", stats.value().nodeCount,
                   stats.value().snapshot.ToText().c_str());
     }
+    return 0;
+  }
+  if (command == "purge" || command == "cachestat") {
+    proto::PcacheAdminOp op = proto::PcacheAdminOp::kStat;
+    std::string path;
+    if (command == "purge") {
+      if (i < argc) {
+        op = proto::PcacheAdminOp::kPurgePath;
+        path = argv[i];
+      } else {
+        op = proto::PcacheAdminOp::kPurgeAll;
+      }
+    }
+    const auto resp = client.CacheAdmin(op, path);
+    if (!resp) {
+      std::fprintf(stderr, "%s: %s\n", command.c_str(), resp.error().message.c_str());
+      return 1;
+    }
+    if (command == "purge") {
+      std::printf("purged %llu block(s); ",
+                  static_cast<unsigned long long>(resp.value().blocksPurged));
+    }
+    std::printf("cache: %llu block(s), %llu bytes\n",
+                static_cast<unsigned long long>(resp.value().blockCount),
+                static_cast<unsigned long long>(resp.value().usedBytes));
     return 0;
   }
   if (command == "ls" && i < argc) {

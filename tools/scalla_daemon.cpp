@@ -1,8 +1,13 @@
-// scalla_daemon: run one Scalla node (manager, supervisor or data server)
-// over real TCP from a directive file — the shape of a production xrootd
-// + cmsd pair in a single process.
+// scalla_daemon: run one Scalla node (manager, supervisor, data server, or
+// caching proxy) over real TCP from a directive file — the shape of a
+// production xrootd + cmsd pair in a single process.
 //
-//   $ scalla_daemon <config-file> [--base-port N]
+//   $ scalla_daemon <config-file> [--base-port N] [--proxy]
+//
+// --proxy forces the proxy role regardless of all.role (convenience for
+// pointing a stock config at a cluster as a cache tier); a proxy config
+// names its origin heads with all.manager and tunes the cache with the
+// pcache.* directives (see xrd/node_config_loader.h).
 //
 // Example cluster on one machine (three shells):
 //   manager.cf:  all.role manager
@@ -29,6 +34,7 @@
 #include "net/tcp_fabric.h"
 #include "oss/local_oss.h"
 #include "oss/mem_oss.h"
+#include "pcache/proxy_node.h"
 #include "sched/thread_executor.h"
 #include "util/logger.h"
 #include "xrd/node_config_loader.h"
@@ -45,13 +51,18 @@ int main(int argc, char** argv) {
   using namespace scalla;
 
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <config-file> [--base-port N]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <config-file> [--base-port N] [--proxy]\n",
+                 argv[0]);
     return 2;
   }
   std::uint16_t basePort = 10940;
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--base-port") == 0) {
+  bool forceProxy = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--base-port") == 0 && i + 1 < argc) {
       basePort = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+      ++i;
+    } else if (std::strcmp(argv[i], "--proxy") == 0) {
+      forceProxy = true;
     }
   }
 
@@ -74,6 +85,43 @@ int main(int argc, char** argv) {
 
   net::TcpFabric fabric(basePort);
   sched::ThreadExecutor executor;
+
+  if (forceProxy || loaded->node.role == xrd::NodeRole::kProxy) {
+    if (loaded->node.parent == 0) {
+      std::fprintf(stderr, "config error: a proxy needs all.manager "
+                           "(its origin cluster head)\n");
+      return 2;
+    }
+    pcache::ProxyCacheConfig pcfg;
+    pcfg.addr = loaded->node.addr;
+    pcfg.name = loaded->node.name;
+    pcfg.origin.head = loaded->node.parent;
+    pcfg.origin.extraHeads = loaded->node.extraParents;
+    pcfg.origin.cnsd = loaded->node.cnsd;
+    pcfg.cache = loaded->pcacheCache;
+    pcfg.readAhead = loaded->pcacheReadAhead;
+    pcache::ProxyCacheNode proxy(pcfg, executor, fabric);
+    if (!fabric.Register(pcfg.addr, &proxy, &executor)) {
+      std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", basePort + pcfg.addr);
+      return 1;
+    }
+    std::printf("proxy '%s' up on 127.0.0.1:%u (addr %u) origin=%u "
+                "cache=%llu bytes, %u-byte blocks\n",
+                pcfg.name.c_str(), basePort + pcfg.addr, pcfg.addr,
+                pcfg.origin.head,
+                static_cast<unsigned long long>(pcfg.cache.capacityBytes),
+                pcfg.cache.blockSize);
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    executor.RunEvery(std::chrono::seconds(60), [&proxy] {
+      std::printf("metrics %s\n", proxy.SnapshotMetrics().ToJson().c_str());
+      std::fflush(stdout);
+    });
+    g_shutdown.acquire();
+    std::printf("shutting down\nmetrics %s\n",
+                proxy.SnapshotMetrics().ToJson().c_str());
+    return 0;
+  }
 
   std::unique_ptr<oss::Oss> storage;
   if (loaded->node.role == xrd::NodeRole::kServer) {
