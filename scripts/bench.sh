@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark harness: Release-ish build (default preset is RelWithDebInfo),
+# run every bench that emits a machine-scrapable "JSON {...}" summary
+# line, and collect those lines into BENCH_PR3.json (one JSON object per
+# line). Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_PR3.json"
+BENCHES=(bench_fabric bench_proxy_cache)
+
+echo "=== build: default preset ==="
+cmake --preset default
+cmake --build --preset default -j
+
+: > "$OUT"
+for bench in "${BENCHES[@]}"; do
+  echo
+  echo "=== run: $bench ==="
+  # A bench may exit non-zero when its claim check fails on a loaded
+  # machine; still collect its JSON so the numbers are inspectable.
+  output=$("./build/bench/$bench" 2>&1) || true
+  printf '%s\n' "$output"
+  printf '%s\n' "$output" | sed -n 's/^JSON //p' >> "$OUT"
+done
+
+echo
+echo "collected $(wc -l < "$OUT") JSON summaries into $OUT"

@@ -21,7 +21,7 @@ echo
 echo "=== build + test (threaded suites): tsan preset ==="
 cmake --preset tsan
 cmake --build --preset tsan -j
-ctest --preset tsan -j -R "pcache_test|tcp_cluster_test|sched_test"
+ctest --preset tsan -j -R "pcache_test|tcp_cluster_test|sched_test|tcp_fabric_test"
 
 echo
 echo "verify: all suites passed"

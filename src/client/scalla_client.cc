@@ -9,6 +9,7 @@ ScallaClient::ScallaClient(const ClientConfig& config, sched::Executor& executor
     : config_(config),
       executor_(executor),
       fabric_(fabric),
+      rng_(0x57a1eULL ^ config.addr),
       openLatency_(metrics_.GetHistogram("client.open_latency")),
       retriesMetric_(metrics_.GetCounter("client.retries")),
       failoversMetric_(metrics_.GetCounter("client.head_failovers")),
@@ -107,10 +108,20 @@ void ScallaClient::HandleOpenResp(net::NodeAddr from, const proto::XrdOpenResp& 
 
     case proto::XrdStatus::kError:
       if (m.err == proto::XrdErr::kStale) {
-        // Transient inconsistency: retry immediately from the head.
+        // Transient inconsistency: retry from the head — but never
+        // synchronously and never forever. A head that keeps answering
+        // kStale would otherwise spin an infinite immediate re-send loop;
+        // cap the retries and space them with a short jittered delay.
+        if (++s.staleRetries > config_.maxStaleRetries) {
+          FinishOpen(m.reqId, proto::XrdErr::kStale, {});
+          return;
+        }
         retriesMetric_.Inc();
         s.currentNode = CurrentHead();
-        SendOpen(m.reqId);
+        const auto base = config_.staleRetryDelay.count();
+        const Duration delay{base + static_cast<Duration::rep>(rng_.NextBelow(
+                                        static_cast<std::uint64_t>(base) + 1))};
+        executor_.RunAfter(delay, [this, reqId = m.reqId] { SendOpen(reqId); });
         return;
       }
       if ((m.err == proto::XrdErr::kNotFound || m.err == proto::XrdErr::kNoSpace) &&

@@ -19,6 +19,7 @@
 #include "net/fabric.h"
 #include "obs/metrics.h"
 #include "sched/executor.h"
+#include "util/rng.h"
 
 namespace scalla::client {
 
@@ -33,6 +34,11 @@ struct ClientConfig {
   int maxRecoveries = 4;        // refresh/avoid cycles before giving up
   int maxHops = 16;             // redirects per attempt (tree depth bound)
   int maxWaits = 64;            // wait/retry cycles (staging can be long)
+  // kStale answers are re-issued at the head after a short jittered delay
+  // (never synchronously) and give up past the cap — a head stuck
+  // answering stale must not spin the client forever.
+  int maxStaleRetries = 8;
+  Duration staleRetryDelay = std::chrono::milliseconds(2);
 };
 
 /// A successfully opened file: which node serves it and its handle there.
@@ -141,6 +147,7 @@ class ScallaClient : public net::MessageSink {
     OpenCallback done;
     OpenOutcome outcome;
     TimePoint start{};
+    int staleRetries = 0;
   };
   struct StatState {
     std::string path;
@@ -185,6 +192,7 @@ class ScallaClient : public net::MessageSink {
   net::Fabric& fabric_;
   std::vector<net::NodeAddr> heads_;
   std::size_t headIdx_ = 0;
+  util::Rng rng_;  // stale-retry jitter (seeded per client for determinism)
 
   std::uint64_t nextReqId_ = 1;
   std::unordered_map<std::uint64_t, OpenState> opens_;

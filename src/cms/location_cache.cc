@@ -220,18 +220,16 @@ LocationCache::UpdateResult LocationCache::AddLocation(std::string_view path,
     obj->vp.reset(server);
   }
 
-  // Hand back (and clear) the fast-response references so the caller can
-  // release waiting clients; a file that is present is readable, so the
-  // read queue always releases, the write queue only when the responding
-  // server allows writes.
-  if (obj->rr.IsSet()) {
-    result.releaseRead = obj->rr;
-    obj->rr = RespSlotRef{};
-  }
-  if (allowWrite && obj->rw.IsSet()) {
-    result.releaseWrite = obj->rw;
-    obj->rw = RespSlotRef{};
-  }
+  // Hand back the fast-response references so the caller can release
+  // waiting clients; a file that is present is readable, so the read
+  // queue always releases, the write queue only when the responding
+  // server allows writes. The references stay stored: a release may be
+  // partial (waiters avoiding the responder remain parked) and the next
+  // responder must still find the anchor. Once the queue frees an anchor
+  // it bumps the epoch, so a stored reference that was fully released is
+  // simply ignored downstream (loose coupling).
+  if (obj->rr.IsSet()) result.releaseRead = obj->rr;
+  if (allowWrite && obj->rw.IsSet()) result.releaseWrite = obj->rw;
   result.info = InfoOf(obj);
   return result;
 }

@@ -53,7 +53,8 @@ bool Resolver::RedirectFrom(const LocInfo& info, const LocateOptions& options,
   return false;
 }
 
-void Resolver::Park(const LocRef& ref, AccessMode mode, LocateCallback done) {
+void Resolver::Park(const LocRef& ref, AccessMode mode, ServerSlot avoid,
+                    LocateCallback done) {
   const Duration fullDelay = config_.deadline;
   if (!config_.fastResponse) {
     // Ablation (E07): without the fast response queue every un-cached
@@ -77,7 +78,7 @@ void Resolver::Park(const LocRef& ref, AccessMode mode, LocateCallback done) {
       done(LocateResult{LocateStatus::kWait, -1, false, fullDelay});
     }
   };
-  const auto slot = respq_.Add(existing, std::move(waiter));
+  const auto slot = respq_.Add(existing, std::move(waiter), avoid);
   if (!slot.has_value()) {
     // "If no available entries exist, the client is asked to wait a full
     // time period and retry the operation."
@@ -152,12 +153,12 @@ void Resolver::Locate(const std::string& path, const LocateOptions& options,
         std::lock_guard lock(statsMu_);
         ++stats_.deferrals;
       }
-      Park(fetch.ref, options.mode, std::move(done));
+      Park(fetch.ref, options.mode, options.avoid, std::move(done));
       return;
     }
     // Ablation (E10): without deadline synchronization this client cannot
     // tell that queries are outstanding, so it re-issues the whole flood.
-    Park(fetch.ref, options.mode, std::move(done));
+    Park(fetch.ref, options.mode, options.avoid, std::move(done));
     const ServerSet toQuery = vm & membership_.OnlineSet();
     cache_.BeginQuery(fetch.ref, toQuery, clock_.Now() + config_.deadline);
     if (!toQuery.empty()) {
@@ -177,7 +178,7 @@ void Resolver::Locate(const std::string& path, const LocateOptions& options,
   // E10 ablation lifts the restriction).
   const bool deadlineAllows =
       mustQuery || !fetch.deadlineActive || !config_.deadlineSync;
-  Park(fetch.ref, options.mode, std::move(done));
+  Park(fetch.ref, options.mode, options.avoid, std::move(done));
 
   if (!deadlineAllows) {
     std::lock_guard lock(statsMu_);

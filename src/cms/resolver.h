@@ -78,7 +78,7 @@ class Resolver {
   Stats GetStats() const;
 
  private:
-  void Park(const LocRef& ref, AccessMode mode, LocateCallback done);
+  void Park(const LocRef& ref, AccessMode mode, ServerSlot avoid, LocateCallback done);
   bool RedirectFrom(const LocInfo& info, const LocateOptions& options, LocateResult* out);
 
   const CmsConfig config_;

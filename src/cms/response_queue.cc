@@ -13,7 +13,8 @@ FastResponseQueue::FastResponseQueue(const CmsConfig& config, util::Clock& clock
   }
 }
 
-std::optional<RespSlotRef> FastResponseQueue::Add(RespSlotRef existing, RespCallback waiter) {
+std::optional<RespSlotRef> FastResponseQueue::Add(RespSlotRef existing, RespCallback waiter,
+                                                  ServerSlot avoid) {
   bool becameBusy = false;
   std::optional<RespSlotRef> out;
   {
@@ -25,7 +26,7 @@ std::optional<RespSlotRef> FastResponseQueue::Add(RespSlotRef existing, RespCall
         static_cast<std::size_t>(existing.slot) < anchors_.size()) {
       Anchor& a = anchors_[existing.slot];
       if (a.inUse && a.epoch == existing.epoch) {
-        a.waiters.push_back(std::move(waiter));
+        a.waiters.push_back(Waiter{std::move(waiter), avoid});
         ++stats_.joins;
         return existing;
       }
@@ -41,7 +42,7 @@ std::optional<RespSlotRef> FastResponseQueue::Add(RespSlotRef existing, RespCall
     a.inUse = true;
     a.enqueueTime = clock_.Now();
     a.waiters.clear();
-    a.waiters.push_back(std::move(waiter));
+    a.waiters.push_back(Waiter{std::move(waiter), avoid});
     becameBusy = inUse_ == 0;
     ++inUse_;
     out = RespSlotRef{slot, a.epoch};
@@ -51,22 +52,35 @@ std::optional<RespSlotRef> FastResponseQueue::Add(RespSlotRef existing, RespCall
 }
 
 std::size_t FastResponseQueue::Release(RespSlotRef ref, ServerSlot server, bool pending) {
-  std::vector<RespCallback> waiters;
+  std::vector<RespCallback> released;
   {
     std::lock_guard lock(mu_);
     if (!ref.IsSet() || static_cast<std::size_t>(ref.slot) >= anchors_.size()) return 0;
     Anchor& a = anchors_[ref.slot];
     if (!a.inUse || a.epoch != ref.epoch) return 0;  // stale: loose coupling
-    waiters.swap(a.waiters);
-    a.inUse = false;
-    ++a.epoch;
-    freeSlots_.push_back(ref.slot);
-    --inUse_;
-    stats_.releases += waiters.size();
+    // Waiters avoiding this server stay parked (client recovery must not
+    // be vectored back to the host it just failed against); they are
+    // satisfied by the next responder or expired by the sweep.
+    std::vector<Waiter> kept;
+    for (auto& w : a.waiters) {
+      if (w.avoid == server) {
+        kept.push_back(std::move(w));
+      } else {
+        released.push_back(std::move(w.cb));
+      }
+    }
+    a.waiters = std::move(kept);
+    if (a.waiters.empty()) {
+      a.inUse = false;
+      ++a.epoch;
+      freeSlots_.push_back(ref.slot);
+      --inUse_;
+    }
+    stats_.releases += released.size();
   }
   const RespOutcome outcome{RespStatus::kRedirect, server, pending};
-  for (auto& cb : waiters) cb(outcome);
-  return waiters.size();
+  for (auto& cb : released) cb(outcome);
+  return released.size();
 }
 
 std::size_t FastResponseQueue::Sweep() {
@@ -77,7 +91,7 @@ std::size_t FastResponseQueue::Sweep() {
     for (std::size_t i = 0; i < anchors_.size() && inUse_ > 0; ++i) {
       Anchor& a = anchors_[i];
       if (!a.inUse || a.enqueueTime > cutoff) continue;
-      for (auto& cb : a.waiters) expired.push_back(std::move(cb));
+      for (auto& w : a.waiters) expired.push_back(std::move(w.cb));
       a.waiters.clear();
       a.inUse = false;
       ++a.epoch;  // invalidate the cache association

@@ -48,13 +48,18 @@ class FastResponseQueue {
   /// otherwise a fresh anchor is allocated. Returns the anchor reference
   /// the caller must store back into the location object, or std::nullopt
   /// when all anchors are busy — the paper then tells the client to wait a
-  /// full time period and retry.
-  std::optional<RespSlotRef> Add(RespSlotRef existing, RespCallback waiter);
+  /// full time period and retry. A waiter parked during client recovery
+  /// (section III-C1) names the server it is avoiding: that server's
+  /// announcement must not satisfy it.
+  std::optional<RespSlotRef> Add(RespSlotRef existing, RespCallback waiter,
+                                 ServerSlot avoid = -1);
 
-  /// Releases every waiter parked on `ref` with a redirect to `server`.
-  /// Stale references are ignored (loose coupling). Waiter callbacks run
-  /// synchronously in the caller; they must be cheap or re-post. Returns
-  /// the number of waiters released.
+  /// Releases every waiter parked on `ref` with a redirect to `server`,
+  /// except waiters avoiding `server` — those stay parked for the next
+  /// responder (or the sweep). The anchor is freed only when no waiters
+  /// remain. Stale references are ignored (loose coupling). Waiter
+  /// callbacks run synchronously in the caller; they must be cheap or
+  /// re-post. Returns the number of waiters released.
   std::size_t Release(RespSlotRef ref, ServerSlot server, bool pending);
 
   /// Expires anchors older than the sweep period, notifying their waiters
@@ -81,11 +86,15 @@ class FastResponseQueue {
   Stats GetStats() const;
 
  private:
+  struct Waiter {
+    RespCallback cb;
+    ServerSlot avoid = -1;  // never redirect this waiter there
+  };
   struct Anchor {
     std::uint32_t epoch = 1;
     bool inUse = false;
     TimePoint enqueueTime{};
-    std::vector<RespCallback> waiters;
+    std::vector<Waiter> waiters;
   };
 
   const CmsConfig config_;

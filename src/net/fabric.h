@@ -50,6 +50,9 @@ class Fabric {
     std::uint64_t bytesSent = 0;
     std::uint64_t bytesReceived = 0;
     std::uint64_t reconnects = 0;  // stale cached connections replaced
+    // Messages rejected because a per-peer bounded outbound queue was
+    // full (TcpFabric only; a full queue also signals OnPeerDown).
+    std::uint64_t queueOverflows = 0;
   };
   virtual Counters GetCounters() const = 0;
 };

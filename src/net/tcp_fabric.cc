@@ -1,11 +1,14 @@
 #include "net/tcp_fabric.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 #include "proto/wire.h"
@@ -18,6 +21,12 @@ std::uint64_t PairKey(NodeAddr from, NodeAddr to) {
   return (static_cast<std::uint64_t>(from) << 32) | to;
 }
 
+std::uint64_t LinkKey(NodeAddr a, NodeAddr b) {
+  return a < b ? PairKey(a, b) : PairKey(b, a);
+}
+
+// Bounded by SO_SNDTIMEO on the socket: a peer that stops draining makes
+// send() return 0/-1 with EAGAIN once the deadline passes.
 bool WriteAll(int fd, const char* data, std::size_t len) {
   while (len > 0) {
     const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
@@ -46,40 +55,83 @@ struct TcpFabric::Endpoint {
   sched::Executor* executor = nullptr;
   int listenFd = -1;
   std::thread acceptThread;
-  std::mutex readersMu;
-  std::vector<std::thread> readers;
-  std::vector<int> readerFds;  // parallel to readers; -1 once closed
-  std::atomic<bool> closing{false};
 
+  struct Reader {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+  mutable std::mutex readersMu;
+  std::list<Reader> readers;
+
+  // Joins and erases readers whose loop has exited — called from the
+  // accept loop so a long-lived daemon serving short-lived clients does
+  // not accumulate exited joinable threads and stale fd slots.
+  void ReapFinishedReaders() {
+    std::lock_guard lock(readersMu);
+    for (auto it = readers.begin(); it != readers.end();) {
+      if (it->done.load(std::memory_order_acquire)) {
+        if (it->thread.joinable()) it->thread.join();
+        it = readers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   // Unblocks every reader stuck in recv() so joins cannot hang.
   void ShutdownReaders() {
     std::lock_guard lock(readersMu);
-    for (int& fd : readerFds) {
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    for (auto& r : readers) {
+      if (!r.done.load(std::memory_order_acquire)) ::shutdown(r.fd, SHUT_RDWR);
     }
   }
   void JoinReaders() {
     std::lock_guard lock(readersMu);
-    for (auto& t : readers) {
-      if (t.joinable()) t.join();
+    for (auto& r : readers) {
+      if (r.thread.joinable()) r.thread.join();
     }
+    readers.clear();
   }
 };
 
-TcpFabric::TcpFabric(std::uint16_t basePort) : basePort_(basePort) {}
+// One outbound connection per (from, to) pair: a bounded frame queue
+// drained by a dedicated writer thread. All socket I/O happens on the
+// writer; other threads only enqueue, signal stop, or shutdown() the fd
+// to interrupt a blocked syscall (never close it — the writer owns the
+// close, so the fd cannot be recycled under a concurrent user).
+struct TcpFabric::Connection {
+  NodeAddr from = 0;
+  NodeAddr to = 0;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> queue;  // encoded frames (header + body)
+  bool stop = false;
+  bool connected = false;  // fd is a live, connected socket
+  int fd = -1;
+  std::thread writer;
+};
+
+TcpFabric::TcpFabric(std::uint16_t basePort, TcpFabricConfig config)
+    : basePort_(basePort), config_(config) {}
 
 TcpFabric::~TcpFabric() {
   shuttingDown_ = true;
+  // Stop writers first so no connection can fire OnPeerDown into an
+  // endpoint that is being torn down.
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard lock(connsMu_);
+    conns.swap(conns_);
+  }
+  for (auto& [_, conn] : conns) StopConnection(conn.get());
+
   std::vector<std::unique_ptr<Endpoint>> eps;
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(epMu_);
     for (auto& [_, ep] : endpoints_) eps.push_back(std::move(ep));
     endpoints_.clear();
-    for (auto& [_, fd] : outbound_) ::close(fd);
-    outbound_.clear();
   }
   for (auto& ep : eps) {
-    ep->closing = true;
     ::shutdown(ep->listenFd, SHUT_RDWR);
     ::close(ep->listenFd);
     if (ep->acceptThread.joinable()) ep->acceptThread.join();
@@ -109,29 +161,46 @@ bool TcpFabric::Register(NodeAddr addr, MessageSink* sink, sched::Executor* exec
   }
   Endpoint* raw = ep.get();
   ep->acceptThread = std::thread([this, raw] { AcceptLoop(raw); });
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(epMu_);
   endpoints_[addr] = std::move(ep);
   return true;
 }
 
 void TcpFabric::Unregister(NodeAddr addr) {
+  // Tear down this endpoint's own outbound connections, and force-close
+  // everyone else's connection TO it so their next frame reconnects (and
+  // fails fast against the dead listener, firing OnPeerDown).
+  std::vector<std::unique_ptr<Connection>> mine;
+  std::vector<Connection*> toward;
+  {
+    std::lock_guard lock(connsMu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((it->first >> 32) == addr) {
+        mine.push_back(std::move(it->second));
+        it = conns_.erase(it);
+      } else {
+        if ((it->first & 0xFFFFFFFFu) == addr) toward.push_back(it->second.get());
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : mine) StopConnection(conn.get());
+  for (Connection* conn : toward) {
+    // Shutdown only — the writer discovers the dead socket on its next
+    // frame exactly as it would for a remote peer restart, taking the
+    // reconnect path (and OnPeerDown if the listener stays gone).
+    std::lock_guard lock(conn->mu);
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+
   std::unique_ptr<Endpoint> ep;
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(epMu_);
     const auto it = endpoints_.find(addr);
     if (it == endpoints_.end()) return;
     ep = std::move(it->second);
     endpoints_.erase(it);
-    for (auto it2 = outbound_.begin(); it2 != outbound_.end();) {
-      if ((it2->first >> 32) == addr || (it2->first & 0xFFFFFFFFu) == addr) {
-        ::close(it2->second);
-        it2 = outbound_.erase(it2);
-      } else {
-        ++it2;
-      }
-    }
   }
-  ep->closing = true;
   ::shutdown(ep->listenFd, SHUT_RDWR);
   ::close(ep->listenFd);
   if (ep->acceptThread.joinable()) ep->acceptThread.join();
@@ -139,28 +208,44 @@ void TcpFabric::Unregister(NodeAddr addr) {
   ep->JoinReaders();
 }
 
+std::size_t TcpFabric::ReaderCount(NodeAddr addr) const {
+  std::lock_guard lock(epMu_);
+  const auto it = endpoints_.find(addr);
+  if (it == endpoints_.end()) return 0;
+  std::lock_guard rlock(it->second->readersMu);
+  std::size_t live = 0;
+  for (const auto& r : it->second->readers) {
+    if (!r.done.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
 void TcpFabric::AcceptLoop(Endpoint* ep) {
-  while (!ep->closing) {
+  for (;;) {
     const int fd = ::accept(ep->listenFd, nullptr, nullptr);
     if (fd < 0) break;
+    ep->ReapFinishedReaders();
     std::lock_guard lock(ep->readersMu);
-    if (ep->closing) {
-      ::close(fd);
-      break;
-    }
-    ep->readerFds.push_back(fd);
-    ep->readers.emplace_back([this, ep, fd] { ReaderLoop(ep, fd); });
+    ep->readers.emplace_back();
+    Endpoint::Reader& r = ep->readers.back();
+    r.fd = fd;
+    std::atomic<bool>* done = &r.done;
+    r.thread = std::thread([this, ep, fd, done] { ReaderLoop(ep, fd, done); });
   }
 }
 
-void TcpFabric::ReaderLoop(Endpoint* ep, int fd) {
+void TcpFabric::ReaderLoop(Endpoint* ep, int fd, std::atomic<bool>* done) {
   for (;;) {
     char header[8];
     if (!ReadAll(fd, header, sizeof(header))) break;
     std::uint32_t length = 0, sender = 0;
     std::memcpy(&length, header, 4);
     std::memcpy(&sender, header + 4, 4);
-    if (length == 0 || length > proto::kMaxFrameBody) break;
+    if (length == 0 || length > proto::kMaxFrameBody) {
+      SCALLA_WARN("tcp", "endpoint %u: bad frame length %u from %u", ep->addr,
+                  length, sender);
+      break;
+    }
     std::string body(length, '\0');
     if (!ReadAll(fd, body.data(), length)) break;
     auto message = proto::Decode(body);
@@ -168,12 +253,15 @@ void TcpFabric::ReaderLoop(Endpoint* ep, int fd) {
       SCALLA_WARN("tcp", "endpoint %u: malformed frame from %u", ep->addr, sender);
       break;
     }
-    {
-      std::lock_guard lock(mu_);
-      ++counters_.messagesDelivered;
-      ++counters_.framesReceived;
-      counters_.bytesReceived += sizeof(header) + length;
+    counters_.framesReceived.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytesReceived.fetch_add(sizeof(header) + length,
+                                      std::memory_order_relaxed);
+    // A downed receiver (fault injection) drops inbound traffic too.
+    if (!Reachable(sender, ep->addr)) {
+      counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
+    counters_.messagesDelivered.fetch_add(1, std::memory_order_relaxed);
     MessageSink* sink = ep->sink;
     if (ep->executor != nullptr) {
       ep->executor->Post([sink, sender, msg = std::move(*message)]() mutable {
@@ -184,91 +272,309 @@ void TcpFabric::ReaderLoop(Endpoint* ep, int fd) {
     }
   }
   ::close(fd);
+  done->store(true, std::memory_order_release);
 }
 
-TcpFabric::Endpoint* TcpFabric::FindEndpoint(NodeAddr addr) {
-  const auto it = endpoints_.find(addr);
-  return it == endpoints_.end() ? nullptr : it->second.get();
-}
+// ---- fault injection ----
 
-int TcpFabric::ConnectTo(NodeAddr from, NodeAddr to) {
-  // Caller holds mu_.
-  const auto it = outbound_.find(PairKey(from, to));
-  if (it != outbound_.end()) return it->second;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  sa.sin_port = htons(static_cast<std::uint16_t>(basePort_ + to));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
-    ::close(fd);
-    return -1;
+void TcpFabric::SetDown(NodeAddr addr, bool down) {
+  std::lock_guard lock(faultMu_);
+  if (down) {
+    down_[addr] = true;
+  } else {
+    down_.erase(addr);
   }
-  outbound_[PairKey(from, to)] = fd;
-  return fd;
 }
 
-void TcpFabric::CloseOutbound(NodeAddr from, NodeAddr to) {
-  // Caller holds mu_.
-  const auto it = outbound_.find(PairKey(from, to));
-  if (it != outbound_.end()) {
-    ::close(it->second);
-    outbound_.erase(it);
+void TcpFabric::SetLinkCut(NodeAddr a, NodeAddr b, bool cut) {
+  std::lock_guard lock(faultMu_);
+  if (cut) {
+    cutLinks_[LinkKey(a, b)] = true;
+  } else {
+    cutLinks_.erase(LinkKey(a, b));
   }
+}
+
+void TcpFabric::SetDrop(NodeAddr from, NodeAddr to, bool drop) {
+  std::lock_guard lock(faultMu_);
+  if (drop) {
+    drops_[PairKey(from, to)] = true;
+  } else {
+    drops_.erase(PairKey(from, to));
+  }
+}
+
+void TcpFabric::SetDelay(NodeAddr from, NodeAddr to, Duration delay) {
+  std::lock_guard lock(faultMu_);
+  if (delay > Duration::zero()) {
+    delays_[PairKey(from, to)] = delay;
+  } else {
+    delays_.erase(PairKey(from, to));
+  }
+}
+
+bool TcpFabric::Reachable(NodeAddr from, NodeAddr to) const {
+  std::lock_guard lock(faultMu_);
+  if (down_.count(from) != 0 || down_.count(to) != 0) return false;
+  return cutLinks_.count(LinkKey(from, to)) == 0;
+}
+
+bool TcpFabric::DropInjected(NodeAddr from, NodeAddr to) const {
+  std::lock_guard lock(faultMu_);
+  return drops_.count(PairKey(from, to)) != 0;
+}
+
+Duration TcpFabric::DelayInjected(NodeAddr from, NodeAddr to) const {
+  std::lock_guard lock(faultMu_);
+  const auto it = delays_.find(PairKey(from, to));
+  return it == delays_.end() ? Duration::zero() : it->second;
+}
+
+// ---- send path ----
+
+TcpFabric::Connection* TcpFabric::GetConnection(NodeAddr from, NodeAddr to) {
+  std::lock_guard lock(connsMu_);
+  if (shuttingDown_) return nullptr;
+  auto& slot = conns_[PairKey(from, to)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Connection>();
+    slot->from = from;
+    slot->to = to;
+    Connection* raw = slot.get();
+    slot->writer = std::thread([this, raw] { WriterLoop(raw); });
+  }
+  return slot.get();
 }
 
 void TcpFabric::Send(NodeAddr from, NodeAddr to, proto::Message message) {
-  const std::string body = proto::Encode(message);
-  char header[8];
-  const auto length = static_cast<std::uint32_t>(body.size());
-  std::memcpy(header, &length, 4);
-  std::memcpy(header + 4, &from, 4);
+  counters_.messagesSent.fetch_add(1, std::memory_order_relaxed);
+  if (!Reachable(from, to)) {
+    // Mirror SimFabric: a downed/cut destination drops the message and the
+    // sender learns its peer is gone (unless the sender itself is down).
+    counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+    bool senderDown;
+    {
+      std::lock_guard lock(faultMu_);
+      senderDown = down_.count(from) != 0;
+    }
+    if (!senderDown) NotifyPeerDown(from, to);
+    return;
+  }
+  if (DropInjected(from, to)) {
+    // Lossy link: the frame vanishes silently.
+    counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
 
-  MessageSink* failedSink = nullptr;
-  sched::Executor* failedExec = nullptr;
+  const std::string body = proto::Encode(message);
+  std::string frame(sizeof(std::uint32_t) * 2 + body.size(), '\0');
+  const auto length = static_cast<std::uint32_t>(body.size());
+  std::memcpy(frame.data(), &length, 4);
+  std::memcpy(frame.data() + 4, &from, 4);
+  std::memcpy(frame.data() + 8, body.data(), body.size());
+
+  Connection* conn = GetConnection(from, to);
+  if (conn == nullptr) {  // fabric shutting down
+    counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  bool overflow = false;
   {
-    std::lock_guard lock(mu_);
-    ++counters_.messagesSent;
-    int fd = ConnectTo(from, to);
-    bool ok = fd >= 0 && WriteAll(fd, header, sizeof(header)) &&
-              WriteAll(fd, body.data(), body.size());
-    if (!ok && fd >= 0) {
-      // Stale cached connection (peer restarted): retry once fresh.
-      CloseOutbound(from, to);
-      ++counters_.reconnects;
-      fd = ConnectTo(from, to);
-      ok = fd >= 0 && WriteAll(fd, header, sizeof(header)) &&
-           WriteAll(fd, body.data(), body.size());
-    }
-    if (ok) {
-      ++counters_.framesSent;
-      counters_.bytesSent += sizeof(header) + body.size();
-    }
-    if (!ok) {
-      if (fd >= 0) CloseOutbound(from, to);
-      ++counters_.messagesDropped;
-      Endpoint* sender = FindEndpoint(from);
-      if (sender != nullptr) {
-        failedSink = sender->sink;
-        failedExec = sender->executor;
-      }
+    std::lock_guard lock(conn->mu);
+    if (conn->queue.size() >= config_.maxQueuedMessages) {
+      overflow = true;
+    } else {
+      conn->queue.push_back(std::move(frame));
+      conn->cv.notify_one();
     }
   }
-  if (failedSink != nullptr) {
-    if (failedExec != nullptr) {
-      failedExec->Post([failedSink, to] { failedSink->OnPeerDown(to); });
-    } else {
-      failedSink->OnPeerDown(to);
-    }
+  if (overflow) {
+    counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+    counters_.queueOverflows.fetch_add(1, std::memory_order_relaxed);
+    NotifyPeerDown(from, to);
   }
 }
 
+bool TcpFabric::EnsureConnected(Connection* conn) {
+  {
+    std::lock_guard lock(conn->mu);
+    if (conn->connected) return true;
+    if (conn->fd >= 0) {  // leftover fd from a failed attempt
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Publish the fd before any blocking syscall so Unregister/teardown can
+  // shutdown() it to interrupt us.
+  {
+    std::lock_guard lock(conn->mu);
+    if (conn->stop) {
+      ::close(fd);
+      return false;
+    }
+    conn->fd = fd;
+  }
+  // Non-blocking connect with a poll-based deadline: a black-holed peer
+  // costs at most connectTimeout, not a kernel-default SYN retry cycle.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sa.sin_port = htons(static_cast<std::uint16_t>(basePort_ + conn->to));
+  bool ok = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0;
+  if (!ok && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int n = ::poll(&pfd, 1, static_cast<int>(config_.connectTimeout.count()));
+    if (n == 1) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ok = ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 && err == 0;
+    }
+  }
+  if (!ok) {
+    Disconnect(conn);
+    return false;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  timeval tv{};
+  tv.tv_sec = config_.writeTimeout.count() / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((config_.writeTimeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  std::lock_guard lock(conn->mu);
+  conn->connected = true;
+  return !conn->stop;
+}
+
+bool TcpFabric::WriteFrame(Connection* conn, const std::string& frame) {
+  int fd;
+  {
+    std::lock_guard lock(conn->mu);
+    if (!conn->connected || conn->stop) return false;
+    fd = conn->fd;
+  }
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+void TcpFabric::Disconnect(Connection* conn) {
+  std::lock_guard lock(conn->mu);
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  conn->connected = false;
+}
+
+// The peer is unreachable: drop this connection's whole backlog (delivery
+// is per-pair FIFO, so later frames cannot jump a failed one) and tell
+// the sending endpoint.
+void TcpFabric::FailConnection(Connection* conn) {
+  Disconnect(conn);
+  std::size_t dropped = 1;  // the frame that just failed
+  {
+    std::lock_guard lock(conn->mu);
+    dropped += conn->queue.size();
+    conn->queue.clear();
+  }
+  counters_.messagesDropped.fetch_add(dropped, std::memory_order_relaxed);
+  NotifyPeerDown(conn->from, conn->to);
+}
+
+void TcpFabric::NotifyPeerDown(NodeAddr from, NodeAddr to) {
+  MessageSink* sink = nullptr;
+  sched::Executor* exec = nullptr;
+  {
+    std::lock_guard lock(epMu_);
+    const auto it = endpoints_.find(from);
+    if (it == endpoints_.end()) return;
+    sink = it->second->sink;
+    exec = it->second->executor;
+  }
+  if (exec != nullptr) {
+    exec->Post([sink, to] { sink->OnPeerDown(to); });
+  } else {
+    sink->OnPeerDown(to);
+  }
+}
+
+void TcpFabric::WriterLoop(Connection* conn) {
+  for (;;) {
+    std::string frame;
+    {
+      std::unique_lock lock(conn->mu);
+      conn->cv.wait(lock, [conn] { return conn->stop || !conn->queue.empty(); });
+      if (conn->stop) break;
+      frame = std::move(conn->queue.front());
+      conn->queue.pop_front();
+    }
+    // Injected per-pair delay (interruptible so teardown never waits it
+    // out): stalls only this pair's queue, by design.
+    const Duration delay = DelayInjected(conn->from, conn->to);
+    if (delay > Duration::zero()) {
+      std::unique_lock lock(conn->mu);
+      conn->cv.wait_for(lock, delay, [conn] { return conn->stop; });
+      if (conn->stop) break;
+    }
+    if (!Reachable(conn->from, conn->to) || DropInjected(conn->from, conn->to)) {
+      // Fault injected after enqueue: the frame is lost in flight.
+      counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const bool wasConnected = [&] {
+      std::lock_guard lock(conn->mu);
+      return conn->connected;
+    }();
+    bool ok = EnsureConnected(conn) && WriteFrame(conn, frame);
+    if (!ok && wasConnected) {
+      // Stale cached connection (peer restarted): retry once fresh.
+      Disconnect(conn);
+      counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
+      ok = EnsureConnected(conn) && WriteFrame(conn, frame);
+    }
+    if (ok) {
+      counters_.framesSent.fetch_add(1, std::memory_order_relaxed);
+      counters_.bytesSent.fetch_add(frame.size(), std::memory_order_relaxed);
+    } else {
+      bool stopping;
+      {
+        std::lock_guard lock(conn->mu);
+        stopping = conn->stop;
+      }
+      if (stopping) break;
+      FailConnection(conn);
+    }
+  }
+  Disconnect(conn);
+}
+
+void TcpFabric::StopConnection(Connection* conn) {
+  {
+    std::lock_guard lock(conn->mu);
+    conn->stop = true;
+    // Interrupt a writer blocked in send(): shutdown, never close — the
+    // writer owns the close.
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    conn->cv.notify_all();
+  }
+  if (conn->writer.joinable()) conn->writer.join();
+}
+
 net::Fabric::Counters TcpFabric::GetCounters() const {
-  std::lock_guard lock(mu_);
-  return counters_;
+  Counters out;
+  out.messagesSent = counters_.messagesSent.load(std::memory_order_relaxed);
+  out.messagesDelivered = counters_.messagesDelivered.load(std::memory_order_relaxed);
+  out.messagesDropped = counters_.messagesDropped.load(std::memory_order_relaxed);
+  out.framesSent = counters_.framesSent.load(std::memory_order_relaxed);
+  out.framesReceived = counters_.framesReceived.load(std::memory_order_relaxed);
+  out.bytesSent = counters_.bytesSent.load(std::memory_order_relaxed);
+  out.bytesReceived = counters_.bytesReceived.load(std::memory_order_relaxed);
+  out.reconnects = counters_.reconnects.load(std::memory_order_relaxed);
+  out.queueOverflows = counters_.queueOverflows.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace scalla::net

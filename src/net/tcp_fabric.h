@@ -1,15 +1,29 @@
 // Loopback TCP transport: each registered endpoint gets a listening socket
 // on basePort+addr; frames are [u32 length][u32 senderAddr][encoded
-// message]. Connections are opened lazily, cached per (local, peer) pair,
-// and torn down on error, at which point the local endpoint's OnPeerDown
-// fires — exactly the signal the cmsd uses to mark a subordinate offline.
+// message]. Each (from, to) pair owns an independent connection object
+// with a dedicated writer thread draining a bounded outbound queue, so
+// traffic to one peer never serializes behind traffic to another and a
+// wedged destination backs up only its own queue.
+//
+// Failure signalling is asynchronous: a failed connect (poll-based
+// deadline), an expired write deadline (SO_SNDTIMEO), or a queue overflow
+// marks the peer down and fires the sending endpoint's OnPeerDown —
+// exactly the signal the cmsd uses to mark a subordinate offline.
+//
+// Fault injection mirrors sim::SimFabric (SetDown / SetLinkCut) and adds
+// per-pair one-way drop and delay knobs, so chaos scenarios run against
+// real sockets.
 //
 // Incoming messages are posted to the endpoint's executor, so node code
 // keeps its single-threaded actor discipline.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -18,13 +32,25 @@
 
 #include "net/fabric.h"
 #include "sched/executor.h"
+#include "util/types.h"
 
 namespace scalla::net {
+
+struct TcpFabricConfig {
+  /// Non-blocking connect() deadline (poll-based).
+  std::chrono::milliseconds connectTimeout{1000};
+  /// Per-frame write deadline (SO_SNDTIMEO); an expired deadline marks
+  /// the peer down.
+  std::chrono::milliseconds writeTimeout{2000};
+  /// Bounded per-(from,to) outbound queue; enqueueing past this drops the
+  /// message, counts an overflow, and signals OnPeerDown.
+  std::size_t maxQueuedMessages = 4096;
+};
 
 class TcpFabric final : public Fabric {
  public:
   /// Endpoints listen on 127.0.0.1:basePort+addr.
-  explicit TcpFabric(std::uint16_t basePort);
+  explicit TcpFabric(std::uint16_t basePort, TcpFabricConfig config = {});
   ~TcpFabric() override;
 
   TcpFabric(const TcpFabric&) = delete;
@@ -39,21 +65,72 @@ class TcpFabric final : public Fabric {
   void Send(NodeAddr from, NodeAddr to, proto::Message message) override;
   Counters GetCounters() const override;
 
+  // ---- fault injection (SetDown/SetLinkCut mirror sim::SimFabric) ----
+  /// Downed endpoints drop everything in and out; senders get OnPeerDown
+  /// on each dropped message (models a broken connection).
+  void SetDown(NodeAddr addr, bool down);
+  /// Cuts (or restores) the bidirectional link between two endpoints.
+  void SetLinkCut(NodeAddr a, NodeAddr b, bool cut);
+  /// Silently discards frames from -> to (one-way lossy link); unlike a
+  /// cut the sender is NOT told, modelling loss the transport hides.
+  void SetDrop(NodeAddr from, NodeAddr to, bool drop);
+  /// Adds a one-way delay before each frame from -> to leaves the writer
+  /// (per-pair, so it stalls only that pair's queue). Zero clears it.
+  void SetDelay(NodeAddr from, NodeAddr to, Duration delay);
+
+  /// Live reader threads accepted by `addr`'s listener (reaped readers
+  /// excluded) — observability for the accept-loop reaping logic.
+  std::size_t ReaderCount(NodeAddr addr) const;
+
  private:
   struct Endpoint;
   struct Connection;
 
-  Endpoint* FindEndpoint(NodeAddr addr);
-  int ConnectTo(NodeAddr from, NodeAddr to);  // returns fd or -1
-  void ReaderLoop(Endpoint* ep, int fd);
+  Connection* GetConnection(NodeAddr from, NodeAddr to);
+  void WriterLoop(Connection* conn);
+  bool EnsureConnected(Connection* conn);
+  bool WriteFrame(Connection* conn, const std::string& frame);
+  void Disconnect(Connection* conn);
+  void FailConnection(Connection* conn);
+  void NotifyPeerDown(NodeAddr from, NodeAddr to);
+  void StopConnection(Connection* conn);
+
+  bool Reachable(NodeAddr from, NodeAddr to) const;
+  bool DropInjected(NodeAddr from, NodeAddr to) const;
+  Duration DelayInjected(NodeAddr from, NodeAddr to) const;
+
+  void ReaderLoop(Endpoint* ep, int fd, std::atomic<bool>* done);
   void AcceptLoop(Endpoint* ep);
-  void CloseOutbound(NodeAddr from, NodeAddr to);
 
   std::uint16_t basePort_;
-  mutable std::mutex mu_;
+  TcpFabricConfig config_;
+
+  mutable std::mutex epMu_;
   std::map<NodeAddr, std::unique_ptr<Endpoint>> endpoints_;
-  std::map<std::uint64_t, int> outbound_;  // (from<<32|to) -> fd
-  mutable Counters counters_;
+
+  mutable std::mutex connsMu_;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;  // (from<<32|to)
+
+  mutable std::mutex faultMu_;
+  std::map<NodeAddr, bool> down_;
+  std::map<std::uint64_t, bool> cutLinks_;   // key: min<<32|max
+  std::map<std::uint64_t, bool> drops_;      // key: from<<32|to
+  std::map<std::uint64_t, Duration> delays_; // key: from<<32|to
+
+  // Atomic counters: neither the send nor the receive path takes a
+  // fabric-wide lock.
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> messagesSent{0};
+    std::atomic<std::uint64_t> messagesDelivered{0};
+    std::atomic<std::uint64_t> messagesDropped{0};
+    std::atomic<std::uint64_t> framesSent{0};
+    std::atomic<std::uint64_t> framesReceived{0};
+    std::atomic<std::uint64_t> bytesSent{0};
+    std::atomic<std::uint64_t> bytesReceived{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> queueOverflows{0};
+  };
+  mutable AtomicCounters counters_;
   std::atomic<bool> shuttingDown_{false};
 };
 

@@ -42,7 +42,8 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
       "all.export",    "cms.lifetime",  "cms.delay",    "cms.sweep",
       "cms.dropdelay", "cms.selection", "xrd.allowwrite", "xrd.loadreport",
       "oss.localroot", "all.cnsd",      "pcache.blocksize", "pcache.capacity",
-      "pcache.hiwater", "pcache.lowater", "pcache.readahead"};
+      "pcache.hiwater", "pcache.lowater", "pcache.readahead",
+      "fabric.connecttimeout", "fabric.writetimeout", "fabric.queuedepth"};
   for (const auto& [key, _] : parsed->entries()) {
     if (kKnown.count(key) == 0) {
       Fail(error, "unknown directive: " + key);
@@ -189,6 +190,34 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
     }
     out.pcacheReadAhead =
         static_cast<int>(parsed->GetIntOr("pcache.readahead", 0));
+  }
+
+  Duration connectTimeout(out.fabric.connectTimeout);
+  Duration writeTimeout(out.fabric.writeTimeout);
+  for (const auto& [key, dest] :
+       {std::pair<const char*, Duration*>{"fabric.connecttimeout", &connectTimeout},
+        {"fabric.writetimeout", &writeTimeout}}) {
+    if (!parsed->Has(key)) continue;
+    const auto value = parsed->GetDuration(key);
+    if (!value.has_value() || *value <= Duration::zero()) {
+      Fail(error, std::string(key) + " must be a positive duration");
+      return std::nullopt;
+    }
+    *dest = *value;
+  }
+  out.fabric.connectTimeout =
+      std::chrono::duration_cast<std::chrono::milliseconds>(connectTimeout);
+  out.fabric.writeTimeout =
+      std::chrono::duration_cast<std::chrono::milliseconds>(writeTimeout);
+  if (const auto depth = parsed->GetInt("fabric.queuedepth"); depth.has_value()) {
+    if (*depth <= 0) {
+      Fail(error, "fabric.queuedepth must be a positive integer");
+      return std::nullopt;
+    }
+    out.fabric.maxQueuedMessages = static_cast<std::size_t>(*depth);
+  } else if (parsed->Has("fabric.queuedepth")) {
+    Fail(error, "fabric.queuedepth must be a positive integer");
+    return std::nullopt;
   }
   return out;
 }

@@ -25,12 +25,19 @@
 //
 // (all.manager names the origin cluster heads for a proxy.)
 //
+// TCP transport tuning (any role; see net::TcpFabricConfig):
+//
+//   fabric.connecttimeout  1s          # non-blocking connect deadline
+//   fabric.writetimeout    2s          # per-frame write deadline (SO_SNDTIMEO)
+//   fabric.queuedepth      4096        # per-peer bounded outbound queue
+//
 // Unknown keys are reported as errors so typos do not silently default.
 #pragma once
 
 #include <optional>
 #include <string>
 
+#include "net/tcp_fabric.h"
 #include "pcache/block_cache.h"
 #include "util/config.h"
 #include "xrd/scalla_node.h"
@@ -40,6 +47,7 @@ namespace scalla::xrd {
 struct LoadedNodeConfig {
   NodeConfig node;
   std::string localRoot;  // non-empty => back the server with LocalOss
+  net::TcpFabricConfig fabric;  // fabric.* transport tuning
   // Proxy role only (node.role == NodeRole::kProxy):
   pcache::BlockCacheConfig pcacheCache;
   int pcacheReadAhead = 0;

@@ -4,6 +4,12 @@
 // the standard recovery rules, with no persistent state anywhere.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "client/sync_client.h"
+#include "net/tcp_fabric.h"
+#include "oss/mem_oss.h"
+#include "sched/thread_executor.h"
 #include "sim/cluster.h"
 #include "sim/workload.h"
 
@@ -121,6 +127,165 @@ TEST(ChaosTest, FullServerCreationFailsOverToEmptyOne) {
   // At least one creation was bounced by the full server and recovered.
   EXPECT_GE(recoveries, 1);
   EXPECT_EQ(fullStorage.FileCount(), 1u);  // nothing new squeezed in
+}
+
+// ---- chaos over real sockets ----
+// The same recoverability story, but against the TCP transport and its
+// fault-injection hooks instead of the simulator: crash/restart cycles
+// (real endpoint teardown) and injected partitions both leave clients
+// making progress through the standard recovery rules.
+
+class TcpChaosTest : public ::testing::Test {
+ protected:
+  // Distinct band from tcp_cluster_test (24000+), pcache_test (27000+)
+  // and tcp_fabric_test (30000+).
+  static std::uint16_t NextBasePort() {
+    static std::atomic<std::uint16_t> next{21000};
+    return next.fetch_add(200);
+  }
+
+  void SetUp() override {
+    fabric_ = std::make_unique<net::TcpFabric>(NextBasePort());
+    cms_.deadline = std::chrono::milliseconds(500);
+    cms_.sweepPeriod = std::chrono::milliseconds(50);
+
+    xrd::NodeConfig mgr;
+    mgr.role = xrd::NodeRole::kManager;
+    mgr.name = "manager";
+    mgr.addr = 1;
+    mgr.exports = {"/store"};
+    mgr.cms = cms_;
+    managerExec_ = std::make_unique<sched::ThreadExecutor>();
+    manager_ = std::make_unique<xrd::ScallaNode>(mgr, *managerExec_, *fabric_, nullptr);
+    ASSERT_TRUE(fabric_->Register(1, manager_.get(), managerExec_.get()));
+    manager_->Start();
+
+    for (int i = 0; i < 3; ++i) StartServer(static_cast<net::NodeAddr>(10 + i));
+    WaitMembers(3);
+
+    client::ClientConfig cc;
+    cc.addr = 100;
+    cc.head = 1;
+    clientExec_ = std::make_unique<sched::ThreadExecutor>();
+    client_ = std::make_unique<client::SyncClient>(cc, *clientExec_, *fabric_,
+                                                   std::chrono::seconds(20));
+    ASSERT_TRUE(fabric_->Register(100, &client_->async(), clientExec_.get()));
+  }
+
+  void TearDown() override {
+    if (manager_) manager_->Stop();
+    for (auto& node : nodes_) node->Stop();
+    fabric_.reset();
+  }
+
+  void StartServer(net::NodeAddr addr) {
+    xrd::NodeConfig leaf;
+    leaf.role = xrd::NodeRole::kServer;
+    leaf.name = "server" + std::to_string(addr);
+    leaf.addr = addr;
+    leaf.parent = 1;
+    leaf.exports = {"/store"};
+    leaf.cms = cms_;
+    leaf.loginRetry = std::chrono::milliseconds(100);
+    execs_.push_back(std::make_unique<sched::ThreadExecutor>());
+    storages_.push_back(std::make_unique<oss::MemOss>(execs_.back()->clock()));
+    nodes_.push_back(std::make_unique<xrd::ScallaNode>(leaf, *execs_.back(), *fabric_,
+                                                       storages_.back().get()));
+    addrToIdx_[addr] = nodes_.size() - 1;
+    ASSERT_TRUE(fabric_->Register(addr, nodes_.back().get(), execs_.back().get()));
+    nodes_.back()->Start();
+  }
+
+  void WaitMembers(std::size_t n) {
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (manager_->membership().MemberCount() < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_GE(manager_->membership().MemberCount(), n);
+  }
+
+  oss::MemOss& StorageOf(net::NodeAddr addr) {
+    return *storages_[addrToIdx_.at(addr)];
+  }
+
+  std::unique_ptr<net::TcpFabric> fabric_;
+  cms::CmsConfig cms_;
+  std::unique_ptr<sched::ThreadExecutor> managerExec_;
+  std::unique_ptr<xrd::ScallaNode> manager_;
+  std::vector<std::unique_ptr<sched::ThreadExecutor>> execs_;
+  std::vector<std::unique_ptr<oss::MemOss>> storages_;
+  std::vector<std::unique_ptr<xrd::ScallaNode>> nodes_;
+  std::map<net::NodeAddr, std::size_t> addrToIdx_;
+  std::unique_ptr<sched::ThreadExecutor> clientExec_;
+  std::unique_ptr<client::SyncClient> client_;
+};
+
+TEST_F(TcpChaosTest, WorkloadSurvivesCrashRestartCyclesOverTcp) {
+  // Every file on two replicas; crash one server per round (full endpoint
+  // teardown — its connections die mid-protocol) and restart it fresh.
+  for (int f = 0; f < 6; ++f) {
+    const std::string path = "/store/f" + std::to_string(f);
+    StorageOf(static_cast<net::NodeAddr>(10 + f % 3)).Put(path, "data");
+    StorageOf(static_cast<net::NodeAddr>(10 + (f + 1) % 3)).Put(path, "data");
+  }
+
+  for (int round = 0; round < 3; ++round) {
+    const auto victim = static_cast<net::NodeAddr>(10 + round % 3);
+    nodes_[addrToIdx_.at(victim)]->Stop();
+    fabric_->Unregister(victim);
+
+    for (int i = 0; i < 6; ++i) {
+      const std::string path = "/store/f" + std::to_string(i);
+      const auto data = client_->GetFile(path);
+      ASSERT_TRUE(data.ok()) << "round " << round << " " << path << ": "
+                             << data.error().message;
+      EXPECT_EQ(data.value(), "data");
+    }
+
+    // Restart the victim on the same address with fresh state (the files
+    // it held come back with it, like a rebooted data server).
+    std::vector<std::string> held;
+    for (int f = 0; f < 6; ++f) {
+      const auto a = static_cast<net::NodeAddr>(10 + f % 3);
+      const auto b = static_cast<net::NodeAddr>(10 + (f + 1) % 3);
+      if (a == victim || b == victim) held.push_back("/store/f" + std::to_string(f));
+    }
+    StartServer(victim);
+    for (const auto& path : held) StorageOf(victim).Put(path, "data");
+    WaitMembers(3);
+  }
+}
+
+TEST_F(TcpChaosTest, InjectedPartitionRecoversViaRefreshAvoid) {
+  // The file lives on two leaves; the client's link to one of them is cut
+  // (injected partition — the leaf is healthy, the manager still lists
+  // it). Every open must land on the reachable replica through the
+  // paper's refresh/avoid recovery, and heal when the partition does.
+  StorageOf(10).Put("/store/part", "x");
+  StorageOf(11).Put("/store/part", "x");
+  const auto warm = client_->Open("/store/part", AccessMode::kRead);
+  ASSERT_EQ(warm.err, proto::XrdErr::kNone);
+  (void)client_->Close(warm.file);
+
+  fabric_->SetLinkCut(100, 10, true);
+  for (int i = 0; i < 4; ++i) {
+    const auto open = client_->Open("/store/part", AccessMode::kRead);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone)
+        << i << " redirects=" << open.redirects << " waits=" << open.waits
+        << " recoveries=" << open.recoveries;
+    EXPECT_EQ(open.file.node, 11u) << i;
+    const auto data = client_->Read(open.file, 0, 8);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data.value(), "x");
+    (void)client_->Close(open.file);
+  }
+
+  fabric_->SetLinkCut(100, 10, false);
+  // Healed: both replicas are reachable again; opens succeed either way.
+  const auto open = client_->Open("/store/part", AccessMode::kRead);
+  ASSERT_EQ(open.err, proto::XrdErr::kNone);
+  (void)client_->Close(open.file);
 }
 
 TEST(ChaosTest, CapacityEnforcedOnWriteGrowth) {

@@ -3,7 +3,10 @@
 // periodic reports, and client bounds (hop caps, recovery caps).
 #include <gtest/gtest.h>
 
+#include "client/scalla_client.h"
 #include "sim/cluster.h"
+#include "sim/event_engine.h"
+#include "sim/sim_fabric.h"
 #include "util/crc32.h"
 
 namespace scalla::sim {
@@ -196,6 +199,89 @@ TEST(ClientFeaturesTest, RecoveryCapStopsInfiniteRefreshLoops) {
                                         std::chrono::minutes(5));
   EXPECT_EQ(open.err, proto::XrdErr::kNotFound);
   EXPECT_LE(open.recoveries, 5);
+}
+
+// A head node that answers the first `staleCount` opens with kStale and
+// then succeeds. Exercises the client's bounded, delayed stale-retry loop.
+class StaleHead final : public net::MessageSink {
+ public:
+  StaleHead(SimFabric& fabric, net::NodeAddr addr, int staleCount)
+      : fabric_(fabric), addr_(addr), staleCount_(staleCount) {}
+
+  void OnMessage(net::NodeAddr from, proto::Message message) override {
+    const auto* open = std::get_if<proto::XrdOpen>(&message);
+    if (open == nullptr) return;
+    ++opensSeen_;
+    proto::XrdOpenResp resp;
+    resp.reqId = open->reqId;
+    if (opensSeen_ <= staleCount_) {
+      resp.status = proto::XrdStatus::kError;
+      resp.err = proto::XrdErr::kStale;
+    } else {
+      resp.status = proto::XrdStatus::kOk;
+      resp.fileHandle = 42;
+    }
+    fabric_.Send(addr_, from, std::move(resp));
+  }
+
+  int opensSeen() const { return opensSeen_; }
+
+ private:
+  SimFabric& fabric_;
+  const net::NodeAddr addr_;
+  const int staleCount_;
+  int opensSeen_ = 0;
+};
+
+TEST(ClientFeaturesTest, PersistentStaleGivesUpAfterCap) {
+  // Regression: a head that answers kStale forever used to spin the
+  // client in an unbounded immediate re-send loop. The retries are now
+  // capped and spaced by a jittered delay.
+  EventEngine engine;
+  SimFabric fabric(engine);
+  StaleHead head(fabric, /*addr=*/1, /*staleCount=*/1 << 20);
+  fabric.Register(1, &head);
+
+  client::ClientConfig cfg;
+  cfg.addr = 100;
+  cfg.head = 1;
+  client::ScallaClient client(cfg, engine, fabric);
+  fabric.Register(cfg.addr, &client);
+
+  std::optional<client::OpenOutcome> out;
+  client.Open("/store/f", AccessMode::kRead, false,
+              [&out](const client::OpenOutcome& o) { out = o; });
+  engine.RunUntilIdle();  // drains only because the retry loop is bounded
+
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->err, proto::XrdErr::kStale);
+  // Initial send plus one per allowed retry, then the client gives up.
+  EXPECT_EQ(head.opensSeen(), cfg.maxStaleRetries + 1);
+  // The delayed re-issues advanced virtual time (no hot spin).
+  EXPECT_GE(out->elapsed, cfg.staleRetryDelay * cfg.maxStaleRetries);
+}
+
+TEST(ClientFeaturesTest, TransientStaleRecoversAfterRetry) {
+  EventEngine engine;
+  SimFabric fabric(engine);
+  StaleHead head(fabric, /*addr=*/1, /*staleCount=*/2);
+  fabric.Register(1, &head);
+
+  client::ClientConfig cfg;
+  cfg.addr = 100;
+  cfg.head = 1;
+  client::ScallaClient client(cfg, engine, fabric);
+  fabric.Register(cfg.addr, &client);
+
+  std::optional<client::OpenOutcome> out;
+  client.Open("/store/f", AccessMode::kRead, false,
+              [&out](const client::OpenOutcome& o) { out = o; });
+  engine.RunUntilIdle();
+
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->err, proto::XrdErr::kNone);
+  EXPECT_EQ(out->file.handle, 42u);
+  EXPECT_EQ(head.opensSeen(), 3);
 }
 
 TEST(ClientFeaturesTest, OpenLatencyRecorderAccumulates) {

@@ -405,7 +405,7 @@ TEST_F(LocationCacheTest, RemoveLocationClearsBits) {
   EXPECT_TRUE(hit.info.have.test(1));
 }
 
-TEST_F(LocationCacheTest, RespSlotRoundTripAndClearOnUpdate) {
+TEST_F(LocationCacheTest, RespSlotRoundTripAndKeptOnUpdate) {
   ConnectServers(1);
   const ServerSet vm = ServerSet::FirstN(1);
   const auto r = Create("/store/f1", vm);
@@ -415,14 +415,18 @@ TEST_F(LocationCacheTest, RespSlotRoundTripAndClearOnUpdate) {
   EXPECT_EQ(cache_.GetRespSlot(r.ref, AccessMode::kRead).slot, 7);
   EXPECT_EQ(cache_.GetRespSlot(r.ref, AccessMode::kWrite).slot, 9);
 
-  // A positive update hands the references back and clears them.
+  // A positive update hands the references back but keeps them stored:
+  // the release may be partial (waiters avoiding the responder remain
+  // parked), so the next responder must still find the anchor. Fully
+  // released anchors bump their epoch, making the kept reference a
+  // harmless stale no-op.
   const auto up = cache_.AddLocation("/store/f1", LocationCache::HashOf("/store/f1"), 0,
                                      false, /*allowWrite=*/true);
   EXPECT_EQ(up.releaseRead.slot, 7);
   EXPECT_EQ(up.releaseRead.epoch, 3u);
   EXPECT_EQ(up.releaseWrite.slot, 9);
-  EXPECT_FALSE(cache_.GetRespSlot(r.ref, AccessMode::kRead).IsSet());
-  EXPECT_FALSE(cache_.GetRespSlot(r.ref, AccessMode::kWrite).IsSet());
+  EXPECT_EQ(cache_.GetRespSlot(r.ref, AccessMode::kRead).slot, 7);
+  EXPECT_EQ(cache_.GetRespSlot(r.ref, AccessMode::kWrite).slot, 9);
 }
 
 TEST_F(LocationCacheTest, ReadOnlyResponderKeepsWriteWaiters) {

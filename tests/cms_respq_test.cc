@@ -55,6 +55,48 @@ TEST_F(RespQueueTest, MultipleWaitersShareAnchor) {
   EXPECT_EQ(released, 3);
 }
 
+TEST_F(RespQueueTest, AvoidedServerDoesNotReleaseRecoveringWaiter) {
+  // A waiter parked during client recovery names the server it just
+  // failed against (section III-C1); that server's own announcement must
+  // not vector the client straight back to it.
+  std::optional<RespOutcome> plain, avoiding;
+  const auto slot =
+      respq_.Add(RespSlotRef{}, [&plain](const RespOutcome& o) { plain = o; });
+  ASSERT_TRUE(slot.has_value());
+  respq_.Add(*slot, [&avoiding](const RespOutcome& o) { avoiding = o; },
+             /*avoid=*/3);
+
+  // Server 3 answers first: the plain waiter goes, the recovering one
+  // stays parked and the anchor stays live.
+  EXPECT_EQ(respq_.Release(*slot, /*server=*/3, /*pending=*/false), 1u);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->server, 3);
+  EXPECT_FALSE(avoiding.has_value());
+  EXPECT_FALSE(respq_.Empty());
+
+  // A different server's answer satisfies it and frees the anchor.
+  EXPECT_EQ(respq_.Release(*slot, /*server=*/5, /*pending=*/false), 1u);
+  ASSERT_TRUE(avoiding.has_value());
+  EXPECT_EQ(avoiding->status, RespStatus::kRedirect);
+  EXPECT_EQ(avoiding->server, 5);
+  EXPECT_TRUE(respq_.Empty());
+}
+
+TEST_F(RespQueueTest, AvoidingWaiterExpiresViaSweepWhenAloneOnAnchor) {
+  std::optional<RespOutcome> got;
+  const auto slot = respq_.Add(
+      RespSlotRef{}, [&got](const RespOutcome& o) { got = o; }, /*avoid=*/3);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(respq_.Release(*slot, /*server=*/3, /*pending=*/false), 0u);
+  EXPECT_FALSE(got.has_value());
+
+  clock_.Advance(config_.sweepPeriod + std::chrono::milliseconds(1));
+  EXPECT_EQ(respq_.Sweep(), 1u);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, RespStatus::kRetryFullDelay);
+  EXPECT_TRUE(respq_.Empty());
+}
+
 TEST_F(RespQueueTest, StaleReferenceReleaseIsNoop) {
   std::optional<RespOutcome> got;
   const auto slot = respq_.Add(RespSlotRef{}, [&got](const RespOutcome& o) { got = o; });

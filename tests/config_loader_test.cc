@@ -56,6 +56,42 @@ TEST(NodeConfigLoaderTest, MinimalManager) {
   EXPECT_EQ(loaded->node.cms.sweepPeriod, Duration(std::chrono::milliseconds(133)));
 }
 
+TEST(NodeConfigLoaderTest, FabricDirectivesParsed) {
+  std::string error;
+  const auto loaded = LoadNodeConfig(
+      "all.role manager\nall.addr 1\nall.export /store\n"
+      "fabric.connecttimeout 250ms\n"
+      "fabric.writetimeout 5s\n"
+      "fabric.queuedepth 1024\n",
+      &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->fabric.connectTimeout, std::chrono::milliseconds(250));
+  EXPECT_EQ(loaded->fabric.writeTimeout, std::chrono::milliseconds(5000));
+  EXPECT_EQ(loaded->fabric.maxQueuedMessages, 1024u);
+}
+
+TEST(NodeConfigLoaderTest, FabricDefaultsWhenUnset) {
+  std::string error;
+  const auto loaded =
+      LoadNodeConfig("all.role manager\nall.addr 1\nall.export /store\n", &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  const net::TcpFabricConfig defaults;
+  EXPECT_EQ(loaded->fabric.connectTimeout, defaults.connectTimeout);
+  EXPECT_EQ(loaded->fabric.writeTimeout, defaults.writeTimeout);
+  EXPECT_EQ(loaded->fabric.maxQueuedMessages, defaults.maxQueuedMessages);
+}
+
+TEST(NodeConfigLoaderTest, RejectsBadFabricValues) {
+  const std::string base = "all.role manager\nall.addr 1\nall.export /store\n";
+  std::string error;
+  EXPECT_FALSE(
+      LoadNodeConfig(base + "fabric.connecttimeout 0ms\n", &error).has_value());
+  EXPECT_FALSE(
+      LoadNodeConfig(base + "fabric.writetimeout -1s\n", &error).has_value());
+  EXPECT_FALSE(LoadNodeConfig(base + "fabric.queuedepth 0\n", &error).has_value());
+  EXPECT_FALSE(LoadNodeConfig(base + "fabric.queuedepth lots\n", &error).has_value());
+}
+
 TEST(NodeConfigLoaderTest, RejectsUnknownDirective) {
   std::string error;
   EXPECT_FALSE(LoadNodeConfig("all.role manager\nall.addr 1\nall.export /\n"

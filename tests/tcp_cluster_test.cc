@@ -188,6 +188,104 @@ TEST_F(TcpClusterTest, DeadServerTriggersClientRecovery) {
   }
 }
 
+TEST_F(TcpClusterTest, StalledServerDelaysOnlyItsOwnTraffic) {
+  // One destination is wedged (per-pair injected delay on the client's
+  // writer queue); reads served by the other leaves must keep completing
+  // at full speed — per-peer queues, no fabric-wide serialization.
+  storages_[0]->Put("/store/wedged", "w");
+  storages_[1]->Put("/store/fine1", "a");
+  storages_[2]->Put("/store/fine2", "b");
+
+  // Resolve all three once so the manager cache pins each file to its
+  // leaf and subsequent opens redirect deterministically.
+  for (const char* p : {"/store/wedged", "/store/fine1", "/store/fine2"}) {
+    const auto open = client_->Open(p, AccessMode::kRead);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << p;
+    (void)client_->Close(open.file);
+  }
+
+  // Wedge the client -> server10 pair only. Opens still route through the
+  // manager; only the data path to server10 is stalled.
+  fabric_->SetDelay(100, 10, std::chrono::milliseconds(400));
+
+  std::atomic<bool> wedgedDone{false};
+  std::thread slow([&] {
+    // Open redirects to server10, then the XrdOpen to it crawls through
+    // the delayed queue.
+    const auto open = client_->Open("/store/wedged", AccessMode::kRead);
+    EXPECT_EQ(open.err, proto::XrdErr::kNone);
+    (void)client_->Close(open.file);
+    wedgedDone = true;
+  });
+
+  // Meanwhile a second client hammers the healthy leaves.
+  client::ClientConfig cc;
+  cc.addr = 101;
+  cc.head = 1;
+  auto exec = std::make_unique<sched::ThreadExecutor>();
+  auto fast = std::make_unique<client::SyncClient>(cc, *exec, *fabric_,
+                                                   std::chrono::seconds(20));
+  ASSERT_TRUE(fabric_->Register(101, &fast->async(), exec.get()));
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 20; ++i) {
+    const auto data = fast->GetFile(i % 2 == 0 ? "/store/fine1" : "/store/fine2");
+    ASSERT_TRUE(data.ok()) << i;
+  }
+  const auto healthyElapsed = std::chrono::steady_clock::now() - start;
+  // 20 healthy reads finish before even one 400 ms-delayed hop can.
+  EXPECT_LT(healthyElapsed, std::chrono::milliseconds(400));
+  EXPECT_FALSE(wedgedDone.load());
+
+  fabric_->SetDelay(100, 10, Duration::zero());
+  slow.join();
+  fabric_->Unregister(101);
+}
+
+TEST_F(TcpClusterTest, ServerRestartReconnectsTransparently) {
+  storages_[1]->Put("/store/r", "before");
+  ASSERT_TRUE(client_->GetFile("/store/r").ok());  // warm connections
+
+  // Restart leaf 11: drop it from the fabric and bring it back on the
+  // same address. Peers' cached connections to it are now stale.
+  nodes_[1]->Stop();
+  fabric_->Unregister(11);
+  xrd::NodeConfig cfg = nodes_[1]->config();
+  auto exec = std::make_unique<sched::ThreadExecutor>();
+  auto storage = std::make_unique<oss::MemOss>(exec->clock());
+  storage->Put("/store/r", "after");
+  auto node = std::make_unique<xrd::ScallaNode>(cfg, *exec, *fabric_, storage.get());
+  ASSERT_TRUE(fabric_->Register(11, node.get(), exec.get()));
+  node->Start();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (manager_->membership().MemberCount() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(manager_->membership().MemberCount(), 3u);
+
+  // Reads against the restarted leaf succeed again; the transport's
+  // stale-connection retry shows up in the reconnect counter.
+  const auto reconnectsBefore = fabric_->GetCounters().reconnects;
+  const auto ok = [&] {
+    const auto end = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < end) {
+      const auto data = client_->GetFile("/store/r");
+      if (data.ok() && data.value() == "after") return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  }();
+  EXPECT_TRUE(ok);
+  EXPECT_GT(fabric_->GetCounters().reconnects, reconnectsBefore);
+
+  node->Stop();
+  fabric_->Unregister(11);
+  // Keep the fixture's TearDown happy: nodes_[1] is already stopped.
+  execs_.push_back(std::move(exec));
+  storages_.push_back(std::move(storage));
+  nodes_.push_back(std::move(node));
+}
+
 TEST_F(TcpClusterTest, StatsQueryAggregatesWholeCluster) {
   // Generate traffic, then ask the manager for tree-aggregated metrics.
   storages_[0]->Put("/store/stats1", "aaaa");

@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
 
   util::Logger::Instance().SetLevel(util::LogLevel::kInfo);
 
-  net::TcpFabric fabric(basePort);
+  net::TcpFabric fabric(basePort, loaded->fabric);
   sched::ThreadExecutor executor;
 
   if (forceProxy || loaded->node.role == xrd::NodeRole::kProxy) {
@@ -159,12 +159,15 @@ int main(int argc, char** argv) {
     const auto net = fabric.GetCounters();
     std::printf("metrics %s\n", node.SnapshotMetrics().ToJson().c_str());
     std::printf("net frames_sent=%llu frames_received=%llu bytes_sent=%llu "
-                "bytes_received=%llu reconnects=%llu\n",
+                "bytes_received=%llu reconnects=%llu dropped=%llu "
+                "queue_overflows=%llu\n",
                 static_cast<unsigned long long>(net.framesSent),
                 static_cast<unsigned long long>(net.framesReceived),
                 static_cast<unsigned long long>(net.bytesSent),
                 static_cast<unsigned long long>(net.bytesReceived),
-                static_cast<unsigned long long>(net.reconnects));
+                static_cast<unsigned long long>(net.reconnects),
+                static_cast<unsigned long long>(net.messagesDropped),
+                static_cast<unsigned long long>(net.queueOverflows));
     std::fflush(stdout);
   });
   g_shutdown.acquire();
