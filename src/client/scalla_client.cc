@@ -62,12 +62,46 @@ void ScallaClient::SendOpen(std::uint64_t reqId) {
   // Refresh requests always restart at the head node.
   s.refresh = false;
   fabric_.Send(config_.addr, s.currentNode, std::move(msg));
+  CancelOpenTimer(s);
+  if (config_.openTimeout > Duration::zero()) {
+    s.timer = executor_.RunAfter(config_.openTimeout,
+                                 [this, reqId] { OnOpenTimeout(reqId); });
+  }
+}
+
+void ScallaClient::CancelOpenTimer(OpenState& s) {
+  if (s.timer == sched::kInvalidTimer) return;
+  executor_.Cancel(s.timer);
+  s.timer = sched::kInvalidTimer;
+}
+
+void ScallaClient::OnOpenTimeout(std::uint64_t reqId) {
+  const auto it = opens_.find(reqId);
+  if (it == opens_.end()) return;
+  OpenState& s = it->second;
+  s.timer = sched::kInvalidTimer;
+  // The current target went silent without breaking the connection (a
+  // wedged process): recover exactly as if the connection had died.
+  if (++s.outcome.recoveries > config_.maxRecoveries) {
+    FinishOpen(reqId, proto::XrdErr::kIo, {});
+    return;
+  }
+  recoveriesMetric_.Inc();
+  if (IsHead(s.currentNode)) {
+    RotateHeadAwayFrom(s.currentNode);
+  } else {
+    s.refresh = true;
+    s.avoidNode = s.currentNode;
+  }
+  s.currentNode = CurrentHead();
+  SendOpen(reqId);
 }
 
 void ScallaClient::FinishOpen(std::uint64_t reqId, proto::XrdErr err, FileRef file) {
   auto node = opens_.extract(reqId);
   if (node.empty()) return;
   OpenState& s = node.mapped();
+  CancelOpenTimer(s);
   s.outcome.err = err;
   s.outcome.file = file;
   s.outcome.elapsed = executor_.clock().Now() - s.start;
@@ -79,6 +113,8 @@ void ScallaClient::HandleOpenResp(net::NodeAddr from, const proto::XrdOpenResp& 
   const auto it = opens_.find(m.reqId);
   if (it == opens_.end()) return;
   OpenState& s = it->second;
+  // Any response ends the current attempt; delayed re-sends re-arm it.
+  CancelOpenTimer(s);
 
   switch (m.status) {
     case proto::XrdStatus::kOk:
@@ -426,6 +462,16 @@ void ScallaClient::CacheAdmin(proto::PcacheAdminOp op, const std::string& path,
   fabric_.Send(config_.addr, CurrentHead(), std::move(msg));
 }
 
+void ScallaClient::Drain(const std::string& server, bool restore, DrainCallback done) {
+  const std::uint64_t reqId = nextReqId_++;
+  drains_.emplace(reqId, std::move(done));
+  proto::CmsDrain msg;
+  msg.reqId = reqId;
+  msg.server = server;
+  msg.restore = restore;
+  fabric_.Send(config_.addr, CurrentHead(), std::move(msg));
+}
+
 void ScallaClient::List(const std::string& prefix, ListCallback done) {
   if (config_.cnsd == 0) {
     done(proto::XrdErr::kInvalid, {});
@@ -471,6 +517,11 @@ void ScallaClient::OnMessage(net::NodeAddr from, proto::Message message) {
         } else if constexpr (std::is_same_v<M, proto::PcacheAdminResp>) {
           auto node = cacheAdmins_.extract(m.reqId);
           if (!node.empty()) node.mapped()(m.err, std::move(m));
+        } else if constexpr (std::is_same_v<M, proto::CmsDrainResp>) {
+          auto node = drains_.extract(m.reqId);
+          if (!node.empty()) {
+            node.mapped()(m.ok ? proto::XrdErr::kNone : proto::XrdErr::kInvalid, m);
+          }
         }
       },
       std::move(message));

@@ -39,6 +39,11 @@ struct ClientConfig {
   // answering stale must not spin the client forever.
   int maxStaleRetries = 8;
   Duration staleRetryDelay = std::chrono::milliseconds(2);
+  // Per-attempt open timeout. A wedged server never answers and never
+  // breaks the connection, so without this an open vectored at it would
+  // hang forever; on expiry the open runs the same refresh/avoid recovery
+  // as a connection loss. Zero disables the timer.
+  Duration openTimeout = std::chrono::seconds(10);
 };
 
 /// A successfully opened file: which node serves it and its handle there.
@@ -117,6 +122,12 @@ class ScallaClient : public net::MessageSink {
   void CacheAdmin(proto::PcacheAdminOp op, const std::string& path,
                   CacheAdminCallback done);
 
+  using DrainCallback = std::function<void(proto::XrdErr, const proto::CmsDrainResp&)>;
+  /// Operator drain: asks the head to take `server` (by cms name) out of
+  /// selection while keeping it online; restore=true undoes it. The head
+  /// fans the request down to supervisors when it does not know the name.
+  void Drain(const std::string& server, bool restore, DrainCallback done);
+
   // net::MessageSink
   void OnMessage(net::NodeAddr from, proto::Message message) override;
   /// Connection-loss recovery: pending opens/stats/unlinks aimed at the
@@ -148,6 +159,7 @@ class ScallaClient : public net::MessageSink {
     OpenOutcome outcome;
     TimePoint start{};
     int staleRetries = 0;
+    sched::TimerId timer = sched::kInvalidTimer;  // per-attempt timeout
   };
   struct StatState {
     std::string path;
@@ -178,6 +190,8 @@ class ScallaClient : public net::MessageSink {
 
   void SendOpen(std::uint64_t reqId);
   void FinishOpen(std::uint64_t reqId, proto::XrdErr err, FileRef file);
+  void CancelOpenTimer(OpenState& s);
+  void OnOpenTimeout(std::uint64_t reqId);
   void HandleOpenResp(net::NodeAddr from, const proto::XrdOpenResp& m);
   void HandleStatResp(net::NodeAddr from, const proto::XrdStatResp& m);
   void HandleUnlinkResp(net::NodeAddr from, const proto::XrdUnlinkResp& m);
@@ -207,6 +221,7 @@ class ScallaClient : public net::MessageSink {
   std::unordered_map<std::uint64_t, ListCallback> lists_;
   std::unordered_map<std::uint64_t, StatsQueryState> statsQueries_;
   std::unordered_map<std::uint64_t, CacheAdminCallback> cacheAdmins_;
+  std::unordered_map<std::uint64_t, DrainCallback> drains_;
 
   // Registry first: the instrument references below point into it.
   obs::MetricsRegistry metrics_;

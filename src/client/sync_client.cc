@@ -197,4 +197,21 @@ Result<proto::PcacheAdminResp> SyncClient::CacheAdmin(proto::PcacheAdminOp op,
   return resp;
 }
 
+Result<proto::CmsDrainResp> SyncClient::Drain(const std::string& server, bool restore) {
+  auto prom = std::make_shared<std::promise<std::pair<proto::XrdErr, proto::CmsDrainResp>>>();
+  auto fut = prom->get_future();
+  executor_.Post([this, server, restore, prom] {
+    inner_.Drain(server, restore,
+                 [prom](proto::XrdErr err, const proto::CmsDrainResp& resp) {
+                   prom->set_value({err, resp});
+                 });
+  });
+  auto [err, resp] = Await(fut, timeout_, {proto::XrdErr::kIo, proto::CmsDrainResp{}});
+  if (err != proto::XrdErr::kNone) {
+    return ScallaError{err, "drain '" + server + "': " +
+                                (resp.error.empty() ? XrdErrName(err) : resp.error)};
+  }
+  return resp;
+}
+
 }  // namespace scalla::client

@@ -50,6 +50,9 @@ class SyncClient {
   Result<proto::PcacheAdminResp> CacheAdmin(proto::PcacheAdminOp op,
                                             const std::string& path = {});
 
+  /// Operator drain/restore of a named server via the head (kCmsDrain).
+  Result<proto::CmsDrainResp> Drain(const std::string& server, bool restore = false);
+
  private:
   sched::Executor& executor_;
   ScallaClient inner_;

@@ -35,6 +35,13 @@ class CorrectionState {
   /// handled by PathTable::RemoveServer (V_m masking).
   void OnDrop(ServerSlot slot) { c_[slot] = 0; }
 
+  /// Server `slot` was declared dead (heartbeat miss limit) but keeps its
+  /// slot for a fast rejoin. Bumping its counter puts it in V_c for every
+  /// object cached earlier, so on the next fetch the correction shifts its
+  /// V_h/V_p bits into V_q — the same O(1) lazy clearing CmsGone relies
+  /// on, applied to every path at once.
+  void Touch(ServerSlot slot) { c_[slot] = ++nc_; }
+
   /// V_c for an object whose snapshot is `cn`: every server whose connect
   /// time is later than the snapshot. O(64) scan; callers memoise per
   /// eviction window (V_wc/C_wn) to make the common case O(1).

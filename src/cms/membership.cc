@@ -25,9 +25,12 @@ std::optional<Membership::LoginResult> Membership::Login(
       // information for this slot remains valid; information cached while
       // it was offline kept the server in V_q (queries could not be
       // issued), so no correction epoch bump is needed.
+      if (!members_[s]->online) ++liveness_.rejoins;
       members_[s]->online = true;
       members_[s]->allowWrite = allowWrite;
       members_[s]->isSupervisor = isSupervisor;
+      members_[s]->missedPings = 0;
+      members_[s]->suspended = false;  // fresh start; draining is sticky
       return LoginResult{s, false, true};
     }
     // "If the server reconnects within the drop time limit but has a new
@@ -57,6 +60,61 @@ void Membership::Disconnect(ServerSlot slot) {
   if (slot < 0 || slot >= kMaxServersPerSet || !members_[slot]) return;
   members_[slot]->online = false;
   members_[slot]->disconnectTime = clock_.Now();
+  members_[slot]->missedPings = 0;
+}
+
+Membership::HeartbeatOutcome Membership::HeartbeatTick() {
+  std::lock_guard lock(mu_);
+  HeartbeatOutcome out;
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (!members_[s]) continue;
+    MemberInfo& m = *members_[s];
+    if (!m.online) {
+      // Still within the drop window: invite it back (self-healing rejoin).
+      out.reconnect.push_back(s);
+      continue;
+    }
+    if (++m.missedPings >= config_.missLimit) {
+      m.online = false;
+      m.disconnectTime = clock_.Now();
+      m.missedPings = 0;
+      m.suspended = false;
+      corrections_.Touch(s);  // cached V_h/V_p bits shed lazily via V_q
+      ++liveness_.deaths;
+      out.died.emplace_back(s, m.name);
+    } else {
+      out.ping.push_back(s);
+    }
+  }
+  return out;
+}
+
+void Membership::OnPong(ServerSlot slot) {
+  std::lock_guard lock(mu_);
+  if (slot < 0 || slot >= kMaxServersPerSet || !members_[slot]) return;
+  members_[slot]->missedPings = 0;
+}
+
+bool Membership::DeclareDead(ServerSlot slot) {
+  std::lock_guard lock(mu_);
+  if (slot < 0 || slot >= kMaxServersPerSet || !members_[slot]) return false;
+  MemberInfo& m = *members_[slot];
+  if (!m.online) return false;
+  m.online = false;
+  m.disconnectTime = clock_.Now();
+  m.missedPings = 0;
+  m.suspended = false;
+  corrections_.Touch(slot);
+  ++liveness_.deaths;
+  return true;
+}
+
+bool Membership::SetDraining(ServerSlot slot, bool draining) {
+  std::lock_guard lock(mu_);
+  if (slot < 0 || slot >= kMaxServersPerSet || !members_[slot]) return false;
+  if (draining && !members_[slot]->draining) ++liveness_.drains;
+  members_[slot]->draining = draining;
+  return true;
 }
 
 std::vector<ServerSlot> Membership::DropExpired() {
@@ -112,6 +170,43 @@ ServerSet Membership::MemberSet() const {
   return set;
 }
 
+ServerSet Membership::SelectableSet() const {
+  std::lock_guard lock(mu_);
+  ServerSet set;
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (members_[s] && members_[s]->online && !members_[s]->suspended &&
+        !members_[s]->draining) {
+      set.set(s);
+    }
+  }
+  return set;
+}
+
+ServerSet Membership::SuspendedSet() const {
+  std::lock_guard lock(mu_);
+  ServerSet set;
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (members_[s] && members_[s]->suspended) set.set(s);
+  }
+  return set;
+}
+
+ServerSet Membership::DrainingSet() const {
+  std::lock_guard lock(mu_);
+  ServerSet set;
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (members_[s] && members_[s]->draining) set.set(s);
+  }
+  return set;
+}
+
+bool Membership::IsSelectable(ServerSlot slot) const {
+  std::lock_guard lock(mu_);
+  if (slot < 0 || slot >= kMaxServersPerSet || !members_[slot]) return false;
+  const MemberInfo& m = *members_[slot];
+  return m.online && !m.suspended && !m.draining;
+}
+
 std::optional<MemberInfo> Membership::InfoOf(ServerSlot slot) const {
   std::lock_guard lock(mu_);
   if (slot < 0 || slot >= kMaxServersPerSet) return std::nullopt;
@@ -126,11 +221,38 @@ std::optional<ServerSlot> Membership::SlotOf(const std::string& name) const {
   return std::nullopt;
 }
 
+void Membership::ApplyLoadLocked(MemberInfo& m, std::uint32_t load,
+                                 std::uint64_t freeSpace) {
+  m.load = load;
+  m.freeSpace = freeSpace;
+  if (config_.suspendLoad == 0) return;
+  const std::uint32_t resumeAt =
+      config_.resumeLoad > 0 ? config_.resumeLoad : config_.suspendLoad / 2;
+  if (!m.suspended && load >= config_.suspendLoad) {
+    m.suspended = true;
+    ++liveness_.suspends;
+  } else if (m.suspended && load <= resumeAt) {
+    m.suspended = false;
+    ++liveness_.resumes;
+  }
+}
+
 void Membership::ReportLoad(ServerSlot slot, std::uint32_t load, std::uint64_t freeSpace) {
   std::lock_guard lock(mu_);
   if (slot < 0 || slot >= kMaxServersPerSet || !members_[slot]) return;
-  members_[slot]->load = load;
-  members_[slot]->freeSpace = freeSpace;
+  ApplyLoadLocked(*members_[slot], load, freeSpace);
+}
+
+std::optional<ServerSlot> Membership::ReportLoadByName(const std::string& name,
+                                                       std::uint32_t load,
+                                                       std::uint64_t freeSpace) {
+  std::lock_guard lock(mu_);
+  for (ServerSlot s = 0; s < kMaxServersPerSet; ++s) {
+    if (!members_[s] || members_[s]->name != name) continue;
+    ApplyLoadLocked(*members_[s], load, freeSpace);
+    return s;
+  }
+  return std::nullopt;
 }
 
 void Membership::CountSelection(ServerSlot slot) {
@@ -142,6 +264,11 @@ void Membership::CountSelection(ServerSlot slot) {
 ServerSet Membership::EligibleFor(std::string_view path) const {
   std::lock_guard lock(mu_);
   return paths_.Match(path);
+}
+
+Membership::LivenessStats Membership::GetLivenessStats() const {
+  std::lock_guard lock(mu_);
+  return liveness_;
 }
 
 std::size_t Membership::MemberCount() const {

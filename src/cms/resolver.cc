@@ -17,13 +17,16 @@ Resolver::Resolver(const CmsConfig& config, util::Clock& clock, Membership& memb
 
 bool Resolver::RedirectFrom(const LocInfo& info, const LocateOptions& options,
                             LocateResult* out) {
-  const ServerSet online = membership_.OnlineSet();
+  // Redirect targets must be selectable: online AND neither suspended
+  // (overload) nor draining (operator). Suspended/drained holders keep
+  // their cache bits — they come straight back once readmitted.
+  const ServerSet selectable = membership_.SelectableSet();
   ServerSet avoid;
   if (options.avoid >= 0) avoid.set(options.avoid);
 
   // Writers need a write-capable destination.
-  ServerSet have = info.have & online;
-  ServerSet pending = info.pending & online;
+  ServerSet have = info.have & selectable;
+  ServerSet pending = info.pending & selectable;
   if (options.mode == AccessMode::kWrite) {
     ServerSet writable;
     for (ServerSlot s = have.first(); s >= 0; s = have.next(s)) {
@@ -203,6 +206,9 @@ void Resolver::OnHave(const std::string& path, std::uint32_t hash, ServerSlot fr
                       bool pending, bool allowWrite) {
   const auto update = cache_.AddLocation(path, hash, from, pending, allowWrite);
   if (!update.found) return;  // entry expired; parked clients will retry
+  // A suspended/draining holder still updates the cache, but must not be
+  // handed to parked clients; the sweep retries them elsewhere.
+  if (!membership_.IsSelectable(from)) return;
   std::size_t released = 0;
   if (update.releaseRead.IsSet()) {
     released += respq_.Release(update.releaseRead, from, pending);

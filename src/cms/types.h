@@ -1,6 +1,7 @@
 // Shared vocabulary types for the cmsd core.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "util/server_set.h"
@@ -27,6 +28,24 @@ struct CmsConfig {
   Duration deadline = std::chrono::seconds(5);  // full delay / processing deadline
   Duration sweepPeriod = std::chrono::milliseconds(133);  // fast-response sweep
   Duration dropDelay = std::chrono::minutes(10);  // disconnect -> drop window
+
+  // Liveness heartbeat (cms.ping / cms.misslimit). A head pings each
+  // online subordinate every `ping`; one that misses `missLimit`
+  // consecutive probes is declared dead, so a wedged (hung, not crashed)
+  // server is off the selection path within ping * missLimit. Zero
+  // disables the heartbeat (fabric-level OnPeerDown still catches clean
+  // connection failures).
+  Duration ping = Duration::zero();
+  int missLimit = 3;
+
+  // Overload protection (cms.suspendload / cms.resumeload). A member whose
+  // reported load reaches `suspendLoad` is suspended — excluded from
+  // selection but still a cached cluster member — and resumes once load
+  // falls back to `resumeLoad` (default: half the suspend threshold).
+  // suspendLoad == 0 disables the mechanism.
+  std::uint32_t suspendLoad = 0;
+  std::uint32_t resumeLoad = 0;
+
   std::size_t initialBuckets = 89;  // Fibonacci
   double growthLoadFactor = 0.8;
   std::size_t responseAnchors = 1024;

@@ -75,9 +75,12 @@ struct CmsGone {
 };
 
 /// Subordinate -> parent: periodic load/space report used for selection.
+/// Routed by `name` (stable identity) rather than connection slot, so a
+/// report that races a re-login still lands on the right member.
 struct CmsLoad {
   std::uint32_t load = 0;
   std::uint64_t freeSpace = 0;
+  std::string name;  // reporter's stable identity ("" = route by sender addr)
 };
 
 // --------------------------------------------------------------------
@@ -291,13 +294,58 @@ struct PcacheAdminResp {
   std::uint64_t blockCount = 0;
 };
 
+// --------------------------------------------------------------------
+// Liveness & membership administration (cms protocol)
+
+/// Parent -> subordinate: heartbeat probe. A subordinate that misses
+/// `cms.misslimit` consecutive probes is declared dead (its cache bits are
+/// cleared through the correction vector, like CmsGone but for every path).
+/// With `reconnect` set the parent believes the subordinate is offline and
+/// is inviting it to log in again (the self-healing rejoin path).
+struct CmsPing {
+  std::uint64_t seq = 0;
+  bool reconnect = false;
+};
+
+/// Subordinate -> parent: heartbeat answer. Piggybacks the load/space
+/// numbers so selection metrics stay fresh even between CmsLoad reports.
+struct CmsPong {
+  std::uint64_t seq = 0;
+  std::uint32_t load = 0;
+  std::uint64_t freeSpace = 0;
+};
+
+/// Parent -> supervisor subordinates: "<server> was declared dead"; each
+/// supervisor clears the server from its own membership/cache and fans the
+/// notice further down its subtree.
+struct CmsDeath {
+  std::string server;
+};
+
+/// Operator -> head (or head -> supervisors, reqId=0): gracefully drain a
+/// server out of selection (restore=false) or re-admit it (restore=true).
+/// A drained server stays logged in and cached; it just stops winning
+/// selection until restored.
+struct CmsDrain {
+  std::uint64_t reqId = 0;  // 0 = fanned down the tree, no reply expected
+  std::string server;
+  bool restore = false;
+};
+
+struct CmsDrainResp {
+  std::uint64_t reqId = 0;
+  bool ok = false;
+  bool applied = false;  // false: unknown here, forwarded to subtree heads
+  std::string error;
+};
+
 using Message =
     std::variant<CmsLogin, CmsLoginResp, CmsQuery, CmsHave, CmsNoHave, CmsGone, CmsLoad,
                  XrdOpen, XrdOpenResp, XrdRead, XrdReadResp, XrdWrite, XrdWriteResp,
                  XrdClose, XrdCloseResp, XrdStat, XrdStatResp, XrdUnlink, XrdUnlinkResp,
                  XrdPrepare, XrdPrepareResp, CnsList, CnsListResp, XrdReadV, XrdReadVResp,
                  XrdChecksum, XrdChecksumResp, StatsQuery, StatsReply, PcacheAdmin,
-                 PcacheAdminResp>;
+                 PcacheAdminResp, CmsPing, CmsPong, CmsDeath, CmsDrain, CmsDrainResp>;
 
 /// Human-readable tag for logging.
 const char* MessageName(const Message& m);

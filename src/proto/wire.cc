@@ -4,6 +4,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "proto/wire_fields.h"
+
 namespace scalla::proto {
 namespace {
 
@@ -192,80 +194,8 @@ class Reader {
   bool ok_ = true;
 };
 
-// One Visit overload per message type, shared by Encode (Writer) and
-// Decode (Reader); fields are listed once, in declaration order.
-template <class Ar, class M>
-void Visit(Ar& ar, M& m) = delete;
-
-template <class Ar> void Visit(Ar& ar, CmsLogin& m) {
-  ar.Fields(m.name, m.exports, m.allowWrite, m.isSupervisor);
-}
-template <class Ar> void Visit(Ar& ar, CmsLoginResp& m) {
-  ar.Fields(m.ok, m.slot, m.error, m.redirect);
-}
-template <class Ar> void Visit(Ar& ar, CmsQuery& m) {
-  ar.Fields(m.path, m.hash, m.mode, m.refresh);
-}
-template <class Ar> void Visit(Ar& ar, CmsHave& m) {
-  ar.Fields(m.path, m.hash, m.pending, m.allowWrite, m.newfile);
-}
-template <class Ar> void Visit(Ar& ar, CmsNoHave& m) { ar.Fields(m.path, m.hash); }
-template <class Ar> void Visit(Ar& ar, CmsGone& m) { ar.Fields(m.path); }
-template <class Ar> void Visit(Ar& ar, CmsLoad& m) { ar.Fields(m.load, m.freeSpace); }
-template <class Ar> void Visit(Ar& ar, XrdOpen& m) {
-  ar.Fields(m.reqId, m.path, m.mode, m.create, m.refresh, m.avoidNode);
-}
-template <class Ar> void Visit(Ar& ar, XrdOpenResp& m) {
-  ar.Fields(m.reqId, m.status, m.err, m.redirectNode, m.waitNs, m.fileHandle, m.message);
-}
-template <class Ar> void Visit(Ar& ar, XrdRead& m) {
-  ar.Fields(m.reqId, m.fileHandle, m.offset, m.length);
-}
-template <class Ar> void Visit(Ar& ar, XrdReadResp& m) { ar.Fields(m.reqId, m.err, m.data); }
-template <class Ar> void Visit(Ar& ar, XrdWrite& m) {
-  ar.Fields(m.reqId, m.fileHandle, m.offset, m.data);
-}
-template <class Ar> void Visit(Ar& ar, XrdWriteResp& m) {
-  ar.Fields(m.reqId, m.err, m.written);
-}
-template <class Ar> void Visit(Ar& ar, XrdClose& m) { ar.Fields(m.reqId, m.fileHandle); }
-template <class Ar> void Visit(Ar& ar, XrdCloseResp& m) { ar.Fields(m.reqId, m.err); }
-template <class Ar> void Visit(Ar& ar, XrdStat& m) { ar.Fields(m.reqId, m.path); }
-template <class Ar> void Visit(Ar& ar, XrdStatResp& m) {
-  ar.Fields(m.reqId, m.status, m.err, m.redirectNode, m.waitNs, m.size);
-}
-template <class Ar> void Visit(Ar& ar, XrdUnlink& m) { ar.Fields(m.reqId, m.path); }
-template <class Ar> void Visit(Ar& ar, XrdUnlinkResp& m) {
-  ar.Fields(m.reqId, m.status, m.err, m.redirectNode, m.waitNs);
-}
-template <class Ar> void Visit(Ar& ar, XrdPrepare& m) {
-  ar.Fields(m.reqId, m.paths, m.mode);
-}
-template <class Ar> void Visit(Ar& ar, XrdPrepareResp& m) { ar.Fields(m.reqId, m.err); }
-template <class Ar> void Visit(Ar& ar, CnsList& m) { ar.Fields(m.reqId, m.prefix); }
-template <class Ar> void Visit(Ar& ar, CnsListResp& m) {
-  ar.Fields(m.reqId, m.err, m.names);
-}
-template <class Ar> void Visit(Ar& ar, XrdReadV& m) {
-  ar.Fields(m.reqId, m.fileHandle, m.segments);
-}
-template <class Ar> void Visit(Ar& ar, XrdReadVResp& m) {
-  ar.Fields(m.reqId, m.err, m.chunks);
-}
-template <class Ar> void Visit(Ar& ar, XrdChecksum& m) { ar.Fields(m.reqId, m.path); }
-template <class Ar> void Visit(Ar& ar, XrdChecksumResp& m) {
-  ar.Fields(m.reqId, m.status, m.err, m.redirectNode, m.waitNs, m.crc32);
-}
-template <class Ar> void Visit(Ar& ar, StatsQuery& m) { ar.Fields(m.reqId); }
-template <class Ar> void Visit(Ar& ar, StatsReply& m) {
-  ar.Fields(m.reqId, m.nodeCount, m.snapshot);
-}
-template <class Ar> void Visit(Ar& ar, PcacheAdmin& m) {
-  ar.Fields(m.reqId, m.op, m.path);
-}
-template <class Ar> void Visit(Ar& ar, PcacheAdminResp& m) {
-  ar.Fields(m.reqId, m.err, m.blocksPurged, m.usedBytes, m.blockCount);
-}
+// Field lists live in proto/wire_fields.h (one Visit overload per message
+// type), shared by Encode (Writer), Decode (Reader), and tests.
 
 template <std::size_t I = 0>
 std::optional<Message> DecodeIndex(std::size_t index, Reader& reader) {
@@ -275,7 +205,7 @@ std::optional<Message> DecodeIndex(std::size_t index, Reader& reader) {
   } else {
     if (index == I) {
       std::variant_alternative_t<I, Message> m{};
-      Visit(reader, m);
+      wire::Visit(reader, m);
       if (!reader.ok()) return std::nullopt;
       return Message(std::move(m));
     }
@@ -288,8 +218,11 @@ std::optional<Message> DecodeIndex(std::size_t index, Reader& reader) {
 std::string Encode(const Message& message) {
   Writer writer;
   writer.Put(static_cast<std::uint8_t>(message.index()));
-  std::visit([&writer](const auto& m) { Visit(writer, const_cast<std::decay_t<decltype(m)>&>(m)); },
-             message);
+  std::visit(
+      [&writer](const auto& m) {
+        wire::Visit(writer, const_cast<std::decay_t<decltype(m)>&>(m));
+      },
+      message);
   return std::move(writer.out);
 }
 
@@ -307,7 +240,8 @@ const char* MessageName(const Message& m) {
       "XrdWriteResp", "XrdClose", "XrdCloseResp", "XrdStat", "XrdStatResp",
       "XrdUnlink", "XrdUnlinkResp", "XrdPrepare", "XrdPrepareResp", "CnsList",
       "CnsListResp", "XrdReadV", "XrdReadVResp", "XrdChecksum", "XrdChecksumResp",
-      "StatsQuery", "StatsReply", "PcacheAdmin", "PcacheAdminResp"};
+      "StatsQuery", "StatsReply", "PcacheAdmin", "PcacheAdminResp", "CmsPing",
+      "CmsPong", "CmsDeath", "CmsDrain", "CmsDrainResp"};
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == std::variant_size_v<Message>);
   return kNames[m.index()];
 }

@@ -150,6 +150,9 @@ client::ScallaClient& SimCluster::NewClient() {
   cfg.addr = NextAddr();
   cfg.head = managers_[0]->config().addr;
   cfg.cnsd = cnsAddr_;
+  if (spec_.clientOpenTimeout > Duration::zero()) {
+    cfg.openTimeout = spec_.clientOpenTimeout;
+  }
   for (std::size_t m = 1; m < managers_.size(); ++m) {
     cfg.extraHeads.push_back(managers_[m]->config().addr);
   }
@@ -318,5 +321,38 @@ void SimCluster::RestartServer(std::size_t i) {
   leaves_[i]->Stop();
   leaves_[i]->Start();
 }
+
+void SimCluster::WedgeServer(std::size_t i) {
+  fabric_.SetWedged(leaves_[i]->config().addr, true);
+}
+
+void SimCluster::UnwedgeServer(std::size_t i) {
+  fabric_.SetWedged(leaves_[i]->config().addr, false);
+}
+
+Result<proto::CmsDrainResp> SimCluster::DrainAndWait(client::ScallaClient& c,
+                                                     const std::string& server,
+                                                     bool restore) {
+  auto result =
+      std::make_shared<std::optional<std::pair<proto::XrdErr, proto::CmsDrainResp>>>();
+  c.Drain(server, restore,
+          [result](proto::XrdErr err, const proto::CmsDrainResp& resp) {
+            *result = std::make_pair(err, resp);
+          });
+  engine_.RunUntilPredicate([result] { return result->has_value(); },
+                            engine_.Now() + std::chrono::seconds(30));
+  if (!result->has_value()) {
+    return ScallaError{proto::XrdErr::kIo, "drain '" + server + "': timed out"};
+  }
+  if ((*result)->first != proto::XrdErr::kNone) {
+    const std::string detail = (*result)->second.error.empty()
+                                   ? XrdErrName((*result)->first)
+                                   : (*result)->second.error;
+    return ScallaError{(*result)->first, "drain '" + server + "': " + detail};
+  }
+  return (*result)->second;
+}
+
+void SimCluster::RunFor(Duration d) { engine_.RunUntil(engine_.Now() + d); }
 
 }  // namespace scalla::sim

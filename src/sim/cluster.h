@@ -37,6 +37,10 @@ struct ClusterSpec {
   bool withProxy = false;
   pcache::BlockCacheConfig proxyCache;
   int proxyReadAhead = 0;
+  // Per-attempt open timeout for clients made by NewClient (0 = client
+  // default). Liveness tests shorten it so opens vectored at a wedged
+  // server recover quickly.
+  Duration clientOpenTimeout = Duration::zero();
 };
 
 class SimCluster {
@@ -106,6 +110,19 @@ class SimCluster {
   void CrashServer(std::size_t i);
   /// Restarts leaf `i` (it re-logs-in; run the engine to settle).
   void RestartServer(std::size_t i);
+  /// Wedges leaf `i`: the process hangs with its connections intact, so
+  /// nobody gets OnPeerDown — only the heartbeat notices.
+  void WedgeServer(std::size_t i);
+  /// Un-wedges leaf `i`; the head's next reconnect invitation restores it.
+  void UnwedgeServer(std::size_t i);
+
+  /// Drives a client Drain/restore through the head to completion.
+  Result<proto::CmsDrainResp> DrainAndWait(client::ScallaClient& c,
+                                           const std::string& server,
+                                           bool restore = false);
+
+  /// Advances virtual time by `d`, processing periodic timers on the way.
+  void RunFor(Duration d);
 
   const ClusterSpec& spec() const { return spec_; }
 

@@ -31,6 +31,12 @@ bool SimFabric::Reachable(net::NodeAddr from, net::NodeAddr to) const {
 
 void SimFabric::Send(net::NodeAddr from, net::NodeAddr to, proto::Message message) {
   ++counters_.messagesSent;
+  if (wedged_.count(from) != 0 || wedged_.count(to) != 0) {
+    // A wedged endpoint's connections look healthy, so the loss is silent:
+    // no OnPeerDown, unlike the downed/cut cases below.
+    ++counters_.messagesDropped;
+    return;
+  }
   if (!Reachable(from, to)) {
     ++counters_.messagesDropped;
     // Model a broken connection: the sender learns its peer is gone.
@@ -60,8 +66,9 @@ void SimFabric::Send(net::NodeAddr from, net::NodeAddr to, proto::Message messag
   engine_.ScheduleAt(deliverAt,
                      [this, from, to, msg = std::move(message), type]() mutable {
                        // Re-check reachability at delivery time: a link cut
-                       // while the message was "in flight" loses it.
-                       if (!Reachable(from, to)) {
+                       // (or wedge) while the message was "in flight" loses it.
+                       if (wedged_.count(from) != 0 || wedged_.count(to) != 0 ||
+                           !Reachable(from, to)) {
                          ++counters_.messagesDropped;
                          return;
                        }
@@ -78,6 +85,14 @@ void SimFabric::SetDown(net::NodeAddr addr, bool down) {
     down_.insert(addr);
   } else {
     down_.erase(addr);
+  }
+}
+
+void SimFabric::SetWedged(net::NodeAddr addr, bool wedged) {
+  if (wedged) {
+    wedged_.insert(addr);
+  } else {
+    wedged_.erase(addr);
   }
 }
 

@@ -49,6 +49,10 @@ class SimFabric final : public net::Fabric {
   void SetDown(net::NodeAddr addr, bool down);
   /// Cuts (or restores) the bidirectional link between two endpoints.
   void SetLinkCut(net::NodeAddr a, net::NodeAddr b, bool cut);
+  /// Wedges an endpoint: the process hangs but its connections stay "up",
+  /// so everything it sends or receives is silently lost and NO peer gets
+  /// OnPeerDown — the failure mode only a heartbeat can detect.
+  void SetWedged(net::NodeAddr addr, bool wedged);
 
   /// Per-message-type delivered counts, keyed by variant index (E06).
   std::uint64_t DeliveredOfType(std::size_t variantIndex) const;
@@ -63,6 +67,7 @@ class SimFabric final : public net::Fabric {
   std::unordered_map<net::NodeAddr, net::MessageSink*> sinks_;
   std::unordered_map<net::NodeAddr, TimePoint> busyUntil_;  // per-receiver queue
   std::unordered_set<net::NodeAddr> down_;
+  std::unordered_set<net::NodeAddr> wedged_;
   std::unordered_set<std::uint64_t> cutLinks_;  // key: min<<32|max
   Counters counters_;
   std::unordered_map<std::size_t, std::uint64_t> deliveredByType_;

@@ -40,7 +40,9 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
   static const std::set<std::string> kKnown = {
       "all.role",      "all.name",      "all.addr",     "all.manager",
       "all.export",    "cms.lifetime",  "cms.delay",    "cms.sweep",
-      "cms.dropdelay", "cms.selection", "xrd.allowwrite", "xrd.loadreport",
+      "cms.dropdelay", "cms.selection", "cms.ping",     "cms.misslimit",
+      "cms.suspendload", "cms.resumeload",
+      "xrd.allowwrite", "xrd.loadreport",
       "oss.localroot", "all.cnsd",      "pcache.blocksize", "pcache.capacity",
       "pcache.hiwater", "pcache.lowater", "pcache.readahead",
       "fabric.connecttimeout", "fabric.writetimeout", "fabric.queuedepth"};
@@ -117,6 +119,43 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
   cfg.cms.deadline = parsed->GetDurationOr("cms.delay", cfg.cms.deadline);
   cfg.cms.sweepPeriod = parsed->GetDurationOr("cms.sweep", cfg.cms.sweepPeriod);
   cfg.cms.dropDelay = parsed->GetDurationOr("cms.dropdelay", cfg.cms.dropDelay);
+
+  if (parsed->Has("cms.ping")) {
+    const auto ping = parsed->GetDuration("cms.ping");
+    if (!ping.has_value() || *ping < Duration::zero()) {
+      Fail(error, "cms.ping must be a non-negative duration (0 disables)");
+      return std::nullopt;
+    }
+    cfg.cms.ping = *ping;
+  }
+  if (const auto limit = parsed->GetInt("cms.misslimit"); limit.has_value()) {
+    if (*limit < 1) {
+      Fail(error, "cms.misslimit must be at least 1");
+      return std::nullopt;
+    }
+    cfg.cms.missLimit = static_cast<int>(*limit);
+  } else if (parsed->Has("cms.misslimit")) {
+    Fail(error, "cms.misslimit must be an integer");
+    return std::nullopt;
+  }
+  if (const auto load = parsed->GetInt("cms.suspendload"); load.has_value()) {
+    if (*load < 0) {
+      Fail(error, "cms.suspendload must be non-negative (0 disables)");
+      return std::nullopt;
+    }
+    cfg.cms.suspendLoad = static_cast<std::uint32_t>(*load);
+  }
+  if (const auto load = parsed->GetInt("cms.resumeload"); load.has_value()) {
+    if (*load < 0) {
+      Fail(error, "cms.resumeload must be non-negative");
+      return std::nullopt;
+    }
+    cfg.cms.resumeLoad = static_cast<std::uint32_t>(*load);
+  }
+  if (cfg.cms.suspendLoad > 0 && cfg.cms.resumeLoad >= cfg.cms.suspendLoad) {
+    Fail(error, "cms.resumeload must be below cms.suspendload");
+    return std::nullopt;
+  }
 
   if (const auto sel = parsed->GetString("cms.selection"); sel.has_value()) {
     if (*sel == "roundrobin") {

@@ -33,7 +33,9 @@ ScallaNode::NodeMetrics::NodeMetrics(obs::MetricsRegistry& r)
       loginsAccepted(r.GetCounter("node.logins_accepted")),
       loginsSent(r.GetCounter("node.logins_sent")),
       refreshes(r.GetCounter("node.refreshes")),
-      statsQueries(r.GetCounter("node.stats_queries")) {}
+      statsQueries(r.GetCounter("node.stats_queries")),
+      pingsSent(r.GetCounter("node.pings_sent")),
+      pongsReceived(r.GetCounter("node.pongs_received")) {}
 
 ScallaNode::ScallaNode(NodeConfig config, sched::Executor& executor, net::Fabric& fabric,
                        oss::Oss* storage)
@@ -89,17 +91,18 @@ void ScallaNode::Start() {
   });
   if (config_.role == NodeRole::kServer && config_.loadReportInterval > Duration::zero()) {
     loadTimer_ = executor_.RunEvery(config_.loadReportInterval, [this] {
-      const std::uint64_t used = storage_->UsedBytes().value_or(0);
-      const std::uint64_t free =
-          used < config_.assumedCapacity ? config_.assumedCapacity - used : 0;
-      ReportLoad(static_cast<std::uint32_t>(openFiles_.size()), free);
+      const auto [load, free] = CurrentLoad();
+      ReportLoad(load, free);
     });
+  }
+  if (IsHead() && config_.cms.ping > Duration::zero()) {
+    pingTimer_ = executor_.RunEvery(config_.cms.ping, [this] { HeartbeatTick(); });
   }
 }
 
 void ScallaNode::Stop() {
   maintenance_.Stop();
-  for (sched::TimerId* id : {&loginTimer_, &loadTimer_}) {
+  for (sched::TimerId* id : {&loginTimer_, &loadTimer_, &pingTimer_}) {
     if (*id != sched::kInvalidTimer) {
       executor_.Cancel(*id);
       *id = sched::kInvalidTimer;
@@ -254,15 +257,35 @@ obs::MetricsSnapshot ScallaNode::SnapshotMetrics() const {
   snap.AddCounter("maintenance.sweeps", maint.sweeps);
   snap.AddCounter("maintenance.drop_scans", maint.dropScans);
   snap.AddCounter("maintenance.members_dropped", maint.membersDropped);
+  const auto live = membership_.GetLivenessStats();
+  snap.AddCounter("membership.deaths", live.deaths);
+  snap.AddCounter("membership.rejoins", live.rejoins);
+  snap.AddCounter("membership.suspends", live.suspends);
+  snap.AddCounter("membership.resumes", live.resumes);
+  snap.AddCounter("membership.drains", live.drains);
+  snap.AddGauge("membership.suspended",
+                static_cast<std::int64_t>(membership_.SuspendedSet().count()));
+  snap.AddGauge("membership.draining",
+                static_cast<std::int64_t>(membership_.DrainingSet().count()));
   snap.AddGauge("node.open_handles", static_cast<std::int64_t>(openFiles_.size()));
   snap.AddGauge("node.members", static_cast<std::int64_t>(membership_.MemberCount()));
   snap.AddCounter("node.count", 1);  // lets aggregated views report fleet size
   return snap;
 }
 
+std::pair<std::uint32_t, std::uint64_t> ScallaNode::CurrentLoad() const {
+  if (config_.role != NodeRole::kServer || storage_ == nullptr) return {0, 0};
+  const std::uint64_t used = storage_->UsedBytes().value_or(0);
+  const std::uint64_t free =
+      used < config_.assumedCapacity ? config_.assumedCapacity - used : 0;
+  return {static_cast<std::uint32_t>(openFiles_.size()), free};
+}
+
 void ScallaNode::ReportLoad(std::uint32_t load, std::uint64_t freeSpace) {
+  lastLoad_ = load;
+  lastFree_ = freeSpace;
   for (const net::NodeAddr parent : parents_) {
-    fabric_.Send(config_.addr, parent, proto::CmsLoad{load, freeSpace});
+    fabric_.Send(config_.addr, parent, proto::CmsLoad{load, freeSpace, config_.name});
   }
 }
 
@@ -295,6 +318,14 @@ void ScallaNode::OnMessage(net::NodeAddr from, proto::Message message) {
           HandleGone(from, m);
         } else if constexpr (std::is_same_v<M, proto::CmsLoad>) {
           HandleLoad(from, m);
+        } else if constexpr (std::is_same_v<M, proto::CmsPing>) {
+          HandlePing(from, m);
+        } else if constexpr (std::is_same_v<M, proto::CmsPong>) {
+          HandlePong(from, m);
+        } else if constexpr (std::is_same_v<M, proto::CmsDeath>) {
+          HandleDeath(from, m);
+        } else if constexpr (std::is_same_v<M, proto::CmsDrain>) {
+          HandleDrain(from, m);
         } else if constexpr (std::is_same_v<M, proto::XrdOpen>) {
           HandleOpen(from, m);
         } else if constexpr (std::is_same_v<M, proto::XrdRead>) {
@@ -539,9 +570,128 @@ void ScallaNode::HandleGone(net::NodeAddr from, const proto::CmsGone& m) {
 }
 
 void ScallaNode::HandleLoad(net::NodeAddr from, const proto::CmsLoad& m) {
+  // Route by stable identity first: a report that raced a re-login under a
+  // different slot id must not be credited to whoever holds the old slot.
+  if (!m.name.empty() &&
+      membership_.ReportLoadByName(m.name, m.load, m.freeSpace).has_value()) {
+    return;
+  }
   const auto slot = SlotOfAddr(from);
   if (!slot.has_value()) return;
   membership_.ReportLoad(*slot, m.load, m.freeSpace);
+}
+
+// ---------------------------------------------------------------------
+// liveness / membership administration
+
+void ScallaNode::HeartbeatTick() {
+  const auto hb = membership_.HeartbeatTick();
+  proto::CmsPing ping;
+  ping.seq = ++pingSeq_;
+  for (const ServerSlot s : hb.ping) {
+    const net::NodeAddr addr = slotAddr_[s];
+    if (addr == 0) continue;
+    nm_.pingsSent.Inc();
+    fabric_.Send(config_.addr, addr, ping);
+  }
+  // Offline members still in the drop window get a reconnect invitation:
+  // a wedged server that recovers re-logs in and resumes its slot.
+  proto::CmsPing invite;
+  invite.seq = ping.seq;
+  invite.reconnect = true;
+  for (const ServerSlot s : hb.reconnect) {
+    const net::NodeAddr addr = slotAddr_[s];
+    if (addr == 0) continue;
+    nm_.pingsSent.Inc();
+    fabric_.Send(config_.addr, addr, invite);
+  }
+  for (const auto& [slot, name] : hb.died) {
+    SCALLA_WARN("node", "%s: declaring '%s' (slot %d) dead after %d missed pings",
+                config_.name.c_str(), name.c_str(), slot, config_.cms.missLimit);
+    FanToSupervisors(proto::CmsDeath{name});
+  }
+}
+
+void ScallaNode::HandlePing(net::NodeAddr from, const proto::CmsPing& m) {
+  if (!IsParent(from)) return;
+  if (m.reconnect) {
+    // The parent declared us dead (or saw us disconnect); re-login to
+    // resume our slot and restore our paths — no full cluster refresh.
+    slotAtParent_.erase(from);
+    SendLoginTo(from);
+    return;
+  }
+  proto::CmsPong pong;
+  pong.seq = m.seq;
+  pong.load = lastLoad_;
+  pong.freeSpace = lastFree_;
+  fabric_.Send(config_.addr, from, std::move(pong));
+}
+
+void ScallaNode::HandlePong(net::NodeAddr from, const proto::CmsPong& m) {
+  const auto slot = SlotOfAddr(from);
+  if (!slot.has_value()) return;
+  nm_.pongsReceived.Inc();
+  membership_.OnPong(*slot);
+  // Piggybacked load keeps selection metrics fresh between CmsLoad reports
+  // (and drives suspend/resume just like a report would).
+  const auto info = membership_.InfoOf(*slot);
+  if (info.has_value() && info->online) {
+    membership_.ReportLoad(*slot, m.load, m.freeSpace);
+  }
+}
+
+void ScallaNode::HandleDeath(net::NodeAddr from, const proto::CmsDeath& m) {
+  if (!IsParent(from)) return;  // death notices only flow down the tree
+  const auto slot = membership_.SlotOf(m.server);
+  if (slot.has_value()) membership_.DeclareDead(*slot);
+  // Fan further down regardless: the dead server may live deeper in a
+  // subtree this node only knows through a supervisor.
+  FanToSupervisors(m);
+}
+
+void ScallaNode::HandleDrain(net::NodeAddr from, const proto::CmsDrain& m) {
+  const auto reply = [&](bool ok, bool applied, std::string error) {
+    if (m.reqId == 0) return;  // fanned notices carry no reply path
+    proto::CmsDrainResp resp;
+    resp.reqId = m.reqId;
+    resp.ok = ok;
+    resp.applied = applied;
+    resp.error = std::move(error);
+    fabric_.Send(config_.addr, from, std::move(resp));
+  };
+  if (!IsHead()) {
+    reply(false, false, "not a cluster head");
+    return;
+  }
+  const auto slot = membership_.SlotOf(m.server);
+  if (slot.has_value()) {
+    membership_.SetDraining(*slot, !m.restore);
+    reply(true, true, "");
+    return;
+  }
+  // Unknown here: the server may sit deeper in the tree; forward to every
+  // supervisor subtree (best-effort, no replies expected on that leg).
+  const int fanned = FanToSupervisors(proto::CmsDrain{0, m.server, m.restore});
+  if (fanned > 0) {
+    reply(true, false, "");
+  } else {
+    reply(false, false, "unknown server '" + m.server + "'");
+  }
+}
+
+int ScallaNode::FanToSupervisors(const proto::Message& notice) {
+  int fanned = 0;
+  const ServerSet online = membership_.OnlineSet();
+  for (ServerSlot s = online.first(); s >= 0; s = online.next(s)) {
+    const auto info = membership_.InfoOf(s);
+    if (!info.has_value() || !info->isSupervisor) continue;
+    const net::NodeAddr addr = slotAddr_[s];
+    if (addr == 0) continue;
+    fabric_.Send(config_.addr, addr, notice);
+    ++fanned;
+  }
+  return fanned;
 }
 
 // ---------------------------------------------------------------------
@@ -592,11 +742,11 @@ void ScallaNode::HeadOpen(net::NodeAddr from, const proto::XrdOpen& m) {
               break;
             }
             // Creation: the full delay has confirmed non-existence; place
-            // the new file on an eligible, online, writable subordinate —
-            // avoiding a server that already refused this client (e.g.
-            // out of space).
+            // the new file on an eligible, selectable (online and neither
+            // suspended nor draining), writable subordinate — avoiding a
+            // server that already refused this client (e.g. out of space).
             ServerSet candidates =
-                membership_.EligibleFor(path) & membership_.OnlineSet();
+                membership_.EligibleFor(path) & membership_.SelectableSet();
             ServerSet writable;
             for (ServerSlot s = candidates.first(); s >= 0;
                  s = candidates.next(s)) {

@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cms/location_cache.h"
@@ -144,6 +145,18 @@ class ScallaNode : public net::MessageSink {
   void HandleGone(net::NodeAddr from, const proto::CmsGone& m);
   void HandleLoad(net::NodeAddr from, const proto::CmsLoad& m);
 
+  // liveness / membership administration
+  void HeartbeatTick();
+  void HandlePing(net::NodeAddr from, const proto::CmsPing& m);
+  void HandlePong(net::NodeAddr from, const proto::CmsPong& m);
+  void HandleDeath(net::NodeAddr from, const proto::CmsDeath& m);
+  void HandleDrain(net::NodeAddr from, const proto::CmsDrain& m);
+  /// Fans a death/drain notice to every online supervisor subordinate so
+  /// the whole subtree repairs its view. Returns targets reached.
+  int FanToSupervisors(const proto::Message& notice);
+  /// Current load/space numbers a pong or load report should carry.
+  std::pair<std::uint32_t, std::uint64_t> CurrentLoad() const;
+
   // xrd message handlers
   void HandleOpen(net::NodeAddr from, const proto::XrdOpen& m);
   void HandleRead(net::NodeAddr from, const proto::XrdRead& m);
@@ -199,6 +212,8 @@ class ScallaNode : public net::MessageSink {
     obs::Counter& loginsSent;      // login attempts toward parents
     obs::Counter& refreshes;       // opens carrying the refresh flag
     obs::Counter& statsQueries;    // StatsQuery frames served
+    obs::Counter& pingsSent;       // heartbeat probes sent to subordinates
+    obs::Counter& pongsReceived;   // heartbeat answers received
     explicit NodeMetrics(obs::MetricsRegistry& r);
   };
   NodeMetrics nm_;
@@ -221,6 +236,12 @@ class ScallaNode : public net::MessageSink {
 
   sched::TimerId loginTimer_ = sched::kInvalidTimer;
   sched::TimerId loadTimer_ = sched::kInvalidTimer;
+  sched::TimerId pingTimer_ = sched::kInvalidTimer;
+  std::uint64_t pingSeq_ = 0;
+  // Last load/space numbers this node reported upward; pongs echo them so
+  // parent selection metrics stay fresh between CmsLoad reports.
+  std::uint32_t lastLoad_ = 0;
+  std::uint64_t lastFree_ = 0;
 
   // One in-flight subtree aggregation per received StatsQuery. The key is
   // the reqId used on this node's *downward* queries; replies echo it.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 
 #include "client/sync_client.h"
 #include "net/tcp_fabric.h"
@@ -145,9 +146,15 @@ class TcpChaosTest : public ::testing::Test {
   }
 
   void SetUp() override {
-    fabric_ = std::make_unique<net::TcpFabric>(NextBasePort());
     cms_.deadline = std::chrono::milliseconds(500);
     cms_.sweepPeriod = std::chrono::milliseconds(50);
+    BuildTree(NextBasePort());
+  }
+
+  // Stands up manager + 3 servers + sync client on `basePort`, honouring
+  // whatever cms_ tuning the fixture applied first.
+  void BuildTree(std::uint16_t basePort) {
+    fabric_ = std::make_unique<net::TcpFabric>(basePort);
 
     xrd::NodeConfig mgr;
     mgr.role = xrd::NodeRole::kManager;
@@ -168,13 +175,26 @@ class TcpChaosTest : public ::testing::Test {
     cc.head = 1;
     clientExec_ = std::make_unique<sched::ThreadExecutor>();
     client_ = std::make_unique<client::SyncClient>(cc, *clientExec_, *fabric_,
-                                                   std::chrono::seconds(20));
+                                                   syncTimeout_);
     ASSERT_TRUE(fabric_->Register(100, &client_->async(), clientExec_.get()));
   }
 
   void TearDown() override {
     if (manager_) manager_->Stop();
     for (auto& node : nodes_) node->Stop();
+    // Quiesce inbound delivery first: Unregister joins each endpoint's
+    // reader threads, so nothing posts new work to the executors below.
+    if (fabric_) {
+      fabric_->Unregister(100);
+      for (const auto& [addr, idx] : addrToIdx_) fabric_->Unregister(addr);
+      fabric_->Unregister(1);
+    }
+    // Join the executors while the fabric is still alive: already-queued
+    // tasks may still call Send, which now just drops (endpoints gone).
+    client_.reset();
+    clientExec_.reset();
+    execs_.clear();
+    managerExec_.reset();
     fabric_.reset();
   }
 
@@ -211,6 +231,7 @@ class TcpChaosTest : public ::testing::Test {
 
   std::unique_ptr<net::TcpFabric> fabric_;
   cms::CmsConfig cms_;
+  Duration syncTimeout_ = std::chrono::seconds(20);
   std::unique_ptr<sched::ThreadExecutor> managerExec_;
   std::unique_ptr<xrd::ScallaNode> manager_;
   std::vector<std::unique_ptr<sched::ThreadExecutor>> execs_;
@@ -286,6 +307,169 @@ TEST_F(TcpChaosTest, InjectedPartitionRecoversViaRefreshAvoid) {
   const auto open = client_->Open("/store/part", AccessMode::kRead);
   ASSERT_EQ(open.err, proto::XrdErr::kNone);
   (void)client_->Close(open.file);
+}
+
+// ---- liveness over real sockets ----
+// The heartbeat story of heartbeat_test.cc replayed against the TCP
+// transport: a wedged endpoint (SetDrop both ways — frames silently
+// vanish, nobody's connection breaks, so no OnPeerDown ever fires) must
+// be declared dead by the probe alone, vanish from resolution, and
+// rejoin when the loss heals; overload suspension and the operator drain
+// behave identically to the simulator.
+
+class TcpLivenessTest : public TcpChaosTest {
+ protected:
+  // Own band: between TcpChaosTest (21000+) and tcp_cluster_test (24000+).
+  static std::uint16_t NextLivenessBasePort() {
+    static std::atomic<std::uint16_t> next{22500};
+    return next.fetch_add(200);
+  }
+
+  void SetUp() override {
+    cms_.deadline = std::chrono::milliseconds(500);
+    cms_.sweepPeriod = std::chrono::milliseconds(50);
+    cms_.ping = std::chrono::milliseconds(150);
+    cms_.missLimit = 3;
+    cms_.suspendLoad = 100;
+    cms_.resumeLoad = 40;
+    cms_.dropDelay = std::chrono::minutes(30);  // the dead stay members
+    // Every operation here either completes in milliseconds or is
+    // expected to fail; cap how long a deliberate not-found can grind
+    // through the client's recovery cycles.
+    syncTimeout_ = std::chrono::seconds(5);
+    BuildTree(NextLivenessBasePort());
+  }
+
+  void Wedge(net::NodeAddr addr, bool on) {
+    fabric_->SetDrop(1, addr, on);
+    fabric_->SetDrop(addr, 1, on);
+  }
+
+  // Polls a predicate evaluated against live node state (the repo's
+  // cross-thread test idiom, as in WaitMembers).
+  template <typename Pred>
+  [[nodiscard]] bool WaitFor(Pred pred,
+                             std::chrono::seconds timeout = std::chrono::seconds(10)) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+  }
+
+  // Resolves a server's slot through Membership (internally locked — safe
+  // from the test thread, unlike the node's own actor state).
+  ServerSlot SlotOf(net::NodeAddr addr) {
+    const auto slot =
+        manager_->membership().SlotOf("server" + std::to_string(addr));
+    EXPECT_TRUE(slot.has_value());
+    return slot.value_or(0);
+  }
+};
+
+TEST_F(TcpLivenessTest, WedgedServerDiesIsAvoidedAndRejoinsOnHeal) {
+  StorageOf(10).Put("/store/live", "x");
+  StorageOf(11).Put("/store/live", "x");
+  StorageOf(10).Put("/store/only10", "x");  // sole replica on the victim
+  const auto slot = SlotOf(10);
+
+  Wedge(10, true);
+  // Ping x misslimit is 450 ms; give the real clock ample slack but
+  // require the death verdict to come from the heartbeat alone.
+  ASSERT_TRUE(WaitFor([&] { return !manager_->membership().OnlineSet().test(slot); }));
+  EXPECT_GE(manager_->SnapshotMetrics().Counter("membership.deaths"), 1u);
+
+  // Dead means gone from resolution: every open lands on the live replica,
+  // and the file whose only holder died is honestly not found.
+  for (int i = 0; i < 4; ++i) {
+    const auto open = client_->Open("/store/live", AccessMode::kRead);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    EXPECT_EQ(open.file.node, 11u) << i;
+    (void)client_->Close(open.file);
+  }
+  EXPECT_NE(client_->Open("/store/only10", AccessMode::kRead).err,
+            proto::XrdErr::kNone);
+
+  // Heal the loss: the next probe's reconnect invitation brings it back,
+  // and the paths only it holds resolve again — no full refresh involved.
+  Wedge(10, false);
+  ASSERT_TRUE(WaitFor([&] { return manager_->membership().IsSelectable(slot); }));
+  EXPECT_GE(manager_->SnapshotMetrics().Counter("membership.rejoins"), 1u);
+
+  const auto back = client_->Open("/store/only10", AccessMode::kRead);
+  ASSERT_EQ(back.err, proto::XrdErr::kNone)
+      << "redirects=" << back.redirects << " waits=" << back.waits;
+  EXPECT_EQ(back.file.node, 10u);
+  (void)client_->Close(back.file);
+}
+
+TEST_F(TcpLivenessTest, OverloadSuspendsAndResumesOverTcp) {
+  StorageOf(10).Put("/store/s", "x");
+  StorageOf(11).Put("/store/s", "x");
+  const auto slot = SlotOf(10);
+
+  // The server reports overload from its own executor thread, as the
+  // periodic load reporter would.
+  xrd::ScallaNode* victim = nodes_[addrToIdx_.at(10)].get();
+  execs_[addrToIdx_.at(10)]->Post(
+      [victim] { victim->ReportLoad(150, std::uint64_t{1} << 30); });
+  ASSERT_TRUE(
+      WaitFor([&] { return manager_->membership().SuspendedSet().test(slot); }));
+  EXPECT_TRUE(manager_->membership().OnlineSet().test(slot));  // alive, just busy
+
+  for (int i = 0; i < 4; ++i) {
+    const auto open = client_->Open("/store/s", AccessMode::kRead);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    EXPECT_EQ(open.file.node, 11u) << i;
+    (void)client_->Close(open.file);
+  }
+
+  execs_[addrToIdx_.at(10)]->Post(
+      [victim] { victim->ReportLoad(30, std::uint64_t{1} << 30); });
+  ASSERT_TRUE(WaitFor([&] { return manager_->membership().IsSelectable(slot); }));
+  std::set<net::NodeAddr> landed;
+  for (int i = 0; i < 6; ++i) {
+    const auto open = client_->Open("/store/s", AccessMode::kRead);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    landed.insert(open.file.node);
+    (void)client_->Close(open.file);
+  }
+  EXPECT_EQ(landed.count(10), 1u);
+}
+
+TEST_F(TcpLivenessTest, OperatorDrainOverTcp) {
+  StorageOf(10).Put("/store/d", "x");
+  StorageOf(11).Put("/store/d", "x");
+  const auto slot = SlotOf(10);
+
+  const auto drained = client_->Drain("server10");
+  ASSERT_TRUE(drained.ok()) << drained.error().message;
+  EXPECT_TRUE(drained.value().applied);
+  EXPECT_TRUE(manager_->membership().DrainingSet().test(slot));
+
+  for (int i = 0; i < 4; ++i) {
+    const auto open = client_->Open("/store/d", AccessMode::kRead);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    EXPECT_EQ(open.file.node, 11u) << i;
+    (void)client_->Close(open.file);
+  }
+
+  const auto restored = client_->Drain("server10", /*restore=*/true);
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  ASSERT_TRUE(WaitFor([&] { return manager_->membership().IsSelectable(slot); }));
+  std::set<net::NodeAddr> landed;
+  for (int i = 0; i < 6; ++i) {
+    const auto open = client_->Open("/store/d", AccessMode::kRead);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    landed.insert(open.file.node);
+    (void)client_->Close(open.file);
+  }
+  EXPECT_EQ(landed.count(10), 1u);
+
+  const auto unknown = client_->Drain("nosuchserver");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().message.find("unknown server"), std::string::npos);
 }
 
 TEST(ChaosTest, CapacityEnforcedOnWriteGrowth) {

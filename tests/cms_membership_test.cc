@@ -130,6 +130,123 @@ TEST_F(MembershipTest, LoadReportsStored) {
   EXPECT_EQ(info->freeSpace, 1u << 30);
 }
 
+// ------------------------------------------------- heartbeat / liveness
+
+TEST_F(MembershipTest, HeartbeatDeclaresDeadAtMissLimit) {
+  const auto a = membership_.Login("s0", {"/store"});
+  // Each tick charges one missed probe; death on the missLimit-th tick.
+  for (int i = 0; i < config_.missLimit - 1; ++i) {
+    const auto out = membership_.HeartbeatTick();
+    EXPECT_TRUE(out.died.empty());
+    ASSERT_EQ(out.ping.size(), 1u);
+    EXPECT_EQ(out.ping[0], a->slot);
+  }
+  const auto out = membership_.HeartbeatTick();
+  ASSERT_EQ(out.died.size(), 1u);
+  EXPECT_EQ(out.died[0].first, a->slot);
+  EXPECT_EQ(out.died[0].second, "s0");
+  EXPECT_FALSE(membership_.OnlineSet().test(a->slot));
+  EXPECT_TRUE(membership_.OfflineSet().test(a->slot));
+  EXPECT_EQ(membership_.GetLivenessStats().deaths, 1u);
+}
+
+TEST_F(MembershipTest, PongRepaysTheCharge) {
+  const auto a = membership_.Login("s0", {"/store"});
+  for (int i = 0; i < config_.missLimit * 3; ++i) {
+    EXPECT_TRUE(membership_.HeartbeatTick().died.empty());
+    membership_.OnPong(a->slot);
+  }
+  EXPECT_TRUE(membership_.OnlineSet().test(a->slot));
+}
+
+TEST_F(MembershipTest, DeclareDeadTouchesCorrectionCounter) {
+  const auto a = membership_.Login("s0", {"/store"});
+  const std::uint64_t snap = membership_.corrections().Epoch();
+  EXPECT_TRUE(membership_.DeclareDead(a->slot));
+  // The slot lands in V_c so cached V_h/V_p bits shed lazily (CmsGone-style
+  // O(1) correction for every path at once).
+  EXPECT_TRUE(membership_.corrections().CorrectionSince(snap).test(a->slot));
+  EXPECT_FALSE(membership_.DeclareDead(a->slot));  // already offline
+  // Exports are retained for a cheap rejoin: the member is offline, not
+  // dropped, so EligibleFor still names it (the resolver masks by online).
+  EXPECT_TRUE(membership_.EligibleFor("/store/x").test(a->slot));
+}
+
+TEST_F(MembershipTest, HeartbeatInvitesOfflineMembersBack) {
+  const auto a = membership_.Login("s0", {"/store"});
+  membership_.DeclareDead(a->slot);
+  const auto out = membership_.HeartbeatTick();
+  ASSERT_EQ(out.reconnect.size(), 1u);
+  EXPECT_EQ(out.reconnect[0], a->slot);
+  // A same-export re-login resumes the slot and counts as a rejoin.
+  const auto again = membership_.Login("s0", {"/store"});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->slot, a->slot);
+  EXPECT_TRUE(again->reconnected);
+  EXPECT_EQ(membership_.GetLivenessStats().rejoins, 1u);
+  EXPECT_TRUE(membership_.IsSelectable(a->slot));
+}
+
+TEST_F(MembershipTest, SuspendAndResumeThresholds) {
+  CmsConfig cfg;
+  cfg.suspendLoad = 100;
+  cfg.resumeLoad = 40;
+  Membership m(cfg, clock_);
+  const auto a = m.Login("s0", {"/store"});
+  m.ReportLoad(a->slot, 99, 0);
+  EXPECT_TRUE(m.IsSelectable(a->slot));
+  m.ReportLoad(a->slot, 100, 0);  // at threshold: suspended
+  EXPECT_FALSE(m.IsSelectable(a->slot));
+  EXPECT_TRUE(m.OnlineSet().test(a->slot));  // still online, still cached
+  EXPECT_TRUE(m.SuspendedSet().test(a->slot));
+  m.ReportLoad(a->slot, 41, 0);  // above resume point: still suspended
+  EXPECT_FALSE(m.IsSelectable(a->slot));
+  m.ReportLoad(a->slot, 40, 0);  // resumes
+  EXPECT_TRUE(m.IsSelectable(a->slot));
+  const auto stats = m.GetLivenessStats();
+  EXPECT_EQ(stats.suspends, 1u);
+  EXPECT_EQ(stats.resumes, 1u);
+}
+
+TEST_F(MembershipTest, DrainIsStickyAcrossRejoin) {
+  const auto a = membership_.Login("s0", {"/store"});
+  EXPECT_TRUE(membership_.SetDraining(a->slot, true));
+  EXPECT_FALSE(membership_.IsSelectable(a->slot));
+  EXPECT_TRUE(membership_.OnlineSet().test(a->slot));
+  // Drain survives a disconnect/re-login cycle — an operator decision is
+  // not undone by the server bouncing.
+  membership_.Disconnect(a->slot);
+  const auto again = membership_.Login("s0", {"/store"});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->slot, a->slot);
+  EXPECT_FALSE(membership_.IsSelectable(a->slot));
+  EXPECT_TRUE(membership_.SetDraining(a->slot, false));
+  EXPECT_TRUE(membership_.IsSelectable(a->slot));
+  EXPECT_EQ(membership_.GetLivenessStats().drains, 1u);
+}
+
+// Regression: a load report must follow the server's stable identity, not
+// a slot id captured at login. After drop + re-login shuffles slots, a
+// report routed by the stale slot would credit a different server.
+TEST_F(MembershipTest, ReportLoadByNameSurvivesRelogin) {
+  const auto a = membership_.Login("s0", {"/store"});
+  const auto b = membership_.Login("s1", {"/store"});
+  // s0 is dropped; s1 re-logs after a drop too, and a newcomer takes the
+  // now-free slot 0.
+  membership_.Disconnect(a->slot);
+  clock_.Advance(config_.dropDelay * 2);
+  membership_.DropExpired();
+  const auto c = membership_.Login("s2", {"/store"});
+  EXPECT_EQ(c->slot, a->slot);  // slot reused by a different server
+  // A by-name report from s1 lands on s1 regardless of slot churn.
+  const auto landed = membership_.ReportLoadByName("s1", 77, 123);
+  ASSERT_TRUE(landed.has_value());
+  EXPECT_EQ(*landed, b->slot);
+  EXPECT_EQ(membership_.InfoOf(b->slot)->load, 77u);
+  EXPECT_EQ(membership_.InfoOf(c->slot)->load, 0u);
+  EXPECT_FALSE(membership_.ReportLoadByName("nobody", 1, 1).has_value());
+}
+
 // ------------------------------------------------------- CorrectionState
 
 TEST(CorrectionStateTest, CorrectionSinceTracksNewcomers) {

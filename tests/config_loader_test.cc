@@ -133,6 +133,48 @@ TEST(NodeConfigLoaderTest, LocalRootOnlyForServers) {
                    .has_value());
 }
 
+TEST(NodeConfigLoaderTest, HeartbeatDirectivesParsed) {
+  std::string error;
+  const auto loaded = LoadNodeConfig(
+      "all.role manager\nall.addr 1\nall.export /store\n"
+      "cms.ping 500ms\n"
+      "cms.misslimit 5\n"
+      "cms.suspendload 200\n"
+      "cms.resumeload 80\n",
+      &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->node.cms.ping, Duration(std::chrono::milliseconds(500)));
+  EXPECT_EQ(loaded->node.cms.missLimit, 5);
+  EXPECT_EQ(loaded->node.cms.suspendLoad, 200u);
+  EXPECT_EQ(loaded->node.cms.resumeLoad, 80u);
+}
+
+TEST(NodeConfigLoaderTest, HeartbeatDefaultsOffWhenUnset) {
+  std::string error;
+  const auto loaded =
+      LoadNodeConfig("all.role manager\nall.addr 1\nall.export /store\n", &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->node.cms.ping, Duration::zero());  // heartbeat disabled
+  EXPECT_EQ(loaded->node.cms.missLimit, 3);
+  EXPECT_EQ(loaded->node.cms.suspendLoad, 0u);  // suspension disabled
+}
+
+TEST(NodeConfigLoaderTest, RejectsBadHeartbeatValues) {
+  const std::string base = "all.role manager\nall.addr 1\nall.export /store\n";
+  std::string error;
+  EXPECT_FALSE(LoadNodeConfig(base + "cms.ping always\n", &error).has_value());
+  EXPECT_FALSE(LoadNodeConfig(base + "cms.misslimit 0\n", &error).has_value());
+  EXPECT_FALSE(LoadNodeConfig(base + "cms.misslimit -2\n", &error).has_value());
+  // resumeload must sit below suspendload, or a suspended server could
+  // never resume (and a resumed one would re-suspend at once).
+  EXPECT_FALSE(LoadNodeConfig(base + "cms.suspendload 50\ncms.resumeload 50\n",
+                              &error)
+                   .has_value());
+  EXPECT_NE(error.find("resumeload"), std::string::npos);
+  // resumeload alone (suspendload unset = 0) is tolerated but inert.
+  EXPECT_TRUE(LoadNodeConfig(base + "cms.resumeload 10\n", &error).has_value());
+}
+
 TEST(NodeConfigLoaderTest, ProxyConfigWithPcacheDirectives) {
   std::string error;
   const auto loaded = LoadNodeConfig(

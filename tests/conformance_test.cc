@@ -1,0 +1,222 @@
+// Model-conformance stress test: a seeded discrete-event workload of
+// opens, wedge-deaths, rejoins, a late join, and load-driven
+// suspend/resume runs against the real cluster while the test maintains
+// two independent oracles — a plain alive/suspended table and the
+// baseline::CentralDirectory (which re-learns each server's full manifest
+// on every registration). Every resolution the cluster hands out must
+// land on a server the models consider an eligible holder; the cluster
+// must never serve from a dead or suspended replica, and must always
+// serve when the models say someone eligible exists.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/central_directory.h"
+#include "oss/mem_oss.h"
+#include "sim/cluster.h"
+#include "util/rng.h"
+
+namespace scalla::sim {
+namespace {
+
+using cms::AccessMode;
+
+constexpr int kClusterServers = 6;
+constexpr int kLateIndex = kClusterServers;  // the late joiner's model index
+constexpr int kModelServers = kClusterServers + 1;
+constexpr int kFiles = 12;
+
+std::string FilePath(int f) { return "/store/f" + std::to_string(f); }
+
+TEST(ConformanceTest, SeededWorkloadMatchesCentralDirectoryModel) {
+  ClusterSpec spec;
+  spec.servers = kClusterServers;
+  spec.cms.ping = std::chrono::milliseconds(500);
+  spec.cms.missLimit = 3;
+  spec.cms.deadline = std::chrono::milliseconds(300);
+  spec.cms.dropDelay = std::chrono::hours(1);
+  spec.cms.suspendLoad = 100;
+  spec.cms.resumeLoad = 40;
+  SimCluster cluster(spec);
+
+  // Three replicas per file, striped so every server carries files.
+  std::vector<std::vector<std::string>> manifest(kModelServers);
+  for (int f = 0; f < kFiles; ++f) {
+    for (const int idx : {f % kClusterServers, (f + 1) % kClusterServers,
+                          (f + 3) % kClusterServers}) {
+      cluster.PlaceFile(static_cast<std::size_t>(idx), FilePath(f), "x");
+      manifest[idx].push_back(FilePath(f));
+    }
+  }
+  cluster.Start();
+  auto& client = cluster.NewClient();
+
+  // The late joiner: a 7th data server built by hand (SimCluster's tree is
+  // fixed at construction), pre-seeded with replicas of the first three
+  // files, started mid-workload like a capacity add.
+  oss::MemOss lateStorage(cluster.engine().clock());
+  xrd::NodeConfig lateCfg;
+  lateCfg.role = xrd::NodeRole::kServer;
+  lateCfg.name = "server" + std::to_string(kLateIndex);
+  lateCfg.addr = 99;
+  lateCfg.parent = cluster.head().config().addr;
+  lateCfg.exports = spec.exports;
+  lateCfg.cms = spec.cms;
+  lateCfg.selection = spec.selection;
+  for (int f = 0; f < 3; ++f) {
+    lateStorage.Put(FilePath(f), "x");
+    manifest[kLateIndex].push_back(FilePath(f));
+  }
+  xrd::ScallaNode late(lateCfg, cluster.engine(), cluster.fabric(), &lateStorage);
+  cluster.fabric().Register(lateCfg.addr, &late);
+
+  // ---- the two oracles ----
+  baseline::CentralDirectory directory;
+  bool alive[kModelServers] = {};
+  bool wedged[kModelServers] = {};
+  bool suspended[kModelServers] = {};
+  for (int i = 0; i < kClusterServers; ++i) {
+    alive[i] = true;
+    directory.RegisterServer(static_cast<ServerSlot>(i), manifest[i]);
+  }
+
+  const auto addrOf = [&](int idx) {
+    return idx == kLateIndex ? lateCfg.addr
+                             : cluster.server(static_cast<std::size_t>(idx))
+                                   .config()
+                                   .addr;
+  };
+  const auto nodeOf = [&](int idx) -> xrd::ScallaNode& {
+    return idx == kLateIndex ? late
+                             : cluster.server(static_cast<std::size_t>(idx));
+  };
+  const auto indexOf = [&](net::NodeAddr addr) {
+    for (int i = 0; i < kModelServers; ++i) {
+      if (addrOf(i) == addr) return i;
+    }
+    return -1;
+  };
+  const auto countIf = [&](const bool* flags) {
+    int n = 0;
+    for (int i = 0; i < kModelServers; ++i) n += flags[i] ? 1 : 0;
+    return n;
+  };
+
+  // Settle windows, in heartbeat terms: a wedge is dead after
+  // ping x misslimit (plus one interval of slack); a healed member is back
+  // after the next probe invites it and the login round-trips.
+  const Duration deathSettle = spec.cms.ping * (spec.cms.missLimit + 1);
+  const Duration rejoinSettle = spec.cms.ping * 3;
+
+  util::Rng rng(0xC0FFEEULL);
+  int opensChecked = 0;
+  int deaths = 0, rejoins = 0, suspends = 0, resumes = 0;
+  constexpr int kSteps = 160;
+  for (int step = 0; step < kSteps; ++step) {
+    if (step == kSteps / 3) {
+      // Capacity add: the late server logs in and (per the paper,
+      // registration is "extremely light") serves immediately; the
+      // central-directory baseline must swallow its whole manifest.
+      late.Start();
+      cluster.RunFor(rejoinSettle);
+      alive[kLateIndex] = true;
+      directory.RegisterServer(static_cast<ServerSlot>(kLateIndex),
+                               manifest[kLateIndex]);
+      continue;
+    }
+
+    const std::uint64_t action = rng.NextBelow(10);
+    if (action == 0 && countIf(wedged) < 2 && countIf(alive) > 3) {
+      // Wedge-death. Only the original leaves are wedgable (the harness
+      // helper tracks them); pick a live, unwedged one. A suspended server
+      // is left alone: its pong would re-advertise the overload right
+      // after rejoin, which the flat alive/suspended model cannot see.
+      const int idx = static_cast<int>(rng.NextBelow(kClusterServers));
+      if (!alive[idx] || wedged[idx] || suspended[idx]) continue;
+      cluster.WedgeServer(static_cast<std::size_t>(idx));
+      cluster.RunFor(deathSettle);
+      wedged[idx] = true;
+      alive[idx] = false;
+      directory.DeregisterServer(static_cast<ServerSlot>(idx));
+      ++deaths;
+    } else if (action == 1 && countIf(wedged) > 0) {
+      // Heal one wedged server; it rejoins on the next probe's invite.
+      int idx = -1;
+      for (int i = 0; i < kClusterServers; ++i) {
+        if (wedged[i]) idx = i;
+      }
+      cluster.UnwedgeServer(static_cast<std::size_t>(idx));
+      cluster.RunFor(rejoinSettle);
+      wedged[idx] = false;
+      alive[idx] = true;
+      suspended[idx] = false;  // rejoin clears suspension
+      directory.RegisterServer(static_cast<ServerSlot>(idx), manifest[idx]);
+      ++rejoins;
+    } else if (action == 2 && countIf(suspended) < 2) {
+      // Overload report from a live, reachable server (a wedged one could
+      // not deliver it).
+      const int idx = static_cast<int>(rng.NextBelow(kModelServers));
+      if (!alive[idx] || wedged[idx] || suspended[idx]) continue;
+      nodeOf(idx).ReportLoad(150, std::uint64_t{1} << 30);
+      cluster.engine().RunUntilIdle();
+      suspended[idx] = true;
+      ++suspends;
+    } else if (action == 3 && countIf(suspended) > 0) {
+      int idx = -1;
+      for (int i = 0; i < kModelServers; ++i) {
+        if (suspended[i]) idx = i;
+      }
+      nodeOf(idx).ReportLoad(30, std::uint64_t{1} << 30);
+      cluster.engine().RunUntilIdle();
+      suspended[idx] = false;
+      ++resumes;
+    } else {
+      // An open, checked against both oracles.
+      const int f = static_cast<int>(rng.NextBelow(kFiles));
+      const auto located = directory.Locate(FilePath(f));
+      bool anyEligible = false;
+      for (int i = 0; i < kModelServers; ++i) {
+        anyEligible |= located.test(static_cast<ServerSlot>(i)) && alive[i] &&
+                       !suspended[i];
+      }
+      if (!anyEligible) continue;  // the cluster would rightly say kNotFound
+      const auto open =
+          cluster.OpenAndWait(client, FilePath(f), AccessMode::kRead, false);
+      ASSERT_EQ(open.err, proto::XrdErr::kNone)
+          << "step " << step << " file " << f;
+      const int landed = indexOf(open.file.node);
+      ASSERT_GE(landed, 0) << "step " << step << ": redirected to a non-server";
+      // Directory agreement: the chosen server really holds the file.
+      EXPECT_TRUE(located.test(static_cast<ServerSlot>(landed)))
+          << "step " << step << " file " << f << " landed on server " << landed;
+      // Liveness agreement: never a dead or suspended replica.
+      EXPECT_TRUE(alive[landed])
+          << "step " << step << ": served from dead server " << landed;
+      EXPECT_FALSE(suspended[landed])
+          << "step " << step << ": served from suspended server " << landed;
+      ++opensChecked;
+    }
+  }
+
+  // The seed must actually exercise the machinery, not skate around it.
+  EXPECT_GE(opensChecked, 60);
+  EXPECT_GE(deaths, 2);
+  EXPECT_GE(rejoins, 1);
+  EXPECT_GE(suspends, 2);
+  EXPECT_GE(resumes, 1);
+
+  // Cross-check the head's own books against the model at quiescence.
+  const auto& membership = cluster.head().membership();
+  for (int i = 0; i < kModelServers; ++i) {
+    const auto slot = cluster.head().SlotOfAddr(addrOf(i));
+    if (!slot.has_value()) continue;  // behind a supervisor at this fanout
+    EXPECT_EQ(membership.OnlineSet().test(*slot), alive[i]) << "server " << i;
+    EXPECT_EQ(membership.IsSelectable(*slot), alive[i] && !suspended[i])
+        << "server " << i;
+  }
+  late.Stop();
+}
+
+}  // namespace
+}  // namespace scalla::sim

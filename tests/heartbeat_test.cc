@@ -1,0 +1,255 @@
+// Heartbeat failure detection and self-healing membership over the
+// simulator: a wedged server (process hung, connections intact — the
+// failure only a heartbeat can see) is declared dead within
+// cms.ping x cms.misslimit, disappears from resolution, and rejoins
+// cleanly when it recovers; overload suspends and resumes selection; the
+// operator drain walks the tree. The TCP twins live in chaos_test.cc.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/cluster.h"
+
+namespace scalla::sim {
+namespace {
+
+using cms::AccessMode;
+
+ClusterSpec LivenessSpec(int servers) {
+  ClusterSpec spec;
+  spec.servers = servers;
+  spec.cms.ping = std::chrono::seconds(1);
+  spec.cms.missLimit = 3;
+  spec.cms.deadline = std::chrono::milliseconds(300);
+  spec.cms.dropDelay = std::chrono::hours(1);  // dead members stay members
+  return spec;
+}
+
+TEST(HeartbeatTest, WedgedServerDeclaredDeadWithinPingTimesMissLimit) {
+  SimCluster cluster(LivenessSpec(3));
+  cluster.Start();
+  auto& head = cluster.head();
+  const auto slot = head.SlotOfAddr(cluster.server(0).config().addr);
+  ASSERT_TRUE(slot.has_value());
+
+  cluster.WedgeServer(0);
+  // Two ping intervals and a half: two probes missed, still within the
+  // miss budget — no premature declaration.
+  cluster.RunFor(std::chrono::milliseconds(2500));
+  EXPECT_TRUE(head.membership().OnlineSet().test(*slot));
+  EXPECT_EQ(head.SnapshotMetrics().Counter("membership.deaths"), 0u);
+
+  // The third interval crosses ping x misslimit: declared dead.
+  cluster.RunFor(std::chrono::seconds(1));
+  EXPECT_FALSE(head.membership().OnlineSet().test(*slot));
+  EXPECT_TRUE(head.membership().OfflineSet().test(*slot));
+  EXPECT_FALSE(head.membership().IsSelectable(*slot));
+  EXPECT_EQ(head.SnapshotMetrics().Counter("membership.deaths"), 1u);
+  // Healthy peers kept answering probes and stayed online throughout.
+  EXPECT_EQ(head.membership().OnlineSet().count(), 2);
+}
+
+TEST(HeartbeatTest, DeadServerNeverResolvedAgain) {
+  SimCluster cluster(LivenessSpec(3));
+  cluster.PlaceFile(0, "/store/f", "x");
+  cluster.PlaceFile(1, "/store/f", "x");
+  cluster.Start();
+  auto& client = cluster.NewClient();
+  // Warm the head's cache so it holds V_h bits for BOTH replicas.
+  const auto warm = cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+  ASSERT_EQ(warm.err, proto::XrdErr::kNone);
+
+  cluster.WedgeServer(0);
+  cluster.RunFor(std::chrono::milliseconds(3500));  // past ping x misslimit
+  ASSERT_EQ(cluster.head().SnapshotMetrics().Counter("membership.deaths"), 1u);
+
+  // The cached V_h bit for the dead server is shed by the O(1)
+  // correction-vector path: every subsequent open resolves straight to
+  // the live replica, with no client recovery needed.
+  const net::NodeAddr alive = cluster.server(1).config().addr;
+  for (int i = 0; i < 8; ++i) {
+    const auto open =
+        cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    EXPECT_EQ(open.file.node, alive) << i;
+    EXPECT_EQ(open.recoveries, 0) << i;
+  }
+}
+
+TEST(HeartbeatTest, UnwedgeRejoinRestoresPathsWithoutFullRefresh) {
+  SimCluster cluster(LivenessSpec(3));
+  cluster.PlaceFile(0, "/store/only0", "x");  // sole replica on the victim
+  cluster.Start();
+  auto& head = cluster.head();
+  auto& client = cluster.NewClient();
+  const net::NodeAddr victim = cluster.server(0).config().addr;
+  const auto warm =
+      cluster.OpenAndWait(client, "/store/only0", AccessMode::kRead, false);
+  ASSERT_EQ(warm.err, proto::XrdErr::kNone);
+  EXPECT_EQ(warm.file.node, victim);
+
+  cluster.WedgeServer(0);
+  cluster.RunFor(std::chrono::milliseconds(3500));
+  ASSERT_EQ(head.SnapshotMetrics().Counter("membership.deaths"), 1u);
+  // The file is gone with its only holder.
+  const auto gone =
+      cluster.OpenAndWait(client, "/store/only0", AccessMode::kRead, false);
+  EXPECT_NE(gone.err, proto::XrdErr::kNone);
+
+  // Recovery: the next heartbeat invites the member back; it re-logs into
+  // its old slot (same exports — no correction epoch, no cluster-wide
+  // refresh) and its files become resolvable again.
+  cluster.UnwedgeServer(0);
+  cluster.RunFor(std::chrono::milliseconds(2500));
+  const auto slot = head.SlotOfAddr(victim);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_TRUE(head.membership().OnlineSet().test(*slot));
+  EXPECT_GE(head.SnapshotMetrics().Counter("membership.rejoins"), 1u);
+
+  const auto back =
+      cluster.OpenAndWait(client, "/store/only0", AccessMode::kRead, false);
+  ASSERT_EQ(back.err, proto::XrdErr::kNone);
+  EXPECT_EQ(back.file.node, victim);
+}
+
+TEST(HeartbeatTest, OverloadSuspendsAndLoadDropResumes) {
+  ClusterSpec spec = LivenessSpec(2);
+  spec.cms.suspendLoad = 100;
+  spec.cms.resumeLoad = 40;
+  SimCluster cluster(spec);
+  cluster.PlaceFile(0, "/store/f", "x");
+  cluster.PlaceFile(1, "/store/f", "x");
+  cluster.Start();
+  auto& head = cluster.head();
+  auto& client = cluster.NewClient();
+  const auto slot0 = head.SlotOfAddr(cluster.server(0).config().addr);
+  ASSERT_TRUE(slot0.has_value());
+
+  // The server reports itself overloaded (heartbeat pongs echo the same
+  // figure, so the suspension holds between reports).
+  cluster.server(0).ReportLoad(150, std::uint64_t{1} << 30);
+  cluster.engine().RunUntilIdle();
+  EXPECT_TRUE(head.membership().SuspendedSet().test(*slot0));
+  EXPECT_FALSE(head.membership().IsSelectable(*slot0));
+  EXPECT_TRUE(head.membership().OnlineSet().test(*slot0));  // still online
+
+  const net::NodeAddr other = cluster.server(1).config().addr;
+  for (int i = 0; i < 4; ++i) {
+    const auto open =
+        cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    EXPECT_EQ(open.file.node, other) << i;
+  }
+
+  // Load falls to the resume threshold: selection readmits the server.
+  cluster.server(0).ReportLoad(40, std::uint64_t{1} << 30);
+  cluster.engine().RunUntilIdle();
+  EXPECT_TRUE(head.membership().IsSelectable(*slot0));
+  std::set<net::NodeAddr> landed;
+  for (int i = 0; i < 4; ++i) {
+    const auto open =
+        cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    landed.insert(open.file.node);
+  }
+  EXPECT_TRUE(landed.count(cluster.server(0).config().addr) == 1);
+
+  const auto snap = head.SnapshotMetrics();
+  EXPECT_EQ(snap.Counter("membership.suspends"), 1u);
+  EXPECT_EQ(snap.Counter("membership.resumes"), 1u);
+}
+
+TEST(HeartbeatTest, OperatorDrainAndRestore) {
+  SimCluster cluster(LivenessSpec(2));
+  cluster.PlaceFile(0, "/store/f", "x");
+  cluster.PlaceFile(1, "/store/f", "x");
+  cluster.Start();
+  auto& head = cluster.head();
+  auto& client = cluster.NewClient();
+
+  const auto drained = cluster.DrainAndWait(client, "server0");
+  ASSERT_TRUE(drained.ok()) << drained.error().message;
+  EXPECT_TRUE(drained.value().applied);
+  const auto slot0 = head.SlotOfAddr(cluster.server(0).config().addr);
+  ASSERT_TRUE(slot0.has_value());
+  EXPECT_TRUE(head.membership().DrainingSet().test(*slot0));
+
+  const net::NodeAddr other = cluster.server(1).config().addr;
+  for (int i = 0; i < 4; ++i) {
+    const auto open =
+        cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    EXPECT_EQ(open.file.node, other) << i;
+  }
+
+  const auto restored = cluster.DrainAndWait(client, "server0", /*restore=*/true);
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  EXPECT_TRUE(restored.value().applied);
+  std::set<net::NodeAddr> landed;
+  for (int i = 0; i < 4; ++i) {
+    const auto open =
+        cluster.OpenAndWait(client, "/store/f", AccessMode::kRead, false);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    landed.insert(open.file.node);
+  }
+  EXPECT_EQ(landed.size(), 2u);  // both replicas serve again
+
+  // A name nobody in the tree knows is an explicit error, not a silent ok.
+  const auto unknown = cluster.DrainAndWait(client, "nosuchserver");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().message.find("unknown server"), std::string::npos);
+}
+
+TEST(HeartbeatTest, DrainFansDownThroughSupervisors) {
+  ClusterSpec spec = LivenessSpec(4);
+  spec.fanout = 2;  // forces a supervisor layer: 2 subtrees of 2 leaves
+  SimCluster cluster(spec);
+  ASSERT_EQ(cluster.SupervisorCount(), 2u);
+  // server2 and server3 share a supervisor subtree.
+  cluster.PlaceFile(2, "/store/g", "x");
+  cluster.PlaceFile(3, "/store/g", "x");
+  cluster.Start();
+  auto& client = cluster.NewClient();
+
+  // The head only knows its supervisors by name, so the drain is fanned
+  // down the tree rather than applied at the head.
+  const auto drained = cluster.DrainAndWait(client, "server3");
+  ASSERT_TRUE(drained.ok()) << drained.error().message;
+  EXPECT_FALSE(drained.value().applied);
+  cluster.engine().RunUntilIdle();  // the fanned notice lands
+
+  xrd::ScallaNode* owner = nullptr;
+  ServerSlot slot = -1;
+  for (std::size_t i = 0; i < cluster.SupervisorCount(); ++i) {
+    if (const auto s = cluster.supervisor(i).membership().SlotOf("server3")) {
+      owner = &cluster.supervisor(i);
+      slot = *s;
+    }
+  }
+  ASSERT_NE(owner, nullptr);
+  EXPECT_TRUE(owner->membership().DrainingSet().test(slot));
+
+  const net::NodeAddr other = cluster.server(2).config().addr;
+  for (int i = 0; i < 4; ++i) {
+    const auto open =
+        cluster.OpenAndWait(client, "/store/g", AccessMode::kRead, false);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    EXPECT_EQ(open.file.node, other) << i;
+  }
+
+  const auto restored = cluster.DrainAndWait(client, "server3", /*restore=*/true);
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  cluster.engine().RunUntilIdle();
+  EXPECT_FALSE(owner->membership().DrainingSet().test(slot));
+  std::set<net::NodeAddr> landed;
+  for (int i = 0; i < 6; ++i) {
+    const auto open =
+        cluster.OpenAndWait(client, "/store/g", AccessMode::kRead, false);
+    ASSERT_EQ(open.err, proto::XrdErr::kNone) << i;
+    landed.insert(open.file.node);
+  }
+  EXPECT_EQ(landed.size(), 2u);
+}
+
+}  // namespace
+}  // namespace scalla::sim

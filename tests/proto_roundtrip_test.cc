@@ -1,0 +1,137 @@
+// Seeded wire-format property test: every proto::Message alternative is
+// filled with randomized field values (via the shared wire_fields.h
+// visitor, so new fields are picked up automatically), encoded, decoded,
+// and re-encoded byte-exactly. Truncating the frame at EVERY split point
+// must be rejected, as must trailing garbage — the decoder's contract is
+// "whole frame or nothing" (Reader::ok() demands full consumption).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "proto/wire.h"
+#include "proto/wire_fields.h"
+#include "util/rng.h"
+
+namespace scalla::proto {
+namespace {
+
+// An archive (in the wire_fields.h sense) that fills fields with seeded
+// pseudo-random values: arbitrary bytes in strings (including NULs),
+// arbitrary raw values in enums, short but non-trivial containers.
+struct Filler {
+  util::Rng& rng;
+
+  template <typename... Ts>
+  void Fields(Ts&... fields) {
+    (Fill(fields), ...);
+  }
+
+  void Fill(bool& v) { v = rng.NextBool(); }
+  void Fill(std::uint8_t& v) { v = static_cast<std::uint8_t>(rng.Next()); }
+  void Fill(std::uint32_t& v) { v = static_cast<std::uint32_t>(rng.Next()); }
+  void Fill(std::int32_t& v) { v = static_cast<std::int32_t>(rng.Next()); }
+  void Fill(std::uint64_t& v) { v = rng.Next(); }
+  void Fill(std::int64_t& v) { v = static_cast<std::int64_t>(rng.Next()); }
+  void Fill(double& v) { v = rng.NextDouble() * 1e12 - 5e11; }
+  void Fill(std::string& s) {
+    s.clear();
+    const std::uint64_t len = rng.NextBelow(9);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.Next()));  // any byte, NULs included
+    }
+  }
+  void Fill(std::vector<std::string>& v) {
+    v.resize(rng.NextBelow(4));
+    for (auto& s : v) Fill(s);
+  }
+  void Fill(ReadSeg& seg) {
+    Fill(seg.offset);
+    Fill(seg.length);
+  }
+  void Fill(std::vector<ReadSeg>& v) {
+    v.resize(rng.NextBelow(4));
+    for (auto& seg : v) Fill(seg);
+  }
+  void Fill(obs::HistogramStat& h) {
+    Fields(h.count, h.minNanos, h.maxNanos, h.meanNanos, h.p50Nanos, h.p99Nanos);
+  }
+  void Fill(obs::MetricsSnapshot& s) {
+    const auto table = [this](auto& entries) {
+      entries.resize(rng.NextBelow(3));
+      for (auto& [name, value] : entries) {
+        Fill(name);
+        Fill(value);
+      }
+    };
+    table(s.counters);
+    table(s.gauges);
+    table(s.histograms);
+  }
+  template <typename E>
+    requires std::is_enum_v<E>
+  void Fill(E& v) {
+    // Arbitrary raw values: the wire layer transports enums verbatim
+    // (validation is the handlers' business), so round-trip must hold for
+    // out-of-range values too.
+    std::underlying_type_t<E> raw{};
+    Fill(raw);
+    v = static_cast<E>(raw);
+  }
+};
+
+template <std::size_t I>
+void RoundTripAlternative(util::Rng& rng) {
+  using M = std::variant_alternative_t<I, Message>;
+  for (int iter = 0; iter < 16; ++iter) {
+    M filled{};
+    Filler filler{rng};
+    wire::Visit(filler, filled);
+    const Message msg{std::in_place_index<I>, std::move(filled)};
+    const std::string bytes = Encode(msg);
+    SCOPED_TRACE("alternative " + std::to_string(I) + " iter " +
+                 std::to_string(iter));
+
+    const auto decoded = Decode(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->index(), I);
+    // Byte-exact re-encode is the equality check: it covers every field
+    // without requiring operator== on message structs.
+    EXPECT_EQ(Encode(*decoded), bytes);
+
+    // Every proper prefix must be rejected — a frame split at ANY point
+    // (the transport's framing bug, a hostile peer) never half-parses.
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      ASSERT_FALSE(Decode(std::string_view(bytes).substr(0, cut)).has_value())
+          << "prefix of " << cut << "/" << bytes.size() << " bytes parsed";
+    }
+    // So must trailing garbage: full consumption is part of validity.
+    ASSERT_FALSE(Decode(bytes + '\0').has_value());
+  }
+}
+
+template <std::size_t... Is>
+void RoundTripAll(util::Rng& rng, std::index_sequence<Is...>) {
+  (RoundTripAlternative<Is>(rng), ...);
+}
+
+TEST(ProtoRoundTripTest, EveryAlternativeSeededRoundTrip) {
+  // Fixed seed: failures reproduce exactly; bump iterations locally when
+  // hunting a suspected encoding bug.
+  util::Rng rng(0xB17E5EEDULL);
+  RoundTripAll(rng, std::make_index_sequence<std::variant_size_v<Message>>{});
+}
+
+TEST(ProtoRoundTripTest, RejectsUnknownTypeAndEmptyFrame) {
+  EXPECT_FALSE(Decode(std::string_view{}).has_value());
+  std::string bogus(1, static_cast<char>(std::variant_size_v<Message>));
+  EXPECT_FALSE(Decode(bogus).has_value());
+  bogus[0] = static_cast<char>(0xff);
+  EXPECT_FALSE(Decode(bogus).has_value());
+}
+
+}  // namespace
+}  // namespace scalla::proto

@@ -15,6 +15,9 @@
 //     purge [path]             drop a pcache proxy's cached blocks (all, or
 //                              one path); --head must be the proxy
 //     cachestat                a pcache proxy's occupancy (blocks / bytes)
+//     drain <server>           take a server (by cms name) out of selection
+//                              while it stays online
+//     restore <server>         undo a drain
 #include <cstdio>
 #include <future>
 #include <cstdlib>
@@ -34,7 +37,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: scalla_cli [--head N] [--base-port N] [--addr N] [--cnsd N]\n"
                "                  put|get|stat|rm|cksum|prepare|ls|stats|purge|cachestat"
-               " <args>\n");
+               "|drain|restore <args>\n");
   return 2;
 }
 
@@ -157,6 +160,18 @@ int main(int argc, char** argv) {
     std::printf("cache: %llu block(s), %llu bytes\n",
                 static_cast<unsigned long long>(resp.value().blockCount),
                 static_cast<unsigned long long>(resp.value().usedBytes));
+    return 0;
+  }
+  if ((command == "drain" || command == "restore") && i < argc) {
+    const bool restore = command == "restore";
+    const auto resp = client.Drain(argv[i], restore);
+    if (!resp) {
+      std::fprintf(stderr, "%s: %s\n", command.c_str(), resp.error().message.c_str());
+      return 1;
+    }
+    std::printf("%s %s: %s\n", command.c_str(), argv[i],
+                resp.value().applied ? "applied"
+                                     : "forwarded to supervisors (not a direct child)");
     return 0;
   }
   if (command == "ls" && i < argc) {

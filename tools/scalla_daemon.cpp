@@ -148,6 +148,15 @@ int main(int argc, char** argv) {
                                                                 : "server",
               loaded->node.name.c_str(), basePort + loaded->node.addr,
               loaded->node.addr, rootNote.c_str());
+  if (loaded->node.cms.ping > Duration::zero()) {
+    std::printf("heartbeat: ping every %lld ms, dead after %d misses"
+                " (suspend at load %u)\n",
+                static_cast<long long>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        loaded->node.cms.ping)
+                        .count()),
+                loaded->node.cms.missLimit, loaded->node.cms.suspendLoad);
+  }
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
