@@ -1,0 +1,203 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <condition_variable>
+
+namespace scalla::net {
+
+namespace {
+// Upper bound on one epoll_wait batch; level-triggered epoll re-reports
+// anything a full batch leaves behind.
+constexpr int kMaxEvents = 256;
+}  // namespace
+
+Reactor::Loop::Loop() {
+  epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wakeFd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // id 0 = the wake fd
+  ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev);
+}
+
+Reactor::Loop::~Loop() {
+  Stop();
+  if (wakeFd_ >= 0) ::close(wakeFd_);
+  if (epollFd_ >= 0) ::close(epollFd_);
+}
+
+void Reactor::Loop::Start() {
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Reactor::Loop::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  Wake();
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+  // Tasks posted between the loop's last drain and the join (e.g. a
+  // straggling RunSync) execute here so no waiter is left hanging.
+  DrainTasksInline();
+}
+
+bool Reactor::Loop::OnLoopThread() const {
+  return thread_.joinable() && std::this_thread::get_id() == thread_.get_id();
+}
+
+void Reactor::Loop::Wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wakeFd_, &one, sizeof(one));
+}
+
+void Reactor::Loop::Post(std::function<void()> task) {
+  bool needWake = false;
+  {
+    std::lock_guard lock(mu_);
+    tasks_.push_back(std::move(task));
+    if (!wakePending_) {
+      wakePending_ = true;
+      needWake = true;
+    }
+  }
+  if (needWake) Wake();
+}
+
+void Reactor::Loop::RunSync(std::function<void()> task) {
+  if (OnLoopThread() || !running_.load(std::memory_order_acquire)) {
+    task();
+    return;
+  }
+  std::mutex doneMu;
+  std::condition_variable doneCv;
+  bool done = false;
+  Post([&] {
+    task();
+    std::lock_guard lock(doneMu);
+    done = true;
+    doneCv.notify_one();
+  });
+  std::unique_lock lock(doneMu);
+  doneCv.wait(lock, [&] { return done; });
+}
+
+std::uint64_t Reactor::Loop::Add(int fd, std::uint32_t events,
+                                 std::shared_ptr<EventHandler> handler) {
+  const std::uint64_t id = nextId_++;
+  handlers_[id] = Registration{fd, std::move(handler)};
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = id;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev);
+  return id;
+}
+
+void Reactor::Loop::Mod(std::uint64_t id, std::uint32_t events) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = id;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, it->second.fd, &ev);
+}
+
+void Reactor::Loop::Del(std::uint64_t id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  handlers_.erase(it);
+}
+
+void Reactor::Loop::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  timers_.emplace(when, std::move(fn));
+}
+
+TimePoint Reactor::Loop::Now() {
+  return std::chrono::time_point_cast<Duration>(std::chrono::steady_clock::now());
+}
+
+void Reactor::Loop::DrainTasksInline() {
+  for (;;) {
+    std::vector<std::function<void()>> local;
+    {
+      std::lock_guard lock(mu_);
+      if (tasks_.empty()) return;
+      local.swap(tasks_);
+      wakePending_ = false;
+    }
+    for (auto& task : local) task();
+  }
+}
+
+void Reactor::Loop::Run() {
+  std::vector<epoll_event> events(kMaxEvents);
+  std::vector<std::function<void()>> local;
+  while (!stop_.load(std::memory_order_acquire)) {
+    int timeoutMs = -1;
+    if (!timers_.empty()) {
+      const Duration until = timers_.begin()->first - Now();
+      if (until <= Duration::zero()) {
+        timeoutMs = 0;
+      } else {
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(until).count() + 1;
+        timeoutMs = static_cast<int>(ms > 60'000 ? 60'000 : ms);
+      }
+    }
+    const int n = ::epoll_wait(epollFd_, events.data(), kMaxEvents, timeoutMs);
+
+    // Tasks first: they may add/remove handlers; stale dispatch ids below
+    // simply miss the map.
+    bool woken = false;
+    for (int i = 0; i < n; ++i) {
+      if (events[static_cast<std::size_t>(i)].data.u64 == 0) woken = true;
+    }
+    if (woken) {
+      std::uint64_t drain = 0;
+      [[maybe_unused]] const ssize_t r = ::read(wakeFd_, &drain, sizeof(drain));
+    }
+    {
+      std::lock_guard lock(mu_);
+      local.swap(tasks_);
+      wakePending_ = false;
+    }
+    for (auto& task : local) task();
+    local.clear();
+
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[static_cast<std::size_t>(i)];
+      if (ev.data.u64 == 0) continue;
+      const auto it = handlers_.find(ev.data.u64);
+      if (it == handlers_.end()) continue;  // removed by an earlier task/handler
+      // Keep the handler alive across the callback even if it removes
+      // itself from the loop.
+      const std::shared_ptr<EventHandler> keep = it->second.handler;
+      keep->OnEvents(ev.events);
+    }
+
+    while (!timers_.empty() && timers_.begin()->first <= Now()) {
+      auto fn = std::move(timers_.begin()->second);
+      timers_.erase(timers_.begin());
+      fn();
+    }
+  }
+}
+
+Reactor::Reactor(int loopThreads) {
+  if (loopThreads < 1) loopThreads = 1;
+  loops_.reserve(static_cast<std::size_t>(loopThreads));
+  for (int i = 0; i < loopThreads; ++i) {
+    loops_.push_back(std::make_unique<Loop>());
+  }
+  for (auto& loop : loops_) loop->Start();
+}
+
+Reactor::~Reactor() {
+  for (auto& loop : loops_) loop->Stop();
+}
+
+}  // namespace scalla::net

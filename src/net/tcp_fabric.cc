@@ -1,21 +1,35 @@
 #include "net/tcp_fabric.h"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <deque>
 
 #include "proto/wire.h"
 #include "util/logger.h"
 
 namespace scalla::net {
 namespace {
+
+constexpr std::size_t kFrameHeader = 8;  // u32 length + u32 senderAddr
+
+// Frames batched into one sendmsg; a full batch just means another pass.
+constexpr std::size_t kMaxWritevBatch = 64;
+
+// Receive sizing: read in 64 KiB slices, hand the loop back to other
+// connections after ~1 MiB (level-triggered epoll re-reports leftovers),
+// and give outsized rx buffers back to the allocator once drained.
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr std::size_t kMaxReadPerDispatch = 1024 * 1024;
+constexpr std::size_t kRxShrinkCapacity = 1024 * 1024;
 
 std::uint64_t PairKey(NodeAddr from, NodeAddr to) {
   return (static_cast<std::uint64_t>(from) << 32) | to;
@@ -25,105 +39,678 @@ std::uint64_t LinkKey(NodeAddr a, NodeAddr b) {
   return a < b ? PairKey(a, b) : PairKey(b, a);
 }
 
-// Bounded by SO_SNDTIMEO on the socket: a peer that stops draining makes
-// send() return 0/-1 with EAGAIN once the deadline passes.
-bool WriteAll(int fd, const char* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-bool ReadAll(int fd, char* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::recv(fd, data, len, 0);
-    if (n <= 0) return false;
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 }  // namespace
 
 struct TcpFabric::Endpoint {
   NodeAddr addr = 0;
   MessageSink* sink = nullptr;
   sched::Executor* executor = nullptr;
+
   int listenFd = -1;
-  std::thread acceptThread;
+  std::uint64_t listenerId = 0;
+  Reactor::Loop* listenerLoop = nullptr;
+  std::shared_ptr<Listener> listener;
 
-  struct Reader {
-    std::thread thread;
-    int fd = -1;
-    std::atomic<bool> done{false};
-  };
-  mutable std::mutex readersMu;
-  std::list<Reader> readers;
+  // Live inbound connections; an InConn removes itself the moment its
+  // socket dies, so the list never accumulates dead entries.
+  mutable std::mutex inMu;
+  std::vector<std::shared_ptr<InConn>> inConns;
+};
 
-  // Joins and erases readers whose loop has exited — called from the
-  // accept loop so a long-lived daemon serving short-lived clients does
-  // not accumulate exited joinable threads and stale fd slots.
-  void ReapFinishedReaders() {
-    std::lock_guard lock(readersMu);
-    for (auto it = readers.begin(); it != readers.end();) {
-      if (it->done.load(std::memory_order_acquire)) {
-        if (it->thread.joinable()) it->thread.join();
-        it = readers.erase(it);
+// ---------------------------------------------------------------------------
+// Listener: accepts on a non-blocking listen socket and spreads the
+// accepted connections round-robin over the reactor loops.
+
+class TcpFabric::Listener final : public EventHandler {
+ public:
+  Listener(TcpFabric* fabric, Endpoint* ep) : fabric_(fabric), ep_(ep) {}
+
+  void OnEvents(std::uint32_t /*events*/) override {
+    for (;;) {
+      const int fd =
+          ::accept4(ep_->listenFd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN, or the listener is being torn down
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fabric_->AdoptInbound(ep_, fd);
+    }
+  }
+
+ private:
+  TcpFabric* fabric_;
+  Endpoint* ep_;
+};
+
+// ---------------------------------------------------------------------------
+// InConn: one accepted socket. Reads are readiness-driven into a reusable
+// rx buffer; frames are parsed incrementally (a frame may arrive across
+// any number of reads) and delivered to the endpoint's sink.
+
+class TcpFabric::InConn final : public EventHandler,
+                                public std::enable_shared_from_this<InConn> {
+ public:
+  InConn(TcpFabric* fabric, Endpoint* ep, int fd, Reactor::Loop* loop)
+      : fabric_(fabric), ep_(ep), fd_(fd), loop_(loop) {}
+
+  Reactor::Loop* loop() const { return loop_; }
+
+  // Loop thread: registers the socket. A CloseOnLoop posted behind us (the
+  // endpoint unregistering) still finds id_ set, so teardown stays exact.
+  void Attach() {
+    if (closed_) {
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    id_ = loop_->Add(fd_, EPOLLIN, shared_from_this());
+  }
+
+  // Loop thread.
+  void CloseOnLoop() {
+    if (closed_) return;
+    closed_ = true;
+    if (id_ != 0) {
+      loop_->Del(id_);
+      id_ = 0;
+    }
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    fabric_->RemoveInbound(ep_, this);
+  }
+
+  void OnEvents(std::uint32_t /*events*/) override {
+    if (closed_) return;
+    std::size_t readThisPass = 0;
+    for (;;) {
+      const std::size_t old = rx_.size();
+      rx_.resize(old + kReadChunk);
+      const ssize_t n = ::recv(fd_, rx_.data() + old, kReadChunk, 0);
+      rx_.resize(old + (n > 0 ? static_cast<std::size_t>(n) : 0));
+      if (n == 0) {  // EOF
+        CloseOnLoop();
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        CloseOnLoop();
+        return;
+      }
+      readThisPass += static_cast<std::size_t>(n);
+      if (!ParseFrames()) {  // malformed input: drop the connection
+        CloseOnLoop();
+        return;
+      }
+      if (readThisPass >= kMaxReadPerDispatch) break;
+    }
+    Compact();
+  }
+
+ private:
+  // Parses every complete frame currently buffered. Returns false on a
+  // frame that can never become valid (bad length, undecodable body).
+  bool ParseFrames() {
+    for (;;) {
+      const std::size_t avail = rx_.size() - pos_;
+      if (avail < kFrameHeader) return true;
+      std::uint32_t length = 0;
+      std::uint32_t sender = 0;
+      std::memcpy(&length, rx_.data() + pos_, 4);
+      std::memcpy(&sender, rx_.data() + pos_ + 4, 4);
+      if (length == 0 || length > proto::kMaxFrameBody) {
+        SCALLA_WARN("tcp", "endpoint %u: bad frame length %u from %u", ep_->addr,
+                    length, sender);
+        return false;
+      }
+      if (avail < kFrameHeader + length) return true;
+      const std::string_view body(rx_.data() + pos_ + kFrameHeader, length);
+      auto message = proto::Decode(body);
+      if (!message.has_value()) {
+        SCALLA_WARN("tcp", "endpoint %u: malformed frame from %u", ep_->addr,
+                    sender);
+        return false;
+      }
+      pos_ += kFrameHeader + length;
+      fabric_->counters_.framesReceived.fetch_add(1, std::memory_order_relaxed);
+      fabric_->counters_.bytesReceived.fetch_add(kFrameHeader + length,
+                                                 std::memory_order_relaxed);
+      fabric_->AddPeerReceived(sender, 1, kFrameHeader + length);
+      // A downed receiver drops inbound traffic too; a wedged end (either
+      // side) silently loses it — the connection stays up.
+      if (!fabric_->Reachable(sender, ep_->addr) ||
+          fabric_->EitherWedged(sender, ep_->addr)) {
+        fabric_->counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+        fabric_->BumpPeer(sender, &Counters::messagesDropped);
+        continue;
+      }
+      fabric_->counters_.messagesDelivered.fetch_add(1, std::memory_order_relaxed);
+      fabric_->BumpPeer(sender, &Counters::messagesDelivered);
+      MessageSink* sink = ep_->sink;
+      if (ep_->executor != nullptr) {
+        ep_->executor->Post([sink, sender, msg = std::move(*message)]() mutable {
+          sink->OnMessage(sender, std::move(msg));
+        });
       } else {
-        ++it;
+        sink->OnMessage(sender, std::move(*message));
       }
     }
   }
-  // Unblocks every reader stuck in recv() so joins cannot hang.
-  void ShutdownReaders() {
-    std::lock_guard lock(readersMu);
-    for (auto& r : readers) {
-      if (!r.done.load(std::memory_order_acquire)) ::shutdown(r.fd, SHUT_RDWR);
+
+  void Compact() {
+    if (pos_ > 0) {
+      if (pos_ == rx_.size()) {
+        rx_.clear();
+      } else {
+        rx_.erase(0, pos_);
+      }
+      pos_ = 0;
+    }
+    if (rx_.empty() && rx_.capacity() > kRxShrinkCapacity) {
+      rx_ = std::string();  // give an outsized buffer back to the allocator
     }
   }
-  void JoinReaders() {
-    std::lock_guard lock(readersMu);
-    for (auto& r : readers) {
-      if (r.thread.joinable()) r.thread.join();
+
+  TcpFabric* fabric_;
+  Endpoint* ep_;
+  int fd_;
+  Reactor::Loop* loop_;
+  std::uint64_t id_ = 0;
+  bool closed_ = false;
+  std::string rx_;        // unparsed bytes live in [pos_, rx_.size())
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// OutConn: the outbound half of one (from, to) pair. Any thread enqueues
+// framed buffers under qmu_ and "kicks" the owning loop at most once per
+// quiet period; everything else (connect, writev draining, deadlines,
+// delay pacing, idle reaping) is loop-thread-only state.
+
+class TcpFabric::OutConn final : public EventHandler,
+                                 public std::enable_shared_from_this<OutConn> {
+ public:
+  OutConn(TcpFabric* fabric, NodeAddr from, NodeAddr to, Reactor::Loop* loop)
+      : fabric_(fabric), from_(from), to_(to), loop_(loop) {}
+
+  Reactor::Loop* loop() const { return loop_; }
+
+  // Any thread. False means the bounded queue is full (frame not taken).
+  bool Enqueue(std::string frame) {
+    bool kick = false;
+    {
+      std::lock_guard lock(qmu_);
+      if (queue_.size() >= fabric_->options_.maxQueuedMessages) {
+        fabric_->pool_.Release(std::move(frame));
+        return false;
+      }
+      queue_.push_back(std::move(frame));
+      if (!kicked_) {
+        kicked_ = true;
+        kick = true;
+      }
     }
-    readers.clear();
+    if (kick) {
+      loop_->Post([self = shared_from_this()] { self->OnKick(); });
+    }
+    return true;
   }
+
+  // Any thread: the peer's endpoint went away locally (Unregister). Treat
+  // the cached socket like a peer restart: quietly drop it; the next frame
+  // reconnects (counting one reconnect) and only a refused reconnect
+  // escalates to OnPeerDown.
+  void PostDetachStale() {
+    loop_->Post([self = shared_from_this()] { self->DetachStale(); });
+  }
+
+  // Loop thread (via RunSync): terminal teardown, no signalling.
+  void StopOnLoop() {
+    stopped_ = true;
+    CloseFd();
+    std::lock_guard lock(qmu_);
+    for (auto& f : queue_) fabric_->pool_.Release(std::move(f));
+    queue_.clear();
+  }
+
+  void OnEvents(std::uint32_t events) override {
+    if (stopped_) return;
+    if (state_ == State::kConnecting) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+        err = errno != 0 ? errno : EIO;
+      }
+      if (err == 0 && (events & (EPOLLERR | EPOLLHUP)) != 0) err = ECONNREFUSED;
+      if (err != 0) {
+        CloseFd();
+        FailAll();
+        return;
+      }
+      ++connectGen_;  // cancels the pending connect deadline
+      Established();
+      return;
+    }
+    if (state_ != State::kConnected) return;
+    if ((events & EPOLLIN) != 0) {
+      // Peers never send application data back on an outbound socket;
+      // readable here means EOF or reset (or stray bytes we discard).
+      char buf[4096];
+      for (;;) {
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        HandleBroken();
+        return;
+      }
+    }
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      HandleBroken();
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) DrainWrites();
+  }
+
+ private:
+  enum class State { kIdle, kConnecting, kConnected };
+
+  void OnKick() {
+    {
+      std::lock_guard lock(qmu_);
+      kicked_ = false;
+    }
+    Pump();
+  }
+
+  void Pump() {
+    if (stopped_) return;
+    switch (state_) {
+      case State::kIdle:
+        MaybeConnect();
+        break;
+      case State::kConnecting:
+        break;  // the pending frames drain once the connect resolves
+      case State::kConnected:
+        DrainWrites();
+        break;
+    }
+  }
+
+  void MaybeConnect() {
+    {
+      std::lock_guard lock(qmu_);
+      if (queue_.empty()) return;
+    }
+    if (staleClosed_) {
+      // Replacing a cached connection that had worked: that is a
+      // reconnect, and it is transparent unless the new connect fails.
+      staleClosed_ = false;
+      fabric_->counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
+      fabric_->BumpPeer(to_, &Counters::reconnects);
+    }
+    StartConnect();
+  }
+
+  void StartConnect() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      FailAll();
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Without SO_REUSEADDR here, this socket's TIME_WAIT remnant blocks any
+    // later listener bind that lands on the same (ephemeral) local port.
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (fabric_->options_.sendBufferBytes > 0) {
+      const int size = static_cast<int>(fabric_->options_.sendBufferBytes);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &size, sizeof(size));
+    }
+    fd_ = fd;
+    frontOffset_ = 0;
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sa.sin_port =
+        htons(static_cast<std::uint16_t>(fabric_->basePort_ + to_));
+    const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+    if (rc == 0) {
+      id_ = loop_->Add(fd_, EPOLLIN, shared_from_this());
+      Established();
+      return;
+    }
+    if (errno != EINPROGRESS) {
+      CloseFd();
+      FailAll();
+      return;
+    }
+    state_ = State::kConnecting;
+    id_ = loop_->Add(fd_, EPOLLOUT, shared_from_this());
+    const std::uint64_t gen = ++connectGen_;
+    loop_->ScheduleAt(
+        Reactor::Loop::Now() + fabric_->options_.connectTimeout,
+        [self = shared_from_this(), gen] { self->OnConnectDeadline(gen); });
+  }
+
+  void OnConnectDeadline(std::uint64_t gen) {
+    if (stopped_ || gen != connectGen_ || state_ != State::kConnecting) return;
+    CloseFd();
+    FailAll();
+  }
+
+  void Established() {
+    state_ = State::kConnected;
+    fabric_->activeOutbound_.fetch_add(1, std::memory_order_relaxed);
+    frameDoneSinceConnect_ = false;
+    frontOffset_ = 0;
+    wantWrite_ = false;
+    deadlineArmed_ = false;
+    lastActivity_ = Reactor::Loop::Now();
+    loop_->Mod(id_, EPOLLIN);
+    if (fabric_->options_.idleTimeout > std::chrono::milliseconds::zero()) {
+      ScheduleIdleCheck();
+    }
+    DrainWrites();
+  }
+
+  void DrainWrites() {
+    for (;;) {
+      if (stopped_ || state_ != State::kConnected) return;
+      // Faults injected after enqueue: those frames are lost in flight,
+      // silently (Send-time signalling already happened). If half a frame
+      // already hit the wire, drop the socket too so the peer's framing
+      // never desynchronizes; the next send transparently reconnects.
+      if (!fabric_->Reachable(from_, to_) || fabric_->DropInjected(from_, to_) ||
+          fabric_->EitherWedged(from_, to_)) {
+        std::size_t n = 0;
+        {
+          std::lock_guard lock(qmu_);
+          n = queue_.size();
+          for (auto& f : queue_) fabric_->pool_.Release(std::move(f));
+          queue_.clear();
+        }
+        if (n > 0) {
+          fabric_->counters_.messagesDropped.fetch_add(n, std::memory_order_relaxed);
+          fabric_->BumpPeer(to_, &Counters::messagesDropped, n);
+        }
+        if (frontOffset_ > 0) {
+          CloseFd();
+          staleClosed_ = true;
+          frontOffset_ = 0;
+        } else {
+          SetWantWrite(false);
+        }
+        return;
+      }
+      const Duration delay = fabric_->DelayInjected(from_, to_);
+      const TimePoint now = Reactor::Loop::Now();
+      if (delay > Duration::zero()) {
+        // Per-pair pacing: each frame waits out the injected delay before
+        // leaving, exactly one frame per period, stalling only this pair.
+        if (!pacingActive_) {
+          pacingActive_ = true;
+          nextEligible_ = now + delay;
+        }
+        if (now < nextEligible_) {
+          bool pending;
+          {
+            std::lock_guard lock(qmu_);
+            pending = !queue_.empty();
+          }
+          if (pending) ScheduleDelayPump(nextEligible_);
+          return;
+        }
+      } else {
+        pacingActive_ = false;
+      }
+      // Build a writev batch from the queue front. The references stay
+      // valid while unlocked: only this thread pops, and deque push_back
+      // does not invalidate references to existing elements.
+      iovec iov[kMaxWritevBatch];
+      std::size_t nIov = 0;
+      {
+        std::lock_guard lock(qmu_);
+        if (queue_.empty()) {
+          SetWantWrite(false);
+          return;
+        }
+        const std::size_t limit =
+            delay > Duration::zero() ? 1 : std::min(queue_.size(), kMaxWritevBatch);
+        for (std::size_t i = 0; i < limit; ++i) {
+          const std::string& f = queue_[i];
+          const std::size_t off = i == 0 ? frontOffset_ : 0;
+          iov[nIov].iov_base = const_cast<char*>(f.data()) + off;
+          iov[nIov].iov_len = f.size() - off;
+          ++nIov;
+        }
+      }
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = nIov;
+      const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          SetWantWrite(true);
+          ArmWriteDeadline();
+          return;
+        }
+        if (errno == EINTR) continue;
+        HandleBroken();
+        return;
+      }
+      // Progress: consume fully-written frames, keep a partial offset.
+      deadlineArmed_ = false;
+      lastActivity_ = now;
+      fabric_->counters_.bytesSent.fetch_add(static_cast<std::uint64_t>(n),
+                                             std::memory_order_relaxed);
+      std::size_t consumed = static_cast<std::size_t>(n);
+      std::uint64_t completed = 0;
+      {
+        std::lock_guard lock(qmu_);
+        while (consumed > 0 && !queue_.empty()) {
+          std::string& f = queue_.front();
+          const std::size_t remain = f.size() - frontOffset_;
+          if (consumed >= remain) {
+            consumed -= remain;
+            frontOffset_ = 0;
+            fabric_->pool_.Release(std::move(f));
+            queue_.pop_front();
+            ++completed;
+          } else {
+            frontOffset_ += consumed;
+            consumed = 0;
+          }
+        }
+      }
+      fabric_->AddPeerSent(to_, completed, static_cast<std::uint64_t>(n));
+      if (completed > 0) {
+        frameDoneSinceConnect_ = true;
+        fabric_->counters_.framesSent.fetch_add(completed, std::memory_order_relaxed);
+        if (delay > Duration::zero()) nextEligible_ = now + delay;
+      }
+    }
+  }
+
+  void ScheduleDelayPump(TimePoint when) {
+    if (delayPumpArmed_) return;
+    delayPumpArmed_ = true;
+    loop_->ScheduleAt(when, [self = shared_from_this()] {
+      self->delayPumpArmed_ = false;
+      self->Pump();
+    });
+  }
+
+  void ArmWriteDeadline() {
+    if (deadlineArmed_) return;
+    deadlineArmed_ = true;
+    const std::uint64_t gen = ++deadlineGen_;
+    loop_->ScheduleAt(
+        Reactor::Loop::Now() + fabric_->options_.writeTimeout,
+        [self = shared_from_this(), gen] { self->OnWriteDeadline(gen); });
+  }
+
+  void OnWriteDeadline(std::uint64_t gen) {
+    if (stopped_ || gen != deadlineGen_ || !deadlineArmed_ ||
+        state_ != State::kConnected) {
+      return;
+    }
+    // No byte accepted for a whole writeTimeout: the peer stopped draining.
+    deadlineArmed_ = false;
+    HandleBroken();
+  }
+
+  void ScheduleIdleCheck() {
+    const std::uint64_t gen = ++idleGen_;
+    loop_->ScheduleAt(
+        lastActivity_ + fabric_->options_.idleTimeout,
+        [self = shared_from_this(), gen] { self->OnIdleCheck(gen); });
+  }
+
+  void OnIdleCheck(std::uint64_t gen) {
+    if (stopped_ || gen != idleGen_ || state_ != State::kConnected) return;
+    bool empty;
+    {
+      std::lock_guard lock(qmu_);
+      empty = queue_.empty();
+    }
+    const TimePoint now = Reactor::Loop::Now();
+    if (empty && now - lastActivity_ >= fabric_->options_.idleTimeout) {
+      // Quietly close: no OnPeerDown, no reconnect accounting — the next
+      // send re-establishes transparently.
+      CloseFd();
+      staleClosed_ = false;
+      fabric_->counters_.idleReaps.fetch_add(1, std::memory_order_relaxed);
+      fabric_->BumpPeer(to_, &Counters::idleReaps);
+      return;
+    }
+    TimePoint next = lastActivity_ + fabric_->options_.idleTimeout;
+    if (next <= now) next = now + fabric_->options_.idleTimeout;
+    loop_->ScheduleAt(next,
+                      [self = shared_from_this(), gen] { self->OnIdleCheck(gen); });
+  }
+
+  // The connection broke (EOF, reset, write error, stalled write). If it
+  // completed at least one frame since it connected it was a working,
+  // cached connection that went stale (peer restart): replace it
+  // transparently. Otherwise it never worked: fail the backlog and tell
+  // the sender its peer is down.
+  void HandleBroken() {
+    const bool progressed = frameDoneSinceConnect_;
+    CloseFd();
+    frontOffset_ = 0;
+    deadlineArmed_ = false;
+    if (progressed) {
+      staleClosed_ = true;
+      MaybeConnect();
+    } else {
+      FailAll();
+    }
+  }
+
+  // Drop the whole backlog (delivery is per-pair FIFO, so later frames
+  // cannot jump a failed one) and signal the sending endpoint.
+  void FailAll() {
+    staleClosed_ = false;
+    frontOffset_ = 0;
+    std::size_t n = 0;
+    {
+      std::lock_guard lock(qmu_);
+      n = queue_.size();
+      for (auto& f : queue_) fabric_->pool_.Release(std::move(f));
+      queue_.clear();
+    }
+    if (n > 0) {
+      fabric_->counters_.messagesDropped.fetch_add(n, std::memory_order_relaxed);
+      fabric_->BumpPeer(to_, &Counters::messagesDropped, n);
+    }
+    fabric_->NotifyPeerDown(from_, to_);
+  }
+
+  void DetachStale() {
+    if (stopped_) return;
+    if (state_ != State::kIdle) CloseFd();
+    frontOffset_ = 0;
+    staleClosed_ = true;
+    Pump();  // queued frames head for the (possibly restarted) listener
+  }
+
+  void CloseFd() {
+    if (state_ == State::kConnected) {
+      fabric_->activeOutbound_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (id_ != 0) {
+      loop_->Del(id_);
+      id_ = 0;
+    }
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    state_ = State::kIdle;
+    wantWrite_ = false;
+  }
+
+  void SetWantWrite(bool want) {
+    if (want == wantWrite_ || id_ == 0) return;
+    wantWrite_ = want;
+    std::uint32_t events = EPOLLIN;
+    if (want) events |= EPOLLOUT;
+    loop_->Mod(id_, events);
+  }
+
+  TcpFabric* fabric_;
+  const NodeAddr from_;
+  const NodeAddr to_;
+  Reactor::Loop* loop_;
+
+  // Shared with sender threads.
+  std::mutex qmu_;
+  std::deque<std::string> queue_;  // encoded frames (header + body)
+  bool kicked_ = false;  // a look at the queue is already scheduled
+
+  // Loop-thread-only.
+  State state_ = State::kIdle;
+  int fd_ = -1;
+  std::uint64_t id_ = 0;
+  bool stopped_ = false;
+  bool wantWrite_ = false;
+  bool staleClosed_ = false;          // last socket was a working one
+  bool frameDoneSinceConnect_ = false;
+  std::size_t frontOffset_ = 0;       // bytes of queue_.front() already sent
+  bool deadlineArmed_ = false;
+  std::uint64_t deadlineGen_ = 0;
+  std::uint64_t connectGen_ = 0;
+  std::uint64_t idleGen_ = 0;
+  bool pacingActive_ = false;
+  bool delayPumpArmed_ = false;
+  TimePoint nextEligible_{};
+  TimePoint lastActivity_{};
 };
 
-// One outbound connection per (from, to) pair: a bounded frame queue
-// drained by a dedicated writer thread. All socket I/O happens on the
-// writer; other threads only enqueue, signal stop, or shutdown() the fd
-// to interrupt a blocked syscall (never close it — the writer owns the
-// close, so the fd cannot be recycled under a concurrent user).
-struct TcpFabric::Connection {
-  NodeAddr from = 0;
-  NodeAddr to = 0;
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::string> queue;  // encoded frames (header + body)
-  bool stop = false;
-  bool connected = false;  // fd is a live, connected socket
-  int fd = -1;
-  std::thread writer;
-};
+// ---------------------------------------------------------------------------
+// TcpFabric proper.
 
-TcpFabric::TcpFabric(std::uint16_t basePort, TcpFabricConfig config)
-    : basePort_(basePort), config_(config) {}
+TcpFabric::TcpFabric(std::uint16_t basePort, FabricOptions options)
+    : basePort_(basePort), options_(options), reactor_(options.loopThreads) {}
 
 TcpFabric::~TcpFabric() {
   shuttingDown_ = true;
-  // Stop writers first so no connection can fire OnPeerDown into an
+  // Stop outbound connections first so none can fire OnPeerDown into an
   // endpoint that is being torn down.
-  std::map<std::uint64_t, std::unique_ptr<Connection>> conns;
+  std::map<std::uint64_t, std::shared_ptr<OutConn>> conns;
   {
     std::lock_guard lock(connsMu_);
     conns.swap(conns_);
   }
-  for (auto& [_, conn] : conns) StopConnection(conn.get());
+  for (auto& [_, conn] : conns) {
+    OutConn* raw = conn.get();
+    raw->loop()->RunSync([raw] { raw->StopOnLoop(); });
+  }
 
   std::vector<std::unique_ptr<Endpoint>> eps;
   {
@@ -132,21 +719,36 @@ TcpFabric::~TcpFabric() {
     endpoints_.clear();
   }
   for (auto& ep : eps) {
-    ::shutdown(ep->listenFd, SHUT_RDWR);
-    ::close(ep->listenFd);
-    if (ep->acceptThread.joinable()) ep->acceptThread.join();
-    ep->ShutdownReaders();
-    ep->JoinReaders();
+    Endpoint* raw = ep.get();
+    raw->listenerLoop->RunSync([raw] {
+      if (raw->listenerId != 0) raw->listenerLoop->Del(raw->listenerId);
+      ::close(raw->listenFd);
+    });
+    std::vector<std::shared_ptr<InConn>> ins;
+    {
+      std::lock_guard lock(raw->inMu);
+      ins = raw->inConns;
+    }
+    for (int i = 0; i < reactor_.size(); ++i) {
+      Reactor::Loop& loop = reactor_.At(i);
+      loop.RunSync([&loop, &ins] {
+        for (auto& c : ins) {
+          if (c->loop() == &loop) c->CloseOnLoop();
+        }
+      });
+    }
   }
+  // reactor_'s destructor joins the loops after this body.
 }
 
-bool TcpFabric::Register(NodeAddr addr, MessageSink* sink, sched::Executor* executor) {
+bool TcpFabric::Register(NodeAddr addr, MessageSink* sink,
+                         sched::Executor* executor) {
   auto ep = std::make_unique<Endpoint>();
   ep->addr = addr;
   ep->sink = sink;
   ep->executor = executor;
 
-  ep->listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ep->listenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (ep->listenFd < 0) return false;
   const int one = 1;
   ::setsockopt(ep->listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -155,43 +757,46 @@ bool TcpFabric::Register(NodeAddr addr, MessageSink* sink, sched::Executor* exec
   sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   sa.sin_port = htons(static_cast<std::uint16_t>(basePort_ + addr));
   if (::bind(ep->listenFd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0 ||
-      ::listen(ep->listenFd, 64) != 0) {
+      ::listen(ep->listenFd, 128) != 0) {
     ::close(ep->listenFd);
     return false;
   }
+  ep->listener = std::make_shared<Listener>(this, ep.get());
+  ep->listenerLoop = &reactor_.LoopFor(addr);
   Endpoint* raw = ep.get();
-  ep->acceptThread = std::thread([this, raw] { AcceptLoop(raw); });
-  std::lock_guard lock(epMu_);
-  endpoints_[addr] = std::move(ep);
+  {
+    std::lock_guard lock(epMu_);
+    endpoints_[addr] = std::move(ep);
+  }
+  raw->listenerLoop->RunSync([raw] {
+    raw->listenerId = raw->listenerLoop->Add(raw->listenFd, EPOLLIN, raw->listener);
+  });
   return true;
 }
 
 void TcpFabric::Unregister(NodeAddr addr) {
-  // Tear down this endpoint's own outbound connections, and force-close
-  // everyone else's connection TO it so their next frame reconnects (and
-  // fails fast against the dead listener, firing OnPeerDown).
-  std::vector<std::unique_ptr<Connection>> mine;
-  std::vector<Connection*> toward;
+  // 1. Stop this endpoint's own outbound connections; quietly stale-close
+  //    everyone else's connection TO it so their next frame reconnects
+  //    (and fails fast against the dead listener, firing OnPeerDown).
+  std::vector<std::shared_ptr<OutConn>> mine;
+  std::vector<std::shared_ptr<OutConn>> toward;
   {
     std::lock_guard lock(connsMu_);
     for (auto it = conns_.begin(); it != conns_.end();) {
       if ((it->first >> 32) == addr) {
-        mine.push_back(std::move(it->second));
+        mine.push_back(it->second);
         it = conns_.erase(it);
       } else {
-        if ((it->first & 0xFFFFFFFFu) == addr) toward.push_back(it->second.get());
+        if ((it->first & 0xFFFFFFFFu) == addr) toward.push_back(it->second);
         ++it;
       }
     }
   }
-  for (auto& conn : mine) StopConnection(conn.get());
-  for (Connection* conn : toward) {
-    // Shutdown only — the writer discovers the dead socket on its next
-    // frame exactly as it would for a remote peer restart, taking the
-    // reconnect path (and OnPeerDown if the listener stays gone).
-    std::lock_guard lock(conn->mu);
-    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  for (auto& conn : mine) {
+    OutConn* raw = conn.get();
+    raw->loop()->RunSync([raw] { raw->StopOnLoop(); });
   }
+  for (auto& conn : toward) conn->PostDetachStale();
 
   std::unique_ptr<Endpoint> ep;
   {
@@ -201,78 +806,66 @@ void TcpFabric::Unregister(NodeAddr addr) {
     ep = std::move(it->second);
     endpoints_.erase(it);
   }
-  ::shutdown(ep->listenFd, SHUT_RDWR);
-  ::close(ep->listenFd);
-  if (ep->acceptThread.joinable()) ep->acceptThread.join();
-  ep->ShutdownReaders();
-  ep->JoinReaders();
+  // 2. Close the listener on its loop (no further accepts, so the inbound
+  //    snapshot below is complete — Attach posts precede our close posts
+  //    in each loop's FIFO).
+  Endpoint* raw = ep.get();
+  raw->listenerLoop->RunSync([raw] {
+    if (raw->listenerId != 0) raw->listenerLoop->Del(raw->listenerId);
+    ::close(raw->listenFd);
+    raw->listenerId = 0;
+  });
+  // 3. Close every inbound connection on its owning loop. Loops run tasks
+  //    and dispatches serially, so once each loop's RunSync returns, no
+  //    delivery into this endpoint's sink/executor is running or can
+  //    start — the guarantee Unregister's callers rely on.
+  std::vector<std::shared_ptr<InConn>> ins;
+  {
+    std::lock_guard lock(raw->inMu);
+    ins = raw->inConns;
+  }
+  for (int i = 0; i < reactor_.size(); ++i) {
+    Reactor::Loop& loop = reactor_.At(i);
+    loop.RunSync([&loop, &ins] {
+      for (auto& c : ins) {
+        if (c->loop() == &loop) c->CloseOnLoop();
+      }
+    });
+  }
 }
 
 std::size_t TcpFabric::ReaderCount(NodeAddr addr) const {
   std::lock_guard lock(epMu_);
   const auto it = endpoints_.find(addr);
   if (it == endpoints_.end()) return 0;
-  std::lock_guard rlock(it->second->readersMu);
-  std::size_t live = 0;
-  for (const auto& r : it->second->readers) {
-    if (!r.done.load(std::memory_order_acquire)) ++live;
-  }
-  return live;
+  std::lock_guard rlock(it->second->inMu);
+  return it->second->inConns.size();
 }
 
-void TcpFabric::AcceptLoop(Endpoint* ep) {
-  for (;;) {
-    const int fd = ::accept(ep->listenFd, nullptr, nullptr);
-    if (fd < 0) break;
-    ep->ReapFinishedReaders();
-    std::lock_guard lock(ep->readersMu);
-    ep->readers.emplace_back();
-    Endpoint::Reader& r = ep->readers.back();
-    r.fd = fd;
-    std::atomic<bool>* done = &r.done;
-    r.thread = std::thread([this, ep, fd, done] { ReaderLoop(ep, fd, done); });
-  }
+std::size_t TcpFabric::ActiveOutboundConnections() const {
+  return activeOutbound_.load(std::memory_order_relaxed);
 }
 
-void TcpFabric::ReaderLoop(Endpoint* ep, int fd, std::atomic<bool>* done) {
-  for (;;) {
-    char header[8];
-    if (!ReadAll(fd, header, sizeof(header))) break;
-    std::uint32_t length = 0, sender = 0;
-    std::memcpy(&length, header, 4);
-    std::memcpy(&sender, header + 4, 4);
-    if (length == 0 || length > proto::kMaxFrameBody) {
-      SCALLA_WARN("tcp", "endpoint %u: bad frame length %u from %u", ep->addr,
-                  length, sender);
-      break;
-    }
-    std::string body(length, '\0');
-    if (!ReadAll(fd, body.data(), length)) break;
-    auto message = proto::Decode(body);
-    if (!message.has_value()) {
-      SCALLA_WARN("tcp", "endpoint %u: malformed frame from %u", ep->addr, sender);
-      break;
-    }
-    counters_.framesReceived.fetch_add(1, std::memory_order_relaxed);
-    counters_.bytesReceived.fetch_add(sizeof(header) + length,
-                                      std::memory_order_relaxed);
-    // A downed receiver (fault injection) drops inbound traffic too.
-    if (!Reachable(sender, ep->addr)) {
-      counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    counters_.messagesDelivered.fetch_add(1, std::memory_order_relaxed);
-    MessageSink* sink = ep->sink;
-    if (ep->executor != nullptr) {
-      ep->executor->Post([sink, sender, msg = std::move(*message)]() mutable {
-        sink->OnMessage(sender, std::move(msg));
-      });
-    } else {
-      sink->OnMessage(sender, std::move(*message));
+void TcpFabric::AdoptInbound(Endpoint* ep, int fd) {
+  Reactor::Loop& loop = reactor_.At(static_cast<int>(
+      nextLoop_.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<std::uint64_t>(reactor_.size())));
+  auto conn = std::make_shared<InConn>(this, ep, fd, &loop);
+  {
+    std::lock_guard lock(ep->inMu);
+    ep->inConns.push_back(conn);
+  }
+  loop.Post([conn] { conn->Attach(); });
+}
+
+void TcpFabric::RemoveInbound(Endpoint* ep, InConn* conn) {
+  std::lock_guard lock(ep->inMu);
+  for (auto it = ep->inConns.begin(); it != ep->inConns.end(); ++it) {
+    if (it->get() == conn) {
+      ep->inConns.erase(it);
+      return;
     }
   }
-  ::close(fd);
-  done->store(true, std::memory_order_release);
 }
 
 // ---- fault injection ----
@@ -313,6 +906,15 @@ void TcpFabric::SetDelay(NodeAddr from, NodeAddr to, Duration delay) {
   }
 }
 
+void TcpFabric::SetWedged(NodeAddr addr, bool wedged) {
+  std::lock_guard lock(faultMu_);
+  if (wedged) {
+    wedged_[addr] = true;
+  } else {
+    wedged_.erase(addr);
+  }
+}
+
 bool TcpFabric::Reachable(NodeAddr from, NodeAddr to) const {
   std::lock_guard lock(faultMu_);
   if (down_.count(from) != 0 || down_.count(to) != 0) return false;
@@ -330,28 +932,46 @@ Duration TcpFabric::DelayInjected(NodeAddr from, NodeAddr to) const {
   return it == delays_.end() ? Duration::zero() : it->second;
 }
 
+bool TcpFabric::WedgeInjected(NodeAddr addr) const {
+  std::lock_guard lock(faultMu_);
+  return wedged_.count(addr) != 0;
+}
+
+bool TcpFabric::EitherWedged(NodeAddr a, NodeAddr b) const {
+  std::lock_guard lock(faultMu_);
+  return wedged_.count(a) != 0 || wedged_.count(b) != 0;
+}
+
 // ---- send path ----
 
-TcpFabric::Connection* TcpFabric::GetConnection(NodeAddr from, NodeAddr to) {
+std::shared_ptr<TcpFabric::OutConn> TcpFabric::GetConnection(NodeAddr from,
+                                                             NodeAddr to) {
   std::lock_guard lock(connsMu_);
   if (shuttingDown_) return nullptr;
   auto& slot = conns_[PairKey(from, to)];
   if (slot == nullptr) {
-    slot = std::make_unique<Connection>();
-    slot->from = from;
-    slot->to = to;
-    Connection* raw = slot.get();
-    slot->writer = std::thread([this, raw] { WriterLoop(raw); });
+    slot = std::make_shared<OutConn>(this, from, to,
+                                     &reactor_.LoopFor(PairKey(from, to)));
   }
-  return slot.get();
+  return slot;
 }
 
 void TcpFabric::Send(NodeAddr from, NodeAddr to, proto::Message message) {
   counters_.messagesSent.fetch_add(1, std::memory_order_relaxed);
+  BumpPeer(to, &Counters::messagesSent);
+  if (EitherWedged(from, to)) {
+    // A wedged end silently loses traffic in both directions; crucially
+    // NO OnPeerDown — the connection still looks "up", so only a missing
+    // heartbeat can expose the failure.
+    counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+    BumpPeer(to, &Counters::messagesDropped);
+    return;
+  }
   if (!Reachable(from, to)) {
     // Mirror SimFabric: a downed/cut destination drops the message and the
     // sender learns its peer is gone (unless the sender itself is down).
     counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+    BumpPeer(to, &Counters::messagesDropped);
     bool senderDown;
     {
       std::lock_guard lock(faultMu_);
@@ -363,125 +983,32 @@ void TcpFabric::Send(NodeAddr from, NodeAddr to, proto::Message message) {
   if (DropInjected(from, to)) {
     // Lossy link: the frame vanishes silently.
     counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+    BumpPeer(to, &Counters::messagesDropped);
     return;
   }
 
-  const std::string body = proto::Encode(message);
-  std::string frame(sizeof(std::uint32_t) * 2 + body.size(), '\0');
-  const auto length = static_cast<std::uint32_t>(body.size());
+  // Encode into a pooled buffer, header first, so the hot path reuses
+  // capacity instead of allocating per message.
+  std::string frame = pool_.Acquire();
+  frame.resize(kFrameHeader);
+  proto::EncodeAppend(message, frame);
+  const auto length = static_cast<std::uint32_t>(frame.size() - kFrameHeader);
   std::memcpy(frame.data(), &length, 4);
   std::memcpy(frame.data() + 4, &from, 4);
-  std::memcpy(frame.data() + 8, body.data(), body.size());
 
-  Connection* conn = GetConnection(from, to);
+  auto conn = GetConnection(from, to);
   if (conn == nullptr) {  // fabric shutting down
     counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
+    BumpPeer(to, &Counters::messagesDropped);
     return;
   }
-  bool overflow = false;
-  {
-    std::lock_guard lock(conn->mu);
-    if (conn->queue.size() >= config_.maxQueuedMessages) {
-      overflow = true;
-    } else {
-      conn->queue.push_back(std::move(frame));
-      conn->cv.notify_one();
-    }
-  }
-  if (overflow) {
+  if (!conn->Enqueue(std::move(frame))) {
     counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
     counters_.queueOverflows.fetch_add(1, std::memory_order_relaxed);
+    BumpPeer(to, &Counters::messagesDropped);
+    BumpPeer(to, &Counters::queueOverflows);
     NotifyPeerDown(from, to);
   }
-}
-
-bool TcpFabric::EnsureConnected(Connection* conn) {
-  {
-    std::lock_guard lock(conn->mu);
-    if (conn->connected) return true;
-    if (conn->fd >= 0) {  // leftover fd from a failed attempt
-      ::close(conn->fd);
-      conn->fd = -1;
-    }
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  // Publish the fd before any blocking syscall so Unregister/teardown can
-  // shutdown() it to interrupt us.
-  {
-    std::lock_guard lock(conn->mu);
-    if (conn->stop) {
-      ::close(fd);
-      return false;
-    }
-    conn->fd = fd;
-  }
-  // Non-blocking connect with a poll-based deadline: a black-holed peer
-  // costs at most connectTimeout, not a kernel-default SYN retry cycle.
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  sa.sin_port = htons(static_cast<std::uint16_t>(basePort_ + conn->to));
-  bool ok = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0;
-  if (!ok && errno == EINPROGRESS) {
-    pollfd pfd{fd, POLLOUT, 0};
-    const int n = ::poll(&pfd, 1, static_cast<int>(config_.connectTimeout.count()));
-    if (n == 1) {
-      int err = 0;
-      socklen_t len = sizeof(err);
-      ok = ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 && err == 0;
-    }
-  }
-  if (!ok) {
-    Disconnect(conn);
-    return false;
-  }
-  ::fcntl(fd, F_SETFL, flags);
-  timeval tv{};
-  tv.tv_sec = config_.writeTimeout.count() / 1000;
-  tv.tv_usec = static_cast<suseconds_t>((config_.writeTimeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  std::lock_guard lock(conn->mu);
-  conn->connected = true;
-  return !conn->stop;
-}
-
-bool TcpFabric::WriteFrame(Connection* conn, const std::string& frame) {
-  int fd;
-  {
-    std::lock_guard lock(conn->mu);
-    if (!conn->connected || conn->stop) return false;
-    fd = conn->fd;
-  }
-  return WriteAll(fd, frame.data(), frame.size());
-}
-
-void TcpFabric::Disconnect(Connection* conn) {
-  std::lock_guard lock(conn->mu);
-  if (conn->fd >= 0) {
-    ::close(conn->fd);
-    conn->fd = -1;
-  }
-  conn->connected = false;
-}
-
-// The peer is unreachable: drop this connection's whole backlog (delivery
-// is per-pair FIFO, so later frames cannot jump a failed one) and tell
-// the sending endpoint.
-void TcpFabric::FailConnection(Connection* conn) {
-  Disconnect(conn);
-  std::size_t dropped = 1;  // the frame that just failed
-  {
-    std::lock_guard lock(conn->mu);
-    dropped += conn->queue.size();
-    conn->queue.clear();
-  }
-  counters_.messagesDropped.fetch_add(dropped, std::memory_order_relaxed);
-  NotifyPeerDown(conn->from, conn->to);
 }
 
 void TcpFabric::NotifyPeerDown(NodeAddr from, NodeAddr to) {
@@ -501,66 +1028,28 @@ void TcpFabric::NotifyPeerDown(NodeAddr from, NodeAddr to) {
   }
 }
 
-void TcpFabric::WriterLoop(Connection* conn) {
-  for (;;) {
-    std::string frame;
-    {
-      std::unique_lock lock(conn->mu);
-      conn->cv.wait(lock, [conn] { return conn->stop || !conn->queue.empty(); });
-      if (conn->stop) break;
-      frame = std::move(conn->queue.front());
-      conn->queue.pop_front();
-    }
-    // Injected per-pair delay (interruptible so teardown never waits it
-    // out): stalls only this pair's queue, by design.
-    const Duration delay = DelayInjected(conn->from, conn->to);
-    if (delay > Duration::zero()) {
-      std::unique_lock lock(conn->mu);
-      conn->cv.wait_for(lock, delay, [conn] { return conn->stop; });
-      if (conn->stop) break;
-    }
-    if (!Reachable(conn->from, conn->to) || DropInjected(conn->from, conn->to)) {
-      // Fault injected after enqueue: the frame is lost in flight.
-      counters_.messagesDropped.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    const bool wasConnected = [&] {
-      std::lock_guard lock(conn->mu);
-      return conn->connected;
-    }();
-    bool ok = EnsureConnected(conn) && WriteFrame(conn, frame);
-    if (!ok && wasConnected) {
-      // Stale cached connection (peer restarted): retry once fresh.
-      Disconnect(conn);
-      counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
-      ok = EnsureConnected(conn) && WriteFrame(conn, frame);
-    }
-    if (ok) {
-      counters_.framesSent.fetch_add(1, std::memory_order_relaxed);
-      counters_.bytesSent.fetch_add(frame.size(), std::memory_order_relaxed);
-    } else {
-      bool stopping;
-      {
-        std::lock_guard lock(conn->mu);
-        stopping = conn->stop;
-      }
-      if (stopping) break;
-      FailConnection(conn);
-    }
-  }
-  Disconnect(conn);
+// ---- counters ----
+
+void TcpFabric::AddPeerSent(NodeAddr peer, std::uint64_t frames,
+                            std::uint64_t bytes) {
+  std::lock_guard lock(perPeerMu_);
+  Counters& c = perPeer_[peer];
+  c.framesSent += frames;
+  c.bytesSent += bytes;
 }
 
-void TcpFabric::StopConnection(Connection* conn) {
-  {
-    std::lock_guard lock(conn->mu);
-    conn->stop = true;
-    // Interrupt a writer blocked in send(): shutdown, never close — the
-    // writer owns the close.
-    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-    conn->cv.notify_all();
-  }
-  if (conn->writer.joinable()) conn->writer.join();
+void TcpFabric::AddPeerReceived(NodeAddr peer, std::uint64_t frames,
+                                std::uint64_t bytes) {
+  std::lock_guard lock(perPeerMu_);
+  Counters& c = perPeer_[peer];
+  c.framesReceived += frames;
+  c.bytesReceived += bytes;
+}
+
+void TcpFabric::BumpPeer(NodeAddr peer, std::uint64_t Counters::*field,
+                         std::uint64_t delta) {
+  std::lock_guard lock(perPeerMu_);
+  perPeer_[peer].*field += delta;
 }
 
 net::Fabric::Counters TcpFabric::GetCounters() const {
@@ -573,8 +1062,15 @@ net::Fabric::Counters TcpFabric::GetCounters() const {
   out.bytesSent = counters_.bytesSent.load(std::memory_order_relaxed);
   out.bytesReceived = counters_.bytesReceived.load(std::memory_order_relaxed);
   out.reconnects = counters_.reconnects.load(std::memory_order_relaxed);
+  out.idleReaps = counters_.idleReaps.load(std::memory_order_relaxed);
   out.queueOverflows = counters_.queueOverflows.load(std::memory_order_relaxed);
   return out;
+}
+
+net::Fabric::Counters TcpFabric::PerPeerCounters(NodeAddr peer) const {
+  std::lock_guard lock(perPeerMu_);
+  const auto it = perPeer_.find(peer);
+  return it == perPeer_.end() ? Counters{} : it->second;
 }
 
 }  // namespace scalla::net

@@ -1,124 +1,138 @@
-// Loopback TCP transport: each registered endpoint gets a listening socket
-// on basePort+addr; frames are [u32 length][u32 senderAddr][encoded
-// message]. Each (from, to) pair owns an independent connection object
-// with a dedicated writer thread draining a bounded outbound queue, so
-// traffic to one peer never serializes behind traffic to another and a
-// wedged destination backs up only its own queue.
+// Loopback TCP transport on the epoll reactor: each registered endpoint
+// gets a listening socket on basePort+addr; frames are [u32 length][u32
+// senderAddr][encoded message]. Listeners, inbound connections and
+// outbound connections are all non-blocking readiness handlers owned by
+// one of FabricOptions::loopThreads event loops, so the thread count is
+// fixed regardless of how many endpoints or connections exist (the old
+// design spent one writer thread per (from,to) pair plus one reader
+// thread per accepted socket).
 //
-// Failure signalling is asynchronous: a failed connect (poll-based
-// deadline), an expired write deadline (SO_SNDTIMEO), or a queue overflow
+// Each (from, to) pair still owns an independent connection object with a
+// bounded outbound queue, so traffic to one peer never serializes behind
+// traffic to another and a wedged destination backs up only its own
+// queue. The owning loop drains a pair's whole backlog with one writev
+// (sendmsg) per readiness wakeup, and frame buffers are pooled, so
+// steady-state traffic costs neither a thread wakeup chain nor an
+// allocation per message.
+//
+// Failure signalling is asynchronous: a failed connect (timer-based
+// deadline), an expired write-progress deadline, or a queue overflow
 // marks the peer down and fires the sending endpoint's OnPeerDown —
-// exactly the signal the cmsd uses to mark a subordinate offline.
+// exactly the signal the cmsd uses to mark a subordinate offline. A
+// connection that made progress (>= 1 complete frame) before breaking is
+// treated as a stale cached connection and transparently re-established
+// once; only a connection that never progresses fails the peer, so a
+// restarting peer costs one reconnect, not an OnPeerDown storm.
 //
-// Fault injection mirrors sim::SimFabric (SetDown / SetLinkCut) and adds
-// per-pair one-way drop and delay knobs, so chaos scenarios run against
-// real sockets.
+// Fault injection implements the full net::FaultInjector surface
+// (SetDown / SetLinkCut / SetDrop / SetDelay / SetWedged), so chaos
+// scenarios written against Fabric* run unchanged over real sockets.
 //
 // Incoming messages are posted to the endpoint's executor, so node code
-// keeps its single-threaded actor discipline.
+// keeps its single-threaded actor discipline; endpoints registered
+// without an executor get their sink called inline on a loop thread and
+// must not block.
 #pragma once
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "net/fabric.h"
+#include "net/reactor.h"
 #include "sched/executor.h"
 #include "util/types.h"
 
 namespace scalla::net {
 
-struct TcpFabricConfig {
-  /// Non-blocking connect() deadline (poll-based).
-  std::chrono::milliseconds connectTimeout{1000};
-  /// Per-frame write deadline (SO_SNDTIMEO); an expired deadline marks
-  /// the peer down.
-  std::chrono::milliseconds writeTimeout{2000};
-  /// Bounded per-(from,to) outbound queue; enqueueing past this drops the
-  /// message, counts an overflow, and signals OnPeerDown.
-  std::size_t maxQueuedMessages = 4096;
-};
-
 class TcpFabric final : public Fabric {
  public:
   /// Endpoints listen on 127.0.0.1:basePort+addr.
-  explicit TcpFabric(std::uint16_t basePort, TcpFabricConfig config = {});
+  explicit TcpFabric(std::uint16_t basePort, FabricOptions options = {});
   ~TcpFabric() override;
 
   TcpFabric(const TcpFabric&) = delete;
   TcpFabric& operator=(const TcpFabric&) = delete;
 
-  /// Binds an endpoint: starts its listener thread. Returns false if the
-  /// port could not be bound.
+  /// Binds an endpoint: registers its listener on a reactor loop. Returns
+  /// false if the port could not be bound.
   bool Register(NodeAddr addr, MessageSink* sink, sched::Executor* executor);
+  /// Tears an endpoint down. On return no further OnMessage/OnPeerDown for
+  /// this endpoint is running or will start (the teardown runs a barrier
+  /// on every reactor loop), so the caller may destroy the sink/executor.
   void Unregister(NodeAddr addr);
 
   // ---- Fabric ----
   void Send(NodeAddr from, NodeAddr to, proto::Message message) override;
   Counters GetCounters() const override;
+  Counters PerPeerCounters(NodeAddr peer) const override;
 
-  // ---- fault injection (SetDown/SetLinkCut mirror sim::SimFabric) ----
-  /// Downed endpoints drop everything in and out; senders get OnPeerDown
-  /// on each dropped message (models a broken connection).
-  void SetDown(NodeAddr addr, bool down);
-  /// Cuts (or restores) the bidirectional link between two endpoints.
-  void SetLinkCut(NodeAddr a, NodeAddr b, bool cut);
-  /// Silently discards frames from -> to (one-way lossy link); unlike a
-  /// cut the sender is NOT told, modelling loss the transport hides.
-  void SetDrop(NodeAddr from, NodeAddr to, bool drop);
-  /// Adds a one-way delay before each frame from -> to leaves the writer
-  /// (per-pair, so it stalls only that pair's queue). Zero clears it.
-  void SetDelay(NodeAddr from, NodeAddr to, Duration delay);
+  // ---- FaultInjector ----
+  void SetDown(NodeAddr addr, bool down) override;
+  void SetLinkCut(NodeAddr a, NodeAddr b, bool cut) override;
+  void SetDrop(NodeAddr from, NodeAddr to, bool drop) override;
+  void SetDelay(NodeAddr from, NodeAddr to, Duration delay) override;
+  void SetWedged(NodeAddr addr, bool wedged) override;
 
-  /// Live reader threads accepted by `addr`'s listener (reaped readers
-  /// excluded) — observability for the accept-loop reaping logic.
+  /// Live inbound connections accepted by `addr`'s listener (closed ones
+  /// are removed immediately) — observability for connection reaping.
   std::size_t ReaderCount(NodeAddr addr) const;
 
- private:
-  struct Endpoint;
-  struct Connection;
+  /// Live outbound connections whose socket is currently established —
+  /// observability for the idle-reap logic.
+  std::size_t ActiveOutboundConnections() const;
 
-  Connection* GetConnection(NodeAddr from, NodeAddr to);
-  void WriterLoop(Connection* conn);
-  bool EnsureConnected(Connection* conn);
-  bool WriteFrame(Connection* conn, const std::string& frame);
-  void Disconnect(Connection* conn);
-  void FailConnection(Connection* conn);
+ private:
+  class Listener;
+  class InConn;
+  class OutConn;
+  struct Endpoint;
+  friend class Listener;
+  friend class InConn;
+  friend class OutConn;
+
+  std::shared_ptr<OutConn> GetConnection(NodeAddr from, NodeAddr to);
+  void AdoptInbound(Endpoint* ep, int fd);
+  void RemoveInbound(Endpoint* ep, InConn* conn);
   void NotifyPeerDown(NodeAddr from, NodeAddr to);
-  void StopConnection(Connection* conn);
 
   bool Reachable(NodeAddr from, NodeAddr to) const;
   bool DropInjected(NodeAddr from, NodeAddr to) const;
   Duration DelayInjected(NodeAddr from, NodeAddr to) const;
+  bool WedgeInjected(NodeAddr addr) const;
+  bool EitherWedged(NodeAddr a, NodeAddr b) const;
 
-  void ReaderLoop(Endpoint* ep, int fd, std::atomic<bool>* done);
-  void AcceptLoop(Endpoint* ep);
+  // Per-peer counter accumulation (framesSent/bytesSent keyed by the
+  // remote peer of the connection, receive counters keyed by the sender).
+  void AddPeerSent(NodeAddr peer, std::uint64_t frames, std::uint64_t bytes);
+  void AddPeerReceived(NodeAddr peer, std::uint64_t frames, std::uint64_t bytes);
+  void BumpPeer(NodeAddr peer, std::uint64_t Counters::*field,
+                std::uint64_t delta = 1);
 
   std::uint16_t basePort_;
-  TcpFabricConfig config_;
+  FabricOptions options_;
+  Reactor reactor_;
+  BufferPool pool_;
+  std::atomic<std::uint64_t> nextLoop_{0};  // round-robin inbound placement
 
   mutable std::mutex epMu_;
   std::map<NodeAddr, std::unique_ptr<Endpoint>> endpoints_;
 
   mutable std::mutex connsMu_;
-  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;  // (from<<32|to)
+  std::map<std::uint64_t, std::shared_ptr<OutConn>> conns_;  // (from<<32|to)
 
   mutable std::mutex faultMu_;
   std::map<NodeAddr, bool> down_;
-  std::map<std::uint64_t, bool> cutLinks_;   // key: min<<32|max
-  std::map<std::uint64_t, bool> drops_;      // key: from<<32|to
-  std::map<std::uint64_t, Duration> delays_; // key: from<<32|to
+  std::map<NodeAddr, bool> wedged_;
+  std::map<std::uint64_t, bool> cutLinks_;    // key: min<<32|max
+  std::map<std::uint64_t, bool> drops_;       // key: from<<32|to
+  std::map<std::uint64_t, Duration> delays_;  // key: from<<32|to
 
   // Atomic counters: neither the send nor the receive path takes a
-  // fabric-wide lock.
+  // fabric-wide lock for the global totals.
   struct AtomicCounters {
     std::atomic<std::uint64_t> messagesSent{0};
     std::atomic<std::uint64_t> messagesDelivered{0};
@@ -128,9 +142,17 @@ class TcpFabric final : public Fabric {
     std::atomic<std::uint64_t> bytesSent{0};
     std::atomic<std::uint64_t> bytesReceived{0};
     std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> idleReaps{0};
     std::atomic<std::uint64_t> queueOverflows{0};
   };
   mutable AtomicCounters counters_;
+
+  // Per-peer attribution, updated per frame batch (not per byte), so the
+  // lock is cold relative to the socket syscalls around it.
+  mutable std::mutex perPeerMu_;
+  std::map<NodeAddr, Counters> perPeer_;
+
+  std::atomic<std::size_t> activeOutbound_{0};
   std::atomic<bool> shuttingDown_{false};
 };
 

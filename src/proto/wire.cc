@@ -216,14 +216,23 @@ std::optional<Message> DecodeIndex(std::size_t index, Reader& reader) {
 }  // namespace
 
 std::string Encode(const Message& message) {
+  std::string out;
+  EncodeAppend(message, out);
+  return out;
+}
+
+void EncodeAppend(const Message& message, std::string& out) {
+  // The Writer swaps the caller's buffer in and out, so encoding into a
+  // pooled buffer with enough capacity performs no allocation.
   Writer writer;
+  writer.out.swap(out);
   writer.Put(static_cast<std::uint8_t>(message.index()));
   std::visit(
       [&writer](const auto& m) {
         wire::Visit(writer, const_cast<std::decay_t<decltype(m)>&>(m));
       },
       message);
-  return std::move(writer.out);
+  out.swap(writer.out);
 }
 
 std::optional<Message> Decode(std::string_view body) {

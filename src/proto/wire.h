@@ -18,6 +18,11 @@ namespace scalla::proto {
 /// adds framing).
 std::string Encode(const Message& message);
 
+/// Appends the encoding of `message` to `out`. With a pooled buffer of
+/// sufficient capacity this performs no allocation — the TCP send path
+/// uses it to reuse frame buffers across messages.
+void EncodeAppend(const Message& message, std::string& out);
+
 /// Parses a frame body produced by Encode. std::nullopt on malformed input
 /// (truncation, unknown type, oversized string).
 std::optional<Message> Decode(std::string_view body);

@@ -14,8 +14,9 @@ std::uint64_t LinkKey(net::NodeAddr a, net::NodeAddr b) {
 
 }  // namespace
 
-SimFabric::SimFabric(EventEngine& engine, LatencyModel model, std::uint64_t seed)
-    : engine_(engine), model_(model), rng_(seed) {}
+SimFabric::SimFabric(EventEngine& engine, LatencyModel model, std::uint64_t seed,
+                     net::FabricOptions options)
+    : engine_(engine), model_(model), rng_(seed), options_(options) {}
 
 void SimFabric::Register(net::NodeAddr addr, net::MessageSink* sink) {
   sinks_[addr] = sink;
@@ -31,14 +32,17 @@ bool SimFabric::Reachable(net::NodeAddr from, net::NodeAddr to) const {
 
 void SimFabric::Send(net::NodeAddr from, net::NodeAddr to, proto::Message message) {
   ++counters_.messagesSent;
+  ++perPeer_[to].messagesSent;
   if (wedged_.count(from) != 0 || wedged_.count(to) != 0) {
     // A wedged endpoint's connections look healthy, so the loss is silent:
     // no OnPeerDown, unlike the downed/cut cases below.
     ++counters_.messagesDropped;
+    ++perPeer_[to].messagesDropped;
     return;
   }
   if (!Reachable(from, to)) {
     ++counters_.messagesDropped;
+    ++perPeer_[to].messagesDropped;
     // Model a broken connection: the sender learns its peer is gone.
     const auto senderIt = sinks_.find(from);
     if (senderIt != sinks_.end() && down_.count(from) == 0) {
@@ -47,11 +51,37 @@ void SimFabric::Send(net::NodeAddr from, net::NodeAddr to, proto::Message messag
     }
     return;
   }
+  if (drops_.count(PairKey(from, to)) != 0) {
+    // Lossy link: the message vanishes silently (the sender is NOT told,
+    // matching the TCP transport's SetDrop).
+    ++counters_.messagesDropped;
+    ++perPeer_[to].messagesDropped;
+    return;
+  }
+  // The same bounded-queue semantics as the TCP transport: too many
+  // messages in flight on one (from,to) pair overflows, drops, and
+  // signals the sender.
+  std::uint64_t& inFlight = inFlight_[PairKey(from, to)];
+  if (inFlight >= options_.maxQueuedMessages) {
+    ++counters_.messagesDropped;
+    ++counters_.queueOverflows;
+    ++perPeer_[to].messagesDropped;
+    ++perPeer_[to].queueOverflows;
+    const auto senderIt = sinks_.find(from);
+    if (senderIt != sinks_.end()) {
+      net::MessageSink* sender = senderIt->second;
+      engine_.Post([sender, to] { sender->OnPeerDown(to); });
+    }
+    return;
+  }
+  ++inFlight;
   Duration wire = model_.linkLatency;
   if (model_.jitter > Duration::zero()) {
     wire += Duration(static_cast<std::int64_t>(
         rng_.NextBelow(static_cast<std::uint64_t>(model_.jitter.count()))));
   }
+  const auto delayIt = delays_.find(PairKey(from, to));
+  if (delayIt != delays_.end()) wire += delayIt->second;
   // Single-threaded receiver model: the message starts service when it
   // arrives AND the receiver is free; handler runs at service completion.
   TimePoint deliverAt = engine_.Now() + wire + model_.serviceTime;
@@ -65,20 +95,31 @@ void SimFabric::Send(net::NodeAddr from, net::NodeAddr to, proto::Message messag
   const std::size_t type = message.index();
   engine_.ScheduleAt(deliverAt,
                      [this, from, to, msg = std::move(message), type]() mutable {
+                       auto& inFlightNow = inFlight_[PairKey(from, to)];
+                       if (inFlightNow > 0) --inFlightNow;
                        // Re-check reachability at delivery time: a link cut
-                       // (or wedge) while the message was "in flight" loses it.
+                       // (wedge, drop) while the message was "in flight"
+                       // loses it.
                        if (wedged_.count(from) != 0 || wedged_.count(to) != 0 ||
+                           drops_.count(PairKey(from, to)) != 0 ||
                            !Reachable(from, to)) {
                          ++counters_.messagesDropped;
+                         ++perPeer_[to].messagesDropped;
                          return;
                        }
                        ++counters_.messagesDelivered;
+                       ++perPeer_[from].messagesDelivered;
                        ++deliveredByType_[type];
                        sinks_[to]->OnMessage(from, std::move(msg));
                      });
 }
 
 net::Fabric::Counters SimFabric::GetCounters() const { return counters_; }
+
+net::Fabric::Counters SimFabric::PerPeerCounters(net::NodeAddr peer) const {
+  const auto it = perPeer_.find(peer);
+  return it == perPeer_.end() ? Counters{} : it->second;
+}
 
 void SimFabric::SetDown(net::NodeAddr addr, bool down) {
   if (down) {
@@ -104,6 +145,22 @@ void SimFabric::SetLinkCut(net::NodeAddr a, net::NodeAddr b, bool cut) {
   }
 }
 
+void SimFabric::SetDrop(net::NodeAddr from, net::NodeAddr to, bool drop) {
+  if (drop) {
+    drops_.insert(PairKey(from, to));
+  } else {
+    drops_.erase(PairKey(from, to));
+  }
+}
+
+void SimFabric::SetDelay(net::NodeAddr from, net::NodeAddr to, Duration delay) {
+  if (delay > Duration::zero()) {
+    delays_[PairKey(from, to)] = delay;
+  } else {
+    delays_.erase(PairKey(from, to));
+  }
+}
+
 std::uint64_t SimFabric::DeliveredOfType(std::size_t variantIndex) const {
   const auto it = deliveredByType_.find(variantIndex);
   return it == deliveredByType_.end() ? 0 : it->second;
@@ -111,6 +168,7 @@ std::uint64_t SimFabric::DeliveredOfType(std::size_t variantIndex) const {
 
 void SimFabric::ResetCounters() {
   counters_ = Counters{};
+  perPeer_.clear();
   deliveredByType_.clear();
 }
 

@@ -1,9 +1,11 @@
 // In-process message fabric with a configurable latency model, driven by
 // the discrete-event engine. Reproduces the paper's LAN environment shape:
 // a per-link one-way latency (default 25 us) plus a per-message CPU
-// service time (default 5 us), with optional jitter. Supports failure
-// injection (downed endpoints, cut links) and per-message-type counters
-// for the protocol-efficiency experiment (E06).
+// service time (default 5 us), with optional jitter. Implements the full
+// net::FaultInjector surface (down, cut, drop, delay, wedge) so chaos
+// scenarios written against net::Fabric* run unchanged over the simulator
+// and over real sockets, and per-message-type counters for the
+// protocol-efficiency experiment (E06).
 #pragma once
 
 #include <cstdint>
@@ -32,8 +34,13 @@ struct LatencyModel {
 
 class SimFabric final : public net::Fabric {
  public:
+  /// `options` is the same struct the TCP transport takes; the simulator
+  /// honours maxQueuedMessages semantically (as a per-(from,to) in-flight
+  /// bound) and ignores the socket-level knobs (loopThreads, timeouts,
+  /// sendBufferBytes), which have no in-process analogue.
   explicit SimFabric(EventEngine& engine, LatencyModel model = {},
-                     std::uint64_t seed = 0xfab41cULL);
+                     std::uint64_t seed = 0xfab41cULL,
+                     net::FabricOptions options = {});
 
   /// Registers an endpoint. Delivery runs as an engine event.
   void Register(net::NodeAddr addr, net::MessageSink* sink);
@@ -42,17 +49,17 @@ class SimFabric final : public net::Fabric {
   // ---- net::Fabric ----
   void Send(net::NodeAddr from, net::NodeAddr to, proto::Message message) override;
   Counters GetCounters() const override;
+  Counters PerPeerCounters(net::NodeAddr peer) const override;
 
-  // ---- failure injection ----
-  /// Downed endpoints drop everything in and out; peers that later send to
-  /// them get OnPeerDown on first drop (models a broken connection).
-  void SetDown(net::NodeAddr addr, bool down);
-  /// Cuts (or restores) the bidirectional link between two endpoints.
-  void SetLinkCut(net::NodeAddr a, net::NodeAddr b, bool cut);
-  /// Wedges an endpoint: the process hangs but its connections stay "up",
-  /// so everything it sends or receives is silently lost and NO peer gets
-  /// OnPeerDown — the failure mode only a heartbeat can detect.
-  void SetWedged(net::NodeAddr addr, bool wedged);
+  // ---- net::FaultInjector ----
+  void SetDown(net::NodeAddr addr, bool down) override;
+  void SetLinkCut(net::NodeAddr a, net::NodeAddr b, bool cut) override;
+  /// Silent one-way loss from -> to: messages vanish, no OnPeerDown.
+  void SetDrop(net::NodeAddr from, net::NodeAddr to, bool drop) override;
+  /// Extra one-way latency added to each message from -> to (the sim
+  /// analogue of the TCP transport's per-pair send pacing). Zero clears.
+  void SetDelay(net::NodeAddr from, net::NodeAddr to, Duration delay) override;
+  void SetWedged(net::NodeAddr addr, bool wedged) override;
 
   /// Per-message-type delivered counts, keyed by variant index (E06).
   std::uint64_t DeliveredOfType(std::size_t variantIndex) const;
@@ -60,16 +67,24 @@ class SimFabric final : public net::Fabric {
 
  private:
   bool Reachable(net::NodeAddr from, net::NodeAddr to) const;
+  static std::uint64_t PairKey(net::NodeAddr from, net::NodeAddr to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
 
   EventEngine& engine_;
   LatencyModel model_;
   util::Rng rng_;
+  net::FabricOptions options_;
   std::unordered_map<net::NodeAddr, net::MessageSink*> sinks_;
   std::unordered_map<net::NodeAddr, TimePoint> busyUntil_;  // per-receiver queue
   std::unordered_set<net::NodeAddr> down_;
   std::unordered_set<net::NodeAddr> wedged_;
   std::unordered_set<std::uint64_t> cutLinks_;  // key: min<<32|max
+  std::unordered_set<std::uint64_t> drops_;     // key: from<<32|to
+  std::unordered_map<std::uint64_t, Duration> delays_;  // key: from<<32|to
+  std::unordered_map<std::uint64_t, std::uint64_t> inFlight_;  // per-pair bound
   Counters counters_;
+  std::map<net::NodeAddr, Counters> perPeer_;
   std::unordered_map<std::size_t, std::uint64_t> deliveredByType_;
 };
 

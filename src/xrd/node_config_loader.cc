@@ -45,7 +45,8 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
       "xrd.allowwrite", "xrd.loadreport",
       "oss.localroot", "all.cnsd",      "pcache.blocksize", "pcache.capacity",
       "pcache.hiwater", "pcache.lowater", "pcache.readahead",
-      "fabric.connecttimeout", "fabric.writetimeout", "fabric.queuedepth"};
+      "fabric.connecttimeout", "fabric.writetimeout", "fabric.queuedepth",
+      "fabric.loopthreads",    "fabric.idletimeout",  "fabric.sendbuf"};
   for (const auto& [key, _] : parsed->entries()) {
     if (kKnown.count(key) == 0) {
       Fail(error, "unknown directive: " + key);
@@ -231,15 +232,20 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
         static_cast<int>(parsed->GetIntOr("pcache.readahead", 0));
   }
 
+  // fabric.* parses into one net::FabricOptions shared by every transport;
+  // range checking is centralized in net::ValidateFabricOptions below so
+  // the loader and transport constructors agree on what is legal.
   Duration connectTimeout(out.fabric.connectTimeout);
   Duration writeTimeout(out.fabric.writeTimeout);
+  Duration idleTimeout(out.fabric.idleTimeout);
   for (const auto& [key, dest] :
        {std::pair<const char*, Duration*>{"fabric.connecttimeout", &connectTimeout},
-        {"fabric.writetimeout", &writeTimeout}}) {
+        {"fabric.writetimeout", &writeTimeout},
+        {"fabric.idletimeout", &idleTimeout}}) {
     if (!parsed->Has(key)) continue;
     const auto value = parsed->GetDuration(key);
-    if (!value.has_value() || *value <= Duration::zero()) {
-      Fail(error, std::string(key) + " must be a positive duration");
+    if (!value.has_value()) {
+      Fail(error, std::string(key) + " must be a duration");
       return std::nullopt;
     }
     *dest = *value;
@@ -248,14 +254,34 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
       std::chrono::duration_cast<std::chrono::milliseconds>(connectTimeout);
   out.fabric.writeTimeout =
       std::chrono::duration_cast<std::chrono::milliseconds>(writeTimeout);
-  if (const auto depth = parsed->GetInt("fabric.queuedepth"); depth.has_value()) {
-    if (*depth <= 0) {
+  out.fabric.idleTimeout =
+      std::chrono::duration_cast<std::chrono::milliseconds>(idleTimeout);
+  if (parsed->Has("fabric.queuedepth")) {
+    const auto depth = parsed->GetInt("fabric.queuedepth");
+    if (!depth.has_value() || *depth <= 0) {
       Fail(error, "fabric.queuedepth must be a positive integer");
       return std::nullopt;
     }
     out.fabric.maxQueuedMessages = static_cast<std::size_t>(*depth);
-  } else if (parsed->Has("fabric.queuedepth")) {
-    Fail(error, "fabric.queuedepth must be a positive integer");
+  }
+  if (parsed->Has("fabric.loopthreads")) {
+    const auto threads = parsed->GetInt("fabric.loopthreads");
+    if (!threads.has_value()) {
+      Fail(error, "fabric.loopthreads must be an integer");
+      return std::nullopt;
+    }
+    out.fabric.loopThreads = static_cast<int>(*threads);
+  }
+  if (parsed->Has("fabric.sendbuf")) {
+    const auto size = ParseSize(parsed->GetStringOr("fabric.sendbuf", ""));
+    if (!size.has_value()) {
+      Fail(error, "fabric.sendbuf must be a byte size (0 = OS default)");
+      return std::nullopt;
+    }
+    out.fabric.sendBufferBytes = static_cast<std::size_t>(*size);
+  }
+  if (const auto valid = net::ValidateFabricOptions(out.fabric); !valid.ok()) {
+    Fail(error, valid.error().message);
     return std::nullopt;
   }
   return out;

@@ -25,11 +25,15 @@
 //
 // (all.manager names the origin cluster heads for a proxy.)
 //
-// TCP transport tuning (any role; see net::TcpFabricConfig):
+// Transport tuning (any role; parsed once into net::FabricOptions and
+// validated with net::ValidateFabricOptions, so bad values fail loudly):
 //
+//   fabric.loopthreads     2           # reactor event-loop pool size
 //   fabric.connecttimeout  1s          # non-blocking connect deadline
-//   fabric.writetimeout    2s          # per-frame write deadline (SO_SNDTIMEO)
+//   fabric.writetimeout    2s          # write-progress deadline
 //   fabric.queuedepth      4096        # per-peer bounded outbound queue
+//   fabric.idletimeout     0           # idle-connection reap (0 disables)
+//   fabric.sendbuf         0           # SO_SNDBUF bytes (0 = OS default)
 //
 // Unknown keys are reported as errors so typos do not silently default.
 #pragma once
@@ -47,7 +51,7 @@ namespace scalla::xrd {
 struct LoadedNodeConfig {
   NodeConfig node;
   std::string localRoot;  // non-empty => back the server with LocalOss
-  net::TcpFabricConfig fabric;  // fabric.* transport tuning
+  net::FabricOptions fabric;  // fabric.* transport tuning
   // Proxy role only (node.role == NodeRole::kProxy):
   pcache::BlockCacheConfig pcacheCache;
   int pcacheReadAhead = 0;

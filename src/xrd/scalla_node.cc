@@ -270,6 +270,31 @@ obs::MetricsSnapshot ScallaNode::SnapshotMetrics() const {
   snap.AddGauge("node.open_handles", static_cast<std::int64_t>(openFiles_.size()));
   snap.AddGauge("node.members", static_cast<std::int64_t>(membership_.MemberCount()));
   snap.AddCounter("node.count", 1);  // lets aggregated views report fleet size
+  if (config_.exportFabricStats) {
+    const auto net = fabric_.GetCounters();
+    snap.AddCounter("fabric.messages_sent", net.messagesSent);
+    snap.AddCounter("fabric.messages_delivered", net.messagesDelivered);
+    snap.AddCounter("fabric.messages_dropped", net.messagesDropped);
+    snap.AddCounter("fabric.frames_sent", net.framesSent);
+    snap.AddCounter("fabric.frames_received", net.framesReceived);
+    snap.AddCounter("fabric.bytes_sent", net.bytesSent);
+    snap.AddCounter("fabric.bytes_received", net.bytesReceived);
+    snap.AddCounter("fabric.reconnects", net.reconnects);
+    snap.AddCounter("fabric.idle_reaps", net.idleReaps);
+    snap.AddCounter("fabric.queue_overflows", net.queueOverflows);
+    // Per-link wire attribution for this node's long-lived peers (its
+    // heads and the cnsd): where the daemon's traffic actually goes.
+    std::vector<net::NodeAddr> links(parents_.begin(), parents_.end());
+    if (config_.cnsd != 0) links.push_back(config_.cnsd);
+    for (const net::NodeAddr peer : links) {
+      const auto link = fabric_.PerPeerCounters(peer);
+      const std::string prefix = "fabric.link." + std::to_string(peer) + ".";
+      snap.AddCounter(prefix + "frames_sent", link.framesSent);
+      snap.AddCounter(prefix + "frames_received", link.framesReceived);
+      snap.AddCounter(prefix + "bytes_sent", link.bytesSent);
+      snap.AddCounter(prefix + "bytes_received", link.bytesReceived);
+    }
+  }
   return snap;
 }
 

@@ -66,6 +66,12 @@ struct NodeConfig {
   // How long a head waits for subordinate StatsReply frames before
   // answering a StatsQuery with whatever the subtree delivered.
   Duration statsTimeout = std::chrono::seconds(2);
+  // Export fabric.* transport counters (global plus per-parent link
+  // attribution) in SnapshotMetrics. Off by default: the fabric is shared
+  // by every endpoint in-process, so only one node per process — the
+  // daemon's — should fold its counters into a stats tree, or cluster
+  // aggregates would multiply-count the same wire traffic.
+  bool exportFabricStats = false;
 };
 
 class ScallaNode : public net::MessageSink {

@@ -311,11 +311,11 @@ TEST_F(TcpChaosTest, InjectedPartitionRecoversViaRefreshAvoid) {
 
 // ---- liveness over real sockets ----
 // The heartbeat story of heartbeat_test.cc replayed against the TCP
-// transport: a wedged endpoint (SetDrop both ways — frames silently
-// vanish, nobody's connection breaks, so no OnPeerDown ever fires) must
-// be declared dead by the probe alone, vanish from resolution, and
-// rejoin when the loss heals; overload suspension and the operator drain
-// behave identically to the simulator.
+// transport: a wedged endpoint (SetWedged — frames silently vanish in
+// both directions, nobody's connection breaks, so no OnPeerDown ever
+// fires) must be declared dead by the probe alone, vanish from
+// resolution, and rejoin when the loss heals; overload suspension and
+// the operator drain behave identically to the simulator.
 
 class TcpLivenessTest : public TcpChaosTest {
  protected:
@@ -340,10 +340,7 @@ class TcpLivenessTest : public TcpChaosTest {
     BuildTree(NextLivenessBasePort());
   }
 
-  void Wedge(net::NodeAddr addr, bool on) {
-    fabric_->SetDrop(1, addr, on);
-    fabric_->SetDrop(addr, 1, on);
-  }
+  void Wedge(net::NodeAddr addr, bool on) { fabric_->SetWedged(addr, on); }
 
   // Polls a predicate evaluated against live node state (the repo's
   // cross-thread test idiom, as in WaitMembers).

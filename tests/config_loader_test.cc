@@ -62,12 +62,18 @@ TEST(NodeConfigLoaderTest, FabricDirectivesParsed) {
       "all.role manager\nall.addr 1\nall.export /store\n"
       "fabric.connecttimeout 250ms\n"
       "fabric.writetimeout 5s\n"
-      "fabric.queuedepth 1024\n",
+      "fabric.queuedepth 1024\n"
+      "fabric.loopthreads 4\n"
+      "fabric.idletimeout 30s\n"
+      "fabric.sendbuf 64k\n",
       &error);
   ASSERT_TRUE(loaded.has_value()) << error;
   EXPECT_EQ(loaded->fabric.connectTimeout, std::chrono::milliseconds(250));
   EXPECT_EQ(loaded->fabric.writeTimeout, std::chrono::milliseconds(5000));
   EXPECT_EQ(loaded->fabric.maxQueuedMessages, 1024u);
+  EXPECT_EQ(loaded->fabric.loopThreads, 4);
+  EXPECT_EQ(loaded->fabric.idleTimeout, std::chrono::seconds(30));
+  EXPECT_EQ(loaded->fabric.sendBufferBytes, 64u * 1024);
 }
 
 TEST(NodeConfigLoaderTest, FabricDefaultsWhenUnset) {
@@ -75,10 +81,13 @@ TEST(NodeConfigLoaderTest, FabricDefaultsWhenUnset) {
   const auto loaded =
       LoadNodeConfig("all.role manager\nall.addr 1\nall.export /store\n", &error);
   ASSERT_TRUE(loaded.has_value()) << error;
-  const net::TcpFabricConfig defaults;
+  const net::FabricOptions defaults;
   EXPECT_EQ(loaded->fabric.connectTimeout, defaults.connectTimeout);
   EXPECT_EQ(loaded->fabric.writeTimeout, defaults.writeTimeout);
   EXPECT_EQ(loaded->fabric.maxQueuedMessages, defaults.maxQueuedMessages);
+  EXPECT_EQ(loaded->fabric.loopThreads, defaults.loopThreads);
+  EXPECT_EQ(loaded->fabric.idleTimeout, defaults.idleTimeout);
+  EXPECT_EQ(loaded->fabric.sendBufferBytes, defaults.sendBufferBytes);
 }
 
 TEST(NodeConfigLoaderTest, RejectsBadFabricValues) {
@@ -90,6 +99,26 @@ TEST(NodeConfigLoaderTest, RejectsBadFabricValues) {
       LoadNodeConfig(base + "fabric.writetimeout -1s\n", &error).has_value());
   EXPECT_FALSE(LoadNodeConfig(base + "fabric.queuedepth 0\n", &error).has_value());
   EXPECT_FALSE(LoadNodeConfig(base + "fabric.queuedepth lots\n", &error).has_value());
+  EXPECT_FALSE(
+      LoadNodeConfig(base + "fabric.loopthreads 0\n", &error).has_value());
+  EXPECT_NE(error.find("fabric.loopthreads"), std::string::npos);
+  EXPECT_FALSE(
+      LoadNodeConfig(base + "fabric.loopthreads 65\n", &error).has_value());
+  EXPECT_FALSE(
+      LoadNodeConfig(base + "fabric.idletimeout -5s\n", &error).has_value());
+  EXPECT_NE(error.find("fabric.idletimeout"), std::string::npos);
+  EXPECT_FALSE(
+      LoadNodeConfig(base + "fabric.sendbuf many\n", &error).has_value());
+}
+
+TEST(NodeConfigLoaderTest, FabricIdleTimeoutZeroDisables) {
+  std::string error;
+  const auto loaded = LoadNodeConfig(
+      "all.role manager\nall.addr 1\nall.export /store\n"
+      "fabric.idletimeout 0s\n",
+      &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->fabric.idleTimeout, Duration::zero());
 }
 
 TEST(NodeConfigLoaderTest, RejectsUnknownDirective) {

@@ -1,0 +1,315 @@
+// Reactor-core tests for the redesigned transport surface: framing across
+// partial writes (tiny SO_SNDBUF) and coalesced reads, idle-connection
+// reaping with transparent reconnect, per-peer counter attribution,
+// FabricOptions validation, and the uniform FaultInjector contract — the
+// same chaos scenario driven through net::Fabric* against both SimFabric
+// and TcpFabric without downcasting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "net/tcp_fabric.h"
+#include "sim/event_engine.h"
+#include "sim/sim_fabric.h"
+
+namespace scalla {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Own band: above bench_fabric (14000–15536) and below the fabric soak
+// (18000). Every band stays below the ephemeral port range (32768+) so a
+// leftover outbound socket can never squat on a listener port.
+std::uint16_t NextBasePort() {
+  static std::atomic<std::uint16_t> next{16500};
+  return next.fetch_add(100);
+}
+
+struct CountingSink : net::MessageSink {
+  std::mutex mu;
+  std::condition_variable cv;
+  int messages = 0;
+  int peerDowns = 0;
+  std::uint64_t payloadBytes = 0;  // total XrdWrite data received
+  bool payloadIntact = true;       // every XrdWrite data byte was 'w'
+
+  void OnMessage(net::NodeAddr, proto::Message message) override {
+    std::lock_guard lock(mu);
+    ++messages;
+    if (const auto* write = std::get_if<proto::XrdWrite>(&message)) {
+      payloadBytes += write->data.size();
+      for (const char c : write->data) {
+        if (c != 'w') payloadIntact = false;
+      }
+    }
+    cv.notify_all();
+  }
+  void OnPeerDown(net::NodeAddr) override {
+    std::lock_guard lock(mu);
+    ++peerDowns;
+    cv.notify_all();
+  }
+  int Messages() {
+    std::lock_guard lock(mu);
+    return messages;
+  }
+  int PeerDowns() {
+    std::lock_guard lock(mu);
+    return peerDowns;
+  }
+  bool WaitMessages(int n, Duration timeout = 10s) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, timeout, [&] { return messages >= n; });
+  }
+  bool WaitPeerDowns(int n, Duration timeout = 10s) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, timeout, [&] { return peerDowns >= n; });
+  }
+};
+
+proto::Message SmallMessage() { return proto::XrdClose{1, 2}; }
+
+TEST(FabricOptionsTest, ValidatesRanges) {
+  net::FabricOptions ok;
+  EXPECT_TRUE(net::ValidateFabricOptions(ok).ok());
+
+  net::FabricOptions bad = ok;
+  bad.loopThreads = 0;
+  auto r = net::ValidateFabricOptions(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("fabric.loopthreads"), std::string::npos);
+
+  bad = ok;
+  bad.loopThreads = 65;
+  EXPECT_FALSE(net::ValidateFabricOptions(bad).ok());
+
+  bad = ok;
+  bad.maxQueuedMessages = 0;
+  EXPECT_FALSE(net::ValidateFabricOptions(bad).ok());
+
+  bad = ok;
+  bad.connectTimeout = std::chrono::milliseconds(0);
+  EXPECT_FALSE(net::ValidateFabricOptions(bad).ok());
+
+  bad = ok;
+  bad.writeTimeout = std::chrono::milliseconds(-1);
+  EXPECT_FALSE(net::ValidateFabricOptions(bad).ok());
+
+  bad = ok;
+  bad.idleTimeout = std::chrono::milliseconds(-1);
+  EXPECT_FALSE(net::ValidateFabricOptions(bad).ok());
+  bad.idleTimeout = std::chrono::milliseconds(0);  // zero disables: legal
+  EXPECT_TRUE(net::ValidateFabricOptions(bad).ok());
+}
+
+// A 1 MB frame through a 4 KB socket buffer cannot leave in one write:
+// the connection takes EAGAIN mid-frame and must resume from its partial
+// offset without corrupting the stream.
+TEST(FabricReactorTest, PartialWritesPreserveFraming) {
+  const auto base = NextBasePort();
+  net::FabricOptions cfg;
+  cfg.sendBufferBytes = 4096;
+  CountingSink a, b;  // sinks must outlive the fabric
+  net::TcpFabric fabric(base, cfg);
+  ASSERT_TRUE(fabric.Register(1, &a, nullptr));
+  ASSERT_TRUE(fabric.Register(2, &b, nullptr));
+
+  constexpr int kFrames = 8;
+  constexpr std::size_t kPayload = 1 << 20;
+  proto::XrdWrite big;
+  big.data.assign(kPayload, 'w');
+  for (int i = 0; i < kFrames; ++i) fabric.Send(1, 2, big);
+
+  ASSERT_TRUE(b.WaitMessages(kFrames, 30s));
+  EXPECT_EQ(b.payloadBytes, static_cast<std::uint64_t>(kFrames) * kPayload);
+  EXPECT_TRUE(b.payloadIntact);
+  const auto c = fabric.GetCounters();
+  EXPECT_EQ(c.framesSent, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(c.framesReceived, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(c.messagesDropped, 0u);
+}
+
+// Many small frames sent back-to-back coalesce into fewer TCP segments;
+// the receive path must slice frames back out of arbitrary read-chunk
+// boundaries.
+TEST(FabricReactorTest, CoalescedSmallFramesAllParsed) {
+  const auto base = NextBasePort();
+  CountingSink a, b;
+  net::TcpFabric fabric(base);
+  ASSERT_TRUE(fabric.Register(1, &a, nullptr));
+  ASSERT_TRUE(fabric.Register(2, &b, nullptr));
+
+  constexpr int kFrames = 500;
+  for (int i = 0; i < kFrames; ++i) fabric.Send(1, 2, SmallMessage());
+  ASSERT_TRUE(b.WaitMessages(kFrames));
+  const auto c = fabric.GetCounters();
+  EXPECT_EQ(c.framesReceived, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(c.messagesDelivered, static_cast<std::uint64_t>(kFrames));
+}
+
+TEST(FabricReactorTest, IdleConnectionReapedAndReconnectsTransparently) {
+  const auto base = NextBasePort();
+  net::FabricOptions cfg;
+  cfg.idleTimeout = 200ms;
+  CountingSink a, b;
+  net::TcpFabric fabric(base, cfg);
+  ASSERT_TRUE(fabric.Register(1, &a, nullptr));
+  ASSERT_TRUE(fabric.Register(2, &b, nullptr));
+
+  fabric.Send(1, 2, SmallMessage());
+  ASSERT_TRUE(b.WaitMessages(1));
+  // The connection established for that send goes quiet and is reaped.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (fabric.ActiveOutboundConnections() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(fabric.ActiveOutboundConnections(), 0u);
+  EXPECT_GE(fabric.GetCounters().idleReaps, 1u);
+
+  // The next send re-establishes silently: delivered, with no reconnect
+  // counted (the reap was planned, not a stale-connection failure) and no
+  // OnPeerDown on either endpoint.
+  fabric.Send(1, 2, SmallMessage());
+  ASSERT_TRUE(b.WaitMessages(2));
+  EXPECT_EQ(fabric.GetCounters().reconnects, 0u);
+  EXPECT_EQ(a.PeerDowns(), 0);
+  EXPECT_EQ(b.PeerDowns(), 0);
+}
+
+TEST(FabricReactorTest, PerPeerCountersAttributeTraffic) {
+  const auto base = NextBasePort();
+  CountingSink a, b, c;
+  net::TcpFabric fabric(base);
+  ASSERT_TRUE(fabric.Register(1, &a, nullptr));
+  ASSERT_TRUE(fabric.Register(2, &b, nullptr));
+  ASSERT_TRUE(fabric.Register(3, &c, nullptr));
+
+  for (int i = 0; i < 3; ++i) fabric.Send(1, 2, SmallMessage());
+  for (int i = 0; i < 5; ++i) fabric.Send(1, 3, SmallMessage());
+  ASSERT_TRUE(b.WaitMessages(3));
+  ASSERT_TRUE(c.WaitMessages(5));
+
+  // Send-side attribution keys on the destination peer...
+  const auto toB = fabric.PerPeerCounters(2);
+  EXPECT_EQ(toB.messagesSent, 3u);
+  EXPECT_EQ(toB.framesSent, 3u);
+  EXPECT_GT(toB.bytesSent, 0u);
+  const auto toC = fabric.PerPeerCounters(3);
+  EXPECT_EQ(toC.messagesSent, 5u);
+  EXPECT_EQ(toC.framesSent, 5u);
+  // ...receive-side attribution keys on the sender: all 8 frames arrived
+  // from peer 1, regardless of which endpoint they landed on.
+  const auto from1 = fabric.PerPeerCounters(1);
+  EXPECT_EQ(from1.framesReceived, 8u);
+  EXPECT_EQ(from1.messagesDelivered, 8u);
+  EXPECT_GT(from1.bytesReceived, 0u);
+  // An address nobody talked to reads all-zero.
+  EXPECT_EQ(fabric.PerPeerCounters(77).framesSent, 0u);
+}
+
+// ---- the uniform FaultInjector contract ----
+// One scenario, written purely against net::Fabric*, runs over both
+// transports. `wait` blocks until a sink saw n messages (virtual time for
+// the sim, wall clock for TCP); `settle` gives silently-lost traffic a
+// chance to (not) arrive before asserting absence.
+
+struct TransportHooks {
+  std::function<bool(CountingSink&, int)> wait;       // >= n messages
+  std::function<bool(CountingSink&, int)> waitDowns;  // >= n peer-downs
+  std::function<void()> settle;
+};
+
+void RunFaultScenario(net::Fabric& fabric, net::NodeAddr a, net::NodeAddr b,
+                      CountingSink& sinkA, CountingSink& sinkB,
+                      const TransportHooks& hooks) {
+  // Baseline: the link works.
+  fabric.Send(a, b, SmallMessage());
+  ASSERT_TRUE(hooks.wait(sinkB, 1));
+
+  // Wedged receiver: frames vanish silently in BOTH directions and no
+  // OnPeerDown fires anywhere — only a heartbeat can see this failure.
+  fabric.SetWedged(b, true);
+  for (int i = 0; i < 3; ++i) fabric.Send(a, b, SmallMessage());
+  fabric.Send(b, a, SmallMessage());
+  hooks.settle();
+  EXPECT_EQ(sinkB.Messages(), 1);
+  EXPECT_EQ(sinkA.Messages(), 0);
+  EXPECT_EQ(sinkA.PeerDowns(), 0);
+  EXPECT_EQ(sinkB.PeerDowns(), 0);
+  fabric.SetWedged(b, false);
+  fabric.Send(a, b, SmallMessage());
+  ASSERT_TRUE(hooks.wait(sinkB, 2));
+
+  // One-way silent drop: a->b loses, b->a still works, nobody is told.
+  fabric.SetDrop(a, b, true);
+  fabric.Send(a, b, SmallMessage());
+  fabric.Send(b, a, SmallMessage());
+  ASSERT_TRUE(hooks.wait(sinkA, 1));
+  hooks.settle();
+  EXPECT_EQ(sinkB.Messages(), 2);
+  EXPECT_EQ(sinkA.PeerDowns(), 0);
+  fabric.SetDrop(a, b, false);
+  fabric.Send(a, b, SmallMessage());
+  ASSERT_TRUE(hooks.wait(sinkB, 3));
+
+  // Downed endpoint: the sender is told its peer is gone (asynchronously
+  // on both transports), the message is not delivered.
+  fabric.SetDown(b, true);
+  fabric.Send(a, b, SmallMessage());
+  ASSERT_TRUE(hooks.waitDowns(sinkA, 1));
+  EXPECT_EQ(sinkB.Messages(), 3);
+  fabric.SetDown(b, false);
+  fabric.Send(a, b, SmallMessage());
+  ASSERT_TRUE(hooks.wait(sinkB, 4));
+
+  // Cut link: visible break, sender told; heal restores delivery.
+  fabric.SetLinkCut(a, b, true);
+  fabric.Send(a, b, SmallMessage());
+  ASSERT_TRUE(hooks.waitDowns(sinkA, 2));
+  fabric.SetLinkCut(a, b, false);
+  fabric.Send(a, b, SmallMessage());
+  ASSERT_TRUE(hooks.wait(sinkB, 5));
+}
+
+TEST(FaultInjectorContractTest, SimFabric) {
+  sim::EventEngine engine;
+  sim::SimFabric fabric(engine);
+  CountingSink sinkA, sinkB;
+  fabric.Register(1, &sinkA);
+  fabric.Register(2, &sinkB);
+
+  TransportHooks hooks;
+  hooks.wait = [&](CountingSink& s, int n) {
+    return engine.RunUntilPredicate([&] { return s.Messages() >= n; },
+                                    engine.Now() + 1s);
+  };
+  hooks.waitDowns = [&](CountingSink& s, int n) {
+    return engine.RunUntilPredicate([&] { return s.PeerDowns() >= n; },
+                                    engine.Now() + 1s);
+  };
+  hooks.settle = [&] { engine.RunFor(50ms); };
+  RunFaultScenario(fabric, 1, 2, sinkA, sinkB, hooks);
+}
+
+TEST(FaultInjectorContractTest, TcpFabric) {
+  const auto base = NextBasePort();
+  CountingSink sinkA, sinkB;  // sinks must outlive the fabric
+  net::TcpFabric fabric(base);
+  ASSERT_TRUE(fabric.Register(1, &sinkA, nullptr));
+  ASSERT_TRUE(fabric.Register(2, &sinkB, nullptr));
+
+  TransportHooks hooks;
+  hooks.wait = [&](CountingSink& s, int n) { return s.WaitMessages(n); };
+  hooks.waitDowns = [&](CountingSink& s, int n) { return s.WaitPeerDowns(n); };
+  hooks.settle = [] { std::this_thread::sleep_for(250ms); };
+  RunFaultScenario(fabric, 1, 2, sinkA, sinkB, hooks);
+}
+
+}  // namespace
+}  // namespace scalla

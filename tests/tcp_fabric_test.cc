@@ -1,9 +1,9 @@
 // Failure-path tests for the per-peer TCP transport: peer-down delivery on
 // connect refusal and on an expired write deadline, reconnect accounting
 // across a peer restart, bounded-queue overflow, malformed-frame
-// disconnects, fault injection (down / cut / drop / delay), reader-thread
-// reaping, and the head-of-line isolation guarantee — a wedged destination
-// delays only its own queue.
+// disconnects, fault injection (down / cut / drop / delay), inbound
+// connection reaping, and the head-of-line isolation guarantee — a
+// stalled destination delays only its own queue.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -101,7 +101,7 @@ TEST(TcpFabricTest, DeliversBetweenEndpoints) {
 
 TEST(TcpFabricTest, PeerDownOnConnectRefused) {
   const auto base = NextBasePort();
-  net::TcpFabricConfig cfg;
+  net::FabricOptions cfg;
   cfg.connectTimeout = 500ms;
   CountingSink a;  // sinks must outlive the fabric's reader threads
   net::TcpFabric fabric(base, cfg);
@@ -116,14 +116,14 @@ TEST(TcpFabricTest, PeerDownOnConnectRefused) {
 
 TEST(TcpFabricTest, PeerDownOnWriteDeadline) {
   const auto base = NextBasePort();
-  net::TcpFabricConfig cfg;
+  net::FabricOptions cfg;
   cfg.writeTimeout = 300ms;
   CountingSink a;  // sinks must outlive the fabric's reader threads
   net::TcpFabric fabric(base, cfg);
   ASSERT_TRUE(fabric.Register(1, &a, nullptr));
 
   // A listener that completes handshakes (backlog) but never accepts or
-  // reads, with a tiny receive buffer: the peer is wedged, not dead.
+  // reads, with a tiny receive buffer: the peer is stuck, not dead.
   const int listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(listenFd, 0);
   const int one = 1;
@@ -137,8 +137,8 @@ TEST(TcpFabricTest, PeerDownOnWriteDeadline) {
   ASSERT_EQ(::bind(listenFd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
   ASSERT_EQ(::listen(listenFd, 8), 0);
 
-  // Far larger than any socket buffer pair: the blocking send must hit
-  // SO_SNDTIMEO, which the fabric treats as peer-down.
+  // Far larger than any socket buffer pair: the write stalls past the
+  // progress deadline, which the fabric treats as peer-down.
   proto::XrdWrite big;
   big.reqId = 1;
   big.data.assign(16 * 1024 * 1024, 'x');
@@ -174,7 +174,7 @@ TEST(TcpFabricTest, ReconnectCountedAfterPeerRestart) {
 
 TEST(TcpFabricTest, BoundedQueueOverflowDropsAndSignals) {
   const auto base = NextBasePort();
-  net::TcpFabricConfig cfg;
+  net::FabricOptions cfg;
   cfg.maxQueuedMessages = 2;
   CountingSink a, b;  // sinks must outlive the fabric's reader threads
   net::TcpFabric fabric(base, cfg);

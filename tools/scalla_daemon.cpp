@@ -133,7 +133,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  xrd::ScallaNode node(loaded->node, executor, fabric, storage.get());
+  // The daemon is the only node in its process, so IT owns folding the
+  // process-shared fabric counters into the exported stats tree.
+  xrd::NodeConfig nodeConfig = loaded->node;
+  nodeConfig.exportFabricStats = true;
+  xrd::ScallaNode node(nodeConfig, executor, fabric, storage.get());
   if (!fabric.Register(loaded->node.addr, &node, &executor)) {
     std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n",
                  basePort + loaded->node.addr);
@@ -168,13 +172,14 @@ int main(int argc, char** argv) {
     const auto net = fabric.GetCounters();
     std::printf("metrics %s\n", node.SnapshotMetrics().ToJson().c_str());
     std::printf("net frames_sent=%llu frames_received=%llu bytes_sent=%llu "
-                "bytes_received=%llu reconnects=%llu dropped=%llu "
-                "queue_overflows=%llu\n",
+                "bytes_received=%llu reconnects=%llu idle_reaps=%llu "
+                "dropped=%llu queue_overflows=%llu\n",
                 static_cast<unsigned long long>(net.framesSent),
                 static_cast<unsigned long long>(net.framesReceived),
                 static_cast<unsigned long long>(net.bytesSent),
                 static_cast<unsigned long long>(net.bytesReceived),
                 static_cast<unsigned long long>(net.reconnects),
+                static_cast<unsigned long long>(net.idleReaps),
                 static_cast<unsigned long long>(net.messagesDropped),
                 static_cast<unsigned long long>(net.queueOverflows));
     std::fflush(stdout);
