@@ -14,7 +14,8 @@ ScallaClient::ScallaClient(const ClientConfig& config, sched::Executor& executor
       retriesMetric_(metrics_.GetCounter("client.retries")),
       failoversMetric_(metrics_.GetCounter("client.head_failovers")),
       recoveriesMetric_(metrics_.GetCounter("client.recoveries")),
-      redirectsMetric_(metrics_.GetCounter("client.redirects_followed")) {
+      redirectsMetric_(metrics_.GetCounter("client.redirects_followed")),
+      loopBreaksMetric_(metrics_.GetCounter("client.redirect_loop_breaks")) {
   heads_.push_back(config_.head);
   for (const net::NodeAddr h : config_.extraHeads) {
     if (h != 0) heads_.push_back(h);
@@ -122,8 +123,9 @@ void ScallaClient::HandleOpenResp(net::NodeAddr from, const proto::XrdOpenResp& 
       return;
 
     case proto::XrdStatus::kRedirect:
-      if (++s.outcome.redirects > config_.maxHops) {
-        FinishOpen(m.reqId, proto::XrdErr::kIo, {});
+      if (++s.outcome.redirects > config_.maxRedirects) {
+        loopBreaksMetric_.Inc();
+        FinishOpen(m.reqId, proto::XrdErr::kLoop, {});
         return;
       }
       redirectsMetric_.Inc();
@@ -227,7 +229,12 @@ void ScallaClient::HandleChecksumResp(net::NodeAddr from, const proto::XrdChecks
       return;
     }
     case proto::XrdStatus::kRedirect:
-      if (++s.hops > config_.maxHops) break;
+      if (++s.hops > config_.maxRedirects) {
+        loopBreaksMetric_.Inc();
+        auto node = checksums_.extract(m.reqId);
+        node.mapped().done(proto::XrdErr::kLoop, 0);
+        return;
+      }
       s.currentNode = m.redirectNode;
       fabric_.Send(config_.addr, s.currentNode, proto::XrdChecksum{m.reqId, s.path});
       return;
@@ -292,7 +299,12 @@ void ScallaClient::HandleStatResp(net::NodeAddr from, const proto::XrdStatResp& 
       return;
     }
     case proto::XrdStatus::kRedirect:
-      if (++s.hops > config_.maxHops) break;
+      if (++s.hops > config_.maxRedirects) {
+        loopBreaksMetric_.Inc();
+        auto node = stats_.extract(m.reqId);
+        node.mapped().done(proto::XrdErr::kLoop, 0);
+        return;
+      }
       s.currentNode = m.redirectNode;
       fabric_.Send(config_.addr, s.currentNode, proto::XrdStat{m.reqId, s.path});
       return;
@@ -339,7 +351,12 @@ void ScallaClient::HandleUnlinkResp(net::NodeAddr from, const proto::XrdUnlinkRe
       return;
     }
     case proto::XrdStatus::kRedirect:
-      if (++s.hops > config_.maxHops) break;
+      if (++s.hops > config_.maxRedirects) {
+        loopBreaksMetric_.Inc();
+        auto node = unlinks_.extract(m.reqId);
+        node.mapped().done(proto::XrdErr::kLoop);
+        return;
+      }
       s.currentNode = m.redirectNode;
       fabric_.Send(config_.addr, s.currentNode, proto::XrdUnlink{m.reqId, s.path});
       return;

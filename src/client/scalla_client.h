@@ -32,7 +32,14 @@ struct ClientConfig {
   std::vector<net::NodeAddr> extraHeads;
   net::NodeAddr cnsd = 0;       // Cluster Name Space daemon (0 = none)
   int maxRecoveries = 4;        // refresh/avoid cycles before giving up
-  int maxHops = 16;             // redirects per attempt (tree depth bound)
+  // Redirect-loop guard (config directive `client.maxredirects`): bounds
+  // the TOTAL redirect hops one request may follow across all attempts.
+  // Two heads pointing at each other (e.g. a meta-manager and a cluster
+  // head with crossed caches) would otherwise ping-pong the client
+  // forever; on breach the request fails with the distinct XrdErr::kLoop
+  // instead of a generic I/O error. 8 comfortably covers the deepest
+  // legitimate walk: meta -> cluster head -> supervisor chain -> server.
+  int maxRedirects = 8;
   int maxWaits = 64;            // wait/retry cycles (staging can be long)
   // kStale answers are re-issued at the head after a short jittered delay
   // (never synchronously) and give up past the cap — a head stuck
@@ -230,6 +237,7 @@ class ScallaClient : public net::MessageSink {
   obs::Counter& failoversMetric_; // client.head_failovers
   obs::Counter& recoveriesMetric_;  // client.recoveries — refresh/avoid cycles
   obs::Counter& redirectsMetric_;   // client.redirects_followed
+  obs::Counter& loopBreaksMetric_;  // client.redirect_loop_breaks — kLoop failures
 };
 
 }  // namespace scalla::client

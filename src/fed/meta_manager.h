@@ -1,0 +1,168 @@
+// Federation tier: the meta-manager that clusters the clusters.
+//
+// The paper's 64-ary B-tree composes: the same subscribe / locate /
+// redirect machinery that lets a manager front 64 servers lets a
+// meta-manager front 64 *clusters*. Independent clusters' head managers
+// subscribe here (FedSubscribe) exactly as servers log into a manager;
+// the meta resolves a path to the owning cluster with the same
+// name-cache machinery one level up — ServerSet correction vectors keyed
+// by cluster ID instead of server slot, CRC32 + Fibonacci hashing and
+// window eviction reused verbatim from src/cms/ — and redirects the
+// client to that cluster's head, which resolves to a data server as
+// today. Request-rarely-respond also lifts one level: the meta floods
+// FedQuery to subscribed heads and only owners answer (FedHave).
+//
+// Cross-cluster replica preference uses locality weights: each cluster
+// subscribes with a distance weight folded into its reported load, so a
+// load-based selection prefers near clusters when several hold a file.
+// A pcache proxy whose origin head is the meta acts as a federation edge
+// cache with no new proxy code (its embedded client follows the two-hop
+// redirect walk like any other client).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cms/location_cache.h"
+#include "cms/maintenance.h"
+#include "cms/membership.h"
+#include "cms/resolver.h"
+#include "cms/response_queue.h"
+#include "cms/selection.h"
+#include "cms/types.h"
+#include "net/fabric.h"
+#include "obs/metrics.h"
+#include "sched/executor.h"
+
+namespace scalla::fed {
+
+struct MetaConfig {
+  std::string name = "meta";
+  net::NodeAddr addr = 0;
+  cms::CmsConfig cms;
+  // kLoad makes locality weights effective: a cluster's reported load is
+  // locality * kLocalityScale + its heads' piggybacked load, so nearer
+  // clusters win ties. Round-robin ignores locality (still correct).
+  cms::SelectCriterion selection = cms::SelectCriterion::kLoad;
+  bool startTimers = true;
+  Duration statsTimeout = std::chrono::seconds(2);
+};
+
+class MetaManager : public net::MessageSink {
+ public:
+  /// Load units one locality step is worth; keeps locality dominant over
+  /// the (small) head load numbers without saturating the u32.
+  static constexpr std::uint32_t kLocalityScale = 1000;
+
+  MetaManager(MetaConfig config, sched::Executor& executor, net::Fabric& fabric);
+  ~MetaManager() override;
+
+  MetaManager(const MetaManager&) = delete;
+  MetaManager& operator=(const MetaManager&) = delete;
+
+  /// Starts maintenance timers (window tick, sweep, drop scan, heartbeat).
+  void Start();
+  void Stop();
+
+  // net::MessageSink
+  void OnMessage(net::NodeAddr from, proto::Message message) override;
+  void OnPeerDown(net::NodeAddr peer) override;
+
+  // ---- introspection (tests / benches / tools) ----
+  const MetaConfig& config() const { return config_; }
+  cms::Membership& membership() { return membership_; }
+  cms::LocationCache& cache() { return cache_; }
+  cms::Resolver& resolver() { return resolver_; }
+  net::NodeAddr HeadOfCluster(ServerSlot clusterId) const;
+  std::optional<ServerSlot> ClusterOfHead(net::NodeAddr addr) const;
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Local metrics under fed.* plus the reused cache/resolver/respq
+  /// component stats — same canonical dotted names as a ScallaNode, so
+  /// federation-level StatsQuery merges compose with cluster aggregates.
+  obs::MetricsSnapshot SnapshotMetrics() const;
+
+ private:
+  // fed protocol (cluster heads)
+  void HandleSubscribe(net::NodeAddr from, const proto::FedSubscribe& m);
+  void HandleHave(net::NodeAddr from, const proto::FedHave& m);
+  void HandleGone(net::NodeAddr from, const proto::FedGone& m);
+  void HandleLocate(net::NodeAddr from, const proto::FedLocate& m);
+
+  // xrd protocol (clients): every meta answer is redirect / wait / error —
+  // the meta serves no data and holds no namespace, only location bits.
+  void HandleOpen(net::NodeAddr from, const proto::XrdOpen& m);
+  void HandleStat(net::NodeAddr from, const proto::XrdStat& m);
+  void HandleUnlink(net::NodeAddr from, const proto::XrdUnlink& m);
+  void HandleChecksum(net::NodeAddr from, const proto::XrdChecksum& m);
+  void HandlePrepare(net::NodeAddr from, const proto::XrdPrepare& m);
+
+  // liveness
+  void HeartbeatTick();
+  void HandlePong(net::NodeAddr from, const proto::CmsPong& m);
+
+  // observability
+  void HandleStatsQuery(net::NodeAddr from, const proto::StatsQuery& m);
+  void HandleStatsReply(net::NodeAddr from, const proto::StatsReply& m);
+  void FinishStatsAggregation(std::uint64_t aggId);
+
+  void SendQueryDown(ServerSet targets, const std::string& path, std::uint32_t hash,
+                     cms::AccessMode mode);
+  /// Pick a writable, selectable cluster for a creation (avoiding the one
+  /// that just refused the client).
+  ServerSlot ChooseCreateTarget(const std::string& path, ServerSlot avoid);
+  std::uint32_t EffectiveLoad(ServerSlot clusterId, std::uint32_t headLoad) const;
+
+  MetaConfig config_;
+  sched::Executor& executor_;
+  net::Fabric& fabric_;
+
+  cms::Membership membership_;
+  cms::LocationCache cache_;
+  cms::FastResponseQueue respq_;
+  cms::SelectionPolicy selection_;
+  cms::Resolver resolver_;
+  cms::MaintenanceDriver maintenance_;
+
+  obs::MetricsRegistry metrics_;
+  struct FedMetrics {
+    obs::Counter& subscribes;       // FedSubscribe frames admitted
+    obs::Counter& locates;          // client-visible resolutions served
+    obs::Counter& redirects;        // redirects issued to cluster heads
+    obs::Counter& waits;            // wait answers issued
+    obs::Counter& notFound;         // global-namespace misses
+    obs::Counter& clusterDeaths;    // heartbeat death declarations
+    obs::Counter& pingsSent;
+    obs::Counter& pongsReceived;
+    obs::Counter& statsQueries;
+    explicit FedMetrics(obs::MetricsRegistry& r);
+  };
+  FedMetrics fm_;
+
+  // cluster slot <-> head fabric address, plus per-cluster locality weight
+  std::array<net::NodeAddr, kMaxServersPerSet> slotAddr_{};
+  std::array<std::uint32_t, kMaxServersPerSet> locality_{};
+  std::unordered_map<net::NodeAddr, ServerSlot> addrSlot_;
+
+  bool started_ = false;
+  std::uint64_t pingSeq_ = 0;
+  sched::TimerId pingTimer_ = sched::kInvalidTimer;
+
+  // Federation-level StatsQuery merge: fan to every online cluster head,
+  // fold their (already tree-aggregated) snapshots plus our own fed.* view.
+  struct StatsAggregation {
+    net::NodeAddr requester = 0;
+    std::uint64_t requesterReqId = 0;
+    obs::MetricsSnapshot acc;
+    std::uint32_t nodeCount = 0;
+    int outstanding = 0;
+    sched::TimerId timer = sched::kInvalidTimer;
+  };
+  std::unordered_map<std::uint64_t, StatsAggregation> statsAggs_;
+  std::uint64_t nextStatsAggId_ = 1;
+};
+
+}  // namespace scalla::fed

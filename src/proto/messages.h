@@ -100,6 +100,7 @@ enum class XrdErr : std::int32_t {
   kExists = 17,        // EEXIST
   kInvalid = 22,       // EINVAL
   kNoSpace = 28,       // ENOSPC
+  kLoop = 40,          // ELOOP: redirect chain exceeded client.maxredirects
   kStale = 116,        // ESTALE: retry from a consistent state
 };
 
@@ -339,13 +340,84 @@ struct CmsDrainResp {
   std::string error;
 };
 
+// --------------------------------------------------------------------
+// Federation (fed protocol): cluster head <-> meta-manager. The same
+// subscribe / locate / redirect machinery one level up — the meta-manager
+// fronts up to 64 *clusters* exactly as a manager fronts 64 servers.
+
+/// Cluster head -> meta-manager: subscribe this cluster into the
+/// federation, declaring its export prefixes. Registration stays light
+/// (prefixes only, never a file manifest), mirroring CmsLogin.
+struct FedSubscribe {
+  std::string cluster;                // stable cluster identity ("cern", "slac")
+  std::vector<std::string> exports;   // cluster-wide exported path prefixes
+  bool allowWrite = true;
+  std::uint32_t locality = 0;         // distance weight; lower = preferred
+};
+
+struct FedSubscribeResp {
+  bool ok = false;
+  std::int32_t clusterId = -1;  // assigned cluster slot (bit position)
+  std::string error;
+};
+
+/// Meta-manager -> cluster heads: "does your cluster have <path>?"
+/// Request-rarely-respond one level up: owning heads answer FedHave;
+/// everyone else stays silent and the deadline decides.
+struct FedQuery {
+  std::string path;
+  std::uint32_t hash = 0;   // CRC32, echoed back so the meta never re-hashes
+  std::uint8_t mode = 0;    // AccessMode
+  bool refresh = false;     // head refreshes its own subtree view too
+};
+
+/// Cluster head -> meta-manager: positive response. Also sent unsolicited
+/// as an upward new-file digest (newfile=true) so the meta's cluster-
+/// location cache learns about creations without re-flooding the fleet.
+struct FedHave {
+  std::string path;
+  std::uint32_t hash = 0;
+  bool pending = false;
+  bool allowWrite = true;
+  bool newfile = false;
+};
+
+/// Cluster head -> meta-manager: upward invalidation — the last replica
+/// of <path> in this cluster is gone.
+struct FedGone {
+  std::string path;
+};
+
+/// Client/tool -> meta-manager: explicit "which cluster owns <path>?"
+/// (the fed-level analogue of an XrdOpen that never opens). Used by
+/// `scalla_cli fed locate` and by tests probing the meta's cache.
+struct FedLocate {
+  std::uint64_t reqId = 0;
+  std::string path;
+  std::uint8_t mode = 0;        // AccessMode
+  bool refresh = false;
+  std::uint32_t avoidCluster = 0;  // head addr that just failed (0 = none)
+};
+
+struct FedRedirect {
+  std::uint64_t reqId = 0;
+  XrdStatus status = XrdStatus::kError;
+  XrdErr err = XrdErr::kNone;
+  std::int32_t clusterId = -1;
+  std::string cluster;          // owning cluster's stable identity
+  std::uint32_t headAddr = 0;   // fabric address of that cluster's head
+  std::int64_t waitNs = 0;      // kWait: retry after this delay
+};
+
 using Message =
     std::variant<CmsLogin, CmsLoginResp, CmsQuery, CmsHave, CmsNoHave, CmsGone, CmsLoad,
                  XrdOpen, XrdOpenResp, XrdRead, XrdReadResp, XrdWrite, XrdWriteResp,
                  XrdClose, XrdCloseResp, XrdStat, XrdStatResp, XrdUnlink, XrdUnlinkResp,
                  XrdPrepare, XrdPrepareResp, CnsList, CnsListResp, XrdReadV, XrdReadVResp,
                  XrdChecksum, XrdChecksumResp, StatsQuery, StatsReply, PcacheAdmin,
-                 PcacheAdminResp, CmsPing, CmsPong, CmsDeath, CmsDrain, CmsDrainResp>;
+                 PcacheAdminResp, CmsPing, CmsPong, CmsDeath, CmsDrain, CmsDrainResp,
+                 FedSubscribe, FedSubscribeResp, FedQuery, FedHave, FedGone, FedLocate,
+                 FedRedirect>;
 
 /// Human-readable tag for logging.
 const char* MessageName(const Message& m);

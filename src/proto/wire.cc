@@ -250,7 +250,9 @@ const char* MessageName(const Message& m) {
       "XrdUnlink", "XrdUnlinkResp", "XrdPrepare", "XrdPrepareResp", "CnsList",
       "CnsListResp", "XrdReadV", "XrdReadVResp", "XrdChecksum", "XrdChecksumResp",
       "StatsQuery", "StatsReply", "PcacheAdmin", "PcacheAdminResp", "CmsPing",
-      "CmsPong", "CmsDeath", "CmsDrain", "CmsDrainResp"};
+      "CmsPong", "CmsDeath", "CmsDrain", "CmsDrainResp", "FedSubscribe",
+      "FedSubscribeResp", "FedQuery", "FedHave", "FedGone", "FedLocate",
+      "FedRedirect"};
   static_assert(sizeof(kNames) / sizeof(kNames[0]) == std::variant_size_v<Message>);
   return kNames[m.index()];
 }

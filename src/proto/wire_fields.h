@@ -98,5 +98,24 @@ template <class Ar> void Visit(Ar& ar, CmsDrain& m) {
 template <class Ar> void Visit(Ar& ar, CmsDrainResp& m) {
   ar.Fields(m.reqId, m.ok, m.applied, m.error);
 }
+template <class Ar> void Visit(Ar& ar, FedSubscribe& m) {
+  ar.Fields(m.cluster, m.exports, m.allowWrite, m.locality);
+}
+template <class Ar> void Visit(Ar& ar, FedSubscribeResp& m) {
+  ar.Fields(m.ok, m.clusterId, m.error);
+}
+template <class Ar> void Visit(Ar& ar, FedQuery& m) {
+  ar.Fields(m.path, m.hash, m.mode, m.refresh);
+}
+template <class Ar> void Visit(Ar& ar, FedHave& m) {
+  ar.Fields(m.path, m.hash, m.pending, m.allowWrite, m.newfile);
+}
+template <class Ar> void Visit(Ar& ar, FedGone& m) { ar.Fields(m.path); }
+template <class Ar> void Visit(Ar& ar, FedLocate& m) {
+  ar.Fields(m.reqId, m.path, m.mode, m.refresh, m.avoidCluster);
+}
+template <class Ar> void Visit(Ar& ar, FedRedirect& m) {
+  ar.Fields(m.reqId, m.status, m.err, m.clusterId, m.cluster, m.headAddr, m.waitNs);
+}
 
 }  // namespace scalla::proto::wire

@@ -6,15 +6,29 @@
 namespace scalla::sim {
 
 SimCluster::SimCluster(const ClusterSpec& spec)
-    : spec_(spec), fabric_(engine_, spec.latency) {
+    : spec_(spec),
+      ownedEngine_(std::make_unique<EventEngine>()),
+      ownedFabric_(std::make_unique<SimFabric>(*ownedEngine_, spec.latency)),
+      engine_(ownedEngine_.get()),
+      fabric_(ownedFabric_.get()) {
+  Build();
+}
+
+SimCluster::SimCluster(const ClusterSpec& spec, EventEngine& engine, SimFabric& fabric,
+                       net::NodeAddr firstAddr)
+    : spec_(spec), engine_(&engine), fabric_(&fabric), nextAddr_(firstAddr) {
+  Build();
+}
+
+void SimCluster::Build() {
   assert(spec_.servers >= 1);
   assert(spec_.managers >= 1);
   assert(spec_.fanout >= 2 && spec_.fanout <= kMaxServersPerSet);
 
   if (spec_.withCnsd) {
     cnsAddr_ = NextAddr();
-    cns_ = std::make_unique<cnsd::CnsDaemon>(cnsAddr_, fabric_);
-    fabric_.Register(cnsAddr_, cns_.get());
+    cns_ = std::make_unique<cnsd::CnsDaemon>(cnsAddr_, *fabric_);
+    fabric_->Register(cnsAddr_, cns_.get());
   }
 
   // The logical head: one manager, or several redundant ones that every
@@ -29,8 +43,11 @@ SimCluster::SimCluster(const ClusterSpec& spec)
     cfg.cms = spec_.cms;
     cfg.selection = spec_.selection;
     cfg.alwaysRespond = spec_.alwaysRespond;
-    auto node = std::make_unique<xrd::ScallaNode>(cfg, engine_, fabric_, nullptr);
-    fabric_.Register(cfg.addr, node.get());
+    cfg.meta = spec_.meta;
+    cfg.clusterName = spec_.clusterName;
+    cfg.locality = spec_.locality;
+    auto node = std::make_unique<xrd::ScallaNode>(cfg, *engine_, *fabric_, nullptr);
+    fabric_->Register(cfg.addr, node.get());
     heads.push_back(cfg.addr);
     managers_.push_back(std::move(node));
   }
@@ -48,8 +65,8 @@ SimCluster::SimCluster(const ClusterSpec& spec)
     pcfg.origin.cnsd = cnsAddr_;
     pcfg.cache = spec_.proxyCache;
     pcfg.readAhead = spec_.proxyReadAhead;
-    proxy_ = std::make_unique<pcache::ProxyCacheNode>(pcfg, engine_, fabric_);
-    fabric_.Register(pcfg.addr, proxy_.get());
+    proxy_ = std::make_unique<pcache::ProxyCacheNode>(pcfg, *engine_, *fabric_);
+    fabric_->Register(pcfg.addr, proxy_.get());
   }
 }
 
@@ -90,13 +107,13 @@ SimCluster::BuildResult SimCluster::BuildSubtree(const std::vector<net::NodeAddr
   if (nServers == 1) {
     const std::size_t idx = leaves_.size();
     auto storage = spec_.withMss
-                       ? std::make_unique<oss::MssOss>(engine_.clock(), spec_.mss)
-                       : std::make_unique<oss::MemOss>(engine_.clock());
+                       ? std::make_unique<oss::MssOss>(engine_->clock(), spec_.mss)
+                       : std::make_unique<oss::MemOss>(engine_->clock());
     cfg.role = xrd::NodeRole::kServer;
     cfg.name = "server" + std::to_string(idx);
     cfg.cnsd = cnsAddr_;  // leaves publish namespace events (0 = none)
-    auto node = std::make_unique<xrd::ScallaNode>(cfg, engine_, fabric_, storage.get());
-    fabric_.Register(addr, node.get());
+    auto node = std::make_unique<xrd::ScallaNode>(cfg, *engine_, *fabric_, storage.get());
+    fabric_->Register(addr, node.get());
     leaves_.push_back(std::move(node));
     storages_.push_back(std::move(storage));
     return BuildResult{addr, 0};
@@ -104,8 +121,8 @@ SimCluster::BuildResult SimCluster::BuildSubtree(const std::vector<net::NodeAddr
 
   cfg.role = xrd::NodeRole::kSupervisor;
   cfg.name = "sup" + std::to_string(supervisorSeq_++);
-  auto node = std::make_unique<xrd::ScallaNode>(cfg, engine_, fabric_, nullptr);
-  fabric_.Register(addr, node.get());
+  auto node = std::make_unique<xrd::ScallaNode>(cfg, *engine_, *fabric_, nullptr);
+  fabric_->Register(addr, node.get());
   supervisors_.push_back(std::move(node));
 
   int maxChildDepth = 0;
@@ -117,7 +134,7 @@ void SimCluster::Start() {
   for (auto& m : managers_) m->Start();
   for (auto& s : supervisors_) s->Start();
   for (auto& l : leaves_) l->Start();
-  engine_.RunUntilIdle();  // logins settle
+  engine_->RunUntilIdle();  // logins settle
 }
 
 oss::MssOss* SimCluster::mssStorage(std::size_t i) {
@@ -133,8 +150,8 @@ Result<std::vector<std::string>> SimCluster::ListAndWait(client::ScallaClient& c
   c.List(prefix, [result](proto::XrdErr err, std::vector<std::string> names) {
     *result = std::make_pair(err, std::move(names));
   });
-  engine_.RunUntilPredicate([result] { return result->has_value(); },
-                            engine_.Now() + std::chrono::seconds(30));
+  engine_->RunUntilPredicate([result] { return result->has_value(); },
+                            engine_->Now() + std::chrono::seconds(30));
   if (!result->has_value()) {
     return ScallaError{proto::XrdErr::kIo, "list '" + prefix + "': timed out"};
   }
@@ -156,8 +173,8 @@ client::ScallaClient& SimCluster::NewClient() {
   for (std::size_t m = 1; m < managers_.size(); ++m) {
     cfg.extraHeads.push_back(managers_[m]->config().addr);
   }
-  auto c = std::make_unique<client::ScallaClient>(cfg, engine_, fabric_);
-  fabric_.Register(cfg.addr, c.get());
+  auto c = std::make_unique<client::ScallaClient>(cfg, *engine_, *fabric_);
+  fabric_->Register(cfg.addr, c.get());
   clients_.push_back(std::move(c));
   return *clients_.back();
 }
@@ -168,8 +185,8 @@ client::ScallaClient& SimCluster::NewProxyClient() {
   cfg.addr = NextAddr();
   cfg.head = proxy_->config().addr;
   cfg.cnsd = cnsAddr_;
-  auto c = std::make_unique<client::ScallaClient>(cfg, engine_, fabric_);
-  fabric_.Register(cfg.addr, c.get());
+  auto c = std::make_unique<client::ScallaClient>(cfg, *engine_, *fabric_);
+  fabric_->Register(cfg.addr, c.get());
   clients_.push_back(std::move(c));
   return *clients_.back();
 }
@@ -184,8 +201,8 @@ client::OpenOutcome SimCluster::OpenAndWait(client::ScallaClient& c,
   auto result = std::make_shared<std::optional<client::OpenOutcome>>();
   c.Open(path, mode, create,
          [result](const client::OpenOutcome& o) { *result = o; });
-  engine_.RunUntilPredicate([result] { return result->has_value(); },
-                            engine_.Now() + timeout);
+  engine_->RunUntilPredicate([result] { return result->has_value(); },
+                            engine_->Now() + timeout);
   if (!result->has_value()) {
     client::OpenOutcome timedOut;
     timedOut.err = proto::XrdErr::kIo;
@@ -207,8 +224,8 @@ Result<std::string> SimCluster::ReadAll(client::ScallaClient& c,
     c.Read(open.file, offset, 1 << 16, [result](proto::XrdErr err, std::string data) {
       *result = std::make_pair(err, std::move(data));
     });
-    engine_.RunUntilPredicate([result] { return result->has_value(); },
-                              engine_.Now() + std::chrono::seconds(30));
+    engine_->RunUntilPredicate([result] { return result->has_value(); },
+                              engine_->Now() + std::chrono::seconds(30));
     if (!result->has_value()) {
       return ScallaError{proto::XrdErr::kIo, "read '" + path + "': timed out"};
     }
@@ -222,8 +239,8 @@ Result<std::string> SimCluster::ReadAll(client::ScallaClient& c,
   }
   auto closed = std::make_shared<std::optional<proto::XrdErr>>();
   c.Close(open.file, [closed](proto::XrdErr err) { *closed = err; });
-  engine_.RunUntilPredicate([closed] { return closed->has_value(); },
-                            engine_.Now() + std::chrono::seconds(30));
+  engine_->RunUntilPredicate([closed] { return closed->has_value(); },
+                            engine_->Now() + std::chrono::seconds(30));
   return all;
 }
 
@@ -236,12 +253,12 @@ Result<void> SimCluster::PutFile(client::ScallaClient& c, const std::string& pat
   auto werr = std::make_shared<std::optional<proto::XrdErr>>();
   c.Write(open.file, 0, std::move(data),
           [werr](proto::XrdErr err, std::uint32_t) { *werr = err; });
-  engine_.RunUntilPredicate([werr] { return werr->has_value(); },
-                            engine_.Now() + std::chrono::seconds(30));
+  engine_->RunUntilPredicate([werr] { return werr->has_value(); },
+                            engine_->Now() + std::chrono::seconds(30));
   auto cerr = std::make_shared<std::optional<proto::XrdErr>>();
   c.Close(open.file, [cerr](proto::XrdErr err) { *cerr = err; });
-  engine_.RunUntilPredicate([cerr] { return cerr->has_value(); },
-                            engine_.Now() + std::chrono::seconds(30));
+  engine_->RunUntilPredicate([cerr] { return cerr->has_value(); },
+                            engine_->Now() + std::chrono::seconds(30));
   return Result<void>::From(
       werr->value_or(proto::XrdErr::kIo) != proto::XrdErr::kNone
           ? werr->value_or(proto::XrdErr::kIo)
@@ -252,8 +269,8 @@ Result<void> SimCluster::PutFile(client::ScallaClient& c, const std::string& pat
 Result<void> SimCluster::UnlinkAndWait(client::ScallaClient& c, const std::string& path) {
   auto result = std::make_shared<std::optional<proto::XrdErr>>();
   c.Unlink(path, [result](proto::XrdErr err) { *result = err; });
-  engine_.RunUntilPredicate([result] { return result->has_value(); },
-                            engine_.Now() + std::chrono::seconds(60));
+  engine_->RunUntilPredicate([result] { return result->has_value(); },
+                            engine_->Now() + std::chrono::seconds(60));
   return Result<void>::From(result->value_or(proto::XrdErr::kIo),
                             "unlink '" + path + "'");
 }
@@ -263,8 +280,8 @@ Result<void> SimCluster::PrepareAndWait(client::ScallaClient& c,
                                         cms::AccessMode mode) {
   auto result = std::make_shared<std::optional<proto::XrdErr>>();
   c.Prepare(paths, mode, [result](proto::XrdErr err) { *result = err; });
-  engine_.RunUntilPredicate([result] { return result->has_value(); },
-                            engine_.Now() + std::chrono::seconds(60));
+  engine_->RunUntilPredicate([result] { return result->has_value(); },
+                            engine_->Now() + std::chrono::seconds(60));
   return Result<void>::From(result->value_or(proto::XrdErr::kIo), "prepare batch");
 }
 
@@ -273,8 +290,8 @@ client::ScallaClient::ClusterStats SimCluster::ClusterStats(client::ScallaClient
   auto result = std::make_shared<std::optional<client::ScallaClient::ClusterStats>>();
   querier.QueryStats(
       [result](const client::ScallaClient::ClusterStats& stats) { *result = stats; });
-  engine_.RunUntilPredicate([result] { return result->has_value(); },
-                            engine_.Now() + std::chrono::seconds(30));
+  engine_->RunUntilPredicate([result] { return result->has_value(); },
+                            engine_->Now() + std::chrono::seconds(30));
   return result->value_or(client::ScallaClient::ClusterStats{});
 }
 
@@ -292,12 +309,12 @@ xrd::ScallaNode* SimCluster::FindNode(net::NodeAddr addr) {
 }
 
 void SimCluster::CrashServer(std::size_t i) {
-  fabric_.SetDown(leaves_[i]->config().addr, true);
+  fabric_->SetDown(leaves_[i]->config().addr, true);
   // Every parent discovers the loss when it next touches the peer;
   // surface it immediately the way a broken TCP connection would.
   const net::NodeAddr addr = leaves_[i]->config().addr;
   std::vector<net::NodeAddr> parents = leaves_[i]->Parents();
-  engine_.Post([this, parents, addr] {
+  engine_->Post([this, parents, addr] {
     for (const net::NodeAddr parent : parents) {
       if (xrd::ScallaNode* p = FindNode(parent)) p->OnPeerDown(addr);
     }
@@ -306,28 +323,28 @@ void SimCluster::CrashServer(std::size_t i) {
 
 void SimCluster::CrashManager(std::size_t i) {
   const net::NodeAddr addr = managers_[i]->config().addr;
-  fabric_.SetDown(addr, true);
+  fabric_->SetDown(addr, true);
   // Clients and subordinates learn on their next send (the fabric calls
   // their OnPeerDown), mirroring TCP connection failure.
 }
 
 void SimCluster::RestoreManager(std::size_t i) {
-  fabric_.SetDown(managers_[i]->config().addr, false);
+  fabric_->SetDown(managers_[i]->config().addr, false);
 }
 
 void SimCluster::RestartServer(std::size_t i) {
-  fabric_.SetDown(leaves_[i]->config().addr, false);
+  fabric_->SetDown(leaves_[i]->config().addr, false);
   // The node's login retry timer re-announces it; nudge immediately.
   leaves_[i]->Stop();
   leaves_[i]->Start();
 }
 
 void SimCluster::WedgeServer(std::size_t i) {
-  fabric_.SetWedged(leaves_[i]->config().addr, true);
+  fabric_->SetWedged(leaves_[i]->config().addr, true);
 }
 
 void SimCluster::UnwedgeServer(std::size_t i) {
-  fabric_.SetWedged(leaves_[i]->config().addr, false);
+  fabric_->SetWedged(leaves_[i]->config().addr, false);
 }
 
 Result<proto::CmsDrainResp> SimCluster::DrainAndWait(client::ScallaClient& c,
@@ -339,8 +356,8 @@ Result<proto::CmsDrainResp> SimCluster::DrainAndWait(client::ScallaClient& c,
           [result](proto::XrdErr err, const proto::CmsDrainResp& resp) {
             *result = std::make_pair(err, resp);
           });
-  engine_.RunUntilPredicate([result] { return result->has_value(); },
-                            engine_.Now() + std::chrono::seconds(30));
+  engine_->RunUntilPredicate([result] { return result->has_value(); },
+                            engine_->Now() + std::chrono::seconds(30));
   if (!result->has_value()) {
     return ScallaError{proto::XrdErr::kIo, "drain '" + server + "': timed out"};
   }
@@ -353,6 +370,6 @@ Result<proto::CmsDrainResp> SimCluster::DrainAndWait(client::ScallaClient& c,
   return (*result)->second;
 }
 
-void SimCluster::RunFor(Duration d) { engine_.RunUntil(engine_.Now() + d); }
+void SimCluster::RunFor(Duration d) { engine_->RunUntil(engine_->Now() + d); }
 
 }  // namespace scalla::sim

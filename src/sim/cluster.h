@@ -41,18 +41,28 @@ struct ClusterSpec {
   // default). Liveness tests shorten it so opens vectored at a wedged
   // server recover quickly.
   Duration clientOpenTimeout = Duration::zero();
+  // Federation: when `meta` is set the cluster head subscribes to that
+  // meta-manager under `clusterName` with the given locality weight.
+  net::NodeAddr meta = 0;
+  std::string clusterName;
+  std::uint32_t locality = 0;
 };
 
 class SimCluster {
  public:
   explicit SimCluster(const ClusterSpec& spec);
+  /// Builds the cluster on a shared engine/fabric (federation harness):
+  /// node addresses are allocated starting at `firstAddr`, so several
+  /// clusters can coexist on one fabric with disjoint address bands.
+  SimCluster(const ClusterSpec& spec, EventEngine& engine, SimFabric& fabric,
+             net::NodeAddr firstAddr);
   ~SimCluster();
 
   /// Starts every node and settles logins (virtual time advances a hair).
   void Start();
 
-  EventEngine& engine() { return engine_; }
-  SimFabric& fabric() { return fabric_; }
+  EventEngine& engine() { return *engine_; }
+  SimFabric& fabric() { return *fabric_; }
   xrd::ScallaNode& head() { return *managers_[0]; }
   std::size_t ManagerCount() const { return managers_.size(); }
   xrd::ScallaNode& manager(std::size_t i) { return *managers_[i]; }
@@ -135,12 +145,17 @@ class SimCluster {
                            int level);
   void BuildChildren(const std::vector<net::NodeAddr>& parents, int nServers, int level,
                      int* maxChildDepth);
+  void Build();
   net::NodeAddr NextAddr() { return nextAddr_++; }
   xrd::ScallaNode* FindNode(net::NodeAddr addr);
 
   ClusterSpec spec_;
-  EventEngine engine_;
-  SimFabric fabric_;
+  // Standalone clusters own their engine/fabric; federated ones borrow a
+  // shared pair from the SimFederation harness.
+  std::unique_ptr<EventEngine> ownedEngine_;
+  std::unique_ptr<SimFabric> ownedFabric_;
+  EventEngine* engine_ = nullptr;
+  SimFabric* fabric_ = nullptr;
   net::NodeAddr nextAddr_ = 1;
   int depth_ = 0;
   int supervisorSeq_ = 0;

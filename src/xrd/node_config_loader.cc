@@ -46,7 +46,8 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
       "oss.localroot", "all.cnsd",      "pcache.blocksize", "pcache.capacity",
       "pcache.hiwater", "pcache.lowater", "pcache.readahead",
       "fabric.connecttimeout", "fabric.writetimeout", "fabric.queuedepth",
-      "fabric.loopthreads",    "fabric.idletimeout",  "fabric.sendbuf"};
+      "fabric.loopthreads",    "fabric.idletimeout",  "fabric.sendbuf",
+      "fed.meta",      "fed.cluster",   "fed.locality"};
   for (const auto& [key, _] : parsed->entries()) {
     if (kKnown.count(key) == 0) {
       Fail(error, "unknown directive: " + key);
@@ -70,8 +71,13 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
     cfg.role = NodeRole::kServer;
   } else if (*role == "proxy") {
     cfg.role = NodeRole::kProxy;
+  } else if (*role == "meta") {
+    // The federation tier: serves no data and exports no paths of its
+    // own, so the export/manager requirements below do not apply.
+    cfg.role = NodeRole::kManager;
+    out.isMeta = true;
   } else {
-    Fail(error, "all.role must be manager|supervisor|server|proxy, got " + *role);
+    Fail(error, "all.role must be manager|supervisor|server|proxy|meta, got " + *role);
     return std::nullopt;
   }
 
@@ -105,13 +111,42 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
     return std::nullopt;
   }
 
+  const bool hasFedKey = parsed->Has("fed.meta") || parsed->Has("fed.cluster") ||
+                         parsed->Has("fed.locality");
+  if (hasFedKey && (cfg.role != NodeRole::kManager || out.isMeta)) {
+    Fail(error, "fed.* directives only apply to the manager role");
+    return std::nullopt;
+  }
+  if (const auto meta = parsed->GetInt("fed.meta"); meta.has_value()) {
+    if (*meta <= 0) {
+      Fail(error, "fed.meta must be a positive fabric address");
+      return std::nullopt;
+    }
+    cfg.meta = static_cast<net::NodeAddr>(*meta);
+  } else if (parsed->Has("fed.meta")) {
+    Fail(error, "fed.meta must be an integer");
+    return std::nullopt;
+  }
+  cfg.clusterName = parsed->GetStringOr("fed.cluster", "");
+  if (const auto locality = parsed->GetInt("fed.locality"); locality.has_value()) {
+    if (*locality < 0) {
+      Fail(error, "fed.locality must be non-negative (0 = nearest)");
+      return std::nullopt;
+    }
+    cfg.locality = static_cast<std::uint32_t>(*locality);
+  }
+  if ((parsed->Has("fed.cluster") || parsed->Has("fed.locality")) && cfg.meta == 0) {
+    Fail(error, "fed.cluster/fed.locality require fed.meta");
+    return std::nullopt;
+  }
+
   cfg.exports.clear();  // the struct default ("/") must be stated explicitly
   if (const auto exports = parsed->GetString("all.export"); exports.has_value()) {
     std::istringstream in(*exports);
     std::string tok;
     while (in >> tok) cfg.exports.push_back(tok);
   }
-  if (cfg.exports.empty() && cfg.role != NodeRole::kProxy) {
+  if (cfg.exports.empty() && cfg.role != NodeRole::kProxy && !out.isMeta) {
     Fail(error, "all.export must list at least one prefix");
     return std::nullopt;
   }

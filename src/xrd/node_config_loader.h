@@ -25,6 +25,17 @@
 //
 // (all.manager names the origin cluster heads for a proxy.)
 //
+// Federation (see docs/FEDERATION.md). A cluster head subscribes to a
+// meta-manager with:
+//
+//   fed.meta        1                 # the meta-manager's fabric address
+//   fed.cluster     site-a            # global cluster name at the meta
+//   fed.locality    0                 # distance weight (0 = nearest)
+//
+// and the meta tier itself runs as its own role:
+//
+//   all.role        meta              # fronts up to 64 cluster heads
+//
 // Transport tuning (any role; parsed once into net::FabricOptions and
 // validated with net::ValidateFabricOptions, so bad values fail loudly):
 //
@@ -50,6 +61,9 @@ namespace scalla::xrd {
 
 struct LoadedNodeConfig {
   NodeConfig node;
+  // all.role meta: run a fed::MetaManager instead of a ScallaNode (the
+  // node fields name/addr/cms/selection seed its MetaConfig).
+  bool isMeta = false;
   std::string localRoot;  // non-empty => back the server with LocalOss
   net::FabricOptions fabric;  // fabric.* transport tuning
   // Proxy role only (node.role == NodeRole::kProxy):

@@ -98,11 +98,17 @@ void ScallaNode::Start() {
   if (IsHead() && config_.cms.ping > Duration::zero()) {
     pingTimer_ = executor_.RunEvery(config_.cms.ping, [this] { HeartbeatTick(); });
   }
+  if (config_.role == NodeRole::kManager && config_.meta != 0) {
+    SendFedSubscribe();
+    fedTimer_ = executor_.RunEvery(config_.loginRetry, [this] {
+      if (!FedSubscribed()) SendFedSubscribe();
+    });
+  }
 }
 
 void ScallaNode::Stop() {
   maintenance_.Stop();
-  for (sched::TimerId* id : {&loginTimer_, &loadTimer_, &pingTimer_}) {
+  for (sched::TimerId* id : {&loginTimer_, &loadTimer_, &pingTimer_, &fedTimer_}) {
     if (*id != sched::kInvalidTimer) {
       executor_.Cancel(*id);
       *id = sched::kInvalidTimer;
@@ -114,6 +120,7 @@ void ScallaNode::Stop() {
     if (agg.timer != sched::kInvalidTimer) executor_.Cancel(agg.timer);
   }
   statsAggs_.clear();
+  fedClusterId_ = -1;  // a restarted manager re-subscribes from scratch
   started_ = false;
 }
 
@@ -159,6 +166,64 @@ void ScallaNode::SendQueryDown(ServerSet targets, const std::string& path,
     const net::NodeAddr addr = slotAddr_[s];
     if (addr != 0) fabric_.Send(config_.addr, addr, query);
   }
+}
+
+// ---------------------------------------------------------------------
+// federation (manager <-> meta-manager)
+
+void ScallaNode::SendFedSubscribe() {
+  proto::FedSubscribe sub;
+  sub.cluster = config_.clusterName.empty() ? config_.name : config_.clusterName;
+  sub.exports = config_.exports;
+  sub.allowWrite = config_.allowWrite;
+  sub.locality = config_.locality;
+  fabric_.Send(config_.addr, config_.meta, std::move(sub));
+}
+
+void ScallaNode::HandleFedSubscribeResp(net::NodeAddr from,
+                                        const proto::FedSubscribeResp& m) {
+  if (from != config_.meta) return;
+  if (!m.ok) {
+    SCALLA_WARN("node", "%s: federation subscribe rejected: %s", config_.name.c_str(),
+                m.error.c_str());
+    return;
+  }
+  fedClusterId_ = m.clusterId;
+}
+
+void ScallaNode::HandleFedQuery(net::NodeAddr from, const proto::FedQuery& m) {
+  if (from != config_.meta || config_.role != NodeRole::kManager) return;
+  // Request-rarely-respond one level up: resolve within this cluster and
+  // compress any number of internal replicas into a single "this cluster
+  // has it" (the supervisor CmsQuery answer, lifted to federation scope).
+  cms::LocateOptions opts;
+  opts.mode = ModeOf(m.mode);
+  opts.refresh = m.refresh;
+  resolver_.Locate(m.path, opts,
+                   [this, from, path = m.path, hash = m.hash](const LocateResult& r) {
+                     if (r.status == LocateStatus::kRedirect) {
+                       proto::FedHave resp;
+                       resp.path = path;
+                       resp.hash = hash;
+                       resp.pending = r.pending;
+                       resp.allowWrite = config_.allowWrite;
+                       fabric_.Send(config_.addr, from, std::move(resp));
+                       nm_.queriesAnswered.Inc();
+                     } else {
+                       nm_.queriesSilent.Inc();
+                     }
+                   });
+}
+
+void ScallaNode::NotifyMetaHave(const proto::CmsHave& m) {
+  if (config_.role != NodeRole::kManager || config_.meta == 0) return;
+  proto::FedHave up;
+  up.path = m.path;
+  up.hash = m.hash;
+  up.pending = m.pending;
+  up.allowWrite = config_.allowWrite;
+  up.newfile = true;
+  fabric_.Send(config_.addr, config_.meta, std::move(up));
 }
 
 void ScallaNode::NotifyParentHave(const std::string& path, bool pending) {
@@ -373,6 +438,10 @@ void ScallaNode::OnMessage(net::NodeAddr from, proto::Message message) {
           HandleStatsQuery(from, m);
         } else if constexpr (std::is_same_v<M, proto::StatsReply>) {
           HandleStatsReply(from, m);
+        } else if constexpr (std::is_same_v<M, proto::FedSubscribeResp>) {
+          HandleFedSubscribeResp(from, m);
+        } else if constexpr (std::is_same_v<M, proto::FedQuery>) {
+          HandleFedQuery(from, m);
         } else if constexpr (std::is_same_v<M, proto::PcacheAdmin>) {
           // Cache administration only means something at a pcache proxy;
           // answer kInvalid so a mistargeted purge fails loudly.
@@ -585,6 +654,10 @@ void ScallaNode::HandleHave(net::NodeAddr from, const proto::CmsHave& m) {
     up.allowWrite = config_.allowWrite;
     for (const net::NodeAddr parent : parents_) fabric_.Send(config_.addr, parent, up);
   }
+  // At the cluster root the digest continues upward to the federation
+  // meta-manager (if subscribed) so its cluster-location cache learns
+  // about the creation without a FedQuery flood.
+  if (m.newfile) NotifyMetaHave(m);
 }
 
 void ScallaNode::HandleGone(net::NodeAddr from, const proto::CmsGone& m) {
@@ -592,6 +665,13 @@ void ScallaNode::HandleGone(net::NodeAddr from, const proto::CmsGone& m) {
   if (!slot.has_value()) return;
   resolver_.OnGone(m.path, *slot);
   for (const net::NodeAddr parent : parents_) fabric_.Send(config_.addr, parent, m);
+  // Upward federation invalidation. Conservative: the meta clears this
+  // whole cluster's bit even when other internal replicas remain — the
+  // next FedQuery flood relearns them, trading a rare re-query for never
+  // serving a cluster that lost its last copy.
+  if (config_.role == NodeRole::kManager && config_.meta != 0) {
+    fabric_.Send(config_.addr, config_.meta, proto::FedGone{m.path});
+  }
 }
 
 void ScallaNode::HandleLoad(net::NodeAddr from, const proto::CmsLoad& m) {
@@ -638,8 +718,19 @@ void ScallaNode::HeartbeatTick() {
 }
 
 void ScallaNode::HandlePing(net::NodeAddr from, const proto::CmsPing& m) {
-  if (!IsParent(from)) return;
+  // A manager's "parent" for liveness purposes includes the federation
+  // meta-manager: it pings cluster heads exactly as heads ping servers.
+  const bool fromMeta = config_.meta != 0 && from == config_.meta &&
+                        config_.role == NodeRole::kManager;
+  if (!IsParent(from) && !fromMeta) return;
   if (m.reconnect) {
+    if (fromMeta) {
+      // The meta declared this whole cluster dead (partition healed):
+      // re-subscribe to resume the cluster slot and restore its paths.
+      fedClusterId_ = -1;
+      SendFedSubscribe();
+      return;
+    }
     // The parent declared us dead (or saw us disconnect); re-login to
     // resume our slot and restore our paths — no full cluster refresh.
     slotAtParent_.erase(from);

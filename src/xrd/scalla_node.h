@@ -66,6 +66,15 @@ struct NodeConfig {
   // How long a head waits for subordinate StatsReply frames before
   // answering a StatsQuery with whatever the subtree delivered.
   Duration statsTimeout = std::chrono::seconds(2);
+  // Federation (managers only): subscribe this cluster into a meta-manager
+  // so clients holding only the meta's address can reach files here. The
+  // manager answers the meta's FedQuery floods by resolving within its own
+  // cluster (compressing any number of internal replicas into one
+  // "cluster has it") and streams new-file / gone digests upward so the
+  // meta's cluster-location cache stays warm without re-flooding.
+  net::NodeAddr meta = 0;            // meta-manager fabric address (0 = none)
+  std::string clusterName;           // stable federation identity ("cern")
+  std::uint32_t locality = 0;        // federation distance weight (lower = near)
   // Export fabric.* transport counters (global plus per-parent link
   // attribution) in SnapshotMetrics. Off by default: the fabric is shared
   // by every endpoint in-process, so only one node per process — the
@@ -133,6 +142,11 @@ class ScallaNode : public net::MessageSink {
 
   cms::MaintenanceDriver& maintenance() { return maintenance_; }
 
+  /// Subscribed into the federation meta-manager? (managers with
+  /// config.meta only; others always false)
+  bool FedSubscribed() const { return fedClusterId_ >= 0; }
+  std::int32_t FedClusterId() const { return fedClusterId_; }
+
   /// Sends a load/space report to the parent (selection metrics).
   void ReportLoad(std::uint32_t load, std::uint64_t freeSpace);
 
@@ -178,6 +192,12 @@ class ScallaNode : public net::MessageSink {
   void HandleStatsQuery(net::NodeAddr from, const proto::StatsQuery& m);
   void HandleStatsReply(net::NodeAddr from, const proto::StatsReply& m);
   void FinishStatsAggregation(std::uint64_t aggId);
+
+  // federation (manager <-> meta-manager)
+  void SendFedSubscribe();
+  void HandleFedSubscribeResp(net::NodeAddr from, const proto::FedSubscribeResp& m);
+  void HandleFedQuery(net::NodeAddr from, const proto::FedQuery& m);
+  void NotifyMetaHave(const proto::CmsHave& m);
 
   // role-specific pieces
   void HeadOpen(net::NodeAddr from, const proto::XrdOpen& m);
@@ -243,6 +263,8 @@ class ScallaNode : public net::MessageSink {
   sched::TimerId loginTimer_ = sched::kInvalidTimer;
   sched::TimerId loadTimer_ = sched::kInvalidTimer;
   sched::TimerId pingTimer_ = sched::kInvalidTimer;
+  sched::TimerId fedTimer_ = sched::kInvalidTimer;  // FedSubscribe retry
+  std::int32_t fedClusterId_ = -1;  // slot at the meta (-1 = not subscribed)
   std::uint64_t pingSeq_ = 0;
   // Last load/space numbers this node reported upward; pongs echo them so
   // parent selection metrics stay fresh between CmsLoad reports.

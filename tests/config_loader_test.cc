@@ -241,5 +241,48 @@ TEST(NodeConfigLoaderTest, ProxyConfigWithPcacheDirectives) {
                    .has_value());
 }
 
+TEST(NodeConfigLoaderTest, FederationDirectivesParsed) {
+  std::string error;
+  const auto loaded = LoadNodeConfig(R"(
+all.role        manager
+all.addr        10
+all.export      /store
+fed.meta        1
+fed.cluster     site-a
+fed.locality    3
+)",
+                                     &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_FALSE(loaded->isMeta);
+  EXPECT_EQ(loaded->node.meta, 1u);
+  EXPECT_EQ(loaded->node.clusterName, "site-a");
+  EXPECT_EQ(loaded->node.locality, 3u);
+}
+
+TEST(NodeConfigLoaderTest, MetaRoleNeedsNoExportsOrManager) {
+  std::string error;
+  const auto loaded = LoadNodeConfig("all.role meta\nall.addr 1\n", &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->isMeta);
+  EXPECT_EQ(loaded->node.addr, 1u);
+}
+
+TEST(NodeConfigLoaderTest, RejectsBadFederationConfigs) {
+  std::string error;
+  // fed.* is for cluster heads, not servers (and not the meta itself).
+  EXPECT_FALSE(LoadNodeConfig("all.role server\nall.addr 12\nall.manager 1\n"
+                              "all.export /store\nfed.meta 1\n",
+                              &error)
+                   .has_value());
+  EXPECT_FALSE(
+      LoadNodeConfig("all.role meta\nall.addr 1\nfed.locality 2\n", &error)
+          .has_value());
+  // A cluster name / locality without the meta address is a config slip.
+  EXPECT_FALSE(LoadNodeConfig("all.role manager\nall.addr 10\nall.export /\n"
+                              "fed.cluster site-a\n",
+                              &error)
+                   .has_value());
+}
+
 }  // namespace
 }  // namespace scalla::xrd

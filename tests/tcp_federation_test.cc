@@ -1,0 +1,169 @@
+// Federation twin over real loopback TCP: two independent clusters
+// (manager + 2 data servers each) subscribe to a meta-manager, every
+// node on its own dispatch thread, and a client holding only the meta
+// address opens files in either cluster through the two-hop redirect
+// walk. Tier-2: real sockets, real clocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "client/sync_client.h"
+#include "fed/meta_manager.h"
+#include "net/tcp_fabric.h"
+#include "oss/mem_oss.h"
+#include "sched/thread_executor.h"
+#include "xrd/scalla_node.h"
+
+namespace scalla {
+namespace {
+
+using cms::AccessMode;
+
+// Distinct port band (tcp_cluster_test uses 24000+; stay clear of it).
+std::uint16_t NextBasePort() {
+  static std::atomic<std::uint16_t> next{31000};
+  return next.fetch_add(200);
+}
+
+class TcpFederationTest : public ::testing::Test {
+ protected:
+  static constexpr net::NodeAddr kMeta = 1;
+
+  void SetUp() override {
+    fabric_ = std::make_unique<net::TcpFabric>(NextBasePort());
+
+    cms::CmsConfig cms;
+    cms.deadline = std::chrono::milliseconds(500);
+    cms.sweepPeriod = std::chrono::milliseconds(50);
+
+    fed::MetaConfig mcfg;
+    mcfg.addr = kMeta;
+    mcfg.cms = cms;
+    metaExec_ = std::make_unique<sched::ThreadExecutor>();
+    meta_ = std::make_unique<fed::MetaManager>(mcfg, *metaExec_, *fabric_);
+    ASSERT_TRUE(fabric_->Register(kMeta, meta_.get(), metaExec_.get()));
+
+    for (int c = 0; c < 2; ++c) {
+      const net::NodeAddr base = 10 * (c + 1);
+      xrd::NodeConfig mgr;
+      mgr.role = xrd::NodeRole::kManager;
+      mgr.name = "manager" + std::to_string(c);
+      mgr.addr = base;
+      mgr.exports = {"/store"};
+      mgr.cms = cms;
+      mgr.loginRetry = std::chrono::milliseconds(100);
+      mgr.meta = kMeta;
+      mgr.clusterName = "cluster" + std::to_string(c);
+      execs_.push_back(std::make_unique<sched::ThreadExecutor>());
+      nodes_.push_back(std::make_unique<xrd::ScallaNode>(mgr, *execs_.back(), *fabric_,
+                                                         nullptr));
+      managers_[c] = nodes_.back().get();
+      ASSERT_TRUE(fabric_->Register(mgr.addr, nodes_.back().get(), execs_.back().get()));
+
+      for (int i = 0; i < 2; ++i) {
+        xrd::NodeConfig leaf;
+        leaf.role = xrd::NodeRole::kServer;
+        leaf.name = "server" + std::to_string(c) + std::to_string(i);
+        leaf.addr = base + 1 + i;
+        leaf.parent = base;
+        leaf.exports = {"/store"};
+        leaf.cms = cms;
+        leaf.loginRetry = std::chrono::milliseconds(100);
+        execs_.push_back(std::make_unique<sched::ThreadExecutor>());
+        storages_.push_back(std::make_unique<oss::MemOss>(execs_.back()->clock()));
+        storageOf_[leaf.addr] = storages_.back().get();
+        nodes_.push_back(std::make_unique<xrd::ScallaNode>(
+            leaf, *execs_.back(), *fabric_, storages_.back().get()));
+        ASSERT_TRUE(
+            fabric_->Register(leaf.addr, nodes_.back().get(), execs_.back().get()));
+      }
+    }
+
+    meta_->Start();
+    for (auto& node : nodes_) node->Start();
+
+    // Wait for cluster logins AND both federation subscriptions.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    auto settled = [&] {
+      return managers_[0]->membership().MemberCount() == 2 &&
+             managers_[1]->membership().MemberCount() == 2 &&
+             meta_->membership().MemberCount() == 2;
+    };
+    while (!settled() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(settled());
+
+    client::ClientConfig cc;
+    cc.addr = 100;
+    cc.head = kMeta;  // the client knows ONLY the meta
+    clientExec_ = std::make_unique<sched::ThreadExecutor>();
+    client_ = std::make_unique<client::SyncClient>(cc, *clientExec_, *fabric_,
+                                                   std::chrono::seconds(20));
+    ASSERT_TRUE(fabric_->Register(100, &client_->async(), clientExec_.get()));
+  }
+
+  void TearDown() override {
+    meta_->Stop();
+    for (auto& node : nodes_) node->Stop();
+    fabric_.reset();
+  }
+
+  std::unique_ptr<net::TcpFabric> fabric_;
+  std::unique_ptr<sched::ThreadExecutor> metaExec_;
+  std::unique_ptr<fed::MetaManager> meta_;
+  std::vector<std::unique_ptr<sched::ThreadExecutor>> execs_;
+  std::vector<std::unique_ptr<oss::MemOss>> storages_;
+  std::unordered_map<net::NodeAddr, oss::MemOss*> storageOf_;
+  std::vector<std::unique_ptr<xrd::ScallaNode>> nodes_;
+  xrd::ScallaNode* managers_[2] = {nullptr, nullptr};
+  std::unique_ptr<sched::ThreadExecutor> clientExec_;
+  std::unique_ptr<client::SyncClient> client_;
+};
+
+TEST_F(TcpFederationTest, OpensInEitherClusterThroughMetaOverRealSockets) {
+  storageOf_[11]->Put("/store/west", "first cluster");
+  storageOf_[22]->Put("/store/east", "second cluster");
+
+  const auto west = client_->Open("/store/west", AccessMode::kRead);
+  ASSERT_EQ(west.err, proto::XrdErr::kNone);
+  EXPECT_GE(west.redirects, 2);  // meta -> head -> server
+  EXPECT_EQ(west.file.node, 11u);
+  const auto w = client_->Read(west.file, 0, 64);
+  ASSERT_TRUE(w.ok()) << w.error().message;
+  EXPECT_EQ(w.value(), "first cluster");
+  EXPECT_TRUE(client_->Close(west.file).ok());
+
+  const auto east = client_->Open("/store/east", AccessMode::kRead);
+  ASSERT_EQ(east.err, proto::XrdErr::kNone);
+  EXPECT_EQ(east.file.node, 22u);
+  const auto e = client_->Read(east.file, 0, 64);
+  ASSERT_TRUE(e.ok()) << e.error().message;
+  EXPECT_EQ(e.value(), "second cluster");
+  EXPECT_TRUE(client_->Close(east.file).ok());
+}
+
+TEST_F(TcpFederationTest, CreateThroughMetaLandsInSomeClusterAndReadsBack) {
+  ASSERT_TRUE(client_->PutFile("/store/fresh", "born federated").ok());
+  const auto data = client_->GetFile("/store/fresh");
+  ASSERT_TRUE(data.ok()) << data.error().message;
+  EXPECT_EQ(data.value(), "born federated");
+}
+
+TEST_F(TcpFederationTest, RepeatOpenHitsMetaCache) {
+  storageOf_[12]->Put("/store/hot", "x");
+  const auto first = client_->Open("/store/hot", AccessMode::kRead);
+  ASSERT_EQ(first.err, proto::XrdErr::kNone);
+  EXPECT_TRUE(client_->Close(first.file).ok());
+
+  const auto before = meta_->SnapshotMetrics();
+  const auto second = client_->Open("/store/hot", AccessMode::kRead);
+  ASSERT_EQ(second.err, proto::XrdErr::kNone);
+  EXPECT_TRUE(client_->Close(second.file).ok());
+  const auto after = meta_->SnapshotMetrics();
+  EXPECT_GT(after.Counter("cache.hits"), before.Counter("cache.hits"));
+}
+
+}  // namespace
+}  // namespace scalla

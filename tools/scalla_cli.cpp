@@ -18,6 +18,10 @@
 //     drain <server>           take a server (by cms name) out of selection
 //                              while it stays online
 //     restore <server>         undo a drain
+//     fed locate <path>        ask a federation meta-manager (--head must be
+//                              the meta) which cluster owns the path
+//     fed stat [--json]        federation-wide metrics merged across every
+//                              member cluster by the meta
 #include <cstdio>
 #include <future>
 #include <cstdlib>
@@ -37,7 +41,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: scalla_cli [--head N] [--base-port N] [--addr N] [--cnsd N]\n"
                "                  put|get|stat|rm|cksum|prepare|ls|stats|purge|cachestat"
-               "|drain|restore <args>\n");
+               "|drain|restore|fed <args>\n");
   return 2;
 }
 
@@ -173,6 +177,70 @@ int main(int argc, char** argv) {
                 resp.value().applied ? "applied"
                                      : "forwarded to supervisors (not a direct child)");
     return 0;
+  }
+  if (command == "fed" && i < argc) {
+    const std::string sub = argv[i++];
+    if (sub == "stat") {
+      // Same StatsQuery as `stats`: pointed at a meta-manager it fans to
+      // every subscribed cluster head and folds the replies.
+      const bool json = i < argc && std::strcmp(argv[i], "--json") == 0;
+      const auto stats = client.Stats();
+      if (!stats) {
+        std::fprintf(stderr, "fed stat: %s\n", stats.error().message.c_str());
+        return 1;
+      }
+      if (json) {
+        std::printf("{\"nodes\":%u,\"metrics\":%s}\n", stats.value().nodeCount,
+                    stats.value().snapshot.ToJson().c_str());
+      } else {
+        std::printf("federation: %u node(s) across %lld cluster(s)\n%s",
+                    stats.value().nodeCount,
+                    static_cast<long long>(stats.value().snapshot.Gauge("fed.clusters")),
+                    stats.value().snapshot.ToText().c_str());
+      }
+      return 0;
+    }
+    if (sub == "locate" && i < argc) {
+      // Raw FedLocate against the meta from a scratch endpoint (the xrd
+      // client never sees FedRedirect, so it cannot issue this itself).
+      struct LocateSink : net::MessageSink {
+        std::promise<proto::FedRedirect> prom;
+        void OnMessage(net::NodeAddr, proto::Message m) override {
+          if (const auto* r = std::get_if<proto::FedRedirect>(&m)) prom.set_value(*r);
+        }
+        void OnPeerDown(net::NodeAddr) override {}
+      } sink;
+      auto fut = sink.prom.get_future();
+      const net::NodeAddr addr = cfg.addr + 1;
+      if (!fabric.Register(addr, &sink, &executor)) {
+        std::fprintf(stderr, "cannot bind client port %u\n", basePort + addr);
+        return 1;
+      }
+      proto::FedLocate req;
+      req.reqId = 1;
+      req.path = argv[i];
+      req.mode = static_cast<std::uint8_t>(cms::AccessMode::kRead);
+      fabric.Send(addr, cfg.head, req);
+      if (fut.wait_for(std::chrono::seconds(10)) != std::future_status::ready) {
+        std::fprintf(stderr, "fed locate: timeout\n");
+        return 1;
+      }
+      const proto::FedRedirect resp = fut.get();
+      if (resp.status == proto::XrdStatus::kRedirect) {
+        std::printf("%s -> cluster '%s' (id %d), head addr %u\n", argv[i],
+                    resp.cluster.c_str(), resp.clusterId, resp.headAddr);
+        return 0;
+      }
+      if (resp.status == proto::XrdStatus::kWait) {
+        std::printf("%s: wait %lld ms (meta still querying cluster heads)\n",
+                    argv[i],
+                    static_cast<long long>(resp.waitNs / 1'000'000));
+        return 0;
+      }
+      std::fprintf(stderr, "fed locate %s: %s\n", argv[i], XrdErrName(resp.err));
+      return 1;
+    }
+    return Usage();
   }
   if (command == "ls" && i < argc) {
     if (cfg.cnsd == 0) {

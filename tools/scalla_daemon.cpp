@@ -2,12 +2,16 @@
 // caching proxy) over real TCP from a directive file — the shape of a
 // production xrootd + cmsd pair in a single process.
 //
-//   $ scalla_daemon <config-file> [--base-port N] [--proxy]
+//   $ scalla_daemon <config-file> [--base-port N] [--proxy] [--meta]
 //
 // --proxy forces the proxy role regardless of all.role (convenience for
 // pointing a stock config at a cluster as a cache tier); a proxy config
 // names its origin heads with all.manager and tunes the cache with the
 // pcache.* directives (see xrd/node_config_loader.h).
+//
+// --meta (or all.role meta) runs the federation meta-manager: cluster
+// heads configured with fed.meta subscribe to it and clients open
+// against its address to reach every member cluster (docs/FEDERATION.md).
 //
 // Example cluster on one machine (three shells):
 //   manager.cf:  all.role manager
@@ -31,6 +35,7 @@
 #include <semaphore>
 #include <sstream>
 
+#include "fed/meta_manager.h"
 #include "net/tcp_fabric.h"
 #include "oss/local_oss.h"
 #include "oss/mem_oss.h"
@@ -57,12 +62,15 @@ int main(int argc, char** argv) {
   }
   std::uint16_t basePort = 10940;
   bool forceProxy = false;
+  bool forceMeta = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--base-port") == 0 && i + 1 < argc) {
       basePort = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
       ++i;
     } else if (std::strcmp(argv[i], "--proxy") == 0) {
       forceProxy = true;
+    } else if (std::strcmp(argv[i], "--meta") == 0) {
+      forceMeta = true;
     }
   }
 
@@ -85,6 +93,34 @@ int main(int argc, char** argv) {
 
   net::TcpFabric fabric(basePort, loaded->fabric);
   sched::ThreadExecutor executor;
+
+  if (forceMeta || loaded->isMeta) {
+    fed::MetaConfig mcfg;
+    mcfg.name = loaded->node.name;
+    mcfg.addr = loaded->node.addr;
+    mcfg.cms = loaded->node.cms;
+    mcfg.selection = loaded->node.selection;
+    fed::MetaManager meta(mcfg, executor, fabric);
+    if (!fabric.Register(mcfg.addr, &meta, &executor)) {
+      std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", basePort + mcfg.addr);
+      return 1;
+    }
+    meta.Start();
+    std::printf("meta-manager '%s' up on 127.0.0.1:%u (addr %u) — cluster "
+                "heads subscribe with fed.meta %u\n",
+                mcfg.name.c_str(), basePort + mcfg.addr, mcfg.addr, mcfg.addr);
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    executor.RunEvery(std::chrono::seconds(60), [&meta] {
+      std::printf("metrics %s\n", meta.SnapshotMetrics().ToJson().c_str());
+      std::fflush(stdout);
+    });
+    g_shutdown.acquire();
+    std::printf("shutting down\nmetrics %s\n",
+                meta.SnapshotMetrics().ToJson().c_str());
+    meta.Stop();
+    return 0;
+  }
 
   if (forceProxy || loaded->node.role == xrd::NodeRole::kProxy) {
     if (loaded->node.parent == 0) {
