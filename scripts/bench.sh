@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Benchmark harness: Release-ish build (default preset is RelWithDebInfo),
 # run every bench that emits a machine-scrapable "JSON {...}" summary
-# line, and collect those lines into BENCH_PR7.json (one JSON object per
+# line, and collect those lines into BENCH_PR8.json (one JSON object per
 # line). Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_PR7.json"
-BENCHES=(bench_fabric bench_proxy_cache bench_federation)
+OUT="BENCH_PR8.json"
+BENCHES=(bench_fabric bench_proxy_cache bench_federation bench_location_cache)
 
 echo "=== build: default preset ==="
 cmake --preset default

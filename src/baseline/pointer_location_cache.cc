@@ -1,0 +1,370 @@
+#include "baseline/pointer_location_cache.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/fibonacci.h"
+
+namespace scalla::baseline {
+namespace {
+
+constexpr std::size_t kPurgeBatch = 128;
+constexpr std::size_t kSlabObjects = 1024;
+
+}  // namespace
+
+/// One cached file-location node: the classic layout with 64-bit pointer
+/// links and a heap-backed std::string key.
+class LocationNode {
+ public:
+  LocationNode* hashNext = nullptr;
+  LocationNode* windowNext = nullptr;
+  std::uint32_t hash = 0;
+  std::uint32_t keyLen = 0;  // 0 => hidden (unfindable but pointer-valid)
+  std::uint8_t addWindow = 0;
+  std::uint32_t auth = 1;
+  std::uint64_t cn = 0;
+  TimePoint deadline{};
+  ServerSet vh, vp, vq;
+  RespSlotRef rr, rw;
+  std::string key;
+};
+
+PointerLocationCache::PointerLocationCache(const cms::CmsConfig& config,
+                                           util::Clock& clock,
+                                           cms::CorrectionState& corrections)
+    : config_(config), clock_(clock), corrections_(corrections) {
+  buckets_.assign(util::FibonacciAtLeast(config_.initialBuckets), nullptr);
+}
+
+PointerLocationCache::~PointerLocationCache() = default;
+
+std::uint32_t PointerLocationCache::HashOf(std::string_view path) {
+  return util::Crc32(path);
+}
+
+cms::LocInfo PointerLocationCache::InfoOf(const LocationNode* obj) const {
+  return cms::LocInfo{obj->vh, obj->vp, obj->vq};
+}
+
+bool PointerLocationCache::ValidLocked(const PointerLocRef& ref) const {
+  return ref.obj != nullptr && ref.obj->auth == ref.auth;
+}
+
+LocationNode* PointerLocationCache::FindLocked(std::string_view path,
+                                               std::uint32_t hash) const {
+  LocationNode* obj = buckets_[hash % buckets_.size()];
+  while (obj != nullptr) {
+    ++stats_.probes;
+    // keyLen == 0 marks a hidden node: never match it (even a zero-length
+    // probe must not resurrect an entry awaiting purge).
+    if (obj->keyLen != 0 && obj->hash == hash && obj->keyLen == path.size() &&
+        std::memcmp(obj->key.data(), path.data(), path.size()) == 0) {
+      return obj;
+    }
+    obj = obj->hashNext;
+  }
+  return nullptr;
+}
+
+LocationNode* PointerLocationCache::AllocateLocked() {
+  if (freeList_.empty()) {
+    slabs_.push_back(std::make_unique<LocationNode[]>(kSlabObjects));
+    LocationNode* block = slabs_.back().get();
+    freeList_.reserve(freeList_.size() + kSlabObjects);
+    for (std::size_t i = kSlabObjects; i-- > 0;) freeList_.push_back(&block[i]);
+    stats_.allocatedObjects += kSlabObjects;
+    stats_.approxBytes += kSlabObjects * sizeof(LocationNode);
+  }
+  LocationNode* obj = freeList_.back();
+  freeList_.pop_back();
+  return obj;
+}
+
+void PointerLocationCache::InsertLocked(LocationNode* obj, std::string_view path,
+                                        std::uint32_t hash, ServerSet vm) {
+  obj->hash = hash;
+  obj->key.assign(path);
+  obj->keyLen = static_cast<std::uint32_t>(path.size());
+  obj->addWindow = static_cast<std::uint8_t>(tw_ % kMaxServersPerSet);
+  obj->cn = corrections_.Epoch();
+  obj->deadline = clock_.Now() + config_.deadline;
+  obj->vh = ServerSet::None();
+  obj->vp = ServerSet::None();
+  obj->vq = vm;
+  obj->rr = RespSlotRef{};
+  obj->rw = RespSlotRef{};
+
+  LocationNode*& bucket = buckets_[hash % buckets_.size()];
+  obj->hashNext = bucket;
+  bucket = obj;
+
+  Window& win = windows_[obj->addWindow];
+  obj->windowNext = win.head;
+  win.head = obj;
+  ++win.size;
+
+  ++stats_.liveObjects;
+  ++stats_.creates;
+  stats_.approxBytes += obj->key.capacity();
+  MaybeGrowLocked();
+}
+
+void PointerLocationCache::MaybeGrowLocked() {
+  // Live entries only: a hide-pass burst must not trigger a premature
+  // grow + full rehash of nodes about to be recycled.
+  if (static_cast<double>(stats_.liveObjects) <
+      config_.growthLoadFactor * static_cast<double>(buckets_.size())) {
+    return;
+  }
+  const std::size_t newSize = util::NextFibonacci(buckets_.size());
+  if (newSize == buckets_.size()) return;
+  std::vector<LocationNode*> fresh(newSize, nullptr);
+  for (LocationNode* head : buckets_) {
+    while (head != nullptr) {
+      LocationNode* next = head->hashNext;
+      LocationNode*& dst = fresh[head->hash % newSize];
+      head->hashNext = dst;
+      dst = head;
+      head = next;
+    }
+  }
+  buckets_.swap(fresh);
+  ++stats_.rehashes;
+}
+
+void PointerLocationCache::ApplyCorrectionsLocked(LocationNode* obj, ServerSet vm,
+                                                  ServerSet offline) {
+  if (obj->cn != corrections_.Epoch()) {
+    ++stats_.corrections;
+    Window& win = windows_[obj->addWindow];
+    ServerSet vc;
+    if (config_.correctionMemo && win.memoCn == obj->cn &&
+        win.memoNc == corrections_.Epoch()) {
+      vc = win.memoVc;
+      ++stats_.correctionMemoHits;
+    } else {
+      vc = corrections_.CorrectionSince(obj->cn);
+      win.memoCn = obj->cn;
+      win.memoNc = corrections_.Epoch();
+      win.memoVc = vc;
+    }
+    obj->vq = (obj->vq | vc) & vm;
+    obj->vh = obj->vh.Without(obj->vq) & vm;
+    obj->vp = obj->vp.Without(obj->vq) & vm;
+    obj->cn = corrections_.Epoch();
+  }
+
+  const ServerSet off = offline & (obj->vh | obj->vp) & vm;
+  if (!off.empty()) {
+    obj->vq |= off;
+    obj->vh = obj->vh.Without(off);
+    obj->vp = obj->vp.Without(off);
+  }
+}
+
+PointerLocationCache::FetchResult PointerLocationCache::Lookup(std::string_view path,
+                                                               ServerSet vm,
+                                                               ServerSet offline,
+                                                               AddPolicy policy) {
+  FetchResult result;
+  const std::uint32_t hash = HashOf(path);
+  std::lock_guard lock(mu_);
+  ++stats_.lookups;
+  if (path.empty()) return result;  // zero-length keys are the hidden marker
+
+  LocationNode* obj = FindLocked(path, hash);
+  if (obj == nullptr) {
+    if (policy == AddPolicy::kFindOnly) return result;
+    obj = AllocateLocked();
+    InsertLocked(obj, path, hash, vm);
+    result.created = true;
+  } else {
+    ++stats_.hits;
+    ApplyCorrectionsLocked(obj, vm, offline);
+  }
+
+  result.found = true;
+  result.ref = PointerLocRef{obj, obj->auth};
+  result.info = InfoOf(obj);
+  const TimePoint now = clock_.Now();
+  result.deadlineActive = obj->deadline > now;
+  result.deadlineRemaining = result.deadlineActive ? obj->deadline - now : Duration::zero();
+  return result;
+}
+
+bool PointerLocationCache::BeginQuery(const PointerLocRef& ref, ServerSet queried,
+                                      TimePoint deadline) {
+  std::lock_guard lock(mu_);
+  if (!ValidLocked(ref)) return false;
+  ref.obj->vq = ref.obj->vq.Without(queried);
+  ref.obj->deadline = deadline;
+  return true;
+}
+
+PointerLocationCache::UpdateResult PointerLocationCache::AddLocation(
+    std::string_view path, std::uint32_t hash, ServerSlot server, bool pending,
+    bool allowWrite) {
+  UpdateResult result;
+  if (path.empty()) return result;
+  std::lock_guard lock(mu_);
+  LocationNode* obj = FindLocked(path, hash);
+  if (obj == nullptr) return result;
+
+  result.found = true;
+  obj->vq.reset(server);
+  if (pending) {
+    obj->vp.set(server);
+  } else {
+    obj->vh.set(server);
+    obj->vp.reset(server);
+  }
+
+  if (obj->rr.IsSet()) result.releaseRead = obj->rr;
+  if (allowWrite && obj->rw.IsSet()) result.releaseWrite = obj->rw;
+  result.info = InfoOf(obj);
+  return result;
+}
+
+void PointerLocationCache::HideLocked(LocationNode* obj) {
+  obj->keyLen = 0;
+  ++obj->auth;
+  --stats_.liveObjects;
+  ++stats_.hiddenObjects;
+}
+
+void PointerLocationCache::RemoveLocation(std::string_view path, ServerSlot server) {
+  if (path.empty()) return;
+  const std::uint32_t hash = HashOf(path);
+  std::lock_guard lock(mu_);
+  LocationNode* obj = FindLocked(path, hash);
+  if (obj == nullptr) return;
+  obj->vh.reset(server);
+  obj->vp.reset(server);
+  if (obj->vh.empty() && obj->vp.empty() && obj->vq.empty()) {
+    // Last holder gone and nothing left to query: hide so the next
+    // look-up re-creates and re-queries instead of hitting an all-empty
+    // record.
+    HideLocked(obj);
+  }
+}
+
+bool PointerLocationCache::Refresh(const PointerLocRef& ref, ServerSet vm,
+                                   TimePoint deadline) {
+  std::lock_guard lock(mu_);
+  if (!ValidLocked(ref)) return false;
+  LocationNode* obj = ref.obj;
+  obj->vh = ServerSet::None();
+  obj->vp = ServerSet::None();
+  obj->vq = vm;
+  obj->cn = corrections_.Epoch();
+  obj->deadline = deadline;
+  obj->addWindow = static_cast<std::uint8_t>(tw_ % kMaxServersPerSet);
+  return true;
+}
+
+RespSlotRef PointerLocationCache::GetRespSlot(const PointerLocRef& ref,
+                                              cms::AccessMode mode) const {
+  std::lock_guard lock(mu_);
+  if (!ValidLocked(ref)) return RespSlotRef{};
+  return mode == cms::AccessMode::kRead ? ref.obj->rr : ref.obj->rw;
+}
+
+bool PointerLocationCache::SetRespSlot(const PointerLocRef& ref, cms::AccessMode mode,
+                                       RespSlotRef slot) {
+  std::lock_guard lock(mu_);
+  if (!ValidLocked(ref)) return false;
+  (mode == cms::AccessMode::kRead ? ref.obj->rr : ref.obj->rw) = slot;
+  return true;
+}
+
+bool PointerLocationCache::ReadInfo(const PointerLocRef& ref, ServerSet vm,
+                                    ServerSet offline, cms::LocInfo* out) {
+  std::lock_guard lock(mu_);
+  if (!ValidLocked(ref)) return false;
+  ApplyCorrectionsLocked(ref.obj, vm, offline);
+  *out = InfoOf(ref.obj);
+  return true;
+}
+
+std::function<void()> PointerLocationCache::OnWindowTick() {
+  std::lock_guard lock(mu_);
+  ++tw_;
+  ++stats_.windowTicks;
+  const int w = static_cast<int>(tw_ % kMaxServersPerSet);
+  Window& win = windows_[w];
+
+  for (LocationNode* obj = win.head; obj != nullptr; obj = obj->windowNext) {
+    if (obj->keyLen != 0 && obj->addWindow == w) HideLocked(obj);
+  }
+  win.memoCn = ~std::uint64_t{0};
+  win.memoNc = ~std::uint64_t{0};
+
+  if (win.head == nullptr) return {};
+  return [this, w] { PurgeWindow(w, kPurgeBatch); };
+}
+
+std::size_t PointerLocationCache::PurgeWindow(int window, std::size_t maxBatch) {
+  LocationNode* list = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    list = windows_[window].head;
+    windows_[window].head = nullptr;
+    windows_[window].size = 0;
+  }
+  std::size_t freed = 0;
+  while (list != nullptr) {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < maxBatch && list != nullptr; ++i) {
+      LocationNode* obj = list;
+      list = obj->windowNext;
+      if (obj->keyLen == 0) {
+        UnlinkFromHashLocked(obj);
+        ++obj->auth;
+        stats_.approxBytes -= obj->key.capacity();
+        obj->key.clear();
+        obj->key.shrink_to_fit();
+        obj->rr = RespSlotRef{};
+        obj->rw = RespSlotRef{};
+        freeList_.push_back(obj);
+        --stats_.hiddenObjects;
+        ++stats_.recycled;
+        ++freed;
+      } else {
+        Window& dst = windows_[obj->addWindow];
+        obj->windowNext = dst.head;
+        dst.head = obj;
+        ++dst.size;
+        if (obj->addWindow != window) ++stats_.rechained;
+      }
+    }
+  }
+  return freed;
+}
+
+void PointerLocationCache::UnlinkFromHashLocked(LocationNode* obj) {
+  LocationNode** link = &buckets_[obj->hash % buckets_.size()];
+  while (*link != nullptr) {
+    if (*link == obj) {
+      *link = obj->hashNext;
+      obj->hashNext = nullptr;
+      return;
+    }
+    link = &(*link)->hashNext;
+  }
+}
+
+PointerLocationCache::Stats PointerLocationCache::GetStats() const {
+  std::lock_guard lock(mu_);
+  Stats s = stats_;
+  s.buckets = buckets_.size();
+  s.freeObjects = freeList_.size();
+  return s;
+}
+
+int PointerLocationCache::CurrentWindow() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(tw_ % kMaxServersPerSet);
+}
+
+}  // namespace scalla::baseline

@@ -1,0 +1,143 @@
+// The pointer-chased predecessor of cms::LocationCache, preserved as the
+// comparison baseline and property-test oracle for the arena rewrite.
+//
+// Same paper-mandated semantics — CRC32 keys, Fibonacci bucket sizing with
+// growth at 80% live load, 64 eviction windows with hide-then-purge and
+// deferred re-chaining, authenticator-checked references — but the classic
+// storage layout the arena replaced: per-entry heap nodes allocated in
+// slabs, 64-bit pointer links, std::string keys, and a pointer-vector free
+// list. The hidden-entry edge-case fixes (empty-key guard, RemoveLocation
+// hide, live-only growth) are applied here too, so an identical op
+// sequence must produce identical observable behaviour on both
+// implementations (tests/cms_cache_property_test.cc).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cms/correction_state.h"
+#include "cms/location_cache.h"  // for cms::RespSlotRef
+#include "cms/types.h"
+#include "util/clock.h"
+
+namespace scalla::baseline {
+
+/// Mirrors cms::RespSlotRef (index + epoch anchor reference).
+using RespSlotRef = scalla::cms::RespSlotRef;
+
+class LocationNode;  // defined in pointer_location_cache.cc
+
+/// Authenticated reference: node pointer plus authenticator.
+struct PointerLocRef {
+  LocationNode* obj = nullptr;
+  std::uint32_t auth = 0;
+  explicit operator bool() const { return obj != nullptr; }
+};
+
+class PointerLocationCache {
+ public:
+  PointerLocationCache(const cms::CmsConfig& config, util::Clock& clock,
+                       cms::CorrectionState& corrections);
+  ~PointerLocationCache();
+
+  PointerLocationCache(const PointerLocationCache&) = delete;
+  PointerLocationCache& operator=(const PointerLocationCache&) = delete;
+
+  enum class AddPolicy { kFindOnly, kCreate };
+
+  struct FetchResult {
+    PointerLocRef ref;
+    cms::LocInfo info;
+    bool found = false;
+    bool created = false;
+    bool deadlineActive = false;
+    Duration deadlineRemaining{};
+  };
+
+  FetchResult Lookup(std::string_view path, ServerSet vm, ServerSet offline,
+                     AddPolicy policy);
+  bool BeginQuery(const PointerLocRef& ref, ServerSet queried, TimePoint deadline);
+
+  struct UpdateResult {
+    bool found = false;
+    cms::LocInfo info;
+    RespSlotRef releaseRead;
+    RespSlotRef releaseWrite;
+  };
+  UpdateResult AddLocation(std::string_view path, std::uint32_t hash, ServerSlot server,
+                           bool pending, bool allowWrite);
+  void RemoveLocation(std::string_view path, ServerSlot server);
+  bool Refresh(const PointerLocRef& ref, ServerSet vm, TimePoint deadline);
+  RespSlotRef GetRespSlot(const PointerLocRef& ref, cms::AccessMode mode) const;
+  bool SetRespSlot(const PointerLocRef& ref, cms::AccessMode mode, RespSlotRef slot);
+  bool ReadInfo(const PointerLocRef& ref, ServerSet vm, ServerSet offline,
+                cms::LocInfo* out);
+  std::function<void()> OnWindowTick();
+
+  static std::uint32_t HashOf(std::string_view path);
+
+  struct Stats {
+    std::size_t buckets = 0;
+    std::size_t liveObjects = 0;
+    std::size_t hiddenObjects = 0;
+    std::size_t allocatedObjects = 0;
+    std::size_t freeObjects = 0;
+    std::size_t rehashes = 0;
+    std::size_t lookups = 0;
+    std::size_t hits = 0;
+    std::size_t creates = 0;
+    std::size_t corrections = 0;
+    std::size_t correctionMemoHits = 0;
+    std::size_t probes = 0;
+    std::size_t recycled = 0;
+    std::size_t rechained = 0;
+    std::uint64_t windowTicks = 0;
+    std::size_t approxBytes = 0;
+  };
+  Stats GetStats() const;
+
+  int CurrentWindow() const;
+
+ private:
+  struct Window {
+    LocationNode* head = nullptr;
+    std::uint64_t memoCn = ~std::uint64_t{0};
+    std::uint64_t memoNc = ~std::uint64_t{0};
+    ServerSet memoVc;
+    std::size_t size = 0;
+  };
+
+  LocationNode* FindLocked(std::string_view path, std::uint32_t hash) const;
+  LocationNode* AllocateLocked();
+  void InsertLocked(LocationNode* obj, std::string_view path, std::uint32_t hash,
+                    ServerSet vm);
+  void MaybeGrowLocked();
+  void ApplyCorrectionsLocked(LocationNode* obj, ServerSet vm, ServerSet offline);
+  bool ValidLocked(const PointerLocRef& ref) const;
+  void HideLocked(LocationNode* obj);
+  void UnlinkFromHashLocked(LocationNode* obj);
+  std::size_t PurgeWindow(int window, std::size_t maxBatch);
+  cms::LocInfo InfoOf(const LocationNode* obj) const;
+
+  const cms::CmsConfig config_;
+  util::Clock& clock_;
+  cms::CorrectionState& corrections_;
+
+  mutable std::mutex mu_;
+  std::vector<LocationNode*> buckets_;
+  std::array<Window, kMaxServersPerSet> windows_;
+  std::uint64_t tw_ = 0;
+
+  std::vector<std::unique_ptr<LocationNode[]>> slabs_;
+  std::vector<LocationNode*> freeList_;
+
+  mutable Stats stats_;
+};
+
+}  // namespace scalla::baseline

@@ -271,6 +271,11 @@ Membership::LivenessStats Membership::GetLivenessStats() const {
   return liveness_;
 }
 
+std::size_t Membership::PathArenaBytes() const {
+  std::lock_guard lock(mu_);
+  return paths_.ArenaBytes();
+}
+
 std::size_t Membership::MemberCount() const {
   std::lock_guard lock(mu_);
   std::size_t n = 0;

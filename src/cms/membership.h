@@ -128,6 +128,10 @@ class Membership {
   };
   LivenessStats GetLivenessStats() const;
 
+  /// Bytes held by the export-prefix string arena backing PathTable,
+  /// surfaced as the membership.path_arena_bytes gauge.
+  std::size_t PathArenaBytes() const;
+
   /// V_m for a path (longest matching export prefix).
   ServerSet EligibleFor(std::string_view path) const;
 

@@ -22,29 +22,46 @@ bool PathTable::PrefixMatches(std::string_view prefix, std::string_view path) {
 void PathTable::AddExport(ServerSlot server, std::string_view prefix) {
   const std::string norm = NormalizePrefix(prefix);
   for (auto& e : entries_) {
-    if (e.prefix == norm) {
+    if (PrefixOf(e) == norm) {
       e.servers.set(server);
       return;
     }
   }
   Entry e;
-  e.prefix = norm;
+  e.offset = static_cast<std::uint32_t>(arena_.size());
+  e.length = static_cast<std::uint32_t>(norm.size());
   e.servers.set(server);
-  entries_.push_back(std::move(e));
+  arena_.append(norm);
+  entries_.push_back(e);
 }
 
 void PathTable::RemoveServer(ServerSlot server) {
   for (auto& e : entries_) e.servers.reset(server);
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [](const Entry& e) { return e.servers.empty(); }),
-                 entries_.end());
+  const auto dead = std::remove_if(entries_.begin(), entries_.end(),
+                                   [](const Entry& e) { return e.servers.empty(); });
+  if (dead == entries_.end()) return;
+  entries_.erase(dead, entries_.end());
+  CompactArena();
+}
+
+void PathTable::CompactArena() {
+  // Pruning leaves dead byte runs behind; rebuild the arena so it stays
+  // exactly the live prefixes. Rare (server drop) and the table is small.
+  std::string fresh;
+  fresh.reserve(arena_.size());
+  for (auto& e : entries_) {
+    const std::string_view prefix = PrefixOf(e);
+    e.offset = static_cast<std::uint32_t>(fresh.size());
+    fresh.append(prefix);
+  }
+  arena_.swap(fresh);
 }
 
 ServerSet PathTable::Match(std::string_view path) const {
   const Entry* best = nullptr;
   for (const auto& e : entries_) {
-    if (PrefixMatches(e.prefix, path) &&
-        (best == nullptr || e.prefix.size() > best->prefix.size())) {
+    if (PrefixMatches(PrefixOf(e), path) &&
+        (best == nullptr || e.length > best->length)) {
       best = &e;
     }
   }
@@ -54,7 +71,7 @@ ServerSet PathTable::Match(std::string_view path) const {
 std::vector<std::string> PathTable::ExportsOf(ServerSlot server) const {
   std::vector<std::string> out;
   for (const auto& e : entries_) {
-    if (e.servers.test(server)) out.push_back(e.prefix);
+    if (e.servers.test(server)) out.emplace_back(PrefixOf(e));
   }
   return out;
 }

@@ -6,10 +6,14 @@
 //
 // Prefixes are directory-style: "/store" matches "/store/x" and "/store"
 // itself but not "/storeroom". Lookup is longest-prefix-match. The table is
-// small (servers export a handful of prefixes) so a sorted vector walk is
-// cache-friendly and simple.
+// small (servers export a handful of prefixes), so, like the location
+// cache, it keeps all prefix bytes in one contiguous arena addressed by
+// 32-bit {offset, length} pairs instead of per-entry heap strings — the
+// whole table is two flat allocations and the match walk touches one
+// contiguous byte run.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,12 +44,22 @@ class PathTable {
 
   std::size_t PrefixCount() const { return entries_.size(); }
 
+  /// Bytes held by the prefix arena (capacity, for the obs export).
+  std::size_t ArenaBytes() const { return arena_.capacity(); }
+
  private:
   struct Entry {
-    std::string prefix;  // normalized: no trailing '/'; "/" allowed
+    std::uint32_t offset = 0;  // into arena_; normalized prefix bytes
+    std::uint32_t length = 0;  // no trailing '/'; "/" allowed
     ServerSet servers;
   };
+  std::string_view PrefixOf(const Entry& e) const {
+    return std::string_view(arena_).substr(e.offset, e.length);
+  }
   static bool PrefixMatches(std::string_view prefix, std::string_view path);
+  void CompactArena();
+
+  std::string arena_;  // all prefix bytes, back to back
   std::vector<Entry> entries_;
 };
 

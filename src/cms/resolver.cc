@@ -114,12 +114,27 @@ void Resolver::Locate(const std::string& path, const LocateOptions& options,
   const ServerSet offline = membership_.OfflineSet();
   auto fetch = cache_.Lookup(path, vm, offline, LocationCache::AddPolicy::kCreate);
 
+  if (!fetch.found) {
+    // kCreate could not cache the entry (byte budget exhausted with
+    // nothing force-expirable, or an empty path slipped through). Without
+    // a location object there is nowhere to park the client or record
+    // responses, so ask it to wait a full period and retry.
+    std::lock_guard lock(statsMu_);
+    ++stats_.fullDelays;
+    done(LocateResult{LocateStatus::kWait, -1, false, config_.deadline});
+    return;
+  }
+
   bool mustQuery = fetch.created;
   if (options.refresh && !fetch.created) {
     // Client recovery (section III-C1): requery all relevant servers and
     // avoid the failing one when vectoring. Logically a new request.
-    if (options.avoid >= 0) cache_.RemoveLocation(path, options.avoid);
+    // Refresh MUST run before RemoveLocation: removing the failing
+    // server's claim can empty every vector, which hides the entry and
+    // invalidates fetch.ref — Refresh would then see a stale reference
+    // and bounce the client into a needless retry.
     if (cache_.Refresh(fetch.ref, vm, clock_.Now() + config_.deadline)) {
+      if (options.avoid >= 0) cache_.RemoveLocation(path, options.avoid);
       fetch.info = LocInfo{ServerSet::None(), ServerSet::None(), vm};
       mustQuery = true;
     } else {

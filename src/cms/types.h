@@ -50,6 +50,12 @@ struct CmsConfig {
   double growthLoadFactor = 0.8;
   std::size_t responseAnchors = 1024;
 
+  // Hard byte budget for the location-cache arena + bucket table
+  // (cms.cachebytes; 0 = unbounded). When the budget is reached the cache
+  // force-expires the window nearest its natural expiry instead of
+  // allocating further.
+  std::size_t cacheBytes = 0;
+
   // Ablation switches (all default to the paper's design; the benches
   // turn them off to quantify each mechanism's contribution).
   bool fastResponse = true;    // E07: park clients on the fast response queue

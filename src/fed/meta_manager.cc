@@ -108,6 +108,13 @@ obs::MetricsSnapshot MetaManager::SnapshotMetrics() const {
   snap.AddCounter("cache.corrections", cache.corrections);
   snap.AddCounter("cache.window_ticks", cache.windowTicks);
   snap.AddGauge("cache.live_objects", static_cast<std::int64_t>(cache.liveObjects));
+  snap.AddGauge("cache.arena_bytes", static_cast<std::int64_t>(cache.arenaBytes));
+  snap.AddGauge("cache.bytes_per_entry",
+                static_cast<std::int64_t>(
+                    cache.liveObjects == 0
+                        ? 0
+                        : cache.approxBytes / cache.liveObjects));
+  snap.AddCounter("cache.budget_evictions", cache.budgetEvictions);
   const auto resolver = resolver_.GetStats();
   snap.AddCounter("resolver.locates", resolver.locates);
   snap.AddCounter("resolver.redirects", resolver.redirects);

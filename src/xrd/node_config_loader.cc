@@ -41,7 +41,7 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
       "all.role",      "all.name",      "all.addr",     "all.manager",
       "all.export",    "cms.lifetime",  "cms.delay",    "cms.sweep",
       "cms.dropdelay", "cms.selection", "cms.ping",     "cms.misslimit",
-      "cms.suspendload", "cms.resumeload",
+      "cms.suspendload", "cms.resumeload", "cms.cachebytes",
       "xrd.allowwrite", "xrd.loadreport",
       "oss.localroot", "all.cnsd",      "pcache.blocksize", "pcache.capacity",
       "pcache.hiwater", "pcache.lowater", "pcache.readahead",
@@ -191,6 +191,20 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
   if (cfg.cms.suspendLoad > 0 && cfg.cms.resumeLoad >= cfg.cms.suspendLoad) {
     Fail(error, "cms.resumeload must be below cms.suspendload");
     return std::nullopt;
+  }
+  if (parsed->Has("cms.cachebytes")) {
+    const auto budget = ParseSize(parsed->GetStringOr("cms.cachebytes", ""));
+    if (!budget.has_value()) {
+      Fail(error, "cms.cachebytes must be a byte size (e.g. 256m; 0 = unbounded)");
+      return std::nullopt;
+    }
+    // A non-zero budget below 1 MiB cannot hold the initial bucket table
+    // plus one arena growth and would thrash the emergency evictor.
+    if (*budget != 0 && *budget < 1024ull * 1024) {
+      Fail(error, "cms.cachebytes must be 0 (unbounded) or at least 1m");
+      return std::nullopt;
+    }
+    cfg.cms.cacheBytes = static_cast<std::size_t>(*budget);
   }
 
   if (const auto sel = parsed->GetString("cms.selection"); sel.has_value()) {

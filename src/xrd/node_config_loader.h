@@ -10,6 +10,7 @@
 //   cms.delay       5s
 //   cms.sweep       133ms
 //   cms.dropdelay   10m
+//   cms.cachebytes  256m              # location-cache byte budget (0 = unbounded)
 //   cms.selection   roundrobin        # load | space | frequency | random
 //   xrd.allowwrite  true
 //   xrd.loadreport  30s

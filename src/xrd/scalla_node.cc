@@ -301,6 +301,22 @@ obs::MetricsSnapshot ScallaNode::SnapshotMetrics() const {
   snap.AddCounter("cache.recycled", cache.recycled);
   snap.AddGauge("cache.live_objects", static_cast<std::int64_t>(cache.liveObjects));
   snap.AddGauge("cache.approx_bytes", static_cast<std::int64_t>(cache.approxBytes));
+  // Arena occupancy (index-linked layout): slots in use vs allocated, the
+  // per-entry footprint, and budget-pressure evictions.
+  snap.AddGauge("cache.arena_bytes", static_cast<std::int64_t>(cache.arenaBytes));
+  snap.AddGauge("cache.bytes_per_entry",
+                static_cast<std::int64_t>(
+                    cache.liveObjects == 0
+                        ? 0
+                        : cache.approxBytes / cache.liveObjects));
+  snap.AddGauge("cache.arena_occupancy_pct",
+                static_cast<std::int64_t>(
+                    cache.allocatedObjects == 0
+                        ? 0
+                        : 100 * (cache.allocatedObjects - cache.freeObjects) /
+                              cache.allocatedObjects));
+  snap.AddCounter("cache.budget_evictions", cache.budgetEvictions);
+  snap.AddCounter("cache.create_failures", cache.createFailures);
   const auto resolver = resolver_.GetStats();
   snap.AddCounter("resolver.locates", resolver.locates);
   snap.AddCounter("resolver.redirects", resolver.redirects);
@@ -332,6 +348,8 @@ obs::MetricsSnapshot ScallaNode::SnapshotMetrics() const {
                 static_cast<std::int64_t>(membership_.SuspendedSet().count()));
   snap.AddGauge("membership.draining",
                 static_cast<std::int64_t>(membership_.DrainingSet().count()));
+  snap.AddGauge("membership.path_arena_bytes",
+                static_cast<std::int64_t>(membership_.PathArenaBytes()));
   snap.AddGauge("node.open_handles", static_cast<std::int64_t>(openFiles_.size()));
   snap.AddGauge("node.members", static_cast<std::int64_t>(membership_.MemberCount()));
   snap.AddCounter("node.count", 1);  // lets aggregated views report fleet size

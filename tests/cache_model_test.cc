@@ -90,6 +90,13 @@ class ReferenceModel {
     if (it == entries_.end()) return;
     it->second.vh.reset(server);
     it->second.vp.reset(server);
+    if (it->second.vh.empty() && it->second.vp.empty() &&
+        it->second.vq.empty()) {
+      // Hidden-entry fix: once the last claim is gone and nothing is left
+      // to query, the real cache hides the entry so the next look-up
+      // re-creates and re-queries; erasing models that.
+      entries_.erase(it);
+    }
   }
 
   void Tick() {

@@ -440,6 +440,104 @@ TEST_F(LocationCacheTest, ReadOnlyResponderKeepsWriteWaiters) {
   EXPECT_TRUE(cache_.GetRespSlot(r.ref, AccessMode::kWrite).IsSet());
 }
 
+// Regression (hidden-entry fix #1): an empty path used to be able to match
+// a *hidden* entry — hiding zeroes the stored key length, and FindLocked
+// compared keyLen == path.size(), so "" plus a hash collision resurrected
+// an entry that was awaiting purge. Empty keys are now rejected at the API
+// boundary and the find path skips zero-length records outright.
+TEST_F(LocationCacheTest, EmptyPathNeverCachedOrMatched) {
+  ConnectServers(2);
+  const ServerSet vm = ServerSet::FirstN(2);
+
+  const auto create =
+      cache_.Lookup("", vm, ServerSet::None(), LocationCache::AddPolicy::kCreate);
+  EXPECT_FALSE(create.found);
+  EXPECT_FALSE(create.created);
+  EXPECT_FALSE(static_cast<bool>(create.ref));
+  EXPECT_EQ(cache_.GetStats().liveObjects, 0u);
+
+  const auto up = cache_.AddLocation("", LocationCache::HashOf(""), 0, false, true);
+  EXPECT_FALSE(up.found);
+  cache_.RemoveLocation("", 0);  // must be a no-op, not a crash
+
+  // Hide an entry (expire it without purging) and probe with "" again:
+  // the hidden record must stay invisible even though its keyLen is 0.
+  Create("/store/f1", vm);
+  for (int i = 0; i < kMaxServersPerSet; ++i) (void)cache_.OnWindowTick();
+  EXPECT_EQ(cache_.GetStats().hiddenObjects, 1u);
+  const auto probe =
+      cache_.Lookup("", vm, ServerSet::None(), LocationCache::AddPolicy::kFindOnly);
+  EXPECT_FALSE(probe.found);
+}
+
+// Regression (hidden-entry fix #2): after the last holder reported the
+// file gone, RemoveLocation cleared V_h/V_p but left the entry visible
+// with every vector empty — subsequent look-ups answered "hit, nobody has
+// it, nothing to ask" until the window expired, even though the file may
+// have reappeared elsewhere. The entry is now hidden so the next look-up
+// re-creates and re-queries.
+TEST_F(LocationCacheTest, RemoveLastHolderHidesEntry) {
+  ConnectServers(2);
+  const ServerSet vm = ServerSet::FirstN(2);
+  const auto r = Create("/store/f1", vm);
+  cache_.BeginQuery(r.ref, vm, clock_.Now() + config_.deadline);  // V_q -> empty
+  const std::uint32_t hash = LocationCache::HashOf("/store/f1");
+  cache_.AddLocation("/store/f1", hash, 0, false, true);
+
+  cache_.RemoveLocation("/store/f1", 0);  // last claim, nothing left to query
+
+  EXPECT_FALSE(Find("/store/f1", vm).found);
+  EXPECT_EQ(cache_.GetStats().hiddenObjects, 1u);
+  LocInfo info;
+  EXPECT_FALSE(cache_.ReadInfo(r.ref, vm, ServerSet::None(), &info));  // ref stale
+
+  const auto again = Create("/store/f1", vm);
+  EXPECT_TRUE(again.created);
+  EXPECT_EQ(again.info.query, vm);  // full re-query, not an all-empty hit
+}
+
+// ... but removing one of several claims keeps the entry visible.
+TEST_F(LocationCacheTest, RemoveWithRemainingQuerySetKeepsEntry) {
+  ConnectServers(2);
+  const ServerSet vm = ServerSet::FirstN(2);
+  Create("/store/f1", vm);  // V_q = {0,1}, never queried
+  const std::uint32_t hash = LocationCache::HashOf("/store/f1");
+  cache_.AddLocation("/store/f1", hash, 0, false, true);
+  cache_.RemoveLocation("/store/f1", 0);
+  // Server 1 is still in V_q: the entry must survive to track that query.
+  const auto hit = Find("/store/f1", vm);
+  EXPECT_TRUE(hit.found);
+  EXPECT_TRUE(hit.info.query.test(1));
+}
+
+// Regression (hidden-entry fix #3): MaybeGrowLocked used to count hidden
+// objects toward the 80% load factor, so a hide-pass burst (a big window
+// expiring) triggered a premature Fibonacci grow + full rehash even
+// though the hidden records were about to be recycled.
+TEST_F(LocationCacheTest, HiddenEntriesDoNotTriggerGrowth) {
+  ConnectServers(1);
+  const ServerSet vm = ServerSet::FirstN(1);
+  ASSERT_EQ(cache_.GetStats().buckets, 89u);  // grow threshold: 72 live
+
+  for (int i = 0; i < 60; ++i) Create("/h/" + std::to_string(i), vm);
+  // Expire them: hide passes run, but the purge jobs are deliberately
+  // dropped so all 60 stay chained as hidden records.
+  for (int i = 0; i < kMaxServersPerSet; ++i) (void)cache_.OnWindowTick();
+  ASSERT_EQ(cache_.GetStats().hiddenObjects, 60u);
+  ASSERT_EQ(cache_.GetStats().liveObjects, 0u);
+
+  // 60 live + 60 hidden = 120 chained records; the pre-fix load counter
+  // would rehash here. Live load is only 60/89, so the table must hold.
+  for (int i = 0; i < 60; ++i) Create("/l/" + std::to_string(i), vm);
+  EXPECT_EQ(cache_.GetStats().rehashes, 0u);
+  EXPECT_EQ(cache_.GetStats().buckets, 89u);
+
+  // Sanity: genuine live load still grows the table.
+  for (int i = 60; i < 75; ++i) Create("/l/" + std::to_string(i), vm);
+  EXPECT_EQ(cache_.GetStats().rehashes, 1u);
+  EXPECT_EQ(cache_.GetStats().buckets, 144u);
+}
+
 // Property sweep: the window lifecycle holds for a range of object counts
 // and refresh fractions.
 class WindowLifecycleSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};

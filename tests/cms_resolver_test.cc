@@ -267,17 +267,31 @@ TEST_F(ResolverTest, OfflineHolderFallsBackToQueryOnReconnect) {
   EXPECT_EQ(out->server, 0);
 }
 
-TEST_F(ResolverTest, GoneRemovesLocation) {
+TEST_F(ResolverTest, GoneRemovesLocationAndNextLocateRequeries) {
   AddServers(2);
   Locate("/store/f1");
   const std::uint32_t hash = LocationCache::HashOf("/store/f1");
   resolver_.OnHave("/store/f1", hash, 0, false, true);
   resolver_.OnGone("/store/f1", 0);
   clock_.Advance(config_.deadline * 2);
-  const auto result = Locate("/store/f1");
-  // Nothing known, nothing to query (all were queried): not found.
-  ASSERT_TRUE(result.has_value());
-  EXPECT_EQ(result->status, LocateStatus::kNotFound);
+
+  // The gone notification emptied every vector, which hides the entry:
+  // the next locate must re-create and re-flood rather than answer from
+  // the stale all-empty record (which used to yield kNotFound without
+  // asking anyone — the file may well live on server 1 by now).
+  queries_.clear();
+  std::optional<LocateResult> out;
+  resolver_.Locate("/store/f1", LocateOptions{},
+                   [&out](const LocateResult& r) { out = r; });
+  EXPECT_FALSE(out.has_value());
+  ASSERT_EQ(queries_.size(), 1u);
+  EXPECT_EQ(queries_[0].targets.count(), 2);
+
+  // Server 1 reports it after the move.
+  resolver_.OnHave("/store/f1", hash, 1, false, true);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, LocateStatus::kRedirect);
+  EXPECT_EQ(out->server, 1);
 }
 
 TEST_F(ResolverTest, QueueExhaustionYieldsImmediateFullDelay) {

@@ -204,6 +204,33 @@ TEST(NodeConfigLoaderTest, RejectsBadHeartbeatValues) {
   EXPECT_TRUE(LoadNodeConfig(base + "cms.resumeload 10\n", &error).has_value());
 }
 
+TEST(NodeConfigLoaderTest, CacheBytesDirectiveParsed) {
+  const std::string base = "all.role manager\nall.addr 1\nall.export /store\n";
+  std::string error;
+  const auto loaded = LoadNodeConfig(base + "cms.cachebytes 256m\n", &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->node.cms.cacheBytes, 256ull * 1024 * 1024);
+
+  // Unset or explicit 0 => unbounded.
+  const auto unset = LoadNodeConfig(base, &error);
+  ASSERT_TRUE(unset.has_value()) << error;
+  EXPECT_EQ(unset->node.cms.cacheBytes, 0u);
+  const auto zero = LoadNodeConfig(base + "cms.cachebytes 0\n", &error);
+  ASSERT_TRUE(zero.has_value()) << error;
+  EXPECT_EQ(zero->node.cms.cacheBytes, 0u);
+}
+
+TEST(NodeConfigLoaderTest, RejectsBadCacheBytesValues) {
+  const std::string base = "all.role manager\nall.addr 1\nall.export /store\n";
+  std::string error;
+  EXPECT_FALSE(LoadNodeConfig(base + "cms.cachebytes lots\n", &error).has_value());
+  EXPECT_NE(error.find("cachebytes"), std::string::npos);
+  // A budget below one arena growth step could never hold a useful table.
+  EXPECT_FALSE(LoadNodeConfig(base + "cms.cachebytes 64k\n", &error).has_value());
+  EXPECT_NE(error.find("cachebytes"), std::string::npos);
+  EXPECT_TRUE(LoadNodeConfig(base + "cms.cachebytes 1m\n", &error).has_value());
+}
+
 TEST(NodeConfigLoaderTest, ProxyConfigWithPcacheDirectives) {
   std::string error;
   const auto loaded = LoadNodeConfig(
