@@ -168,8 +168,14 @@ bool LocationCache::GrowArenaLocked() {
 std::size_t LocationCache::EmergencyEvictLocked() {
   // Budget pressure: no free slot and no headroom to grow. Force-expire
   // the non-empty window closest to its natural expiry — hide its due
-  // entries exactly like a tick would, then purge the chain inline. This
-  // is the arena analogue of djbdns evicting at the tail.
+  // entries exactly like a tick would (hiding is O(1) per entry). This is
+  // the arena analogue of djbdns evicting at the tail. Recycling, however,
+  // unlinks from the hash table and is the expensive part, and this runs
+  // under mu_ inside a foreground look-up: recycle inline only up to
+  // kPurgeBatch slots — plenty for the current allocation — and leave the
+  // remainder chained, hidden and unfindable, for the window's natural
+  // purge job. A hot window can hold a large fraction of all entries; an
+  // unbounded inline purge would stall every concurrent look-up.
   std::size_t freed = 0;
   for (int step = 1; step <= kMaxServersPerSet && freed == 0; ++step) {
     const int w = static_cast<int>((tw_ + step) % kMaxServersPerSet);
@@ -192,7 +198,16 @@ std::size_t LocationCache::EmergencyEvictLocked() {
     while (list != kNullCacheIndex) {
       const std::uint32_t index = list;
       list = At(index)->windowNext;
-      freed += RecycleOrRechainLocked(index, w);
+      if (freed < kPurgeBatch) {
+        freed += RecycleOrRechainLocked(index, w);
+      } else {
+        // Inline cap reached: keep the entry chained here. Hidden entries
+        // stay invisible to look-ups; visible (refreshed) ones get their
+        // deferred re-chain when this window's tick comes around.
+        At(index)->windowNext = win.head;
+        win.head = index;
+        ++win.size;
+      }
     }
   }
   return freed;
@@ -224,28 +239,39 @@ void LocationCache::FreeSlotLocked(std::uint32_t index) {
   ++freeCount_;
 }
 
-bool LocationCache::StoreKeyLocked(Record* rec, std::string_view path) {
-  const std::size_t inlineLen = std::min(path.size(), Record::kInlineKeyBytes);
-  std::memcpy(rec->key, path.data(), inlineLen);
-  rec->keyExt = kNullCacheIndex;
-  std::size_t done = inlineLen;
-  std::uint32_t* tail = &rec->keyExt;
+bool LocationCache::StoreKeyLocked(std::uint32_t recIndex, std::string_view path) {
+  // Every AllocateSlotLocked call below may grow the arena and move the
+  // slab, so no Record*/ExtSlot*/uint32_t* into the arena may be held
+  // across it: the record and the chain tail are tracked as slot indices
+  // and re-resolved through At()/ExtAt() after each allocation.
+  {
+    Record* rec = At(recIndex);
+    const std::size_t inlineLen = std::min(path.size(), Record::kInlineKeyBytes);
+    std::memcpy(rec->key, path.data(), inlineLen);
+    rec->keyExt = kNullCacheIndex;
+  }
+  std::size_t done = std::min(path.size(), Record::kInlineKeyBytes);
+  std::uint32_t tail = kNullCacheIndex;  // last extension slot written so far
   while (done < path.size()) {
-    const std::uint32_t ext = AllocateSlotLocked();
+    const std::uint32_t ext = AllocateSlotLocked();  // may move the slab
     if (ext == kNullCacheIndex) {
-      FreeKeyChainLocked(rec);  // release the partial chain
+      FreeKeyChainLocked(At(recIndex));  // release the partial chain
       return false;
     }
     ExtSlot* slot = ExtAt(ext);
     const std::size_t chunk = std::min(path.size() - done, ExtSlot::kBytes);
     std::memcpy(slot->bytes, path.data() + done, chunk);
     slot->next = kNullCacheIndex;
-    *tail = ext;
-    tail = &slot->next;
+    if (tail == kNullCacheIndex) {
+      At(recIndex)->keyExt = ext;
+    } else {
+      ExtAt(tail)->next = ext;
+    }
+    tail = ext;
     done += chunk;
     ++stats_.extensionSlots;
   }
-  rec->keyLen = static_cast<std::uint32_t>(path.size());
+  At(recIndex)->keyLen = static_cast<std::uint32_t>(path.size());
   return true;
 }
 
@@ -262,9 +288,11 @@ void LocationCache::FreeKeyChainLocked(Record* rec) {
 
 bool LocationCache::InsertLocked(std::uint32_t index, std::string_view path,
                                  std::uint32_t hash, ServerSet vm) {
+  At(index)->hash = hash;
+  if (!StoreKeyLocked(index, path)) return false;  // key chain hit the budget
+  // Re-resolve: storing a long key can allocate extension slots, which can
+  // grow the arena and move the slab out from under any earlier Record*.
   Record* rec = At(index);
-  rec->hash = hash;
-  if (!StoreKeyLocked(rec, path)) return false;  // key chain hit the budget
   rec->addWindow = static_cast<std::uint8_t>(tw_ % kMaxServersPerSet);
   rec->cn = corrections_.Epoch();
   rec->deadline = clock_.Now() + config_.deadline;
@@ -299,13 +327,18 @@ void LocationCache::MaybeGrowLocked() {
   }
   const std::size_t newSize = util::NextFibonacci(buckets_.size());
   if (newSize == buckets_.size()) return;
+  std::vector<std::uint32_t> fresh(newSize, kNullCacheIndex);
   if (config_.cacheBytes > 0) {
     // The budget is hard: when a bigger table plus the arena would exceed
-    // it, keep the current table and let chains lengthen instead.
+    // it, keep the current table and let chains lengthen instead. Charge
+    // the fresh vector's *capacity* — the same basis GrowArenaLocked and
+    // GetStats use — so the two sides of the budget can never disagree
+    // when capacity exceeds size.
     const std::size_t arenaBytes = std::size_t{slotCapacity_} * kRecordBytes;
-    if (arenaBytes + newSize * sizeof(std::uint32_t) > config_.cacheBytes) return;
+    if (arenaBytes + fresh.capacity() * sizeof(std::uint32_t) > config_.cacheBytes) {
+      return;
+    }
   }
-  std::vector<std::uint32_t> fresh(newSize, kNullCacheIndex);
   for (std::uint32_t head : buckets_) {
     while (head != kNullCacheIndex) {
       Record* rec = At(head);

@@ -213,7 +213,9 @@ class LocationCache {
   std::size_t EmergencyEvictLocked();
   bool InsertLocked(std::uint32_t index, std::string_view path, std::uint32_t hash,
                     ServerSet vm);
-  bool StoreKeyLocked(Record* rec, std::string_view path);
+  // Index-based on purpose: allocating extension slots may move the arena,
+  // so the record is re-resolved from its slot index after each allocation.
+  bool StoreKeyLocked(std::uint32_t recIndex, std::string_view path);
   void FreeKeyChainLocked(Record* rec);
   void FreeSlotLocked(std::uint32_t index);
   void MaybeGrowLocked();

@@ -538,6 +538,50 @@ TEST_F(LocationCacheTest, HiddenEntriesDoNotTriggerGrowth) {
   EXPECT_EQ(cache_.GetStats().buckets, 144u);
 }
 
+// Regression: storing a key long enough to spill into extension slots can
+// grow — and relocate — the arena between the record's allocation and the
+// extension-slot writes. The insert path used to hold Record*/chain-tail
+// pointers across that growth, writing the key chain, vectors, and hash
+// links into the freed slab (use-after-free); everything must instead be
+// re-derived from slot indices after each allocation. Each entry here
+// takes exactly 3 slots (1 record + 2 extensions); 3 does not divide the
+// power-of-two slab-doubling boundaries (1024, 2048, ... slots), so some
+// boundary is guaranteed to land between the record's allocation and an
+// extension slot's.
+TEST_F(LocationCacheTest, LongKeysSurviveArenaGrowthMidInsert) {
+  ConnectServers(2);
+  const ServerSet vm = ServerSet::FirstN(2);
+  const auto longPath = [](int i) {
+    return "/deep/" + std::string(230, static_cast<char>('a' + i % 26)) + "/" +
+           std::to_string(i);
+  };
+  constexpr int kPaths = 4000;
+  for (int i = 0; i < kPaths; ++i) {
+    ASSERT_TRUE(Create(longPath(i), vm).created) << i;
+  }
+  const auto stats = cache_.GetStats();
+  EXPECT_EQ(stats.liveObjects, static_cast<std::size_t>(kPaths));
+  EXPECT_GT(stats.extensionSlots, static_cast<std::size_t>(kPaths));
+
+  // Every entry must still be reachable through the hash walk with its
+  // full key intact, and a response for the path must land on it.
+  for (int i = 0; i < kPaths; ++i) {
+    const std::string path = longPath(i);
+    const auto hit = Find(path, vm);
+    ASSERT_TRUE(hit.found) << i;
+    ASSERT_EQ(hit.info.query, vm) << i;
+    const auto upd = cache_.AddLocation(path, LocationCache::HashOf(path), 0,
+                                        /*pending=*/false, /*allowWrite=*/true);
+    ASSERT_TRUE(upd.found) << i;
+  }
+  for (int i = 0; i < kPaths; ++i) {
+    const auto hit = Find(longPath(i), vm);
+    ASSERT_TRUE(hit.found) << i;
+    EXPECT_TRUE(hit.info.have.test(0)) << i;
+    EXPECT_FALSE(hit.info.query.test(0)) << i;
+  }
+}
+
 // Property sweep: the window lifecycle holds for a range of object counts
 // and refresh fractions.
 class WindowLifecycleSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
