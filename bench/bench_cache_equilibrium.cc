@@ -96,10 +96,14 @@ int main() {
       {1000, std::chrono::minutes(64), 1.5},
   };
   double bytesPerObject = 0;
+  EquilibriumResult last;
+  double lastBound = 0;
   for (const auto& c : cases) {
     const auto r = Run(c.rate, c.lifetime, c.lifetimes);
     const double bound = c.rate * std::chrono::duration<double>(c.lifetime).count();
     bytesPerObject = r.bytesPerObject;
+    last = r;
+    lastBound = bound;
     table.AddRow({bench::Fmt("%.0f", c.rate),
                   bench::Fmt("%.0fmin",
                              std::chrono::duration<double>(c.lifetime).count() / 60),
@@ -123,5 +127,14 @@ int main() {
               50.0 * 8 * 3600 / 1e6, 100.0 * 8 * 3600 / 1e6,
               50.0 * 8 * 3600 * bytesPerObject / 1e9,
               100.0 * 8 * 3600 * bytesPerObject / 1e9);
+
+  // Virtual-clock metrics for the regression gate (the heaviest case):
+  // equilibrium must stay under the rate x L_t bound, growth must cease
+  // (no second-half rehashes), bytes/object must not creep.
+  std::printf("\nJSON {\"bench\":\"cache_equilibrium\",\"bound\":%.0f,"
+              "\"peak_live\":%zu,\"steady_live\":%zu,\"bytes_per_object\":%.1f,"
+              "\"rehashes_after_warm\":%zu}\n",
+              lastBound, last.peakLive, last.steadyLive, last.bytesPerObject,
+              last.rehashesAfterWarm);
   return 0;
 }

@@ -1,0 +1,49 @@
+// Campaign sweep: runs every library campaign from the scenario factory
+// (sim/scenario.h) and reports each one's claim-check verdicts. One JSON
+// line per campaign (bench tag "campaign.<name>") so the regression gate
+// tracks warm per-level cost, latency-vs-load slope and correction
+// accounting per scenario. The tier-2 million-client campaign lives in
+// tests/campaign_test.cc, not here — this binary stays bench.sh-sized.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sim/scenario.h"
+
+using namespace scalla;
+
+int main() {
+  bench::PrintHeader("E-CAMPAIGN", "scenario factory campaign library",
+                     "per-level cost stays O(100us)-shaped, correction work per "
+                     "death is O(1) in cached entries, redirection latency rises "
+                     "with a very low linear slope as load increases");
+
+  bench::Table table({"campaign", "servers", "depth", "opens", "errors",
+                      "per-level", "slope us/client", "checks", "verdict"});
+  bool allOk = true;
+  std::vector<std::string> jsonLines;
+  for (const auto& [name, run] : sim::CampaignRegistry()) {
+    const sim::CampaignResult r = run();
+    std::size_t passed = 0;
+    for (const auto& c : r.checks) passed += c.pass ? 1 : 0;
+    table.AddRow({r.name, std::to_string(r.servers), std::to_string(r.depth),
+                  std::to_string(r.totalCompleted), std::to_string(r.totalErrors),
+                  bench::Fmt("%.1fus", r.warmPerLevelUs),
+                  bench::Fmt("%.3f", r.slopeUsPerClient),
+                  bench::Fmt("%zu/%zu", passed, r.checks.size()),
+                  r.ok() ? "PASS" : "FAIL"});
+    if (!r.ok()) {
+      allOk = false;
+      for (const auto& c : r.checks) {
+        if (!c.pass) {
+          std::printf("  FAIL %s.%s: value %.3f vs bound %.3f\n", r.name.c_str(),
+                      c.name.c_str(), c.value, c.bound);
+        }
+      }
+    }
+    jsonLines.push_back(r.JsonLine());
+  }
+  table.Print();
+
+  for (const std::string& line : jsonLines) std::printf("\nJSON %s\n", line.c_str());
+  return allOk ? 0 : 1;
+}

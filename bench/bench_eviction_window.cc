@@ -114,6 +114,7 @@ int main() {
 
   bench::Table table({"entries", "scheme", "foreground pause", "touched/pass",
                       "background purge", "lookup during purge"});
+  double windowTouchedPct = 0, scanTouchedPct = 0;
   for (const std::size_t entries : {64000u, 256000u, 512000u}) {
     const auto w = RunWindowScheme(entries);
     table.AddRow({Fmt("%zu", entries), "sliding-window",
@@ -122,10 +123,17 @@ int main() {
     const auto s = RunFullScan(entries);
     table.AddRow({Fmt("%zu", entries), "full-scan TTL", Fmt("%.1fus", s.scanPauseUs),
                   Fmt("%.1f%%", s.touchedPct), "-", "-"});
+    windowTouchedPct = w.touchedPct;
+    scanTouchedPct = s.touchedPct;
   }
   table.Print();
   std::printf("The window scheme's foreground pause covers one window (~1/64 = 1.6%%\n"
               "of entries) and stays flat relative to the full scan, whose pause\n"
               "grows with the WHOLE cache regardless of how little expires.\n\n");
+  // The pause columns are host wall clock; the gate tracks the structural
+  // per-pass shares, which are virtual-clock deterministic.
+  std::printf("JSON {\"bench\":\"eviction_window\",\"entries\":512000,"
+              "\"window_touched_pct\":%.3f,\"fullscan_touched_pct\":%.3f}\n",
+              windowTouchedPct, scanTouchedPct);
   return 0;
 }

@@ -46,12 +46,15 @@ int main() {
       "redirect in ~the fastest server's response time (~100us) instead of "
       "the 5s full delay; requests get up to 133ms before a full wait");
 
+  double fastMeanUs = 0, fullMeanUs = 0;
   {
     std::printf("First open of uncached-but-existing files, 16 servers:\n\n");
     bench::Table table({"fast response queue", "mean first-open", "p99", "speedup"});
     double p99on = 0, p99off = 0;
     const double on = MeanFirstOpenUs(true, std::chrono::microseconds(25), 64, &p99on);
     const double off = MeanFirstOpenUs(false, std::chrono::microseconds(25), 64, &p99off);
+    fastMeanUs = on;
+    fullMeanUs = off;
     table.AddRow({"on (Scalla)", Fmt("%.0fus", on), Fmt("%.0fus", p99on), "1.0x"});
     table.AddRow({"off (full delay)", Fmt("%.0fus", off), Fmt("%.0fus", p99off),
                   Fmt("%.0fx slower", off / on)});
@@ -79,5 +82,9 @@ int main() {
                 "the 133ms clock, as the paper argues; only pathological latencies\n"
                 "push waiters into the full-delay fallback.\n\n");
   }
+  // Virtual-clock first-open means at the 25us link point (deterministic).
+  std::printf("\nJSON {\"bench\":\"fast_response\",\"fast_mean_us\":%.1f,"
+              "\"full_mean_us\":%.1f,\"speedup\":%.1f}\n",
+              fastMeanUs, fullMeanUs, fullMeanUs / fastMeanUs);
   return 0;
 }

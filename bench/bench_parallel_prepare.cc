@@ -111,6 +111,7 @@ int main() {
       "each background look-up suffers a full delay, but externally at most "
       "a single full delay is encountered by the client");
 
+  double createRatio16 = 0, stageRatio16 = 0;
   {
     const Duration deadline = std::chrono::seconds(2);
     std::printf("Bulk creation of N new files (full delay = %.0fs):\n\n",
@@ -120,6 +121,7 @@ int main() {
     for (const int files : {1, 4, 8, 16}) {
       const double without = CreateWorkloadSeconds(files, false, deadline);
       const double with = CreateWorkloadSeconds(files, true, deadline);
+      if (files == 16) createRatio16 = without / with;
       table.AddRow({Fmt("%d", files), Fmt("%.2fs", without), Fmt("%.2fs", with),
                     Fmt("%.1fx", without / with),
                     Fmt("%.2fs", std::chrono::duration<double>(deadline).count())});
@@ -137,10 +139,15 @@ int main() {
     for (const int files : {2, 8, 16}) {
       const double without = StagingWorkloadSeconds(files, false, stage);
       const double with = StagingWorkloadSeconds(files, true, stage);
+      if (files == 16) stageRatio16 = without / with;
       table.AddRow({Fmt("%d", files), Fmt("%.0fs", without), Fmt("%.0fs", with),
                     Fmt("%.1fx", without / with)});
     }
     table.Print();
   }
+  // Virtual-clock speedup ratios at the widest fan-out (16 files).
+  std::printf("\nJSON {\"bench\":\"parallel_prepare\",\"files\":16,"
+              "\"create_speedup\":%.3f,\"staging_speedup\":%.3f}\n",
+              createRatio16, stageRatio16);
   return 0;
 }

@@ -55,10 +55,17 @@ ColdWarm MeasureColdWarm(int servers, int fanout, std::size_t files) {
   return ColdWarm{cold.MeanNanos() / 1e3, warm.MeanNanos() / 1e3, cluster.Depth()};
 }
 
-void TablePerLevel() {
+// Deterministic sim-time metrics surfaced in the JSON summary line that
+// scripts/bench.sh collects and tools/bench_compare gates.
+struct JsonMetrics {
+  double warmPerLevelUs = 0;  // deepest shape in the per-level table
+  double coldPremiumUs = 0;
+  double slopeUsPerClient = 0;  // (mean@64 - mean@1) / 63
+};
+
+void TablePerLevel(JsonMetrics& json) {
   bench::Table table({"servers", "fanout", "tree depth", "warm open", "cold open",
                       "warm per level", "cold premium"});
-  double prevWarm = 0;
   for (const auto& [servers, fanout] : std::vector<std::pair<int, int>>{
            {16, 64}, {16, 4}, {16, 2}, {64, 64}, {256, 16}}) {
     const ColdWarm r = MeasureColdWarm(servers, fanout, 64);
@@ -66,13 +73,13 @@ void TablePerLevel() {
                   Fmt("%.1fus", r.warmUs), Fmt("%.1fus", r.coldUs),
                   Fmt("%.1fus", r.warmUs / r.depth),
                   Fmt("%.1fus", r.coldUs - r.warmUs)});
-    prevWarm = r.warmUs;
+    json.warmPerLevelUs = r.warmUs / r.depth;
+    json.coldPremiumUs = r.coldUs - r.warmUs;
   }
-  (void)prevWarm;
   table.Print();
 }
 
-void TableLoadSlope() {
+void TableLoadSlope(JsonMetrics& json) {
   std::printf("Load slope: closed-loop clients against a 32-server cluster\n"
               "(cache warm; each client keeps one open outstanding).\n\n");
   bench::Table table({"clients", "completed", "mean latency", "p99 latency",
@@ -92,6 +99,7 @@ void TableLoadSlope() {
                                                paths, 2000, 0.9, rng);
     const double mean = result.latency.MeanNanos() / 1e3;
     if (clients == 1) base = mean;
+    if (clients == 64) json.slopeUsPerClient = (mean - base) / 63.0;
     table.AddRow({Fmt("%d", clients), Fmt("%zu", result.completed),
                   Fmt("%.1fus", mean),
                   Fmt("%.1fus",
@@ -108,7 +116,11 @@ int main() {
   scalla::bench::PrintHeader(
       "E02", "redirection latency: per-level cost, cold premium, load slope",
       "<50us/tree level cached; ~150us uncached; low linear slope under load");
-  scalla::TablePerLevel();
-  scalla::TableLoadSlope();
+  scalla::JsonMetrics json;
+  scalla::TablePerLevel(json);
+  scalla::TableLoadSlope(json);
+  std::printf("\nJSON {\"bench\":\"redirection_latency\",\"warm_per_level_us\":%.3f,"
+              "\"cold_premium_us\":%.3f,\"slope_us_per_client\":%.4f}\n",
+              json.warmPerLevelUs, json.coldPremiumUs, json.slopeUsPerClient);
   return 0;
 }

@@ -50,13 +50,14 @@ void TableRegistrationCost() {
   table.Print();
 }
 
-void TableRestartToService() {
+double TableRestartToService() {
   std::printf("Cluster restart to first served file, 64 servers. Scalla is\n"
               "measured on the simulated cluster (login + first open, virtual\n"
               "time); the central design adds modeled manifest transfer at 1GbE\n"
               "plus the measured master-side insert time.\n\n");
   bench::Table table({"files/server", "scalla restart->serve", "central restart->serve",
                       "ratio"});
+  double lastScallaSeconds = 0;
   for (const std::size_t files : {10000u, 100000u, 1000000u}) {
     double scallaSeconds = 0;
     {
@@ -87,6 +88,7 @@ void TableRestartToService() {
       const double wireSeconds = static_cast<double>(totalBytes) / (125e6);  // 1GbE
       centralSeconds = cpuSeconds + wireSeconds;
     }
+    lastScallaSeconds = scallaSeconds;
     table.AddRow({Fmt("%zu", files), Fmt("%.3fs", scallaSeconds),
                   Fmt("%.1fs", centralSeconds),
                   Fmt("%.0fx", centralSeconds / scallaSeconds)});
@@ -96,6 +98,7 @@ void TableRestartToService() {
               "the trade-off is discovery traffic on first access per file\n"
               "(quantified in E02/E06) and no global file listing (the cnsd\n"
               "provides one out of band).\n\n");
+  return lastScallaSeconds;
 }
 
 }  // namespace
@@ -107,6 +110,12 @@ int main() {
       "registration is extremely light; restart-to-service takes seconds and "
       "is independent of the number of files hosted");
   scalla::TableRegistrationCost();
-  scalla::TableRestartToService();
+  const double restartSeconds = scalla::TableRestartToService();
+  // Scalla's restart->serve time is virtual-clock deterministic and
+  // independent of the file population; the central-directory column mixes
+  // in host cpu time, so only the Scalla side is gated.
+  std::printf("\nJSON {\"bench\":\"registration\",\"servers\":64,"
+              "\"scalla_restart_to_serve_s\":%.4f}\n",
+              restartSeconds);
   return 0;
 }

@@ -81,11 +81,14 @@ int main() {
 
   bench::Table table({"criterion", "busiest share", "ideal share",
                       "opens to overloaded server (of 400)"});
+  std::uint64_t loadOverloadedOpens = 0, rrOverloadedOpens = 0;
   for (const auto criterion :
        {cms::SelectCriterion::kRoundRobin, cms::SelectCriterion::kRandom,
         cms::SelectCriterion::kFrequency, cms::SelectCriterion::kLoad,
         cms::SelectCriterion::kSpace}) {
     const auto r = Run(criterion, 8, 4, 400);
+    if (criterion == cms::SelectCriterion::kLoad) loadOverloadedOpens = r.slowServerOpens;
+    if (criterion == cms::SelectCriterion::kRoundRobin) rrOverloadedOpens = r.slowServerOpens;
     table.AddRow({Name(criterion), Fmt("%.0f%%", r.maxShare * 100),
                   Fmt("%.0f%%", r.idealShare * 100),
                   Fmt("%llu", static_cast<unsigned long long>(r.slowServerOpens))});
@@ -95,5 +98,11 @@ int main() {
               "quarter of the traffic to the overloaded replica; load- and\n"
               "space-based selection steer entirely away from it (at the price of\n"
               "concentrating on the best server until reports change).\n\n");
+  // Deterministic open counters: load-based selection must keep steering
+  // around the overloaded replica while round-robin keeps hitting it.
+  std::printf("\nJSON {\"bench\":\"selection\",\"opens\":400,"
+              "\"load_overloaded_opens\":%llu,\"roundrobin_overloaded_opens\":%llu}\n",
+              static_cast<unsigned long long>(loadOverloadedOpens),
+              static_cast<unsigned long long>(rrOverloadedOpens));
   return 0;
 }

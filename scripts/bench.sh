@@ -1,13 +1,40 @@
 #!/usr/bin/env bash
 # Benchmark harness: Release-ish build (default preset is RelWithDebInfo),
 # run every bench that emits a machine-scrapable "JSON {...}" summary
-# line, and collect those lines into BENCH_PR8.json (one JSON object per
+# line, and collect those lines into one JSONL file (one JSON object per
 # line). Run from the repository root.
+#
+# Output file: first positional argument, else $BENCH_OUT, else
+# BENCH_PR9.json. The result feeds scripts' bench-gate stage:
+#   build/tools/bench_compare bench/baseline.json <output>
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_PR8.json"
-BENCHES=(bench_fabric bench_proxy_cache bench_federation bench_location_cache)
+OUT="${1:-${BENCH_OUT:-BENCH_PR9.json}}"
+
+# Every bench binary that prints a "JSON {...}" summary. Keep in sync with
+# bench/CMakeLists.txt and bench/baseline.json.
+BENCHES=(
+  bench_cache_equilibrium
+  bench_campaign
+  bench_correction_vectors
+  bench_deadline_sync
+  bench_eviction_window
+  bench_fabric
+  bench_fast_response
+  bench_federation
+  bench_hash_fibonacci
+  bench_location_cache
+  bench_parallel_prepare
+  bench_proxy_cache
+  bench_qserv_dispatch
+  bench_query_protocol
+  bench_rechaining
+  bench_redirection_latency
+  bench_registration
+  bench_selection
+  bench_tree_scaling
+)
 
 echo "=== build: default preset ==="
 cmake --preset default

@@ -13,6 +13,10 @@
 # Tests labelled tier2 (long-running real-socket chaos/stress suites) are
 # excluded from the fast default stage and run in their own stage; set
 # SCALLA_SKIP_TIER2=1 to skip that stage on a quick iteration loop.
+#
+# The bench-gate stage re-runs every JSON-emitting bench and compares the
+# deterministic metrics against bench/baseline.json (tolerances per
+# metric); set SCALLA_SKIP_BENCH_GATE=1 to skip it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +29,16 @@ if [[ "${SCALLA_SKIP_TIER2:-0}" != "1" ]]; then
   echo
   echo "=== test: default preset (tier 2 chaos/stress) ==="
   ctest --test-dir build --output-on-failure -L tier2
+fi
+
+if [[ "${SCALLA_SKIP_BENCH_GATE:-0}" != "1" ]]; then
+  echo
+  echo "=== bench-gate: regression check against bench/baseline.json ==="
+  BENCH_OUT="build/bench_current.json" ./scripts/bench.sh > build/bench_run.log 2>&1 || {
+    echo "bench run failed; see build/bench_run.log"
+    exit 1
+  }
+  ./build/tools/bench_compare bench/baseline.json build/bench_current.json
 fi
 
 echo

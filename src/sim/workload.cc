@@ -1,8 +1,18 @@
 #include "sim/workload.h"
 
+#include <chrono>
 #include <unordered_set>
 
 namespace scalla::sim {
+namespace {
+
+double WallSecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 std::vector<std::string> PopulateFiles(SimCluster& cluster, std::size_t nFiles,
                                        int replication, util::Rng& rng,
@@ -29,6 +39,8 @@ WorkloadResult RunOpenStream(SimCluster& cluster, client::ScallaClient& client,
                              const std::vector<std::string>& paths, std::size_t nOps,
                              double zipfS, util::Rng& rng) {
   WorkloadResult result;
+  const auto wallStart = std::chrono::steady_clock::now();
+  const TimePoint simStart = cluster.engine().Now();
   const util::ZipfSampler zipf(paths.size(), zipfS);
   for (std::size_t i = 0; i < nOps; ++i) {
     const std::string& path = paths[zipf.Sample(rng)];
@@ -45,13 +57,19 @@ WorkloadResult RunOpenStream(SimCluster& cluster, client::ScallaClient& client,
       ++result.errors;
     }
   }
+  result.simElapsed = cluster.engine().Now() - simStart;
+  result.wallSeconds = WallSecondsSince(wallStart);
   return result;
 }
 
-WorkloadResult RunClosedLoopLoad(SimCluster& cluster, std::size_t nClients,
+WorkloadResult RunClosedLoopLoad(SimCluster& cluster,
+                                 const std::vector<client::ScallaClient*>& clients,
+                                 std::size_t nClients,
                                  const std::vector<std::string>& paths,
                                  std::size_t totalOps, double zipfS, util::Rng& rng) {
   WorkloadResult result;
+  const auto wallStart = std::chrono::steady_clock::now();
+  const TimePoint simStart = cluster.engine().Now();
   const util::ZipfSampler zipf(paths.size(), zipfS);
   std::size_t issued = 0;
 
@@ -59,8 +77,9 @@ WorkloadResult RunClosedLoopLoad(SimCluster& cluster, std::size_t nClients,
     client::ScallaClient* client;
   };
   std::vector<Loop> loops;
+  nClients = std::min(nClients, clients.size());
   loops.reserve(nClients);
-  for (std::size_t i = 0; i < nClients; ++i) loops.push_back({&cluster.NewClient()});
+  for (std::size_t i = 0; i < nClients; ++i) loops.push_back({clients[i]});
 
   // Each completion immediately issues the next open; captures reference
   // state that outlives every callback (function-local, driven below).
@@ -86,7 +105,18 @@ WorkloadResult RunClosedLoopLoad(SimCluster& cluster, std::size_t nClients,
   cluster.engine().RunUntilPredicate(
       [&] { return result.completed + result.errors >= totalOps; },
       cluster.engine().Now() + std::chrono::hours(2));
+  result.simElapsed = cluster.engine().Now() - simStart;
+  result.wallSeconds = WallSecondsSince(wallStart);
   return result;
+}
+
+WorkloadResult RunClosedLoopLoad(SimCluster& cluster, std::size_t nClients,
+                                 const std::vector<std::string>& paths,
+                                 std::size_t totalOps, double zipfS, util::Rng& rng) {
+  std::vector<client::ScallaClient*> clients;
+  clients.reserve(nClients);
+  for (std::size_t i = 0; i < nClients; ++i) clients.push_back(&cluster.NewClient());
+  return RunClosedLoopLoad(cluster, clients, nClients, paths, totalOps, zipfS, rng);
 }
 
 }  // namespace scalla::sim

@@ -1,0 +1,132 @@
+#include "util/bench_gate.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace scalla::util {
+namespace {
+
+std::string FmtDouble(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", d);
+  return buf;
+}
+
+}  // namespace
+
+std::string GateReport::ToText() const {
+  std::string out = "bench gate: " + std::to_string(checked) + " tracked metric(s), " +
+                    std::to_string(failures.size()) + " regression(s)\n";
+  for (const GateIssue& f : failures) {
+    out += "  FAIL " + f.metric + ": " + f.message + "\n";
+  }
+  return out;
+}
+
+Result<GateReport> CompareBenchMetrics(const Json& baseline,
+                                       const std::vector<Json>& currentLines) {
+  const Json* metrics = baseline.Find("metrics");
+  if (metrics == nullptr || !metrics->IsObject()) {
+    return ScallaError{proto::XrdErr::kInvalid, "baseline has no \"metrics\" object"};
+  }
+
+  // Index the current lines by their "bench" tag.
+  std::vector<std::pair<std::string, const Json*>> benches;
+  for (const Json& line : currentLines) {
+    const Json* tag = line.Find("bench");
+    if (tag != nullptr && tag->type() == Json::Type::kString) {
+      benches.emplace_back(tag->AsString(), &line);
+    }
+  }
+
+  GateReport report;
+  Result<GateReport> badBaseline = GateReport{};  // overwritten before use
+  bool baselineBroken = false;
+  metrics->ForEachMember([&](const std::string& name, const Json& spec) {
+    if (baselineBroken) return;
+    const Json* value = spec.Find("value");
+    if (!spec.IsObject() || value == nullptr || !value->IsNumber()) {
+      badBaseline = ScallaError{proto::XrdErr::kInvalid,
+                                "baseline metric '" + name + "' has no numeric \"value\""};
+      baselineBroken = true;
+      return;
+    }
+    const double expect = value->AsNumber();
+    const Json* tol = spec.Find("tol_pct");
+    const double tolPct = (tol != nullptr && tol->IsNumber()) ? tol->AsNumber() : 10.0;
+    const Json* dirSpec = spec.Find("dir");
+    const std::string dir =
+        (dirSpec != nullptr && dirSpec->type() == Json::Type::kString) ? dirSpec->AsString()
+                                                                       : "both";
+    if (dir != "max" && dir != "min" && dir != "both") {
+      badBaseline = ScallaError{proto::XrdErr::kInvalid,
+                                "baseline metric '" + name + "' has bad dir '" + dir + "'"};
+      baselineBroken = true;
+      return;
+    }
+
+    ++report.checked;
+
+    // "<bench>.<path>": the bench tag is the longest line tag that
+    // prefixes the metric name at a '.' boundary (tags themselves may
+    // contain dots, e.g. "campaign.smoke").
+    const Json* line = nullptr;
+    std::string path;
+    std::size_t bestLen = 0;
+    for (const auto& [tag, candidate] : benches) {
+      if (name.size() > tag.size() + 1 && name.compare(0, tag.size(), tag) == 0 &&
+          name[tag.size()] == '.' && tag.size() > bestLen) {
+        line = candidate;
+        path = name.substr(tag.size() + 1);
+        bestLen = tag.size();
+      }
+    }
+    if (line == nullptr) {
+      report.failures.push_back(
+          {name, "no bench summary line with a matching \"bench\" tag was collected"});
+      return;
+    }
+    const Json* current = line->Lookup(path);
+    if (current == nullptr || !current->IsNumber()) {
+      report.failures.push_back({name, "metric missing from the current bench output"});
+      return;
+    }
+    const double got = current->AsNumber();
+    const double slack = std::abs(expect) * tolPct / 100.0;
+    const bool tooHigh = got > expect + slack;
+    const bool tooLow = got < expect - slack;
+    const bool fail =
+        (dir == "max" && tooHigh) || (dir == "min" && tooLow) || (dir == "both" && (tooHigh || tooLow));
+    if (fail) {
+      report.failures.push_back(
+          {name, "current " + FmtDouble(got) + " vs baseline " + FmtDouble(expect) +
+                     " (tol " + FmtDouble(tolPct) + "%, dir " + dir + ")"});
+    }
+  });
+  if (baselineBroken) return badBaseline;
+  return report;
+}
+
+Result<std::vector<Json>> ParseBenchLines(const std::string& text) {
+  std::vector<Json> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    if (!line.empty() && line.find_first_not_of(" \t\r") != std::string_view::npos) {
+      auto parsed = Json::Parse(line);
+      if (!parsed) {
+        return ScallaError{proto::XrdErr::kInvalid,
+                           "bench line " + std::to_string(lines.size() + 1) + ": " +
+                               parsed.error().message};
+      }
+      lines.push_back(std::move(parsed).value());
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace scalla::util

@@ -1,0 +1,59 @@
+// Bench regression gate: compares the JSON summaries collected by
+// scripts/bench.sh against the committed bench/baseline.json and fails
+// when a tracked metric regresses beyond its tolerance — the mechanism
+// that turns the BENCH_PR*.json trajectory from advisory into enforced
+// (scripts/verify.sh bench-gate stage, tools/bench_compare).
+//
+// Baseline format (bench/baseline.json):
+//
+//   {
+//     "metrics": {
+//       "<bench>.<path>": {"value": 55.0, "tol_pct": 10, "dir": "max"},
+//       ...
+//     }
+//   }
+//
+// `<bench>` is the "bench" field of one JSON summary line; `<path>` is a
+// dotted lookup into that line ("runs[2].warm_open_us"). `dir` says which
+// direction is a regression:
+//   "max"  — metric is cost-like (latency, bytes): fail when
+//            current > value * (1 + tol_pct/100)
+//   "min"  — metric is goodness-like (throughput, hit rate, scaling
+//            factor): fail when current < value * (1 - tol_pct/100)
+//   "both" — fail outside value * (1 ± tol_pct/100) (default)
+// A tracked metric missing from the current run is itself a failure: a
+// bench silently dropping a metric must not pass the gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+
+namespace scalla::util {
+
+struct GateIssue {
+  std::string metric;
+  std::string message;
+};
+
+struct GateReport {
+  std::size_t checked = 0;
+  std::vector<GateIssue> failures;
+  bool ok() const { return failures.empty(); }
+  /// Human listing: one line per tracked metric failure.
+  std::string ToText() const;
+};
+
+/// `currentLines`: one parsed JSON object per bench summary line. Returns
+/// an error when the baseline itself is malformed (no "metrics" object,
+/// bad tolerance spec) — a broken baseline must not silently pass.
+Result<GateReport> CompareBenchMetrics(const Json& baseline,
+                                       const std::vector<Json>& currentLines);
+
+/// Splits a collected bench file (one JSON object per line, as written by
+/// scripts/bench.sh) into parsed lines; blank lines are skipped.
+Result<std::vector<Json>> ParseBenchLines(const std::string& text);
+
+}  // namespace scalla::util

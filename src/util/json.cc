@@ -1,0 +1,376 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace scalla::util {
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  bool Eof() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  ScallaError Error(const std::string& what) const {
+    return ScallaError{proto::XrdErr::kInvalid,
+                       "json: " + what + " at offset " + std::to_string(pos)};
+  }
+
+  Result<Json> ParseValue() {
+    SkipWs();
+    if (Eof()) return Error("unexpected end of input");
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s) return s.error();
+      return Json::MakeString(std::move(s).value());
+    }
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<Json> ParseObject() {
+    ++pos;  // '{'
+    Json obj = Json::MakeObject();
+    SkipWs();
+    if (!Eof() && Peek() == '}') { ++pos; return obj; }
+    for (;;) {
+      SkipWs();
+      if (Eof() || Peek() != '"') return Error("expected object key");
+      auto key = ParseString();
+      if (!key) return key.error();
+      SkipWs();
+      if (Eof() || Peek() != ':') return Error("expected ':'");
+      ++pos;
+      auto value = ParseValue();
+      if (!value) return value.error();
+      obj.Add(std::move(key).value(), std::move(value).value());
+      SkipWs();
+      if (Eof()) return Error("unterminated object");
+      if (Peek() == ',') { ++pos; continue; }
+      if (Peek() == '}') { ++pos; return obj; }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    ++pos;  // '['
+    Json arr = Json::MakeArray();
+    SkipWs();
+    if (!Eof() && Peek() == ']') { ++pos; return arr; }
+    for (;;) {
+      auto value = ParseValue();
+      if (!value) return value.error();
+      arr.Push(std::move(value).value());
+      SkipWs();
+      if (Eof()) return Error("unterminated array");
+      if (Peek() == ',') { ++pos; continue; }
+      if (Peek() == ']') { ++pos; return arr; }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos;  // '"'
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          default: return Error("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseBool() {
+    if (text.substr(pos, 4) == "true") { pos += 4; return Json::MakeBool(true); }
+    if (text.substr(pos, 5) == "false") { pos += 5; return Json::MakeBool(false); }
+    return Error("bad literal");
+  }
+
+  Result<Json> ParseNull() {
+    if (text.substr(pos, 4) == "null") { pos += 4; return Json(); }
+    return Error("bad literal");
+  }
+
+  Result<Json> ParseNumber() {
+    const std::size_t start = pos;
+    if (!Eof() && (Peek() == '-' || Peek() == '+')) ++pos;
+    while (!Eof() && (std::isdigit(static_cast<unsigned char>(Peek())) || Peek() == '.' ||
+                      Peek() == 'e' || Peek() == 'E' || Peek() == '-' || Peek() == '+')) {
+      ++pos;
+    }
+    if (pos == start) return Error("expected number");
+    // std::from_chars(double) is missing in some libstdc++ configurations;
+    // strtod over a bounded copy is equivalent for this grammar.
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Error("bad number '" + token + "'");
+    }
+    return Json::MakeNumber(value);
+  }
+};
+
+void DumpTo(const Json& j, std::string& out);
+
+void DumpString(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void DumpNumber(double d, std::string& out) {
+  // Integral values print without a fractional part ("3", not "3.000000"),
+  // everything else with the SHORTEST representation that round-trips, so
+  // parse(dump(x)) == x and "185.002" doesn't balloon to 17 digits.
+  if (d == static_cast<double>(static_cast<long long>(d)) && std::abs(d) < 1e15) {
+    out += std::to_string(static_cast<long long>(d));
+    return;
+  }
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  out += buf;
+}
+
+void DumpTo(const Json& j, std::string& out) {
+  switch (j.type()) {
+    case Json::Type::kNull: out += "null"; break;
+    case Json::Type::kBool: out += j.AsBool() ? "true" : "false"; break;
+    case Json::Type::kNumber: DumpNumber(j.AsNumber(), out); break;
+    case Json::Type::kString: DumpString(j.AsString(), out); break;
+    case Json::Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < j.Size(); ++i) {
+        if (i > 0) out += ',';
+        DumpTo(*j.At(i), out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Type::kObject: {
+      out += '{';
+      // Size()/At() cover arrays only; walk members via Lookup-free access.
+      bool first = true;
+      j.ForEachMember([&](const std::string& key, const Json& value) {
+        if (!first) out += ',';
+        first = false;
+        DumpString(key, out);
+        out += ':';
+        DumpTo(value, out);
+      });
+      out += '}';
+      break;
+    }
+  }
+}
+
+// One step of a metric path: a key plus optional array subscripts.
+struct PathStep {
+  std::string key;
+  std::vector<std::size_t> indices;
+};
+
+// "runs[2].warm" -> [{runs,[2]},{warm,[]}]; false on malformed subscripts.
+// A backslash escapes the next character, so keys containing literal dots
+// or brackets (bench metric names like "campaign.smoke") stay addressable:
+// "metrics.campaign\.smoke.value".
+bool SplitPath(std::string_view path, std::vector<PathStep>& steps) {
+  std::size_t i = 0;
+  while (i < path.size()) {
+    PathStep step;
+    while (i < path.size() && path[i] != '.' && path[i] != '[') {
+      if (path[i] == '\\' && i + 1 < path.size()) ++i;
+      step.key += path[i++];
+    }
+    while (i < path.size() && path[i] == '[') {
+      ++i;
+      std::size_t index = 0;
+      bool any = false;
+      while (i < path.size() && std::isdigit(static_cast<unsigned char>(path[i]))) {
+        index = index * 10 + static_cast<std::size_t>(path[i++] - '0');
+        any = true;
+      }
+      if (!any || i >= path.size() || path[i] != ']') return false;
+      ++i;
+      step.indices.push_back(index);
+    }
+    if (i < path.size()) {
+      if (path[i] != '.') return false;
+      ++i;
+    }
+    if (step.key.empty() && step.indices.empty()) return false;
+    steps.push_back(std::move(step));
+  }
+  return !steps.empty();
+}
+
+}  // namespace
+
+Json Json::MakeBool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::MakeNumber(double d) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = d;
+  return j;
+}
+
+Json Json::MakeString(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::MakeArray() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::MakeObject() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+std::size_t Json::Size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+const Json* Json::At(std::size_t i) const {
+  if (type_ != Type::kArray || i >= array_.size()) return nullptr;
+  return &array_[i];
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json* Json::Lookup(std::string_view path) const {
+  std::vector<PathStep> steps;
+  if (!SplitPath(path, steps)) return nullptr;
+  const Json* cur = this;
+  for (const PathStep& step : steps) {
+    if (!step.key.empty()) {
+      cur = cur->Find(step.key);
+      if (cur == nullptr) return nullptr;
+    }
+    for (const std::size_t index : step.indices) {
+      cur = cur->At(index);
+      if (cur == nullptr) return nullptr;
+    }
+  }
+  return cur;
+}
+
+bool Json::SetByPath(std::string_view path, Json value) {
+  std::vector<PathStep> steps;
+  if (!SplitPath(path, steps)) return false;
+
+  // Walk mutably, materializing objects/arrays; `slot` is where the next
+  // step (or the final value) lands.
+  Json* slot = this;
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const PathStep& step = steps[s];
+    if (!step.key.empty()) {
+      if (slot->type_ == Type::kNull) *slot = MakeObject();
+      if (slot->type_ != Type::kObject) return false;
+      Json* found = nullptr;
+      for (auto& [k, v] : slot->object_) {
+        if (k == step.key) { found = &v; break; }
+      }
+      if (found == nullptr) {
+        slot->object_.emplace_back(step.key, Json());
+        found = &slot->object_.back().second;
+      }
+      slot = found;
+    }
+    for (const std::size_t index : step.indices) {
+      if (slot->type_ == Type::kNull) *slot = MakeArray();
+      if (slot->type_ != Type::kArray) return false;
+      if (slot->array_.size() <= index) slot->array_.resize(index + 1);
+      slot = &slot->array_[index];
+    }
+    if (s + 1 == steps.size()) *slot = std::move(value);
+  }
+  return true;
+}
+
+void Json::Add(std::string key, Json value) {
+  if (type_ != Type::kObject) *this = MakeObject();
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::Push(Json value) {
+  if (type_ != Type::kArray) *this = MakeArray();
+  array_.push_back(std::move(value));
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(*this, out);
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  Parser p{text};
+  auto value = p.ParseValue();
+  if (!value) return value;
+  p.SkipWs();
+  if (!p.Eof()) return p.Error("trailing characters");
+  return value;
+}
+
+}  // namespace scalla::util

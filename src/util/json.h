@@ -1,0 +1,86 @@
+// Minimal JSON value: parse / serialize / path lookup, no external deps.
+// Built for the bench-regression gate, which reads the one-object-per-line
+// summaries the benches print ("JSON {...}") plus the committed
+// bench/baseline.json, so it supports exactly the JSON that those emit:
+// objects, arrays, finite doubles, strings (no \uXXXX escapes), bools,
+// null. Object member order is preserved so serialization round-trips the
+// deterministic bench output byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace scalla::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  static Json MakeBool(bool b);
+  static Json MakeNumber(double d);
+  static Json MakeString(std::string s);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Type type() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsObject() const { return type_ == Type::kObject; }
+  bool IsArray() const { return type_ == Type::kArray; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  std::size_t Size() const;  // array/object element count (else 0)
+  /// Array element i, or nullptr when out of range / not an array.
+  const Json* At(std::size_t i) const;
+  /// Object member by key, or nullptr when absent / not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Visits object members in insertion order (no-op for non-objects).
+  template <typename F>
+  void ForEachMember(F&& f) const {
+    if (type_ != Type::kObject) return;
+    for (const auto& [key, value] : object_) f(key, value);
+  }
+
+  /// Walks a dotted path with optional array subscripts:
+  /// "runs[2].warm_open_us" -> Find("runs")->At(2)->Find("warm_open_us").
+  /// A backslash escapes the next character ("metrics.campaign\\.smoke"
+  /// addresses the key "campaign.smoke"). nullptr when any step is missing.
+  const Json* Lookup(std::string_view path) const;
+
+  /// Creates/overwrites the value at `path`, materializing intermediate
+  /// objects and growing arrays with nulls as needed. Returns false when
+  /// the path walks through an existing non-container value.
+  bool SetByPath(std::string_view path, Json value);
+
+  /// Object member append (keeps insertion order; no duplicate check).
+  void Add(std::string key, Json value);
+  /// Array element append.
+  void Push(Json value);
+
+  /// Compact serialization (numbers via shortest round-trip format).
+  std::string Dump() const;
+
+  /// Parses one JSON value (surrounding whitespace allowed).
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace scalla::util

@@ -1,0 +1,220 @@
+// Bench regression gate tests: the JSON round-trip the gate depends on,
+// the compare semantics (dir/tolerance/missing-metric), and the committed
+// bench/baseline.json itself — a perturbed copy beyond tolerance must
+// fail the gate, the same metrics within tolerance must pass. This is the
+// machinery that turns the BENCH_PR*.json trajectory from advisory into
+// enforced (scripts/verify.sh bench-gate stage).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/bench_gate.h"
+#include "util/json.h"
+
+namespace scalla::util {
+namespace {
+
+Json ParseOk(const std::string& text) {
+  auto r = Json::Parse(text);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message) << "\n" << text;
+  return r.ok() ? std::move(r.value()) : Json();
+}
+
+TEST(JsonTest, ParsesAndLooksUpBenchShapes) {
+  const Json j = ParseOk(
+      R"({"bench":"tree_scaling","depth":3,"runs":[{"warm_open_us":55.5},{"warm_open_us":80.25}],"ok":true,"note":null})");
+  ASSERT_TRUE(j.IsObject());
+  EXPECT_EQ(j.Lookup("bench")->AsString(), "tree_scaling");
+  EXPECT_EQ(j.Lookup("depth")->AsNumber(), 3);
+  EXPECT_EQ(j.Lookup("runs[1].warm_open_us")->AsNumber(), 80.25);
+  EXPECT_TRUE(j.Lookup("ok")->AsBool());
+  EXPECT_TRUE(j.Lookup("note")->IsNull());
+  EXPECT_EQ(j.Lookup("runs[2].warm_open_us"), nullptr);
+  EXPECT_EQ(j.Lookup("missing"), nullptr);
+}
+
+TEST(JsonTest, DumpRoundTripsDeterministicBenchOutput) {
+  const std::string line =
+      R"({"bench":"campaign.smoke","seed":7,"mean_us":185.002,"phases":[{"name":"p1","ops":4000}]})";
+  EXPECT_EQ(ParseOk(line).Dump(), line);
+}
+
+TEST(JsonTest, SetByPathMaterializesAndOverwrites) {
+  Json j = ParseOk(R"({"metrics":{"a.b":{"value":10,"tol_pct":5}}})");
+  ASSERT_TRUE(j.SetByPath("metrics.a\\.b.value", Json::MakeNumber(99)));
+  // Escaped dots address keys that themselves contain dots (metric names).
+  EXPECT_EQ(j.Lookup("metrics.a\\.b.value")->AsNumber(), 99);
+  Json fresh;
+  ASSERT_TRUE(fresh.SetByPath("runs[1].lat", Json::MakeNumber(7)));
+  EXPECT_TRUE(fresh.Lookup("runs[0]")->IsNull());
+  EXPECT_EQ(fresh.Lookup("runs[1].lat")->AsNumber(), 7);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("{\"a\":").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Json::Parse("[1 2]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+}
+
+// ---- gate semantics on synthetic baselines ----
+
+std::vector<Json> Lines(std::initializer_list<std::string> texts) {
+  std::vector<Json> out;
+  for (const auto& t : texts) out.push_back(ParseOk(t));
+  return out;
+}
+
+TEST(BenchGateTest, PassesWithinToleranceFailsBeyond) {
+  const Json baseline = ParseOk(
+      R"({"metrics":{
+            "demo.lat_us":{"value":100,"tol_pct":10,"dir":"max"},
+            "demo.ops_per_s":{"value":5000,"tol_pct":20,"dir":"min"}}})");
+  // Within tolerance: latency +9%, throughput -15%.
+  auto ok = CompareBenchMetrics(
+      baseline, Lines({R"({"bench":"demo","lat_us":109,"ops_per_s":4250})"}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value().ok()) << ok.value().ToText();
+  EXPECT_EQ(ok.value().checked, 2u);
+
+  // Beyond: latency +11% fails; throughput may improve without bound.
+  auto bad = CompareBenchMetrics(
+      baseline, Lines({R"({"bench":"demo","lat_us":111,"ops_per_s":99999})"}));
+  ASSERT_TRUE(bad.ok());
+  ASSERT_EQ(bad.value().failures.size(), 1u);
+  EXPECT_EQ(bad.value().failures[0].metric, "demo.lat_us");
+}
+
+TEST(BenchGateTest, BothDirectionCatchesEitherDrift) {
+  const Json baseline =
+      ParseOk(R"({"metrics":{"demo.depth":{"value":3,"tol_pct":0}}})");
+  auto same =
+      CompareBenchMetrics(baseline, Lines({R"({"bench":"demo","depth":3})"}));
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(same.value().ok());
+  auto drift =
+      CompareBenchMetrics(baseline, Lines({R"({"bench":"demo","depth":2})"}));
+  ASSERT_TRUE(drift.ok());
+  EXPECT_FALSE(drift.value().ok());
+}
+
+TEST(BenchGateTest, MissingMetricIsAFailureNotAPass) {
+  const Json baseline =
+      ParseOk(R"({"metrics":{"demo.lat_us":{"value":100,"tol_pct":10}}})");
+  // The bench emitted a line but silently dropped the tracked field.
+  auto gone = CompareBenchMetrics(baseline, Lines({R"({"bench":"demo"})"}));
+  ASSERT_TRUE(gone.ok());
+  ASSERT_EQ(gone.value().failures.size(), 1u);
+  // The whole bench's line is missing from the run.
+  auto none = CompareBenchMetrics(baseline, Lines({R"({"bench":"other","x":1})"}));
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none.value().ok());
+}
+
+TEST(BenchGateTest, BrokenBaselineIsAnErrorNotAPass) {
+  EXPECT_FALSE(CompareBenchMetrics(ParseOk(R"({"no_metrics":1})"), {}).ok());
+  EXPECT_FALSE(CompareBenchMetrics(
+                   ParseOk(R"({"metrics":{"demo.x":{"tol_pct":5}}})"), {})
+                   .ok());
+}
+
+TEST(BenchGateTest, ParseBenchLinesSplitsCollectedFile) {
+  auto lines = ParseBenchLines(
+      "{\"bench\":\"a\",\"x\":1}\n\n{\"bench\":\"b\",\"y\":2}\n");
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines.value().size(), 2u);
+  EXPECT_EQ(lines.value()[1].Lookup("y")->AsNumber(), 2);
+  EXPECT_FALSE(ParseBenchLines("{\"bench\":\"a\"\n").ok());
+}
+
+// ---- the committed baseline: perturb -> fail, as-is -> pass ----
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Synthesizes a current-run line set that reproduces every baseline
+/// metric exactly (what a regression-free run looks like to the gate).
+/// The gate matches the longest "<bench>." prefix of each metric key
+/// against the lines' "bench" tags, so any split the gate accepts works;
+/// build one line per longest-resolvable prefix.
+std::vector<Json> SynthesizeCurrent(const Json& baseline) {
+  std::vector<std::pair<std::string, Json>> byBench;
+  baseline.Find("metrics")->ForEachMember([&](const std::string& key, const Json& m) {
+    for (std::size_t dot = key.rfind('.'); dot != std::string::npos;
+         dot = dot == 0 ? std::string::npos : key.rfind('.', dot - 1)) {
+      const std::string bench = key.substr(0, dot);
+      const std::string path = key.substr(dot + 1);
+      Json* line = nullptr;
+      for (auto& [tag, l] : byBench) {
+        if (tag == bench) line = &l;
+      }
+      if (line == nullptr) {
+        Json l = Json::MakeObject();
+        l.Add("bench", Json::MakeString(bench));
+        byBench.emplace_back(bench, std::move(l));
+        line = &byBench.back().second;
+      }
+      if (line->SetByPath(path, Json::MakeNumber(m.Find("value")->AsNumber()))) {
+        break;
+      }
+    }
+  });
+  std::vector<Json> out;
+  out.reserve(byBench.size());
+  for (auto& [tag, l] : byBench) out.push_back(std::move(l));
+  return out;
+}
+
+std::string EscapePathKey(const std::string& key) {
+  std::string escaped;
+  for (char ch : key) {
+    if (ch == '.' || ch == '[' || ch == '\\') escaped += '\\';
+    escaped += ch;
+  }
+  return escaped;
+}
+
+TEST(BenchGateTest, CommittedBaselinePassesCleanAndFailsPerturbed) {
+  const std::string text =
+      ReadFileOrEmpty(std::string(SCALLA_SOURCE_DIR) + "/bench/baseline.json");
+  ASSERT_FALSE(text.empty()) << "bench/baseline.json missing";
+  const Json baseline = ParseOk(text);
+  ASSERT_NE(baseline.Find("metrics"), nullptr);
+  const std::size_t metricCount = baseline.Find("metrics")->Size();
+  ASSERT_GT(metricCount, 0u);
+
+  // A run that reproduces the baseline exactly passes the gate.
+  const std::vector<Json> clean = SynthesizeCurrent(baseline);
+  auto pass = CompareBenchMetrics(baseline, clean);
+  ASSERT_TRUE(pass.ok()) << pass.error().message;
+  EXPECT_TRUE(pass.value().ok()) << pass.value().ToText();
+  EXPECT_EQ(pass.value().checked, metricCount);
+
+  // Perturb a copy of the baseline far beyond any committed tolerance
+  // (x10 + 1 on every value), synthesize the "current run" from the
+  // perturbed copy, and gate it against the original: the injected
+  // regression must be rejected. ("min"-direction metrics drift upward —
+  // an improvement — so not every metric trips, but the gate must fail.)
+  Json shifted = baseline;
+  baseline.Find("metrics")->ForEachMember([&](const std::string& key, const Json& m) {
+    const double v = m.Find("value")->AsNumber();
+    ASSERT_TRUE(shifted.SetByPath("metrics." + EscapePathKey(key) + ".value",
+                                  Json::MakeNumber(v * 10 + 1)))
+        << key;
+  });
+  auto fail = CompareBenchMetrics(baseline, SynthesizeCurrent(shifted));
+  ASSERT_TRUE(fail.ok()) << fail.error().message;
+  EXPECT_FALSE(fail.value().ok());
+  EXPECT_GE(fail.value().failures.size(), 1u);
+  EXPECT_EQ(fail.value().checked, metricCount);
+}
+
+}  // namespace
+}  // namespace scalla::util

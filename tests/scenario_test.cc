@@ -1,0 +1,107 @@
+// Tier-1 scenario-factory tests: one small smoke campaign end to end
+// (claim checks, fault accounting, sim-vs-wall split) plus the
+// determinism pin — the same spec and seed must produce byte-identical
+// metric summaries, which is what makes campaign claim checks and the
+// bench regression gate trustworthy on any machine.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace scalla::sim {
+namespace {
+
+CampaignSpec TinySpec() {
+  CampaignSpec spec;
+  spec.name = "tiny";
+  spec.seed = 5;
+  spec.servers = 16;
+  spec.fanout = 4;
+  spec.files = 64;
+  spec.replication = 3;
+  spec.population = 500;
+  spec.pool = 8;
+  spec.personalize = true;
+  spec.probeOps = 64;
+  spec.phases = {
+      {"p4", 4, 400, 0.9, true},
+      {"p8", 8, 600, 0.9, true},
+  };
+  return spec;
+}
+
+TEST(ScenarioTest, SmokeCampaignPassesEveryClaimCheck) {
+  const CampaignResult r = RunCampaign(SmokeCampaign());
+  EXPECT_TRUE(r.ok()) << r.MetricsJson();
+  // The smoke spec arms all three claim families: per-level cost, slope,
+  // and the O(1)-correction accounting around its rack wedge.
+  bool sawPerLevel = false, sawSlope = false, sawCorrection = false;
+  for (const CheckResult& c : r.checks) {
+    EXPECT_TRUE(c.pass) << c.name << ": value " << c.value << " vs bound " << c.bound;
+    sawPerLevel |= c.name == "per_level_us";
+    sawSlope |= c.name == "slope_us_per_client";
+    sawCorrection |= c.name == "correction_quiet_settle";
+  }
+  EXPECT_TRUE(sawPerLevel);
+  EXPECT_TRUE(sawSlope);
+  EXPECT_TRUE(sawCorrection);
+}
+
+TEST(ScenarioTest, SameSeedProducesByteIdenticalMetrics) {
+  const CampaignResult a = RunCampaign(TinySpec());
+  const CampaignResult b = RunCampaign(TinySpec());
+  EXPECT_EQ(a.MetricsJson(), b.MetricsJson());
+}
+
+TEST(ScenarioTest, DifferentSeedProducesDifferentPlacement) {
+  CampaignSpec s1 = TinySpec();
+  CampaignSpec s2 = TinySpec();
+  s2.seed = 6;
+  // Placement, Zipf draws and identity rotation all flow from the seed;
+  // the structural fields still match, so compare a latency-bearing field.
+  const CampaignResult a = RunCampaign(s1);
+  const CampaignResult b = RunCampaign(s2);
+  EXPECT_NE(a.MetricsJson(), b.MetricsJson());
+}
+
+TEST(ScenarioTest, FaultScheduleIsAppliedAndAccounted) {
+  CampaignSpec spec = TinySpec();
+  spec.name = "tiny_fault";
+  FaultSpec crash;
+  crash.kind = FaultSpec::Kind::kCrashServers;
+  crash.beforePhase = 1;
+  crash.firstServer = 0;
+  crash.serverCount = 2;
+  crash.settle = std::chrono::seconds(3);
+  FaultSpec restart = crash;
+  restart.kind = FaultSpec::Kind::kRestartServers;
+  restart.beforePhase = 2;
+  spec.faults = {crash, restart};
+  spec.checks.correctionAccounting = true;
+  spec.checks.errorRateMax = 0.1;
+
+  const CampaignResult r = RunCampaign(spec);
+  ASSERT_EQ(r.faults.size(), 1u);
+  // Both wedged leaves were declared dead by the heartbeat during the
+  // settle window, with zero eager correction work (the O(1) claim).
+  EXPECT_GE(r.faults[0].deathsDelta, 2u);
+  EXPECT_EQ(r.faults[0].settleCorrections, 0u);
+  EXPECT_EQ(r.faults[0].settleLookups, 0u);
+  EXPECT_TRUE(r.ok()) << r.MetricsJson();
+}
+
+TEST(ScenarioTest, ReportsSimAndWallClocksSeparately) {
+  const CampaignResult r = RunCampaign(TinySpec());
+  // A 1000-op campaign spans real simulated time...
+  EXPECT_GT(r.simElapsed, std::chrono::milliseconds(1));
+  // ...but the deterministic summary must not depend on the host clock:
+  // wall time lives only in JsonLine(), never in MetricsJson().
+  EXPECT_GT(r.wallSeconds, 0.0);
+  EXPECT_EQ(r.MetricsJson().find("wall_seconds"), std::string::npos);
+  EXPECT_NE(r.JsonLine().find("\"wall_seconds\":"), std::string::npos);
+  for (const PhaseResult& p : r.phases) {
+    EXPECT_GT(p.simElapsed, Duration::zero());
+  }
+}
+
+}  // namespace
+}  // namespace scalla::sim

@@ -1,0 +1,60 @@
+// bench_compare <baseline.json> <current.jsonl>
+//
+// The enforced half of the perf trajectory: reads the committed baseline
+// (bench/baseline.json) and a collected bench run (one JSON object per
+// line, as written by scripts/bench.sh), compares every tracked metric
+// under its per-metric tolerance, and exits non-zero on any regression.
+// Wired into scripts/verify.sh as the bench-gate stage.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/bench_gate.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: bench_compare <baseline.json> <current.jsonl>\n");
+    return 2;
+  }
+  std::string baselineText, currentText;
+  if (!ReadFile(argv[1], baselineText)) {
+    std::fprintf(stderr, "bench_compare: cannot read baseline '%s'\n", argv[1]);
+    return 2;
+  }
+  if (!ReadFile(argv[2], currentText)) {
+    std::fprintf(stderr, "bench_compare: cannot read current '%s'\n", argv[2]);
+    return 2;
+  }
+
+  auto baseline = scalla::util::Json::Parse(baselineText);
+  if (!baseline) {
+    std::fprintf(stderr, "bench_compare: baseline: %s\n", baseline.error().message.c_str());
+    return 2;
+  }
+  auto lines = scalla::util::ParseBenchLines(currentText);
+  if (!lines) {
+    std::fprintf(stderr, "bench_compare: current: %s\n", lines.error().message.c_str());
+    return 2;
+  }
+
+  auto report = scalla::util::CompareBenchMetrics(baseline.value(), lines.value());
+  if (!report) {
+    std::fprintf(stderr, "bench_compare: %s\n", report.error().message.c_str());
+    return 2;
+  }
+  std::fputs(report.value().ToText().c_str(), stdout);
+  return report.value().ok() ? 0 : 1;
+}
