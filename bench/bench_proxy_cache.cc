@@ -12,6 +12,7 @@
 // Output: a human table plus one JSON line (machine-scrapable) with the
 // per-class latency stats and the measured hit rate.
 #include <cinttypes>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "sim/cluster.h"
@@ -70,6 +71,172 @@ std::string StatsJson(const util::LatencyRecorder& r) {
                 static_cast<double>(pcts[0]) / 1e3,
                 static_cast<double>(pcts[1]) / 1e3);
   return buf;
+}
+
+// ------------------------------------------------- two-tier (DRAM + disk)
+
+constexpr std::uint64_t kWorkingSetBytes =
+    static_cast<std::uint64_t>(kFiles) * kBlocksPerFile * kBlockSize;
+
+sim::ClusterSpec TieredSpec(double dramFraction) {
+  sim::ClusterSpec spec;
+  spec.servers = 8;
+  spec.withProxy = true;
+  spec.proxyCache.blockSize = kBlockSize;
+  spec.proxyCache.capacityBytes = static_cast<std::uint64_t>(
+      dramFraction * static_cast<double>(kWorkingSetBytes));
+  // Disk holds the full working set: with ghost admission the question the
+  // sweep answers is how much DRAM the hot head needs, not whether bytes
+  // survive at all.
+  spec.proxyDiskCapacity = kWorkingSetBytes;
+  return spec;
+}
+
+void PlaceWorkingSet(sim::SimCluster& cluster) {
+  for (std::size_t i = 0; i < kFiles; ++i) {
+    cluster.PlaceFile(i % cluster.ServerCount(), FilePath(i),
+                      std::string(kBlocksPerFile * kBlockSize, 'd'));
+  }
+}
+
+// Hit rate across a window bounded by two stats snapshots.
+double WindowHitRate(const pcache::BlockCacheStats& before,
+                     const pcache::BlockCacheStats& after) {
+  const std::uint64_t hits = after.hits - before.hits;
+  const std::uint64_t total = hits + (after.misses - before.misses);
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+struct TierSweepPoint {
+  double dramPct = 0;
+  double hitRate = 0;      // either tier answered
+  double dramHitRate = 0;  // fraction of lookups answered by DRAM
+  double diskHitRate = 0;  // fraction answered by the disk tier
+  double warmP99Us = 0;    // p99 of accesses that dodged origin entirely
+  std::uint64_t spills = 0;
+  std::uint64_t promotions = 0;
+};
+
+// One Zipf run against a two-tier proxy with `dramFraction` of the working
+// set in DRAM. Same access law as the legacy phase, fresh cluster.
+TierSweepPoint RunTierPoint(double dramFraction) {
+  sim::SimCluster cluster(TieredSpec(dramFraction));
+  cluster.Start();
+  PlaceWorkingSet(cluster);
+
+  util::Rng rng(0xca11e);
+  util::ZipfSampler zipf(kFiles, kZipfExponent);
+  auto& c = cluster.NewProxyClient();
+  obs::Counter& fetches =
+      cluster.proxy()->metrics().GetCounter("pcache.origin_fetches");
+  obs::Counter& originOpens =
+      cluster.proxy()->metrics().GetCounter("pcache.origin_opens");
+
+  util::LatencyRecorder warmLat;
+  for (std::size_t i = 0; i < kProxyRequests; ++i) {
+    const std::size_t f = zipf.Sample(rng);
+    const std::uint64_t offset = rng.NextBelow(kBlocksPerFile) * kBlockSize;
+    const std::uint64_t before = fetches.Value() + originOpens.Value();
+    const Access a = TimedAccess(cluster, c, FilePath(f), offset, kBlockSize);
+    if (a.err != proto::XrdErr::kNone) continue;
+    if (fetches.Value() + originOpens.Value() == before) warmLat.Record(a.elapsed);
+  }
+
+  const auto stats = cluster.proxy()->cache().GetTieredStats();
+  const std::uint64_t lookups = stats.hits + stats.misses;
+  TierSweepPoint point;
+  point.dramPct = dramFraction * 100.0;
+  point.hitRate = lookups == 0 ? 0.0
+                               : static_cast<double>(stats.hits) /
+                                     static_cast<double>(lookups);
+  point.dramHitRate = lookups == 0 ? 0.0
+                                   : static_cast<double>(stats.dramHits) /
+                                         static_cast<double>(lookups);
+  point.diskHitRate = lookups == 0 ? 0.0
+                                   : static_cast<double>(stats.diskHits) /
+                                         static_cast<double>(lookups);
+  point.warmP99Us =
+      static_cast<double>(warmLat.PercentilesNanos({0.99})[0]) / 1e3;
+  point.spills = stats.spills;
+  point.promotions = stats.promotions;
+  return point;
+}
+
+struct ShiftResult {
+  double preHitRate = 0;   // steady state before the popularity shift
+  double postHitRate = 0;  // steady state after re-adapting
+};
+
+// Mid-run Zipf shift: after 2000 requests the popularity ranking rotates
+// by half the catalogue — yesterday's cold tail is today's hot head. The
+// two windows measure steady-state before and re-adapted after.
+ShiftResult RunZipfShift() {
+  sim::SimCluster cluster(TieredSpec(0.25));
+  cluster.Start();
+  PlaceWorkingSet(cluster);
+
+  util::Rng rng(0x51f7);
+  util::ZipfSampler zipf(kFiles, kZipfExponent);
+  auto& c = cluster.NewProxyClient();
+  auto& cache = cluster.proxy()->cache();
+
+  ShiftResult out;
+  pcache::BlockCacheStats mark;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    std::size_t f = zipf.Sample(rng);
+    if (i >= 2000) f = (f + kFiles / 2) % kFiles;  // the shift
+    if (i == 1000 || i == 3000) mark = cache.GetStats();
+    const std::uint64_t offset = rng.NextBelow(kBlocksPerFile) * kBlockSize;
+    (void)TimedAccess(cluster, c, FilePath(f), offset, kBlockSize);
+    if (i == 1999) out.preHitRate = WindowHitRate(mark, cache.GetStats());
+    if (i == 3999) out.postHitRate = WindowHitRate(mark, cache.GetStats());
+  }
+  return out;
+}
+
+struct ScanResult {
+  double hotBefore = 0;  // hot-set hit rate before the scan
+  double hotAfter = 0;   // ... and after a scan of 2x the DRAM tier
+};
+
+// The scan-resistance case the acceptance gate pins: warm a Zipf hot set
+// into DRAM, sweep a sequential scan of twice the DRAM tier through the
+// proxy, and measure how far the hot set's hit rate fell.
+ScanResult RunScanCase() {
+  sim::SimCluster cluster(TieredSpec(0.25));  // DRAM = 200 blocks
+  cluster.Start();
+  PlaceWorkingSet(cluster);
+
+  constexpr std::size_t kHotFiles = 40;  // 160 blocks: fits in DRAM
+  auto& c = cluster.NewProxyClient();
+  auto& cache = cluster.proxy()->cache();
+
+  // Warm: two passes so every hot block proves reuse and earns DRAM.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t f = 0; f < kHotFiles; ++f) {
+      (void)cluster.ReadAll(c, FilePath(f));
+    }
+  }
+
+  const auto measure = [&](std::uint64_t seed) {
+    util::Rng rng(seed);
+    util::ZipfSampler zipf(kHotFiles, kZipfExponent);
+    const auto before = cache.GetStats();
+    for (std::size_t i = 0; i < 500; ++i) {
+      const std::size_t f = zipf.Sample(rng);
+      const std::uint64_t offset = rng.NextBelow(kBlocksPerFile) * kBlockSize;
+      (void)TimedAccess(cluster, c, FilePath(f), offset, kBlockSize);
+    }
+    return WindowHitRate(before, cache.GetStats());
+  };
+
+  ScanResult out;
+  out.hotBefore = measure(0x5ca9);
+  // The scan: every file once, sequentially — 800 blocks against a
+  // 200-block DRAM tier.
+  for (std::size_t f = 0; f < kFiles; ++f) (void)cluster.ReadAll(c, FilePath(f));
+  out.hotAfter = measure(0x5ca9);
+  return out;
 }
 
 }  // namespace
@@ -153,6 +320,58 @@ int main() {
               kZipfExponent, kFiles, static_cast<std::uint64_t>(kBlockSize), 50.0,
               hitRate * 100.0, cacheStats.evictions);
 
+  // Two-tier phases: DRAM-size sweep, mid-run popularity shift, and the
+  // sequential-scan case ghost admission exists for.
+  const double kSweep[] = {0.125, 0.25, 0.5};
+  std::vector<TierSweepPoint> sweep;
+  for (const double fraction : kSweep) sweep.push_back(RunTierPoint(fraction));
+  const ShiftResult shift = RunZipfShift();
+  const ScanResult scan = RunScanCase();
+
+  std::printf("\ntwo-tier sweep (disk = full working set):\n");
+  bench::Table tierTable(
+      {"dram %", "hit rate", "dram hits", "disk hits", "warm p99", "spills"});
+  for (const auto& p : sweep) {
+    char hr[32], dr[32], kr[32];
+    std::snprintf(hr, sizeof(hr), "%.1f%%", p.hitRate * 100.0);
+    std::snprintf(dr, sizeof(dr), "%.1f%%", p.dramHitRate * 100.0);
+    std::snprintf(kr, sizeof(kr), "%.1f%%", p.diskHitRate * 100.0);
+    tierTable.AddRow({std::to_string(static_cast<int>(p.dramPct * 10) / 10), hr, dr,
+                      kr, util::FormatNanos(p.warmP99Us * 1e3),
+                      std::to_string(p.spills)});
+  }
+  tierTable.Print();
+  std::printf("zipf shift at request 2000: hit rate %.1f%% -> %.1f%% (re-adapted)\n",
+              shift.preHitRate * 100.0, shift.postHitRate * 100.0);
+  std::printf("scan of 2x DRAM: hot-set hit rate %.1f%% -> %.1f%% (dent %.1f pts)\n",
+              scan.hotBefore * 100.0, scan.hotAfter * 100.0,
+              (scan.hotBefore - scan.hotAfter) * 100.0);
+
+  std::string sweepJson = "[";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& p = sweep[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"dram_pct\":%.1f,\"hit_rate\":%f,\"dram_hit_rate\":%f,"
+                  "\"disk_hit_rate\":%f,\"warm_p99_us\":%.2f,\"spills\":%llu,"
+                  "\"promotions\":%llu}",
+                  i == 0 ? "" : ",", p.dramPct, p.hitRate, p.dramHitRate,
+                  p.diskHitRate, p.warmP99Us,
+                  static_cast<unsigned long long>(p.spills),
+                  static_cast<unsigned long long>(p.promotions));
+    sweepJson += buf;
+  }
+  sweepJson += "]";
+  char extraJson[512];
+  std::snprintf(extraJson, sizeof(extraJson),
+                ",\"tiered\":{\"hit_rate\":%f,\"dram_hit_rate\":%f,"
+                "\"disk_hit_rate\":%f,\"warm_p99_us\":%.2f},"
+                "\"shift\":{\"pre_hit_rate\":%f,\"post_hit_rate\":%f},"
+                "\"scan\":{\"hot_before\":%f,\"hot_after\":%f,\"dent\":%f}",
+                sweep[1].hitRate, sweep[1].dramHitRate, sweep[1].diskHitRate,
+                sweep[1].warmP99Us, shift.preHitRate, shift.postHitRate,
+                scan.hotBefore, scan.hotAfter, scan.hotBefore - scan.hotAfter);
+
   std::printf("\nJSON %s\n",
               ("{\"bench\":\"proxy_cache\",\"files\":" + std::to_string(kFiles) +
                ",\"block_size\":" + std::to_string(kBlockSize) +
@@ -160,11 +379,14 @@ int main() {
                ",\"evictions\":" + std::to_string(cacheStats.evictions) +
                ",\"direct\":" + StatsJson(directLat) +
                ",\"cold_miss\":" + StatsJson(coldLat) +
-               ",\"warm_hit\":" + StatsJson(warmLat) + "}")
+               ",\"warm_hit\":" + StatsJson(warmLat) +
+               ",\"sweep\":" + sweepJson + extraJson + "}")
                   .c_str());
 
   const bool warmFaster = warmLat.count() > 0 && coldLat.count() > 0 &&
                           warmLat.MeanNanos() < coldLat.MeanNanos();
+  const bool scanResistant = scan.hotBefore - scan.hotAfter < 0.05;
   std::printf("warm hit faster than cold miss: %s\n", warmFaster ? "yes" : "NO");
-  return warmFaster ? 0 : 1;
+  std::printf("scan dents hot set by < 5 points: %s\n", scanResistant ? "yes" : "NO");
+  return warmFaster && scanResistant ? 0 : 1;
 }

@@ -5,12 +5,12 @@
 # line). Run from the repository root.
 #
 # Output file: first positional argument, else $BENCH_OUT, else
-# BENCH_PR9.json. The result feeds scripts' bench-gate stage:
+# BENCH_PR10.json. The result feeds scripts' bench-gate stage:
 #   build/tools/bench_compare bench/baseline.json <output>
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-${BENCH_OUT:-BENCH_PR9.json}}"
+OUT="${1:-${BENCH_OUT:-BENCH_PR10.json}}"
 
 # Every bench binary that prints a "JSON {...}" summary. Keep in sync with
 # bench/CMakeLists.txt and bench/baseline.json.

@@ -87,40 +87,73 @@ void BlockCache::EvictToLowWatermark() {
   std::lock_guard evictLock(evictMu_);
   const auto low = static_cast<std::uint64_t>(
       config_.lowWatermark * static_cast<double>(config_.capacityBytes));
+
+  // Victim = globally oldest unpinned block, by the global stamp: cache
+  // each shard's oldest unpinned candidate and take the minimum stamp
+  // across shards. A shard's candidate only changes when this sweep evicts
+  // from it (or a concurrent touch invalidates the cached stamp, caught by
+  // re-validation below), so the sweep locks one shard per eviction
+  // instead of re-scanning all of them — a burst of E evictions costs
+  // O(shards + E) lock rounds, and recency stays globally ordered even
+  // though each shard keeps its own LRU list.
+  struct Candidate {
+    bool valid = false;
+    BlockKey key;
+    std::uint64_t stamp = 0;
+  };
+  std::vector<Candidate> candidates(shards_.size());
+  const auto refresh = [&](std::size_t s) {
+    Candidate c;
+    Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mu);
+    for (const BlockKey& key : shard.lru) {
+      const Entry& e = shard.files.at(key.path).at(key.index);
+      if (e.pins > 0) continue;  // pinned: skip, try the next-oldest
+      c.valid = true;
+      c.key = key;
+      c.stamp = e.stamp;
+      break;  // shard's LRU order == stamp order; first unpinned is oldest
+    }
+    candidates[s] = c;
+  };
+  for (std::size_t s = 0; s < shards_.size(); ++s) refresh(s);
+
   while (usedBytes_.load(std::memory_order_relaxed) > low) {
-    // Victim = globally oldest unpinned block: take each shard's oldest
-    // unpinned candidate, then the minimum stamp across shards.
-    Shard* victimShard = nullptr;
-    std::uint64_t victimStamp = 0;
-    BlockKey victimKey;
-    for (Shard& shard : shards_) {
-      std::lock_guard lock(shard.mu);
-      for (const BlockKey& key : shard.lru) {
-        const Entry& e = shard.files.at(key.path).at(key.index);
-        if (e.pins > 0) continue;  // pinned: skip, try the next-oldest
-        if (victimShard == nullptr || e.stamp < victimStamp) {
-          victimShard = &shard;
-          victimStamp = e.stamp;
-          victimKey = key;
-        }
-        break;  // shard's LRU order == stamp order; first unpinned is oldest
+    std::size_t victim = shards_.size();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!candidates[s].valid) continue;
+      if (victim == shards_.size() || candidates[s].stamp < candidates[victim].stamp) {
+        victim = s;
       }
     }
-    if (victimShard == nullptr) return;  // everything left is pinned
-    std::lock_guard lock(victimShard->mu);
-    const auto fileIt = victimShard->files.find(victimKey.path);
-    if (fileIt == victimShard->files.end()) continue;  // raced with a purge
-    const auto it = fileIt->second.find(victimKey.index);
-    if (it == fileIt->second.end() || it->second.pins > 0 ||
-        it->second.stamp != victimStamp) {
-      continue;  // touched between peek and take; re-scan
+    if (victim == shards_.size()) return;  // everything left is pinned
+    const Candidate cand = candidates[victim];
+    EvictedBlock evicted;
+    bool taken = false;
+    {
+      Shard& shard = shards_[victim];
+      std::lock_guard lock(shard.mu);
+      const auto fileIt = shard.files.find(cand.key.path);
+      if (fileIt != shard.files.end()) {
+        const auto it = fileIt->second.find(cand.key.index);
+        if (it != fileIt->second.end() && it->second.pins == 0 &&
+            it->second.stamp == cand.stamp) {
+          usedBytes_.fetch_sub(it->second.data.size(), std::memory_order_relaxed);
+          blockCount_.fetch_sub(1, std::memory_order_relaxed);
+          evictions_.fetch_add(1, std::memory_order_relaxed);
+          shard.lru.erase(it->second.lruIt);
+          evicted.key = cand.key;
+          evicted.data = std::move(it->second.data);
+          taken = true;
+          fileIt->second.erase(it);
+          if (fileIt->second.empty()) shard.files.erase(fileIt);
+        }
+      }
     }
-    usedBytes_.fetch_sub(it->second.data.size(), std::memory_order_relaxed);
-    blockCount_.fetch_sub(1, std::memory_order_relaxed);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-    victimShard->lru.erase(it->second.lruIt);
-    fileIt->second.erase(it);
-    if (fileIt->second.empty()) victimShard->files.erase(fileIt);
+    // Touched, purged, or pinned between peek and take: re-peek the shard.
+    refresh(victim);
+    if (!taken) continue;
+    if (evictionSink_) evictionSink_(std::move(evicted));
   }
 }
 
@@ -206,6 +239,16 @@ BlockCacheStats BlockCache::GetStats() const {
 
 std::uint64_t BlockCache::UsedBytes() const {
   return usedBytes_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t BlockCache::CountBlocks(const std::string& path) const {
+  std::uint64_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    const auto fileIt = shard.files.find(path);
+    if (fileIt != shard.files.end()) n += fileIt->second.size();
+  }
+  return n;
 }
 
 // --------------------------------------------------------- SingleFlight

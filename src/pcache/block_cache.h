@@ -50,6 +50,14 @@ struct BlockCacheStats {
   std::uint64_t blockCount = 0;
 };
 
+/// One block removed by the watermark sweep, handed to the eviction sink
+/// (the tiered cache spills these to disk instead of dropping them).
+struct EvictedBlock {
+  BlockKey key;
+  std::string data;
+  int pins = 0;  // always 0: pinned blocks are never evicted
+};
+
 class BlockCache {
  public:
   explicit BlockCache(const BlockCacheConfig& config);
@@ -81,6 +89,18 @@ class BlockCache {
   BlockCacheStats GetStats() const;
   std::uint64_t UsedBytes() const;
 
+  /// Blocks of `path` currently resident (lifecycle accounting).
+  std::uint64_t CountBlocks(const std::string& path) const;
+
+  /// Watermark-eviction victims are handed to `sink` (with their bytes)
+  /// instead of being silently dropped; the tiered cache uses this to
+  /// spill DRAM victims to the disk tier. The sink runs outside every
+  /// shard lock (but under the sweep lock, so sinks never overlap). Set
+  /// once, before the cache sees concurrent traffic.
+  void SetEvictionSink(std::function<void(EvictedBlock)> sink) {
+    evictionSink_ = std::move(sink);
+  }
+
  private:
   struct Entry {
     std::string data;
@@ -101,6 +121,7 @@ class BlockCache {
   BlockCacheConfig config_;
   std::vector<Shard> shards_;
   std::mutex evictMu_;  // serializes watermark eviction sweeps
+  std::function<void(EvictedBlock)> evictionSink_;
 
   std::atomic<std::uint64_t> nextStamp_{1};
   std::atomic<std::uint64_t> usedBytes_{0};

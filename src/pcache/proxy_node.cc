@@ -14,6 +14,16 @@ client::ClientConfig OriginConfig(const ProxyCacheConfig& config) {
   return origin;
 }
 
+TieredCacheConfig TieredConfig(const ProxyCacheConfig& config) {
+  TieredCacheConfig tiered;
+  tiered.dram = config.cache;
+  tiered.diskCapacityBytes = config.diskOss != nullptr ? config.diskCapacityBytes : 0;
+  tiered.diskHighWatermark = config.diskHighWatermark;
+  tiered.diskLowWatermark = config.diskLowWatermark;
+  tiered.ghostEntries = config.ghostEntries;
+  return tiered;
+}
+
 }  // namespace
 
 ProxyCacheNode::ProxyCacheNode(const ProxyCacheConfig& config,
@@ -21,12 +31,13 @@ ProxyCacheNode::ProxyCacheNode(const ProxyCacheConfig& config,
     : config_(config),
       executor_(executor),
       fabric_(fabric),
-      cache_(config.cache),
+      cache_(TieredConfig(config), config.diskOss, &executor, executor.clock()),
       origin_(OriginConfig(config), executor, fabric),
       opensLocal_(metrics_.GetCounter("pcache.opens_local")),
       originOpens_(metrics_.GetCounter("pcache.origin_opens")),
       originFetches_(metrics_.GetCounter("pcache.origin_fetches")),
       bytesFromCache_(metrics_.GetCounter("pcache.bytes_from_cache")),
+      bytesFromDisk_(metrics_.GetCounter("pcache.bytes_from_disk")),
       bytesFromOrigin_(metrics_.GetCounter("pcache.bytes_from_origin")),
       readAheads_(metrics_.GetCounter("pcache.readaheads")),
       readsLocal_(metrics_.GetCounter("pcache.reads_local")),
@@ -302,10 +313,11 @@ void ProxyCacheNode::GatherRange(const std::string& path, std::uint64_t offset,
 
   bool missed = false;
   for (std::uint64_t idx = first; idx <= last; ++idx) {
-    std::optional<std::string> hit = cache_.Lookup(path, idx);
-    if (hit.has_value()) {
-      bytesFromCache_.Inc(hit->size());
-      range.blocks[static_cast<std::size_t>(idx - first)] = std::move(*hit);
+    TieredBlockCache::LookupResult hit = cache_.LookupDetailed(path, idx);
+    if (hit.data.has_value()) {
+      bytesFromCache_.Inc(hit.data->size());
+      if (hit.tier == CacheTier::kDisk) bytesFromDisk_.Inc(hit.data->size());
+      range.blocks[static_cast<std::size_t>(idx - first)] = std::move(*hit.data);
       --range.outstanding;
       continue;
     }
@@ -546,15 +558,20 @@ void ProxyCacheNode::HandlePcacheAdmin(net::NodeAddr from, const proto::PcacheAd
       resp.blocksPurged = cache_.PurgeAll();
       break;
   }
-  const BlockCacheStats stats = cache_.GetStats();
-  resp.usedBytes = stats.usedBytes;
-  resp.blockCount = stats.blockCount;
+  const TieredCacheStats stats = cache_.GetTieredStats();
+  resp.usedBytes = stats.dram.usedBytes + stats.diskUsedBytes;
+  resp.blockCount = stats.dram.blockCount + stats.diskBlockCount;
+  resp.dramUsedBytes = stats.dram.usedBytes;
+  resp.dramBlockCount = stats.dram.blockCount;
+  resp.diskUsedBytes = stats.diskUsedBytes;
+  resp.diskBlockCount = stats.diskBlockCount;
   fabric_.Send(config_.addr, from, std::move(resp));
 }
 
 obs::MetricsSnapshot ProxyCacheNode::SnapshotMetrics() const {
   obs::MetricsSnapshot snap = metrics_.Snapshot();
   const BlockCacheStats stats = cache_.GetStats();
+  const TieredCacheStats tiered = cache_.GetTieredStats();
   snap.AddCounter("pcache.hits", stats.hits);
   snap.AddCounter("pcache.misses", stats.misses);
   snap.AddCounter("pcache.inserts", stats.inserts);
@@ -562,6 +579,29 @@ obs::MetricsSnapshot ProxyCacheNode::SnapshotMetrics() const {
   snap.AddCounter("pcache.coalesced", singleFlight_.Coalesced());
   snap.AddGauge("pcache.used_bytes", static_cast<std::int64_t>(stats.usedBytes));
   snap.AddGauge("pcache.blocks", static_cast<std::int64_t>(stats.blockCount));
+  // Per-tier detail (DRAM vs disk) plus the placement traffic between the
+  // tiers: admissions, spills, promotions, and ghost-list admission proofs.
+  snap.AddCounter("pcache.dram.hits", tiered.dramHits);
+  snap.AddCounter("pcache.dram.evictions", tiered.dram.evictions);
+  snap.AddGauge("pcache.dram.used_bytes",
+                static_cast<std::int64_t>(tiered.dram.usedBytes));
+  snap.AddGauge("pcache.dram.blocks",
+                static_cast<std::int64_t>(tiered.dram.blockCount));
+  snap.AddCounter("pcache.disk.hits", tiered.diskHits);
+  snap.AddCounter("pcache.disk.evictions", tiered.diskEvictions);
+  snap.AddCounter("pcache.disk.write_failures", tiered.diskWriteFailures);
+  snap.AddGauge("pcache.disk.used_bytes",
+                static_cast<std::int64_t>(tiered.diskUsedBytes));
+  snap.AddGauge("pcache.disk.blocks",
+                static_cast<std::int64_t>(tiered.diskBlockCount));
+  snap.AddCounter("pcache.admits_dram", tiered.admitsDram);
+  snap.AddCounter("pcache.admits_disk", tiered.admitsDisk);
+  snap.AddCounter("pcache.spills", tiered.spills);
+  snap.AddCounter("pcache.dropped_spills", tiered.droppedSpills);
+  snap.AddCounter("pcache.promotions", tiered.promotions);
+  snap.AddCounter("pcache.ghost_hits", tiered.ghostHits);
+  snap.AddGauge("pcache.files_tracked",
+                static_cast<std::int64_t>(tiered.filesTracked));
   // The embedded client's instruments show the proxy's cluster-facing
   // behaviour (redirects followed, recoveries, open latency).
   snap.Merge(origin_.SnapshotMetrics());

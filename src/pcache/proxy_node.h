@@ -29,6 +29,7 @@
 #include "net/fabric.h"
 #include "obs/metrics.h"
 #include "pcache/block_cache.h"
+#include "pcache/tiered_cache.h"
 #include "sched/executor.h"
 
 namespace scalla::pcache {
@@ -40,7 +41,17 @@ struct ProxyCacheConfig {
   /// (the proxy and its embedded client share one fabric address; request
   /// and response message types are disjoint, so routing is unambiguous).
   client::ClientConfig origin;
-  BlockCacheConfig cache;
+  BlockCacheConfig cache;            // the DRAM tier
+  /// Disk tier (0 disables): DRAM victims spill here, disk hits promote
+  /// back, and first-touch blocks land here until the ghost list proves
+  /// reuse. Requires `diskOss`.
+  std::uint64_t diskCapacityBytes = 0;
+  double diskHighWatermark = 0.95;
+  double diskLowWatermark = 0.80;
+  std::size_t ghostEntries = 0;      // 0 = auto (4x DRAM block slots)
+  /// Backing store for the disk tier (LocalOss in the daemon, MemOss in
+  /// simulation). Non-owning; must outlive the proxy.
+  oss::Oss* diskOss = nullptr;
   int readAhead = 0;                 // blocks prefetched past a demand miss
   Duration statsTimeout = std::chrono::seconds(2);  // origin QueryStats wait
 };
@@ -55,7 +66,7 @@ class ProxyCacheNode : public net::MessageSink {
   void OnPeerDown(net::NodeAddr peer) override;
 
   const ProxyCacheConfig& config() const { return config_; }
-  BlockCache& cache() { return cache_; }
+  TieredBlockCache& cache() { return cache_; }
   SingleFlight& singleFlight() { return singleFlight_; }
   client::ScallaClient& origin() { return origin_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
@@ -133,7 +144,7 @@ class ProxyCacheNode : public net::MessageSink {
   ProxyCacheConfig config_;
   sched::Executor& executor_;
   net::Fabric& fabric_;
-  BlockCache cache_;
+  TieredBlockCache cache_;
   SingleFlight singleFlight_;
   client::ScallaClient origin_;
 
@@ -148,7 +159,8 @@ class ProxyCacheNode : public net::MessageSink {
   obs::Counter& opensLocal_;      // pcache.opens_local — warm opens, no cluster traffic
   obs::Counter& originOpens_;     // pcache.origin_opens — resolver round trips
   obs::Counter& originFetches_;   // pcache.origin_fetches — block reads at origin
-  obs::Counter& bytesFromCache_;  // pcache.bytes_from_cache
+  obs::Counter& bytesFromCache_;  // pcache.bytes_from_cache (either tier)
+  obs::Counter& bytesFromDisk_;   // pcache.bytes_from_disk (disk-tier share)
   obs::Counter& bytesFromOrigin_; // pcache.bytes_from_origin
   obs::Counter& readAheads_;      // pcache.readaheads — prefetches issued
   obs::Counter& readsLocal_;      // pcache.reads_local — client reads served

@@ -291,8 +291,13 @@ struct PcacheAdminResp {
   std::uint64_t reqId = 0;
   XrdErr err = XrdErr::kNone;       // kInvalid when the target is not a proxy
   std::uint64_t blocksPurged = 0;
-  std::uint64_t usedBytes = 0;      // post-operation cache occupancy
+  std::uint64_t usedBytes = 0;      // post-operation cache occupancy (both tiers)
   std::uint64_t blockCount = 0;
+  // Per-tier breakdown (tiered pcache; zero on a DRAM-only proxy's disk side).
+  std::uint64_t dramUsedBytes = 0;
+  std::uint64_t dramBlockCount = 0;
+  std::uint64_t diskUsedBytes = 0;
+  std::uint64_t diskBlockCount = 0;
 };
 
 // --------------------------------------------------------------------

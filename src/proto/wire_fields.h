@@ -85,7 +85,8 @@ template <class Ar> void Visit(Ar& ar, PcacheAdmin& m) {
   ar.Fields(m.reqId, m.op, m.path);
 }
 template <class Ar> void Visit(Ar& ar, PcacheAdminResp& m) {
-  ar.Fields(m.reqId, m.err, m.blocksPurged, m.usedBytes, m.blockCount);
+  ar.Fields(m.reqId, m.err, m.blocksPurged, m.usedBytes, m.blockCount,
+            m.dramUsedBytes, m.dramBlockCount, m.diskUsedBytes, m.diskBlockCount);
 }
 template <class Ar> void Visit(Ar& ar, CmsPing& m) { ar.Fields(m.seq, m.reconnect); }
 template <class Ar> void Visit(Ar& ar, CmsPong& m) {

@@ -65,6 +65,14 @@ void SimCluster::Build() {
     pcfg.origin.cnsd = cnsAddr_;
     pcfg.cache = spec_.proxyCache;
     pcfg.readAhead = spec_.proxyReadAhead;
+    if (spec_.proxyDiskCapacity > 0) {
+      proxyDisk_ = std::make_unique<oss::MemOss>(engine_->clock());
+      pcfg.diskOss = proxyDisk_.get();
+      pcfg.diskCapacityBytes = spec_.proxyDiskCapacity;
+      pcfg.diskHighWatermark = spec_.proxyDiskHighWatermark;
+      pcfg.diskLowWatermark = spec_.proxyDiskLowWatermark;
+      pcfg.ghostEntries = spec_.proxyGhostEntries;
+    }
     proxy_ = std::make_unique<pcache::ProxyCacheNode>(pcfg, *engine_, *fabric_);
     fabric_->Register(pcfg.addr, proxy_.get());
   }

@@ -35,7 +35,14 @@ struct ClusterSpec {
   bool withCnsd = false;       // run a Cluster Name Space daemon
   // Proxy cache tier (pcache): one caching proxy fronting the head.
   bool withProxy = false;
-  pcache::BlockCacheConfig proxyCache;
+  pcache::BlockCacheConfig proxyCache;   // DRAM tier
+  // Disk tier (0 disables): simulated with a SimCluster-owned MemOss, so
+  // tests and benches exercise spill/promote/ghost admission without
+  // touching the host file system.
+  std::uint64_t proxyDiskCapacity = 0;
+  double proxyDiskHighWatermark = 0.95;
+  double proxyDiskLowWatermark = 0.80;
+  std::size_t proxyGhostEntries = 0;     // 0 = auto
   int proxyReadAhead = 0;
   // Per-attempt open timeout for clients made by NewClient (0 = client
   // default). Liveness tests shorten it so opens vectored at a wedged
@@ -165,6 +172,9 @@ class SimCluster {
   std::vector<std::unique_ptr<xrd::ScallaNode>> managers_;
   std::vector<std::unique_ptr<xrd::ScallaNode>> supervisors_;
   std::vector<std::unique_ptr<xrd::ScallaNode>> leaves_;
+  // Declared before proxy_: the disk tier must outlive the proxy that
+  // spills into it.
+  std::unique_ptr<oss::MemOss> proxyDisk_;
   std::unique_ptr<pcache::ProxyCacheNode> proxy_;
   std::vector<std::unique_ptr<oss::MemOss>> storages_;
   std::vector<std::unique_ptr<client::ScallaClient>> clients_;

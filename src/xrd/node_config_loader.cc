@@ -45,6 +45,8 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
       "xrd.allowwrite", "xrd.loadreport",
       "oss.localroot", "all.cnsd",      "pcache.blocksize", "pcache.capacity",
       "pcache.hiwater", "pcache.lowater", "pcache.readahead",
+      "pcache.disk.capacity", "pcache.disk.path", "pcache.disk.hiwater",
+      "pcache.disk.lowater", "pcache.ghost",
       "fabric.connecttimeout", "fabric.writetimeout", "fabric.queuedepth",
       "fabric.loopthreads",    "fabric.idletimeout",  "fabric.sendbuf",
       "fed.meta",      "fed.cluster",   "fed.locality"};
@@ -242,23 +244,23 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
     return std::nullopt;
   }
 
-  const bool hasPcacheKey = parsed->Has("pcache.blocksize") ||
-                            parsed->Has("pcache.capacity") ||
-                            parsed->Has("pcache.hiwater") ||
-                            parsed->Has("pcache.lowater") ||
-                            parsed->Has("pcache.readahead");
+  bool hasPcacheKey = false;
+  for (const auto& [key, _] : parsed->entries()) {
+    if (key.rfind("pcache.", 0) == 0) hasPcacheKey = true;
+  }
   if (hasPcacheKey && cfg.role != NodeRole::kProxy) {
     Fail(error, "pcache.* directives only apply to the proxy role");
     return std::nullopt;
   }
   if (cfg.role == NodeRole::kProxy) {
+    pcache::BlockCacheConfig& dram = out.pcacheTiered.dram;
     if (const auto bs = parsed->GetString("pcache.blocksize"); bs.has_value()) {
       const auto size = ParseSize(*bs);
       if (!size.has_value() || *size == 0) {
         Fail(error, "pcache.blocksize: bad size " + *bs);
         return std::nullopt;
       }
-      out.pcacheCache.blockSize = static_cast<std::uint32_t>(*size);
+      dram.blockSize = static_cast<std::uint32_t>(*size);
     }
     if (const auto cap = parsed->GetString("pcache.capacity"); cap.has_value()) {
       const auto size = ParseSize(*cap);
@@ -266,15 +268,40 @@ std::optional<LoadedNodeConfig> LoadNodeConfig(const std::string& text,
         Fail(error, "pcache.capacity: bad size " + *cap);
         return std::nullopt;
       }
-      out.pcacheCache.capacityBytes = *size;
+      dram.capacityBytes = *size;
     }
-    out.pcacheCache.highWatermark =
-        parsed->GetDoubleOr("pcache.hiwater", out.pcacheCache.highWatermark);
-    out.pcacheCache.lowWatermark =
-        parsed->GetDoubleOr("pcache.lowater", out.pcacheCache.lowWatermark);
-    if (out.pcacheCache.lowWatermark > out.pcacheCache.highWatermark ||
-        out.pcacheCache.highWatermark > 1.0 || out.pcacheCache.lowWatermark <= 0) {
-      Fail(error, "pcache watermarks need 0 < lowater <= hiwater <= 1");
+    dram.highWatermark = parsed->GetDoubleOr("pcache.hiwater", dram.highWatermark);
+    dram.lowWatermark = parsed->GetDoubleOr("pcache.lowater", dram.lowWatermark);
+    if (const auto cap = parsed->GetString("pcache.disk.capacity"); cap.has_value()) {
+      const auto size = ParseSize(*cap);
+      if (!size.has_value()) {
+        Fail(error, "pcache.disk.capacity: bad size " + *cap + " (0 disables)");
+        return std::nullopt;
+      }
+      out.pcacheTiered.diskCapacityBytes = *size;
+    }
+    out.pcacheTiered.diskHighWatermark = parsed->GetDoubleOr(
+        "pcache.disk.hiwater", out.pcacheTiered.diskHighWatermark);
+    out.pcacheTiered.diskLowWatermark = parsed->GetDoubleOr(
+        "pcache.disk.lowater", out.pcacheTiered.diskLowWatermark);
+    if (const auto ghost = parsed->GetInt("pcache.ghost"); ghost.has_value()) {
+      if (*ghost < 0) {
+        Fail(error, "pcache.ghost must be non-negative (0 = auto)");
+        return std::nullopt;
+      }
+      out.pcacheTiered.ghostEntries = static_cast<std::size_t>(*ghost);
+    } else if (parsed->Has("pcache.ghost")) {
+      Fail(error, "pcache.ghost must be an integer entry count");
+      return std::nullopt;
+    }
+    out.pcacheDiskRoot = parsed->GetStringOr("pcache.disk.path", "");
+    if (out.pcacheTiered.diskCapacityBytes > 0 && out.pcacheDiskRoot.empty()) {
+      Fail(error, "pcache.disk.capacity requires pcache.disk.path");
+      return std::nullopt;
+    }
+    if (const auto valid = pcache::ValidateTieredConfig(out.pcacheTiered);
+        !valid.ok()) {
+      Fail(error, valid.error().message);
       return std::nullopt;
     }
     out.pcacheReadAhead =

@@ -19,10 +19,20 @@
 // A proxy cache tier (all.role proxy) additionally understands:
 //
 //   pcache.blocksize  64k              # cache block size
-//   pcache.capacity   256m             # total cache bytes
-//   pcache.hiwater    0.95             # eviction trigger (fraction)
-//   pcache.lowater    0.80             # eviction target (fraction)
+//   pcache.capacity   256m             # DRAM-tier cache bytes
+//   pcache.hiwater    0.95             # DRAM eviction trigger (fraction)
+//   pcache.lowater    0.80             # DRAM eviction target (fraction)
 //   pcache.readahead  4                # blocks prefetched past a miss
+//
+// and, for the two-tier cache (docs/PCACHE.md), an optional disk tier
+// that DRAM victims spill into and first-touch blocks land on until the
+// ghost list proves reuse:
+//
+//   pcache.disk.capacity  16g          # disk-tier bytes (0 disables)
+//   pcache.disk.path      /data/pcache # backing directory (required if on)
+//   pcache.disk.hiwater   0.95         # disk eviction trigger (fraction)
+//   pcache.disk.lowater   0.80         # disk eviction target (fraction)
+//   pcache.ghost          65536        # ghost-list entries (0 = auto)
 //
 // (all.manager names the origin cluster heads for a proxy.)
 //
@@ -54,7 +64,7 @@
 #include <string>
 
 #include "net/tcp_fabric.h"
-#include "pcache/block_cache.h"
+#include "pcache/tiered_cache.h"
 #include "util/config.h"
 #include "xrd/scalla_node.h"
 
@@ -67,8 +77,11 @@ struct LoadedNodeConfig {
   bool isMeta = false;
   std::string localRoot;  // non-empty => back the server with LocalOss
   net::FabricOptions fabric;  // fabric.* transport tuning
-  // Proxy role only (node.role == NodeRole::kProxy):
-  pcache::BlockCacheConfig pcacheCache;
+  // Proxy role only (node.role == NodeRole::kProxy). `pcacheTiered` is
+  // validated with pcache::ValidateTieredConfig; a non-zero disk capacity
+  // requires pcacheDiskRoot (the LocalOss directory backing the tier).
+  pcache::TieredCacheConfig pcacheTiered;
+  std::string pcacheDiskRoot;
   int pcacheReadAhead = 0;
 };
 

@@ -248,10 +248,11 @@ TEST(NodeConfigLoaderTest, ProxyConfigWithPcacheDirectives) {
   EXPECT_EQ(loaded->node.parent, 1u);
   ASSERT_EQ(loaded->node.extraParents.size(), 1u);
   EXPECT_EQ(loaded->node.extraParents[0], 2u);
-  EXPECT_EQ(loaded->pcacheCache.blockSize, 64u * 1024);
-  EXPECT_EQ(loaded->pcacheCache.capacityBytes, 256u * 1024 * 1024);
-  EXPECT_DOUBLE_EQ(loaded->pcacheCache.highWatermark, 0.9);
-  EXPECT_DOUBLE_EQ(loaded->pcacheCache.lowWatermark, 0.6);
+  EXPECT_EQ(loaded->pcacheTiered.dram.blockSize, 64u * 1024);
+  EXPECT_EQ(loaded->pcacheTiered.dram.capacityBytes, 256u * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(loaded->pcacheTiered.dram.highWatermark, 0.9);
+  EXPECT_DOUBLE_EQ(loaded->pcacheTiered.dram.lowWatermark, 0.6);
+  EXPECT_EQ(loaded->pcacheTiered.diskCapacityBytes, 0u);  // disk off by default
   EXPECT_EQ(loaded->pcacheReadAhead, 4);
 
   // A proxy needs no all.export, but does need an origin head.
@@ -266,6 +267,62 @@ TEST(NodeConfigLoaderTest, ProxyConfigWithPcacheDirectives) {
                               "pcache.hiwater 0.5\npcache.lowater 0.8\n",
                               &error)
                    .has_value());
+  EXPECT_NE(error.find("watermarks"), std::string::npos);
+}
+
+TEST(NodeConfigLoaderTest, ProxyDiskTierDirectives) {
+  std::string error;
+  const std::string base =
+      "all.role proxy\n"
+      "all.addr 50\n"
+      "all.manager 1\n";
+  const auto loaded = LoadNodeConfig(base +
+                                         "pcache.disk.capacity 16g\n"
+                                         "pcache.disk.path /tmp/pcache-disk\n"
+                                         "pcache.disk.hiwater 0.9\n"
+                                         "pcache.disk.lowater 0.5\n"
+                                         "pcache.ghost 4096\n",
+                                     &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->pcacheTiered.diskCapacityBytes, 16ull << 30);
+  EXPECT_EQ(loaded->pcacheDiskRoot, "/tmp/pcache-disk");
+  EXPECT_DOUBLE_EQ(loaded->pcacheTiered.diskHighWatermark, 0.9);
+  EXPECT_DOUBLE_EQ(loaded->pcacheTiered.diskLowWatermark, 0.5);
+  EXPECT_EQ(loaded->pcacheTiered.ghostEntries, 4096u);
+
+  // A disk tier without a backing directory is a config error ...
+  EXPECT_FALSE(LoadNodeConfig(base + "pcache.disk.capacity 1g\n", &error).has_value());
+  EXPECT_NE(error.find("pcache.disk.path"), std::string::npos);
+  // ... as are inverted disk watermarks,
+  EXPECT_FALSE(LoadNodeConfig(base +
+                                  "pcache.disk.capacity 1g\n"
+                                  "pcache.disk.path /tmp/d\n"
+                                  "pcache.disk.hiwater 0.4\n"
+                                  "pcache.disk.lowater 0.8\n",
+                              &error)
+                   .has_value());
+  EXPECT_NE(error.find("disk watermarks"), std::string::npos);
+  // ... a negative ghost capacity,
+  EXPECT_FALSE(LoadNodeConfig(base + "pcache.ghost -1\n", &error).has_value());
+  EXPECT_NE(error.find("pcache.ghost"), std::string::npos);
+  // ... a capacity smaller than one block,
+  EXPECT_FALSE(LoadNodeConfig(base +
+                                  "pcache.blocksize 64k\n"
+                                  "pcache.disk.capacity 4k\n"
+                                  "pcache.disk.path /tmp/d\n",
+                              &error)
+                   .has_value());
+  EXPECT_NE(error.find("at least one block"), std::string::npos);
+  // ... and any pcache.disk.* key on a non-proxy role.
+  EXPECT_FALSE(LoadNodeConfig("all.role server\nall.addr 9\nall.manager 1\n"
+                              "all.export /store\npcache.disk.capacity 1g\n",
+                              &error)
+                   .has_value());
+  EXPECT_NE(error.find("proxy role"), std::string::npos);
+  // pcache.disk.path alone (capacity 0) keeps the tier disabled.
+  const auto diskOff = LoadNodeConfig(base + "pcache.disk.path /tmp/d\n", &error);
+  ASSERT_TRUE(diskOff.has_value()) << error;
+  EXPECT_EQ(diskOff->pcacheTiered.diskCapacityBytes, 0u);
 }
 
 TEST(NodeConfigLoaderTest, FederationDirectivesParsed) {

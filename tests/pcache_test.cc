@@ -96,6 +96,41 @@ TEST(BlockCacheTest, PinnedBlocksAreNeverEvicted) {
   EXPECT_LE(tiny.UsedBytes(), 50u);
 }
 
+TEST(BlockCacheTest, EvictionSinkReceivesGlobalLruVictimsInOrder) {
+  // Regression pin for the candidate-cached sweep: victims must still be
+  // the globally-oldest unpinned blocks by stamp — regardless of which
+  // shard they hash to — and the sink must see them oldest-first with
+  // their bytes intact (the tiered cache spills exactly these to disk).
+  BlockCache cache(SmallCache());
+  std::vector<pcache::EvictedBlock> spilled;
+  cache.SetEvictionSink([&spilled](pcache::EvictedBlock b) {
+    spilled.push_back(std::move(b));
+  });
+
+  for (std::uint64_t i = 0; i < 9; ++i) cache.Insert("/f", i, Block(static_cast<char>('0' + i)));
+  // Refresh 2, 0, 4: their stamps now postdate every untouched block.
+  for (const std::uint64_t i : {2u, 0u, 4u}) {
+    ASSERT_TRUE(cache.Lookup("/f", i).has_value());
+  }
+
+  cache.Insert("/f", 9, Block('9'));  // 100 bytes: triggers the sweep
+  // Globally oldest unpinned, in stamp order: 1, 3, 5, 6, 7.
+  ASSERT_EQ(spilled.size(), 5u);
+  const std::uint64_t wantOrder[] = {1, 3, 5, 6, 7};
+  for (std::size_t v = 0; v < spilled.size(); ++v) {
+    EXPECT_EQ(spilled[v].key.path, "/f");
+    EXPECT_EQ(spilled[v].key.index, wantOrder[v]) << "victim " << v;
+    EXPECT_EQ(spilled[v].data, Block(static_cast<char>('0' + wantOrder[v]))) << "victim " << v;
+  }
+  for (const std::uint64_t i : {0u, 2u, 4u, 8u, 9u}) {
+    EXPECT_TRUE(cache.Contains("/f", i)) << "block " << i;
+  }
+
+  // Purge is not eviction: the sink must not see purged blocks.
+  (void)cache.PurgeAll();
+  EXPECT_EQ(spilled.size(), 5u);
+}
+
 TEST(BlockCacheTest, PurgeDropsOnlyThatPath) {
   BlockCache cache(SmallCache());
   cache.Insert("/a", 0, Block('a'));
@@ -403,6 +438,119 @@ TEST(ProxySimTest, PurgeForcesRefetch) {
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again.value(), payload);
   EXPECT_GT(ProxyCounter(cluster, "pcache.origin_fetches"), fetches);
+}
+
+TEST(ProxySimTest, DiskTierAbsorbsColdReadsAndPromotesOnReuse) {
+  // Proxy with both tiers: first-touch blocks land on DISK (ghost
+  // admission), a warm read is served from disk without origin traffic
+  // and promotes to DRAM, and the admin stat reports per-tier occupancy.
+  sim::ClusterSpec spec = ProxySpec();
+  spec.proxyDiskCapacity = 64 * 1024;
+  sim::SimCluster cluster(spec);
+  cluster.Start();
+  const std::string payload(64 * 16, 't');  // 16 full blocks
+  cluster.PlaceFile(0, "/store/tier", payload);
+
+  auto& c = cluster.NewProxyClient();
+  const auto cold = cluster.ReadAll(c, "/store/tier");
+  ASSERT_TRUE(cold.ok()) << cold.error().message;
+  ASSERT_EQ(cold.value(), payload);
+  const std::uint64_t fetches = ProxyCounter(cluster, "pcache.origin_fetches");
+
+  // Every cold block was admitted to the disk tier, none to DRAM.
+  cluster.RunFor(std::chrono::milliseconds(10));  // drain tier ops
+  auto stats = cluster.proxy()->cache().GetTieredStats();
+  EXPECT_EQ(stats.diskBlockCount, 16u);
+  EXPECT_EQ(stats.dram.blockCount, 0u);
+  EXPECT_GE(stats.admitsDisk, 16u);
+
+  // Warm read: all bytes from the disk tier, zero new origin fetches.
+  const auto warm = cluster.ReadAll(c, "/store/tier");
+  ASSERT_TRUE(warm.ok()) << warm.error().message;
+  EXPECT_EQ(warm.value(), payload);
+  EXPECT_EQ(ProxyCounter(cluster, "pcache.origin_fetches"), fetches);
+  EXPECT_EQ(ProxyCounter(cluster, "pcache.bytes_from_disk"), payload.size());
+
+  // The disk hits promoted every block to DRAM (async, on the engine).
+  cluster.RunFor(std::chrono::milliseconds(10));
+  EXPECT_EQ(cluster.proxy()->cache().PendingTierOps(), 0u);
+  stats = cluster.proxy()->cache().GetTieredStats();
+  EXPECT_EQ(stats.promotions, 16u);
+  EXPECT_EQ(stats.dram.blockCount, 16u);
+  EXPECT_EQ(stats.diskBlockCount, 0u);
+
+  // Third read: DRAM serves everything; the disk byte counter freezes.
+  const auto hot = cluster.ReadAll(c, "/store/tier");
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(ProxyCounter(cluster, "pcache.origin_fetches"), fetches);
+  EXPECT_EQ(ProxyCounter(cluster, "pcache.bytes_from_disk"), payload.size());
+
+  // Per-tier counters flow into the tree-aggregated StatsQuery.
+  const auto cs = cluster.ClusterStats(&c);
+  ASSERT_TRUE(cs.ok);
+  EXPECT_GE(cs.snapshot.Counter("pcache.disk.hits"), 16u);
+  EXPECT_EQ(cs.snapshot.Counter("pcache.promotions"), 16u);
+  EXPECT_GE(cs.snapshot.Counter("pcache.admits_disk"), 16u);
+
+  // The admin stat breaks occupancy down by tier.
+  std::optional<proto::PcacheAdminResp> admin;
+  c.CacheAdmin(proto::PcacheAdminOp::kStat, "",
+               [&](proto::XrdErr err, proto::PcacheAdminResp resp) {
+                 EXPECT_EQ(err, proto::XrdErr::kNone);
+                 admin = std::move(resp);
+               });
+  cluster.engine().RunUntilIdle();
+  ASSERT_TRUE(admin.has_value());
+  EXPECT_EQ(admin->dramBlockCount, 16u);
+  EXPECT_EQ(admin->diskBlockCount, 0u);
+  EXPECT_EQ(admin->usedBytes, payload.size());
+}
+
+TEST(ProxySimTest, AdminPurgeSpansBothTiers) {
+  sim::ClusterSpec spec = ProxySpec();
+  spec.proxyDiskCapacity = 64 * 1024;
+  sim::SimCluster cluster(spec);
+  cluster.Start();
+  cluster.PlaceFile(0, "/store/cold", std::string(64 * 4, 'c'));
+  cluster.PlaceFile(0, "/store/warm", std::string(64 * 4, 'w'));
+
+  auto& c = cluster.NewProxyClient();
+  // /store/cold read once: its 4 blocks live on disk. /store/warm read
+  // twice: its 4 blocks get promoted to DRAM.
+  ASSERT_TRUE(cluster.ReadAll(c, "/store/cold").ok());
+  ASSERT_TRUE(cluster.ReadAll(c, "/store/warm").ok());
+  ASSERT_TRUE(cluster.ReadAll(c, "/store/warm").ok());
+  cluster.RunFor(std::chrono::milliseconds(10));
+
+  const auto stats = cluster.proxy()->cache().GetTieredStats();
+  ASSERT_EQ(stats.diskBlockCount, 4u);  // cold file
+  ASSERT_EQ(stats.dram.blockCount, 4u);  // warm file, promoted
+
+  // Purging the disk-resident path must reach through to the disk tier.
+  std::optional<proto::PcacheAdminResp> purged;
+  c.CacheAdmin(proto::PcacheAdminOp::kPurgePath, "/store/cold",
+               [&](proto::XrdErr err, proto::PcacheAdminResp resp) {
+                 EXPECT_EQ(err, proto::XrdErr::kNone);
+                 purged = std::move(resp);
+               });
+  cluster.engine().RunUntilIdle();
+  ASSERT_TRUE(purged.has_value());
+  EXPECT_EQ(purged->blocksPurged, 4u);
+  EXPECT_EQ(purged->diskBlockCount, 0u);
+  EXPECT_EQ(purged->dramBlockCount, 4u);  // the warm file is untouched
+
+  // And a full purge empties both tiers.
+  std::optional<proto::PcacheAdminResp> all;
+  c.CacheAdmin(proto::PcacheAdminOp::kPurgeAll, "",
+               [&](proto::XrdErr err, proto::PcacheAdminResp resp) {
+                 EXPECT_EQ(err, proto::XrdErr::kNone);
+                 all = std::move(resp);
+               });
+  cluster.engine().RunUntilIdle();
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->blocksPurged, 4u);
+  EXPECT_EQ(all->usedBytes, 0u);
+  EXPECT_EQ(all->blockCount, 0u);
 }
 
 TEST(ProxySimTest, NonProxyNodeRefusesCacheAdmin) {

@@ -161,9 +161,14 @@ int main(int argc, char** argv) {
       std::printf("purged %llu block(s); ",
                   static_cast<unsigned long long>(resp.value().blocksPurged));
     }
-    std::printf("cache: %llu block(s), %llu bytes\n",
+    std::printf("cache: %llu block(s), %llu bytes "
+                "(dram %llu blk / %llu B; disk %llu blk / %llu B)\n",
                 static_cast<unsigned long long>(resp.value().blockCount),
-                static_cast<unsigned long long>(resp.value().usedBytes));
+                static_cast<unsigned long long>(resp.value().usedBytes),
+                static_cast<unsigned long long>(resp.value().dramBlockCount),
+                static_cast<unsigned long long>(resp.value().dramUsedBytes),
+                static_cast<unsigned long long>(resp.value().diskBlockCount),
+                static_cast<unsigned long long>(resp.value().diskUsedBytes));
     return 0;
   }
   if ((command == "drain" || command == "restore") && i < argc) {

@@ -134,19 +134,34 @@ int main(int argc, char** argv) {
     pcfg.origin.head = loaded->node.parent;
     pcfg.origin.extraHeads = loaded->node.extraParents;
     pcfg.origin.cnsd = loaded->node.cnsd;
-    pcfg.cache = loaded->pcacheCache;
+    pcfg.cache = loaded->pcacheTiered.dram;
+    pcfg.diskCapacityBytes = loaded->pcacheTiered.diskCapacityBytes;
+    pcfg.diskHighWatermark = loaded->pcacheTiered.diskHighWatermark;
+    pcfg.diskLowWatermark = loaded->pcacheTiered.diskLowWatermark;
+    pcfg.ghostEntries = loaded->pcacheTiered.ghostEntries;
     pcfg.readAhead = loaded->pcacheReadAhead;
+    // Disk tier: a LocalOss directory that DRAM victims spill into (the
+    // loader guarantees pcache.disk.path accompanies a non-zero capacity).
+    std::unique_ptr<oss::LocalOss> diskTier;
+    if (pcfg.diskCapacityBytes > 0) {
+      std::filesystem::create_directories(loaded->pcacheDiskRoot);
+      diskTier = std::make_unique<oss::LocalOss>(loaded->pcacheDiskRoot);
+      pcfg.diskOss = diskTier.get();
+    }
     pcache::ProxyCacheNode proxy(pcfg, executor, fabric);
     if (!fabric.Register(pcfg.addr, &proxy, &executor)) {
       std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", basePort + pcfg.addr);
       return 1;
     }
     std::printf("proxy '%s' up on 127.0.0.1:%u (addr %u) origin=%u "
-                "cache=%llu bytes, %u-byte blocks\n",
+                "dram=%llu bytes, %u-byte blocks, disk=%llu bytes%s%s\n",
                 pcfg.name.c_str(), basePort + pcfg.addr, pcfg.addr,
                 pcfg.origin.head,
                 static_cast<unsigned long long>(pcfg.cache.capacityBytes),
-                pcfg.cache.blockSize);
+                pcfg.cache.blockSize,
+                static_cast<unsigned long long>(pcfg.diskCapacityBytes),
+                pcfg.diskCapacityBytes > 0 ? " at " : "",
+                pcfg.diskCapacityBytes > 0 ? loaded->pcacheDiskRoot.c_str() : "");
     std::signal(SIGINT, HandleSignal);
     std::signal(SIGTERM, HandleSignal);
     executor.RunEvery(std::chrono::seconds(60), [&proxy] {
